@@ -1,0 +1,91 @@
+// Ablation: the estimation choices documented in DESIGN.md §5b.
+// Evaluates Fig. 10 (mean deviation D of both models) under each estimator
+// variant, so the defaults' contribution is measurable:
+//   * loss input: event rate (default) vs first-transmission rate vs raw
+//     all-transmission rate,
+//   * P_a source: episode-calibrated (default) vs per-round measured vs the
+//     paper's analytic p_a^(w/b),
+//   * q source: recommended constant 0.3 (default) vs per-flow measured.
+#include <iostream>
+
+#include "bench/common.h"
+#include "model/params.h"
+#include "util/stats.h"
+
+using namespace hsr;
+
+namespace {
+
+struct Result {
+  double d_padhye = 0.0;
+  double d_enhanced = 0.0;
+  unsigned flows = 0;
+};
+
+Result evaluate(const model::EstimationOptions& base_opt) {
+  util::RunningStats dp, de;
+  for (const auto& f : bench::corpus().flows) {
+    if (!f.high_speed || f.goodput_pps < 2.0 ||
+        f.analysis.recovery_time_fraction > 0.5) {
+      continue;
+    }
+    model::EstimationOptions opt = base_opt;
+    opt.b = f.delayed_ack_b;
+    opt.w_m = f.receiver_window;
+    const model::FlowEvaluation ev = model::evaluate_flow(f.analysis, opt);
+    dp.add(ev.d_padhye);
+    de.add(ev.d_enhanced);
+  }
+  return {dp.mean(), de.mean(), static_cast<unsigned>(dp.count())};
+}
+
+void report(const char* name, const Result& r) {
+  std::cout << std::left << std::setw(44) << name << " D(Padhye)=" << std::setw(8)
+            << r.d_padhye * 100 << " D(enhanced)=" << std::setw(8)
+            << r.d_enhanced * 100 << " (" << r.flows << " flows)\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation: estimator choices (DESIGN.md 5b)");
+
+  model::EstimationOptions defaults;
+  report("defaults (event rate, episode P_a, q=0.3)", evaluate(defaults));
+
+  std::cout << "\n-- loss-rate input --\n";
+  {
+    model::EstimationOptions o = defaults;
+    o.loss_source = model::EstimationOptions::LossSource::kFirstTxRate;
+    report("first-transmission loss rate", evaluate(o));
+    o.loss_source = model::EstimationOptions::LossSource::kAllTxRate;
+    report("raw all-transmission loss rate", evaluate(o));
+  }
+
+  std::cout << "\n-- P_a source --\n";
+  {
+    model::EstimationOptions o = defaults;
+    o.pa_source = model::EstimationOptions::PaSource::kRoundMeasured;
+    report("per-round burst estimator", evaluate(o));
+    o.pa_source = model::EstimationOptions::PaSource::kDerived;
+    report("analytic p_a^(w/b) fixed point", evaluate(o));
+  }
+
+  std::cout << "\n-- q source --\n";
+  {
+    model::EstimationOptions o = defaults;
+    o.use_measured_q = true;
+    report("per-flow measured q-hat", evaluate(o));
+    o.use_measured_q = false;
+    o.recommended_q = 0.25;
+    report("constant q = 0.25 (paper lower bound)", evaluate(o));
+    o.recommended_q = 0.4;
+    report("constant q = 0.40 (paper upper bound)", evaluate(o));
+  }
+
+  std::cout << "\nexpected: the D(Padhye) column only responds to the loss\n"
+               "input (the baseline ignores P_a and q); the enhanced model is\n"
+               "most sensitive to the P_a source, where clustered bursts make\n"
+               "the naive per-round estimator overshoot.\n";
+  return 0;
+}

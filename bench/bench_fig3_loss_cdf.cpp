@@ -1,0 +1,33 @@
+// Fig. 3: CDFs of the two kinds of data loss rates — lifetime loss
+// (paper mean 0.7526 %) vs in-recovery retransmit loss (paper mean 27.26 %).
+#include <iostream>
+
+#include "bench/common.h"
+#include "util/csv.h"
+
+int main() {
+  using namespace hsr;
+  bench::header("Fig. 3: CDF of two kinds of loss rates");
+
+  auto lifetime = bench::corpus().corpus.lifetime_data_loss_cdf(true);
+  auto recovery = bench::corpus().corpus.recovery_loss_cdf(true);
+
+  auto csv = bench::open_csv("fig3_loss_cdf.csv");
+  util::CsvWriter w(csv);
+  w.row("series", "loss_rate", "cdf");
+  for (const auto& [x, f] : lifetime.curve(200)) w.row("lifetime", x, f);
+  for (const auto& [x, f] : recovery.curve(200)) w.row("recovery", x, f);
+
+  std::cout << "series: lifetime data loss (x) vs in-recovery retransmit loss\n";
+  std::cout << "      p    CDF_lifetime   CDF_recovery\n";
+  for (double x : {0.001, 0.0025, 0.005, 0.01, 0.05, 0.1, 0.2, 0.3, 0.5}) {
+    std::cout << "  " << std::setw(6) << x << "   " << std::setw(10) << lifetime.cdf(x)
+              << "   " << std::setw(10) << recovery.cdf(x) << "\n";
+  }
+  std::cout << "\n";
+  bench::compare_row("mean lifetime data loss", 0.7526, lifetime.mean() * 100, "%");
+  bench::compare_row("mean in-recovery retransmit loss", 27.26, recovery.mean() * 100, "%");
+  bench::compare_row("separation (recovery / lifetime)", 27.26 / 0.7526,
+                     recovery.mean() / std::max(lifetime.mean(), 1e-9), "x");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// §V-A: the traditional delayed-ACK technique aggravates spurious timeouts
+// in high-speed mobility — fewer ACKs per round raise P_a = p_a^(w/b).
+// Model sweep over b, plus a simulation sweep counting timeouts.
+#include <iostream>
+
+#include "bench/common.h"
+#include "model/enhanced.h"
+#include "radio/profiles.h"
+#include "util/csv.h"
+#include "util/stats.h"
+#include "workload/scenario.h"
+
+int main() {
+  using namespace hsr;
+  bench::header("Section V-A: delayed acknowledgements vs spurious timeouts");
+
+  // --- Model view: P_a and throughput as b grows. ---------------------------
+  std::cout << "--- model sweep (p_a = 2 %, w = 16 segments) ---\n";
+  std::cout << "  b    ACKs/round    P_a           predicted TP (seg/s)\n";
+  for (double b : {1.0, 2.0, 4.0, 8.0}) {
+    const double pa = model::ack_burst_probability(0.02, 16.0, b);
+    model::EnhancedInputs in;
+    in.p_d = 0.0075;
+    in.q = 0.3;
+    in.P_a = pa;
+    in.path = model::PathParams{0.1, 0.5, b, 256.0};
+    std::cout << "  " << b << "    " << std::setw(10) << 16.0 / b << "  "
+              << std::setw(12) << pa << "  " << model::enhanced_throughput_pps(in)
+              << "\n";
+  }
+  std::cout << "expected: P_a rises steeply with b (fewer, more precious ACKs).\n\n";
+
+  // --- Simulation view: timeouts and spurious share vs b. -------------------
+  std::cout << "--- simulation sweep (Unicom 3G profile, 60 s x 4 seeds) ---\n";
+  auto csv = bench::open_csv("sec5_delayed_ack.csv");
+  util::CsvWriter w(csv);
+  w.row("b", "seed", "timeouts", "duplicates", "goodput_pps");
+  std::cout << "  b    timeouts/flow   duplicate payloads/flow   goodput\n";
+  double prev_timeouts = -1.0;
+  bool monotone = true;
+  for (unsigned b : {1u, 2u, 4u}) {
+    util::RunningStats timeouts, dups, goodput;
+    for (int s = 0; s < 4; ++s) {
+      workload::FlowRunConfig cfg;
+      cfg.profile = radio::unicom_3g_highspeed();
+      cfg.duration = util::Duration::seconds(60);
+      cfg.seed = bench::seed() + 7 * s;
+      cfg.delayed_ack_b = b;
+      const auto run = workload::run_flow(cfg);
+      timeouts.add(run.sender_stats.timeouts);
+      dups.add(run.receiver_stats.duplicate_segments);
+      goodput.add(run.goodput_pps);
+      w.row(b, cfg.seed, run.sender_stats.timeouts,
+            run.receiver_stats.duplicate_segments, run.goodput_pps);
+    }
+    std::cout << "  " << b << "    " << std::setw(12) << timeouts.mean() << "  "
+              << std::setw(22) << dups.mean() << "  " << goodput.mean() << "\n";
+    if (prev_timeouts >= 0.0 && timeouts.mean() < prev_timeouts - 1.5) {
+      monotone = false;
+    }
+    prev_timeouts = timeouts.mean();
+  }
+  std::cout << "\nexpected (paper, citing TCP-DCA): fewer ACKs per round make\n"
+               "timeouts more likely; the model's P_a term captures this.\n"
+            << (monotone ? "[OK] timeout burden does not shrink with b\n"
+                         : "[NOTE] simulation noise exceeded the trend at this scale\n");
+  return 0;
+}

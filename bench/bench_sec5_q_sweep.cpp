@@ -1,0 +1,54 @@
+// §V-B: reliable retransmission (MPTCP's double retransmission) works by
+// reducing q, the retransmit loss rate during timeout recovery. Model sweep
+// of throughput vs q, plus the measured rescue effect in backup mode.
+#include <iostream>
+
+#include "bench/common.h"
+#include "model/enhanced.h"
+#include "radio/profiles.h"
+#include "util/csv.h"
+#include "workload/scenario.h"
+
+int main() {
+  using namespace hsr;
+  bench::header("Section V-B: throughput vs q (reliable retransmission)");
+
+  auto csv = bench::open_csv("sec5_q_sweep.csv");
+  util::CsvWriter w(csv);
+  w.row("q", "throughput_pps", "expected_timeouts_per_seq", "seq_duration_s");
+
+  std::cout << "--- model sweep (p_d=0.75 %, P_a=1 %, RTT=100 ms, T=1 s) ---\n";
+  std::cout << "  q       TP (seg/s)   E[R]      E[A_TO] (s)\n";
+  double tp_at_0 = 0.0, tp_at_04 = 0.0;
+  for (double q : {0.0, 0.1, 0.2, 0.25, 0.3, 0.4, 0.5, 0.7, 0.9}) {
+    model::EnhancedInputs in;
+    in.p_d = 0.0075;
+    in.P_a = 0.01;
+    in.q = q;
+    in.path = model::PathParams{0.1, 1.0, 2.0, 512.0};
+    const auto bd = model::enhanced_model(in);
+    if (q == 0.0) tp_at_0 = bd.throughput_pps;
+    if (q == 0.4) tp_at_04 = bd.throughput_pps;
+    std::cout << "  " << std::setw(5) << q << "   " << std::setw(9)
+              << bd.throughput_pps << "   " << std::setw(7) << bd.e_r << "   "
+              << bd.e_a_to_s << "\n";
+    w.row(q, bd.throughput_pps, bd.e_r, bd.e_a_to_s);
+  }
+  std::cout << "reducing q from 0.4 (paper's upper bound) to ~0 recovers "
+            << (tp_at_0 / tp_at_04 - 1.0) * 100 << " % throughput in the model\n\n";
+
+  // --- Measured: MPTCP backup-mode rescues on the worst provider. -----------
+  std::cout << "--- measured: backup-mode double retransmission (Telecom) ---\n";
+  const auto cmp = workload::run_mptcp_comparison(radio::telecom_3g_highspeed(),
+                                                  util::Duration::seconds(90),
+                                                  bench::seed(), mptcp::Mode::kBackup);
+  std::cout << "single-path TCP: " << cmp.tcp_pps << " seg/s\n"
+            << "MPTCP backup:    " << cmp.mptcp_pps << " seg/s  ("
+            << cmp.improvement * 100 << " % better)\n"
+            << "rescue retransmissions: " << cmp.rescues << " (useful: "
+            << cmp.useful_rescues << ")\n";
+  std::cout << "\nexpected: even in BACKUP mode (secondary path idle), rescuing\n"
+               "only the timed-out packets on the second subflow improves the\n"
+               "user's experience — the q-reduction mechanism of §V-B.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Shared helpers for the bench binaries that regenerate the paper's tables
+// and figures.
+//
+// Environment knobs:
+//   HSR_BENCH_SCALE  corpus scale in (0,1]; default 0.15 so that the whole
+//                    bench suite finishes in seconds. Use 1.0 to regenerate
+//                    the full 255-flow corpus (as reported in EXPERIMENTS.md).
+//   HSR_BENCH_SEED   experiment seed; default 2015.
+//   HSR_BENCH_OUT    directory for full-resolution CSV dumps; default
+//                    "bench_out" under the current directory.
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "workload/dataset.h"
+
+namespace hsr::bench {
+
+inline double scale() {
+  if (const char* s = std::getenv("HSR_BENCH_SCALE")) return std::atof(s);
+  return 0.15;
+}
+
+inline std::uint64_t seed() {
+  if (const char* s = std::getenv("HSR_BENCH_SEED")) return std::strtoull(s, nullptr, 10);
+  return 2015;
+}
+
+inline std::filesystem::path out_dir() {
+  const char* s = std::getenv("HSR_BENCH_OUT");
+  std::filesystem::path dir = s ? s : "bench_out";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// Opens a CSV dump file in the output directory.
+inline std::ofstream open_csv(const std::string& name) {
+  const auto path = out_dir() / name;
+  std::ofstream f(path);
+  std::cout << "[csv] full data -> " << path.string() << "\n";
+  return f;
+}
+
+// The corpus every corpus-driven figure shares (generated once per binary).
+inline const workload::DatasetResult& corpus() {
+  static const workload::DatasetResult ds = [] {
+    workload::DatasetSpec spec = workload::DatasetSpec::paper_table1(scale());
+    spec.seed = seed();
+    std::cerr << "[bench] generating corpus: scale=" << scale()
+              << " seed=" << seed() << " ..." << std::flush;
+    auto result = workload::generate_dataset(spec);
+    std::cerr << " done (" << result.flows.size() << " flows)\n";
+    return result;
+  }();
+  return ds;
+}
+
+// One "paper vs measured" comparison row.
+inline void compare_row(const std::string& name, double paper, double measured,
+                        const std::string& unit) {
+  std::cout << std::left << std::setw(44) << name << " paper=" << std::setw(10)
+            << paper << " measured=" << std::setw(10) << measured << " " << unit
+            << "\n";
+}
+
+inline void header(const std::string& title) {
+  std::cout << "==== " << title << " ====\n";
+  std::cout << std::fixed << std::setprecision(3);
+}
+
+}  // namespace hsr::bench

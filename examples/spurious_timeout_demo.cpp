@@ -1,0 +1,86 @@
+// Walk-through of the paper's core mechanism: how ACK burst loss turns into
+// a spurious retransmission timeout, and why a single surviving cumulative
+// ACK prevents it (paper Figs. 5 and 11).
+//
+// Builds a tiny deterministic scenario — perfect data path, scripted ACK
+// deaths — and narrates every transport-layer event.
+//
+//   $ ./spurious_timeout_demo
+#include <iostream>
+#include <memory>
+
+#include "net/channel.h"
+#include "sim/simulator.h"
+#include "tcp/connection.h"
+#include "util/rng.h"
+
+using namespace hsr;
+
+namespace {
+
+void narrate(const char* title, int surviving_ack_index) {
+  std::cout << "=== " << title << " ===\n";
+
+  sim::Simulator sim;
+  tcp::ConnectionConfig cfg;
+  cfg.tcp.receiver_window = 6;
+  cfg.tcp.delayed_ack_b = 1;
+  cfg.tcp.initial_cwnd = 6.0;
+  cfg.tcp.total_segments = 18;
+  cfg.downlink.rate_bps = 10e6;
+  cfg.downlink.prop_delay = util::Duration::millis(20);
+  cfg.uplink.rate_bps = 10e6;
+  cfg.uplink.prop_delay = util::Duration::millis(20);
+
+  // Kill the first round's ACKs, except possibly one survivor.
+  int ack_index = 0;
+  auto uplink_channel = std::make_unique<net::FunctionalChannel>(
+      [&ack_index, surviving_ack_index](const net::Packet&, util::TimePoint) {
+        ++ack_index;
+        if (ack_index > 6) return 0.0;
+        return ack_index == surviving_ack_index ? 0.0 : 1.0;
+      },
+      [](const net::Packet&, util::TimePoint) { return util::Duration::zero(); },
+      util::Rng(1));
+
+  tcp::Connection conn(sim, 1, cfg, std::make_unique<net::PerfectChannel>(),
+                       std::move(uplink_channel));
+  conn.start();
+  sim.run_until(util::TimePoint::from_seconds(6));
+
+  std::cout << "  round of 6 data packets sent; all DELIVERED (data path is perfect)\n";
+  std::cout << "  ACKs lost on the uplink: " << conn.uplink().stats().dropped_total()
+            << " of " << conn.uplink().stats().sent << "\n";
+  for (const auto& e : conn.sender().events()) {
+    switch (e.type) {
+      case tcp::SenderEventType::kTimeout:
+        std::cout << "  t=" << e.when.to_seconds() << " s  RETRANSMISSION TIMEOUT for seq "
+                  << e.seq << " — spurious: the receiver already has it\n";
+        break;
+      case tcp::SenderEventType::kRecoveryExit:
+        std::cout << "  t=" << e.when.to_seconds()
+                  << " s  cumulative ACK " << e.seq << " arrives; recovery over\n";
+        break;
+      default:
+        break;
+    }
+  }
+  std::cout << "  duplicate payloads seen by the receiver: "
+            << conn.receiver().stats().duplicate_segments << "\n";
+  std::cout << "  total timeouts: " << conn.sender().stats().timeouts << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "The paper's §III-B mechanism, step by step.\n\n";
+  narrate("Case 1 (Fig. 5a): ALL six ACKs of the round are lost",
+          /*surviving_ack_index=*/0);
+  narrate("Case 2 (Fig. 11): the LAST ACK of the round survives",
+          /*surviving_ack_index=*/6);
+  std::cout
+      << "Takeaway: one surviving cumulative ACK acknowledges the whole round\n"
+         "(\"ACKs are precious\"); only the loss of EVERY ACK in a round —\n"
+         "probability P_a in the enhanced model — produces the spurious RTO.\n";
+  return 0;
+}

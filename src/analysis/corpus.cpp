@@ -1,0 +1,85 @@
+#include "analysis/corpus.h"
+
+namespace hsr::analysis {
+
+void Corpus::add(std::string provider, bool high_speed, FlowAnalysis flow) {
+  entries_.push_back(CorpusEntry{std::move(provider), high_speed, std::move(flow)});
+}
+
+util::EmpiricalCdf Corpus::lifetime_data_loss_cdf(bool high_speed) const {
+  util::EmpiricalCdf cdf;
+  for (const auto& e : entries_) {
+    if (e.high_speed == high_speed) cdf.add(e.flow.data_loss_rate);
+  }
+  return cdf;
+}
+
+util::EmpiricalCdf Corpus::recovery_loss_cdf(bool high_speed) const {
+  util::EmpiricalCdf cdf;
+  for (const auto& e : entries_) {
+    if (e.high_speed == high_speed && e.flow.has_timeouts()) {
+      cdf.add(e.flow.recovery_retx_loss_rate);
+    }
+  }
+  return cdf;
+}
+
+std::vector<std::pair<double, double>> Corpus::ack_loss_vs_timeout(bool high_speed) const {
+  std::vector<std::pair<double, double>> points;
+  for (const auto& e : entries_) {
+    if (e.high_speed == high_speed && e.flow.loss_indications > 0) {
+      points.emplace_back(e.flow.ack_loss_rate, e.flow.timeout_probability);
+    }
+  }
+  return points;
+}
+
+util::EmpiricalCdf Corpus::ack_loss_cdf(bool high_speed) const {
+  util::EmpiricalCdf cdf;
+  for (const auto& e : entries_) {
+    if (e.high_speed == high_speed) cdf.add(e.flow.ack_loss_rate);
+  }
+  return cdf;
+}
+
+Corpus::Headline Corpus::headline() const {
+  Headline h;
+  util::RunningStats rec_hs, rec_st, ack_hs, ack_st, data_hs, q_hs;
+  std::size_t seq_hs = 0, spurious_hs = 0;
+
+  for (const auto& e : entries_) {
+    const FlowAnalysis& f = e.flow;
+    if (e.high_speed) {
+      ++h.flows_highspeed;
+      ack_hs.add(f.ack_loss_rate);
+      data_hs.add(f.data_loss_rate);
+      if (f.has_timeouts()) {
+        q_hs.add(f.recovery_retx_loss_rate);
+        for (const auto& ts : f.timeout_sequences) {
+          ++seq_hs;
+          if (ts.spurious) ++spurious_hs;
+          if (ts.recovered_observed) rec_hs.add(ts.duration().to_seconds());
+        }
+      }
+    } else {
+      ++h.flows_stationary;
+      ack_st.add(f.ack_loss_rate);
+      for (const auto& ts : f.timeout_sequences) {
+        if (ts.recovered_observed) rec_st.add(ts.duration().to_seconds());
+      }
+    }
+  }
+
+  h.mean_recovery_s_highspeed = rec_hs.mean();
+  h.mean_recovery_s_stationary = rec_st.mean();
+  h.spurious_timeout_share =
+      seq_hs == 0 ? 0.0 : static_cast<double>(spurious_hs) / static_cast<double>(seq_hs);
+  h.mean_ack_loss_highspeed = ack_hs.mean();
+  h.mean_ack_loss_stationary = ack_st.mean();
+  h.mean_data_loss_highspeed = data_hs.mean();
+  h.mean_recovery_loss_highspeed = q_hs.mean();
+  h.timeout_sequences_highspeed = seq_hs;
+  return h;
+}
+
+}  // namespace hsr::analysis

@@ -1,0 +1,131 @@
+#include "model/enhanced.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace hsr::model {
+
+namespace {
+
+// (1 - P_a)^n computed stably for large n / tiny P_a.
+double pow_one_minus(double pa, double n) {
+  if (pa <= 0.0) return 1.0;
+  if (pa >= 1.0) return 0.0;
+  return std::exp(n * std::log1p(-pa));
+}
+
+// Eq. 2 / Eq. 18 pattern: E = (1 - (1-P_a)^n) / P_a, with the P_a -> 0
+// limit equal to n (L'Hopital, as noted in §IV-B).
+double truncated_geometric_mean(double pa, double n) {
+  if (n <= 0.0) return 0.0;
+  if (pa <= 1e-12) return n;
+  return (1.0 - pow_one_minus(pa, n)) / pa;
+}
+
+}  // namespace
+
+double ack_burst_probability(double p_a, double window_segments, double b) {
+  HSR_CHECK(b >= 1.0);
+  if (p_a <= 0.0) return 0.0;
+  if (p_a >= 1.0) return 1.0;
+  const double acks_per_round = std::max(1.0, window_segments / b);
+  return std::pow(p_a, acks_per_round);
+}
+
+double deviation_rate(double model_pps, double trace_pps) {
+  HSR_CHECK(trace_pps > 0.0);
+  return std::abs(model_pps - trace_pps) / trace_pps;
+}
+
+EnhancedBreakdown enhanced_model(const EnhancedInputs& in, EnhancedVariant variant) {
+  const auto& [rtt, t0, b, w_m] = in.path;
+  HSR_CHECK(rtt > 0.0 && t0 > 0.0 && b >= 1.0 && w_m >= 1.0);
+
+  const double p_d = std::clamp(in.p_d, 0.0, 0.999999);
+  const double pa = std::clamp(in.P_a, 0.0, 0.999999);
+  const double q = std::clamp(in.q, 0.0, 0.999999);
+
+  EnhancedBreakdown out;
+
+  // --- CA phase (Eqs. 1-6). --------------------------------------------------
+  out.x_p = padhye_first_loss_round(p_d, b);
+  out.e_x = truncated_geometric_mean(pa, out.x_p + 1.0);  // Eq. 2
+  if (variant == EnhancedVariant::kCorrected) {
+    out.e_w = 2.0 * out.e_x / b - 2.0;  // consistent with Eq. 3 equilibrium
+  } else {
+    out.e_w = b / 2.0 * out.e_x - 2.0;  // literal Eq. 4
+  }
+  out.e_w = std::max(out.e_w, 1.0);
+  out.e_y = out.e_w / 2.0 * (3.0 * out.e_x / 2.0 - 1.0);  // Eq. 6
+
+  // --- Timeout sequence (Eqs. 9-14). ------------------------------------------
+  out.p_consec = 1.0 - (1.0 - q) * (1.0 - pa);
+  out.p_consec = std::min(out.p_consec, 0.999999);
+  out.e_r = 1.0 / (1.0 - out.p_consec);                       // Eq. 11
+  out.e_y_to = std::pow(1.0 - q, out.e_r);                    // Eq. 12
+  out.e_a_to_s = t0 * pftk_f(out.p_consec) / (1.0 - out.p_consec);  // Eq. 13
+
+  // --- Branch selection and Q (Eqs. 9-10, 15-21). ------------------------------
+  out.window_limited = out.e_w >= w_m;
+  if (!out.window_limited) {
+    out.q_p = std::min(1.0, 3.0 / out.e_w);  // Eq. 9
+    out.q_timeout = 1.0 - (1.0 - out.q_p) * pow_one_minus(pa, out.x_p);  // Eq. 10
+    const double numer = out.e_y + out.q_timeout * out.e_y_to;
+    const double denom = out.e_x * rtt + out.q_timeout * out.e_a_to_s;
+    out.throughput_pps = std::max(numer / denom, 0.0);  // Eq. 15
+    return out;
+  }
+
+  // Window-limited (Eqs. 16-21). The window saturates at W_m after
+  // E[U] = b*W_m/2 growth rounds, then holds for V rounds until a loss
+  // indication.
+  out.e_u = b * w_m / 2.0;  // Eq. 16
+  out.v_p = p_d > 0.0
+                ? (1.0 - p_d) / (p_d * w_m) + 1.0 - 3.0 * b * w_m / 8.0  // Eq. 17
+                : 1e12;
+  out.v_p = std::max(out.v_p, 1.0);
+  out.e_v = truncated_geometric_mean(pa, out.v_p);  // Eq. 18
+
+  // Q in the limited branch: the CA phase now lasts E[U] + V_P rounds
+  // before data loss, so the no-ACK-burst survival exponent uses that
+  // span (the paper leaves this implicit; with P_a -> 0 it reduces to
+  // Q_P as required).
+  out.q_p = std::min(1.0, 3.0 / w_m);
+  out.q_timeout = 1.0 - (1.0 - out.q_p) * pow_one_minus(pa, out.e_u + out.v_p);
+
+  const double e_y_lim = 3.0 * b * w_m * w_m / 8.0 + w_m * (out.e_v - 0.5);  // Eq. 19
+  const double e_x_lim = out.e_u + out.e_v;                                  // Eq. 20
+  out.e_y = e_y_lim;
+  out.e_x = e_x_lim;
+  const double numer = e_y_lim + out.q_timeout * out.e_y_to;
+  const double denom = e_x_lim * rtt + out.q_timeout * out.e_a_to_s;
+  out.throughput_pps = std::max(numer / denom, 0.0);  // Eq. 21, second branch
+  return out;
+}
+
+double enhanced_throughput_pps(const EnhancedInputs& in, EnhancedVariant variant) {
+  return enhanced_model(in, variant).throughput_pps;
+}
+
+EnhancedInputs solve_self_consistent_pa(double p_a, EnhancedInputs seed,
+                                        EnhancedVariant variant, int max_iterations) {
+  EnhancedInputs cur = seed;
+  // Start from the Padhye window for the measured data-loss rate.
+  double window = seed.p_d > 0.0 ? pftk_expected_window(seed.p_d, seed.path.b)
+                                 : seed.path.w_m;
+  window = std::min(window, seed.path.w_m);
+  for (int i = 0; i < max_iterations; ++i) {
+    cur.P_a = ack_burst_probability(p_a, window, cur.path.b);
+    const EnhancedBreakdown bd = enhanced_model(cur, variant);
+    const double next_window =
+        std::min(bd.window_limited ? cur.path.w_m : bd.e_w, cur.path.w_m);
+    if (std::abs(next_window - window) < 1e-9) break;
+    window = next_window;
+  }
+  cur.P_a = ack_burst_probability(p_a, window, cur.path.b);
+  return cur;
+}
+
+}  // namespace hsr::model

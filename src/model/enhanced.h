@@ -1,0 +1,82 @@
+// The paper's enhanced TCP throughput model for high-speed mobility
+// scenarios (§IV, Eqs. 1-21).
+//
+// Two parameters extend the Padhye model:
+//   P_a — probability of "ACK burst loss": all ACKs of one round lost, which
+//         ends the CA phase with a (spurious) timeout;
+//   q   — loss rate of retransmitted packets during the timeout recovery
+//         phase (q >> p_d on HSR; paper recommends 0.25-0.4).
+//
+// NOTE on published typos. The paper's Eq. 4 prints E[W] = (b/2)E[X] - 2,
+// but its own Eq. 3 equilibrium (W = W/2 + X/b - 1) gives
+// E[W] = (2/b)E[X] - 2; only the latter degenerates to the Padhye window
+// (E[W] ~ sqrt(8(1-p)/(3bp))) when P_a -> 0, which the paper states as a
+// property of its model (§IV-B). Equations 7/15/21 inherit the typo in
+// their 3b/8 coefficients. We implement the self-consistent ("corrected")
+// derivation by default and the literal published coefficients as a
+// documented variant.
+#pragma once
+
+#include "model/padhye.h"
+
+namespace hsr::model {
+
+struct EnhancedInputs {
+  double p_d = 0.0075;  // lifetime data-segment loss rate
+  double P_a = 0.01;    // ACK burst-loss probability (per round)
+  double q = 0.3;       // retransmit loss rate during timeout recovery
+  PathParams path;
+};
+
+enum class EnhancedVariant { kCorrected, kAsPublished };
+
+// Every intermediate quantity of the derivation, for tests, docs and the
+// window-evolution figures.
+struct EnhancedBreakdown {
+  // CA phase (§IV-B).
+  double x_p = 0.0;   // Eq. 1: expected first-data-loss round
+  double e_x = 0.0;   // Eq. 2: expected rounds per CA phase
+  double e_w = 0.0;   // Eq. 4: expected window at CA end
+  double e_y = 0.0;   // Eq. 6: expected segments received per CA phase
+
+  // Timeout sequence (§IV-C).
+  double q_p = 0.0;      // Eq. 9
+  double q_timeout = 0.0;  // Eq. 10: P(loss indication is a timeout)
+  double p_consec = 0.0;   // p = 1 - (1-q)(1-P_a)
+  double e_r = 0.0;        // Eq. 11: expected timeouts per sequence
+  double e_y_to = 0.0;     // Eq. 12: expected segments received per sequence
+  double e_a_to_s = 0.0;   // Eq. 13: expected sequence duration, seconds
+
+  // Window limitation (§IV-D); populated when window_limited.
+  bool window_limited = false;
+  double v_p = 0.0;  // Eq. 17
+  double e_u = 0.0;  // Eq. 16
+  double e_v = 0.0;  // Eq. 18
+
+  double throughput_pps = 0.0;  // Eq. 21
+};
+
+// Evaluates the full model (Eq. 21). Inputs are clamped to their valid
+// domains; throughput is always finite and non-negative.
+EnhancedBreakdown enhanced_model(const EnhancedInputs& in,
+                                 EnhancedVariant variant = EnhancedVariant::kCorrected);
+
+double enhanced_throughput_pps(const EnhancedInputs& in,
+                               EnhancedVariant variant = EnhancedVariant::kCorrected);
+
+// P_a from the per-ACK loss rate: P_a = p_a^n where n is the number of ACKs
+// in a round (~ max(1, w/b) with delayed ACKs; the paper writes p_a^w for
+// b = 1). Assumes independent ACK losses.
+double ack_burst_probability(double p_a, double window_segments, double b);
+
+// Self-consistent P_a: iterates P_a = p_a^(E[W]/b) with E[W] from the model
+// itself until fixed point (E[W] depends on P_a). Returns the converged
+// inputs.
+EnhancedInputs solve_self_consistent_pa(double p_a, EnhancedInputs seed,
+                                        EnhancedVariant variant = EnhancedVariant::kCorrected,
+                                        int max_iterations = 50);
+
+// Absolute deviation rate D = |TP_model - TP_trace| / TP_trace (Eq. 22).
+double deviation_rate(double model_pps, double trace_pps);
+
+}  // namespace hsr::model

@@ -1,0 +1,76 @@
+#include "model/padhye.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace hsr::model {
+
+double pftk_f(double p) {
+  return 1.0 + p * (1.0 + p * (2.0 + p * (4.0 + p * (8.0 + p * (16.0 + p * 32.0)))));
+}
+
+double pftk_q(double p, double w, QFormula formula) {
+  if (w <= 1.0) return 1.0;
+  if (formula == QFormula::kApprox3OverW) {
+    return std::min(1.0, 3.0 / w);
+  }
+  // Full PFTK:
+  //   Q = min(1, (1-(1-p)^3)(1+(1-p)^3(1-(1-p)^(w-3))) / (1-(1-p)^w)).
+  if (p <= 0.0) return std::min(1.0, 3.0 / w);
+  const double q1 = 1.0 - std::pow(1.0 - p, 3.0);
+  const double q2 = 1.0 + std::pow(1.0 - p, 3.0) * (1.0 - std::pow(1.0 - p, w - 3.0));
+  const double denom = 1.0 - std::pow(1.0 - p, w);
+  if (denom <= 0.0) return 1.0;
+  return std::min(1.0, q1 * q2 / denom);
+}
+
+double pftk_expected_window(double p, double b) {
+  HSR_CHECK(p > 0.0 && b >= 1.0);
+  const double k = (2.0 + b) / (3.0 * b);
+  return k + std::sqrt(8.0 * (1.0 - p) / (3.0 * b * p) + k * k);
+}
+
+double padhye_first_loss_round(double p_d, double b) {
+  HSR_CHECK(b >= 1.0);
+  if (p_d <= 0.0) return 1e12;  // effectively never: callers cap via W_m branch
+  const double k = (2.0 + b) / 6.0;
+  return k + std::sqrt(2.0 * b * (1.0 - p_d) / (3.0 * p_d) + k * k);
+}
+
+double padhye_throughput_pps(const PadhyeInputs& in, QFormula formula) {
+  const auto& [rtt, t0, b, w_m] = in.path;
+  HSR_CHECK(rtt > 0.0 && t0 > 0.0 && b >= 1.0 && w_m >= 1.0);
+  const double p = in.p;
+  if (p >= 1.0) return 0.0;
+  if (p <= 0.0) return w_m / rtt;  // loss-free: pinned at the window limit
+
+  const double ew = pftk_expected_window(p, b);
+  const double f = pftk_f(p);
+  if (ew < w_m) {
+    const double q = pftk_q(p, ew, formula);
+    const double numer = (1.0 - p) / p + ew + q / (1.0 - p);
+    const double denom = rtt * (b / 2.0 * ew + 1.0) + q * t0 * f / (1.0 - p);
+    return numer / denom;
+  }
+  const double q = pftk_q(p, w_m, formula);
+  const double numer = (1.0 - p) / p + w_m + q / (1.0 - p);
+  const double denom = rtt * (b / 8.0 * w_m + (1.0 - p) / (p * w_m) + 2.0) +
+                       q * t0 * f / (1.0 - p);
+  return numer / denom;
+}
+
+double padhye_simple_pps(const PadhyeInputs& in) {
+  const auto& [rtt, t0, b, w_m] = in.path;
+  HSR_CHECK(rtt > 0.0 && t0 > 0.0 && b >= 1.0 && w_m >= 1.0);
+  const double p = in.p;
+  if (p >= 1.0) return 0.0;
+  if (p <= 0.0) return w_m / rtt;
+  const double term_ca = rtt * std::sqrt(2.0 * b * p / 3.0);
+  const double term_to =
+      t0 * std::min(1.0, 3.0 * std::sqrt(3.0 * b * p / 8.0)) * p * (1.0 + 32.0 * p * p);
+  return std::min(w_m / rtt, 1.0 / (term_ca + term_to));
+}
+
+}  // namespace hsr::model

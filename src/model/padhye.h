@@ -1,0 +1,51 @@
+// The classic Padhye/PFTK steady-state TCP Reno throughput model
+// (Padhye, Firoiu, Towsley, Kurose, ToN 2000) — the baseline the paper
+// enhances and compares against (its Fig. 10).
+#pragma once
+
+namespace hsr::model {
+
+// Path parameters shared by both models.
+struct PathParams {
+  double rtt_s = 0.1;   // average round-trip time, seconds
+  double t0_s = 0.5;    // base retransmission timer T, seconds
+  double b = 2.0;       // data packets acknowledged per ACK (delayed ACKs)
+  double w_m = 64.0;    // receiver-advertised window limit, segments
+};
+
+struct PadhyeInputs {
+  double p = 0.01;  // loss-event rate
+  PathParams path;
+};
+
+// Which expression to use for Q (probability that a loss indication is a
+// timeout). The paper's baseline uses the approximation Q = min(1, 3/E[W])
+// (its Eq. 9); PFTK's exact derivation is also available.
+enum class QFormula { kApprox3OverW, kFullPftk };
+
+// PFTK Eq. for f(p) = 1 + p + 2p^2 + 4p^3 + 8p^4 + 16p^5 + 32p^6.
+double pftk_f(double p);
+
+// Q(p, w): probability a loss indication in a window of w is a timeout
+// (PFTK full form). Falls back to min(1, 3/w) for the approximate formula.
+double pftk_q(double p, double w, QFormula formula);
+
+// Expected unconstrained window at the end of a loss-free run,
+// E[W] = (2+b)/(3b) + sqrt(8(1-p)/(3bp) + ((2+b)/(3b))^2).
+double pftk_expected_window(double p, double b);
+
+// Full PFTK throughput (segments/second), with the receiver-window-limited
+// branch. p must be in (0, 1); p >= 1 returns 0 and p <= 0 returns the
+// window-limited ceiling w_m/RTT.
+double padhye_throughput_pps(const PadhyeInputs& in,
+                             QFormula formula = QFormula::kApprox3OverW);
+
+// The well-known closed-form approximation
+//   B = min(W_m/RTT, 1/(RTT sqrt(2bp/3) + T0 min(1, 3 sqrt(3bp/8)) p (1+32p^2))).
+double padhye_simple_pps(const PadhyeInputs& in);
+
+// X_P: expected round where data loss first occurs in a CA phase (the
+// paper's Eq. 1), used by the enhanced model.
+double padhye_first_loss_round(double p_d, double b);
+
+}  // namespace hsr::model

@@ -1,0 +1,95 @@
+#include "model/params.h"
+
+#include <algorithm>
+
+namespace hsr::model {
+
+PathParams path_from_analysis(const analysis::FlowAnalysis& a,
+                              const EstimationOptions& opt) {
+  PathParams path;
+  path.rtt_s = a.mean_rtt > util::Duration::zero() ? a.mean_rtt.to_seconds()
+                                                   : opt.default_rtt_s;
+  // T: measured mean gap between the end of the CA phase and the first
+  // retransmission when the flow has timeouts; otherwise an RFC6298-style
+  // floor on the RTT.
+  if (a.has_timeouts() && a.mean_first_rto > util::Duration::zero()) {
+    path.t0_s = std::max(a.mean_first_rto.to_seconds(), opt.min_t0_s);
+  } else {
+    path.t0_s = std::max(2.0 * path.rtt_s, opt.min_t0_s);
+  }
+  path.b = opt.b;
+  path.w_m = opt.w_m;
+  return path;
+}
+
+namespace {
+
+double loss_input(const analysis::FlowAnalysis& a, const EstimationOptions& opt,
+                  bool data_only) {
+  double p = 0.0;
+  switch (opt.loss_source) {
+    case EstimationOptions::LossSource::kEventRate:
+      p = data_only ? a.loss_event_rate_data : a.loss_event_rate_all;
+      break;
+    case EstimationOptions::LossSource::kFirstTxRate:
+      p = a.first_tx_loss_rate;
+      break;
+    case EstimationOptions::LossSource::kAllTxRate:
+      p = a.data_loss_rate;
+      break;
+  }
+  return std::max(p, 1e-6);
+}
+
+}  // namespace
+
+PadhyeInputs padhye_inputs_from_analysis(const analysis::FlowAnalysis& a,
+                                         const EstimationOptions& opt) {
+  PadhyeInputs in;
+  in.p = loss_input(a, opt, /*data_only=*/false);
+  in.path = path_from_analysis(a, opt);
+  return in;
+}
+
+EnhancedInputs enhanced_inputs_from_analysis(const analysis::FlowAnalysis& a,
+                                             const EstimationOptions& opt) {
+  EnhancedInputs in;
+  in.p_d = loss_input(a, opt, /*data_only=*/true);
+  in.path = path_from_analysis(a, opt);
+
+  if (opt.use_measured_q && a.has_timeouts()) {
+    in.q = a.recovery_retx_loss_rate;
+  } else {
+    in.q = opt.recommended_q;
+  }
+
+  switch (opt.pa_source) {
+    case EstimationOptions::PaSource::kEpisode:
+      in.P_a = a.ack_burst_loss_episode;
+      break;
+    case EstimationOptions::PaSource::kRoundMeasured:
+      in.P_a = a.ack_burst_loss_probability;
+      break;
+    case EstimationOptions::PaSource::kDerived:
+      in = solve_self_consistent_pa(a.ack_loss_rate, in);
+      break;
+  }
+  return in;
+}
+
+FlowEvaluation evaluate_flow(const analysis::FlowAnalysis& a,
+                             const EstimationOptions& opt,
+                             EnhancedVariant variant, QFormula padhye_q) {
+  FlowEvaluation ev;
+  ev.trace_pps = a.goodput_pps;
+  ev.padhye_pps = padhye_throughput_pps(padhye_inputs_from_analysis(a, opt), padhye_q);
+  ev.enhanced_pps =
+      enhanced_throughput_pps(enhanced_inputs_from_analysis(a, opt), variant);
+  if (ev.trace_pps > 0.0) {
+    ev.d_padhye = deviation_rate(ev.padhye_pps, ev.trace_pps);
+    ev.d_enhanced = deviation_rate(ev.enhanced_pps, ev.trace_pps);
+  }
+  return ev;
+}
+
+}  // namespace hsr::model

@@ -1,0 +1,67 @@
+// Bridges measurement to modeling: estimates the two models' inputs from a
+// flow analysis (as the paper does per captured flow for Fig. 10), and
+// evaluates both models against the measured goodput via Eq. 22.
+#pragma once
+
+#include "analysis/flow_analysis.h"
+#include "model/enhanced.h"
+#include "model/padhye.h"
+
+namespace hsr::model {
+
+struct EstimationOptions {
+  // Protocol facts known out-of-band (connection configuration).
+  double b = 2.0;     // segments per ACK (delayed ACKs)
+  double w_m = 64.0;  // receiver window, segments
+
+  // Loss-rate estimator fed to the models. PFTK's own empirical validation
+  // measures p as loss INDICATIONS per packet (a burst counts once), which
+  // is robust to the loss clustering of HSR channels; the raw packet-loss
+  // rate is kept for ablation. The Padhye baseline receives all indications
+  // (it attributes every timeout to data loss); the enhanced model receives
+  // only data-loss indications, with spurious timeouts carried by P_a.
+  enum class LossSource { kEventRate, kFirstTxRate, kAllTxRate };
+  LossSource loss_source = LossSource::kEventRate;
+
+  // P_a source.
+  enum class PaSource {
+    kEpisode,       // episode-calibrated inversion (default; burst-robust)
+    kRoundMeasured, // direct per-round burst estimator
+    kDerived,       // p_a^(w/b) self-consistent fixed point (paper §IV-A)
+  };
+  PaSource pa_source = PaSource::kEpisode;
+
+  // q source. The paper feeds the model a recommended constant
+  // (q in [0.25, 0.4], §IV-A) because q cannot be probed ahead of time;
+  // per-flow measured q̂ is also available but is burst-clustered, which the
+  // geometric timeout-sequence model amplifies.
+  bool use_measured_q = false;
+  double recommended_q = 0.3;  // paper recommends [0.25, 0.4]
+
+  // Fallbacks for degenerate flows.
+  double default_rtt_s = 0.1;
+  double min_t0_s = 0.2;
+};
+
+PathParams path_from_analysis(const analysis::FlowAnalysis& a,
+                              const EstimationOptions& opt);
+PadhyeInputs padhye_inputs_from_analysis(const analysis::FlowAnalysis& a,
+                                         const EstimationOptions& opt);
+EnhancedInputs enhanced_inputs_from_analysis(const analysis::FlowAnalysis& a,
+                                             const EstimationOptions& opt);
+
+// One Fig. 10 data point: both models vs the measured goodput of a flow.
+struct FlowEvaluation {
+  double trace_pps = 0.0;
+  double padhye_pps = 0.0;
+  double enhanced_pps = 0.0;
+  double d_padhye = 0.0;    // Eq. 22 deviation of the Padhye model
+  double d_enhanced = 0.0;  // Eq. 22 deviation of the enhanced model
+};
+
+FlowEvaluation evaluate_flow(const analysis::FlowAnalysis& a,
+                             const EstimationOptions& opt,
+                             EnhancedVariant variant = EnhancedVariant::kCorrected,
+                             QFormula padhye_q = QFormula::kApprox3OverW);
+
+}  // namespace hsr::model

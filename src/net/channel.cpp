@@ -1,0 +1,103 @@
+#include "net/channel.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace hsr::net {
+
+BernoulliChannel::BernoulliChannel(double loss_probability, util::Rng rng)
+    : p_(loss_probability), rng_(rng) {
+  HSR_CHECK_MSG(p_ >= 0.0 && p_ <= 1.0, "loss probability out of range");
+}
+
+bool BernoulliChannel::should_drop(const Packet&, TimePoint) {
+  return rng_.bernoulli(p_);
+}
+
+GilbertElliottChannel::GilbertElliottChannel(Config config, util::Rng rng)
+    : cfg_(config), rng_(rng) {
+  HSR_CHECK(cfg_.mean_good_s > 0.0 && cfg_.mean_bad_s > 0.0);
+}
+
+void GilbertElliottChannel::advance_to(TimePoint now) {
+  if (!initialized_) {
+    // Start in GOOD with the first sojourn sampled from its distribution.
+    bad_ = false;
+    next_transition_ =
+        TimePoint::zero() + Duration::from_seconds(rng_.exponential(cfg_.mean_good_s));
+    initialized_ = true;
+  }
+  while (next_transition_ <= now) {
+    bad_ = !bad_;
+    const double mean = bad_ ? cfg_.mean_bad_s : cfg_.mean_good_s;
+    next_transition_ = next_transition_ + Duration::from_seconds(rng_.exponential(mean));
+  }
+}
+
+bool GilbertElliottChannel::should_drop(const Packet&, TimePoint now) {
+  advance_to(now);
+  return rng_.bernoulli(bad_ ? cfg_.loss_bad : cfg_.loss_good);
+}
+
+bool GilbertElliottChannel::in_bad_state(TimePoint now) {
+  advance_to(now);
+  return bad_;
+}
+
+double GilbertElliottChannel::stationary_loss_rate() const {
+  const double total = cfg_.mean_good_s + cfg_.mean_bad_s;
+  return (cfg_.mean_good_s / total) * cfg_.loss_good +
+         (cfg_.mean_bad_s / total) * cfg_.loss_bad;
+}
+
+JitterChannel::JitterChannel(std::unique_ptr<ChannelModel> inner,
+                             double median_jitter_s, double sigma,
+                             double max_jitter_s, util::Rng rng)
+    : inner_(std::move(inner)), mu_(std::log(std::max(median_jitter_s, 1e-9))),
+      sigma_(sigma), max_s_(max_jitter_s), rng_(rng) {
+  HSR_CHECK(inner_ != nullptr);
+}
+
+bool JitterChannel::should_drop(const Packet& p, TimePoint now) {
+  return inner_->should_drop(p, now);
+}
+
+Duration JitterChannel::extra_delay(const Packet& p, TimePoint now) {
+  const double jitter = std::min(rng_.lognormal(mu_, sigma_), max_s_);
+  return inner_->extra_delay(p, now) + Duration::from_seconds(jitter);
+}
+
+CompositeChannel::CompositeChannel(std::vector<std::unique_ptr<ChannelModel>> parts)
+    : parts_(std::move(parts)) {}
+
+bool CompositeChannel::should_drop(const Packet& p, TimePoint now) {
+  // Every component sees every packet so that stateful components (e.g.
+  // Gilbert–Elliott) evolve consistently regardless of short-circuiting.
+  bool drop = false;
+  for (auto& part : parts_) {
+    if (part->should_drop(p, now)) drop = true;
+  }
+  return drop;
+}
+
+Duration CompositeChannel::extra_delay(const Packet& p, TimePoint now) {
+  Duration total = Duration::zero();
+  for (auto& part : parts_) total += part->extra_delay(p, now);
+  return total;
+}
+
+FunctionalChannel::FunctionalChannel(DropProbFn drop_prob, DelayFn delay, util::Rng rng)
+    : drop_prob_(std::move(drop_prob)), delay_(std::move(delay)), rng_(rng) {
+  HSR_CHECK(drop_prob_ != nullptr && delay_ != nullptr);
+}
+
+bool FunctionalChannel::should_drop(const Packet& p, TimePoint now) {
+  return rng_.bernoulli(drop_prob_(p, now));
+}
+
+Duration FunctionalChannel::extra_delay(const Packet& p, TimePoint now) {
+  return delay_(p, now);
+}
+
+}  // namespace hsr::net

@@ -1,0 +1,130 @@
+// Channel models decide per-packet loss and extra (non-queueing) delay.
+//
+// A Link owns exactly one ChannelModel for its direction; composite and
+// time-varying behaviour (the HSR radio) is built from these primitives.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/packet.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace hsr::net {
+
+class ChannelModel {
+ public:
+  virtual ~ChannelModel() = default;
+
+  // True if the channel corrupts/loses this packet at time `now`.
+  virtual bool should_drop(const Packet& packet, TimePoint now) = 0;
+
+  // Extra propagation delay (jitter, fading-induced) for this packet.
+  virtual Duration extra_delay(const Packet& packet, TimePoint now) = 0;
+};
+
+// Never drops, never delays. The wired (server-side) segment.
+class PerfectChannel final : public ChannelModel {
+ public:
+  bool should_drop(const Packet&, TimePoint) override { return false; }
+  Duration extra_delay(const Packet&, TimePoint) override { return Duration::zero(); }
+};
+
+// Independent per-packet loss with fixed probability.
+class BernoulliChannel final : public ChannelModel {
+ public:
+  BernoulliChannel(double loss_probability, util::Rng rng);
+
+  bool should_drop(const Packet&, TimePoint) override;
+  Duration extra_delay(const Packet&, TimePoint) override { return Duration::zero(); }
+
+  double loss_probability() const { return p_; }
+
+ private:
+  double p_;
+  util::Rng rng_;
+};
+
+// Two-state continuous-time Gilbert–Elliott channel. The state (GOOD/BAD)
+// evolves with exponential sojourn times; each state has its own loss
+// probability. Models bursty wireless loss.
+class GilbertElliottChannel final : public ChannelModel {
+ public:
+  struct Config {
+    double loss_good = 0.0;      // per-packet loss prob in GOOD
+    double loss_bad = 0.5;       // per-packet loss prob in BAD
+    double mean_good_s = 10.0;   // mean sojourn in GOOD, seconds
+    double mean_bad_s = 0.5;     // mean sojourn in BAD, seconds
+  };
+
+  GilbertElliottChannel(Config config, util::Rng rng);
+
+  bool should_drop(const Packet&, TimePoint now) override;
+  Duration extra_delay(const Packet&, TimePoint) override { return Duration::zero(); }
+
+  bool in_bad_state(TimePoint now);
+  // Expected stationary loss rate = w_bad*loss_bad + w_good*loss_good.
+  double stationary_loss_rate() const;
+
+ private:
+  void advance_to(TimePoint now);
+
+  Config cfg_;
+  util::Rng rng_;
+  bool bad_ = false;
+  TimePoint next_transition_ = TimePoint::zero();
+  bool initialized_ = false;
+};
+
+// Adds i.i.d. log-normal jitter on top of an inner channel's behaviour.
+class JitterChannel final : public ChannelModel {
+ public:
+  // jitter ~ LogNormal with given median (seconds) and sigma; capped.
+  JitterChannel(std::unique_ptr<ChannelModel> inner, double median_jitter_s,
+                double sigma, double max_jitter_s, util::Rng rng);
+
+  bool should_drop(const Packet& p, TimePoint now) override;
+  Duration extra_delay(const Packet& p, TimePoint now) override;
+
+ private:
+  std::unique_ptr<ChannelModel> inner_;
+  double mu_;     // log of the median
+  double sigma_;
+  double max_s_;
+  util::Rng rng_;
+};
+
+// Combines several channels: a packet is dropped if ANY component drops it;
+// extra delays add up.
+class CompositeChannel final : public ChannelModel {
+ public:
+  explicit CompositeChannel(std::vector<std::unique_ptr<ChannelModel>> parts);
+
+  bool should_drop(const Packet& p, TimePoint now) override;
+  Duration extra_delay(const Packet& p, TimePoint now) override;
+
+ private:
+  std::vector<std::unique_ptr<ChannelModel>> parts_;
+};
+
+// Adapts a pair of time-varying callables (drop probability, extra delay)
+// into a ChannelModel. The radio module plugs its environment in this way.
+class FunctionalChannel final : public ChannelModel {
+ public:
+  using DropProbFn = std::function<double(const Packet&, TimePoint)>;
+  using DelayFn = std::function<Duration(const Packet&, TimePoint)>;
+
+  FunctionalChannel(DropProbFn drop_prob, DelayFn delay, util::Rng rng);
+
+  bool should_drop(const Packet& p, TimePoint now) override;
+  Duration extra_delay(const Packet& p, TimePoint now) override;
+
+ private:
+  DropProbFn drop_prob_;
+  DelayFn delay_;
+  util::Rng rng_;
+};
+
+}  // namespace hsr::net

@@ -1,0 +1,70 @@
+#include "net/link.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace hsr::net {
+
+Link::Link(sim::Simulator& sim, LinkConfig config, std::unique_ptr<ChannelModel> channel)
+    : sim_(sim), config_(std::move(config)), channel_(std::move(channel)) {
+  HSR_CHECK(channel_ != nullptr);
+  HSR_CHECK(config_.rate_bps > 0.0);
+  HSR_CHECK(config_.queue_capacity > 0);
+}
+
+Duration Link::serialization_time(std::uint32_t bytes) const {
+  const double seconds = static_cast<double>(bytes) * 8.0 / config_.rate_bps;
+  return Duration::from_seconds(seconds);
+}
+
+void Link::prune_departures() const {
+  const TimePoint now = sim_.now();
+  while (!departures_.empty() && departures_.front() <= now) {
+    departures_.pop_front();
+  }
+}
+
+std::size_t Link::queue_depth() const {
+  prune_departures();
+  return departures_.size();
+}
+
+void Link::send(Packet packet) {
+  const TimePoint now = sim_.now();
+  packet.sent_at = now;
+  ++stats_.sent;
+  if (tap_ != nullptr) tap_->on_send(packet, now);
+
+  prune_departures();
+  if (departures_.size() >= config_.queue_capacity) {
+    ++stats_.dropped_queue;
+    if (tap_ != nullptr) tap_->on_drop(packet, now, DropReason::kQueueOverflow);
+    return;
+  }
+
+  const TimePoint start = std::max(now, busy_until_);
+  const TimePoint departure = start + serialization_time(packet.size_bytes);
+  busy_until_ = departure;
+  departures_.push_back(departure);
+
+  // Channel loss is evaluated at transmission time: the packet occupies the
+  // queue/transmitter either way (it is corrupted on the air, not dropped
+  // before entering the NIC).
+  if (channel_->should_drop(packet, start)) {
+    ++stats_.dropped_channel;
+    if (tap_ != nullptr) tap_->on_drop(packet, start, DropReason::kChannelLoss);
+    return;
+  }
+
+  const TimePoint arrival =
+      departure + config_.prop_delay + channel_->extra_delay(packet, start);
+  sim_.at(arrival, [this, packet, arrival] {
+    ++stats_.delivered;
+    stats_.bytes_delivered += packet.size_bytes;
+    if (tap_ != nullptr) tap_->on_deliver(packet, packet.sent_at, arrival);
+    if (receiver_) receiver_(packet);
+  });
+}
+
+}  // namespace hsr::net

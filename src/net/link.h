@@ -1,0 +1,101 @@
+// A unidirectional link: serialization at a fixed rate, a DropTail queue,
+// fixed propagation delay, and a pluggable ChannelModel for loss and jitter.
+//
+// Two links back-to-back (data direction + ACK direction) form the path a
+// TCP connection runs over.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/channel.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace hsr::net {
+
+enum class DropReason : std::uint8_t {
+  kQueueOverflow = 0,  // DropTail queue full at enqueue
+  kChannelLoss = 1,    // lost on the air (channel model)
+};
+
+// Observer of everything that happens on a link. The trace module implements
+// this to play the role of a wireshark capture at each endpoint.
+class LinkTap {
+ public:
+  virtual ~LinkTap() = default;
+  // Packet handed to the link by the sender (seen at the sender's NIC).
+  virtual void on_send(const Packet& packet, TimePoint when) = 0;
+  // Packet dropped (queue or channel); never delivered.
+  virtual void on_drop(const Packet& packet, TimePoint when, DropReason reason) = 0;
+  // Packet delivered to the receiving endpoint.
+  virtual void on_deliver(const Packet& packet, TimePoint sent, TimePoint arrived) = 0;
+};
+
+struct LinkConfig {
+  double rate_bps = 10e6;                    // serialization rate
+  Duration prop_delay = Duration::millis(15);  // one-way propagation
+  std::size_t queue_capacity = 64;           // packets, DropTail
+  std::string name = "link";
+};
+
+struct LinkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_queue = 0;
+  std::uint64_t dropped_channel = 0;
+  std::uint64_t bytes_delivered = 0;
+
+  std::uint64_t dropped_total() const { return dropped_queue + dropped_channel; }
+  double loss_rate() const {
+    return sent == 0 ? 0.0
+                     : static_cast<double>(dropped_total()) / static_cast<double>(sent);
+  }
+};
+
+class Link {
+ public:
+  Link(sim::Simulator& sim, LinkConfig config, std::unique_ptr<ChannelModel> channel);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  // Destination callback, invoked at the packet's arrival time.
+  void set_receiver(std::function<void(const Packet&)> receiver) {
+    receiver_ = std::move(receiver);
+  }
+  // Optional capture tap (non-owning; must outlive the link).
+  void set_tap(LinkTap* tap) { tap_ = tap; }
+
+  // Hands a packet to the link; the link stamps `sent_at`.
+  void send(Packet packet);
+
+  const LinkStats& stats() const { return stats_; }
+  const LinkConfig& config() const { return config_; }
+  ChannelModel& channel() { return *channel_; }
+
+  // Instantaneous queue depth (packets still waiting to finish serialization).
+  std::size_t queue_depth() const;
+
+ private:
+  Duration serialization_time(std::uint32_t bytes) const;
+  void prune_departures() const;
+
+  sim::Simulator& sim_;
+  LinkConfig config_;
+  std::unique_ptr<ChannelModel> channel_;
+  std::function<void(const Packet&)> receiver_;
+  LinkTap* tap_ = nullptr;
+  LinkStats stats_;
+
+  // Time the transmitter finishes the last accepted packet.
+  TimePoint busy_until_ = TimePoint::zero();
+  // Departure (serialization-finish) times of queued packets, for depth
+  // accounting; pruned lazily.
+  mutable std::deque<TimePoint> departures_;
+};
+
+}  // namespace hsr::net

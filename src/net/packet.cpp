@@ -1,0 +1,25 @@
+#include "net/packet.h"
+
+#include <sstream>
+
+namespace hsr::net {
+
+std::uint64_t allocate_packet_id() {
+  static std::uint64_t next = 1;
+  return next++;
+}
+
+std::string Packet::describe() const {
+  std::ostringstream os;
+  os << (kind == PacketKind::kData ? "DATA" : "ACK") << " flow=" << flow;
+  if (kind == PacketKind::kData) {
+    os << " seq=" << seq;
+    if (is_retransmission) os << " retx#" << retx_count;
+  } else {
+    os << " ack_next=" << ack_next;
+  }
+  os << " id=" << id;
+  return os.str();
+}
+
+}  // namespace hsr::net

@@ -1,0 +1,229 @@
+#include "radio/environment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "util/logging.h"
+
+namespace hsr::radio {
+
+FadeProcess::FadeProcess(double rate_per_s, double mean_duration_s, Rng rng)
+    : rate_per_s_(rate_per_s), mean_duration_s_(mean_duration_s), rng_(rng) {}
+
+void FadeProcess::advance(TimePoint now) {
+  if (rate_per_s_ <= 0.0) return;
+  if (!initialized_) {
+    in_fade_ = false;
+    next_change_ =
+        TimePoint::zero() + Duration::from_seconds(rng_.exponential(1.0 / rate_per_s_));
+    initialized_ = true;
+  }
+  while (next_change_ <= now) {
+    in_fade_ = !in_fade_;
+    const double mean = in_fade_ ? mean_duration_s_ : 1.0 / rate_per_s_;
+    next_change_ = next_change_ + Duration::from_seconds(rng_.exponential(mean));
+  }
+}
+
+bool FadeProcess::active(TimePoint now) {
+  if (rate_per_s_ <= 0.0) return false;
+  advance(now);
+  return in_fade_;
+}
+
+DelayWanderProcess::DelayWanderProcess(double amplitude_s, double period_s, Rng rng)
+    : amplitude_s_(amplitude_s), period_s_(std::max(period_s, 1e-3)), rng_(rng) {}
+
+double DelayWanderProcess::value(TimePoint now) {
+  if (amplitude_s_ <= 0.0) return 0.0;
+  if (!initialized_) {
+    from_ = rng_.uniform(0.0, amplitude_s_);
+    to_ = rng_.uniform(0.0, amplitude_s_);
+    segment_start_ = now;
+    initialized_ = true;
+  }
+  double elapsed = (now - segment_start_).to_seconds();
+  while (elapsed >= period_s_) {
+    from_ = to_;
+    to_ = rng_.uniform(0.0, amplitude_s_);
+    segment_start_ = segment_start_ + Duration::from_seconds(period_s_);
+    elapsed -= period_s_;
+  }
+  const double frac = elapsed / period_s_;
+  return from_ + (to_ - from_) * frac;
+}
+
+RadioEnvironment::RadioEnvironment(RadioConfig config, Rng rng)
+    : cfg_(std::move(config)),
+      rng_(rng),
+      uplink_fades_(config.uplink_fade_rate_per_s, config.uplink_fade_mean_s,
+                    rng.fork("uplink-fades")),
+      downlink_fades_(config.downlink_fade_rate_per_s, config.downlink_fade_mean_s,
+                      rng.fork("downlink-fades")),
+      coverage_gaps_(config.coverage_gap_rate_per_s, config.coverage_gap_mean_s,
+                     rng.fork("coverage-gaps")),
+      delay_wander_(config.delay_wander_amplitude_s, config.delay_wander_period_s,
+                    rng.fork("delay-wander")) {
+  HSR_CHECK(cfg_.cell_spacing_m > 0.0);
+  const bool moving = !cfg_.speed_profile.empty() || cfg_.speed_mps > 0.0;
+  if (moving) {
+    // First handoff: when the train first crosses a cell boundary. The train
+    // starts at initial_offset_frac of the way through its first cell.
+    const double start_pos = cfg_.initial_offset_frac * cfg_.cell_spacing_m;
+    const double to_boundary =
+        cfg_.cell_spacing_m - std::fmod(start_pos, cfg_.cell_spacing_m);
+    next_handoff_ = time_of_position(start_pos + to_boundary);
+  }
+}
+
+double RadioEnvironment::speed_at(TimePoint now) const {
+  if (cfg_.speed_profile.empty()) return cfg_.speed_mps;
+  double t = now.to_seconds();
+  for (const auto& phase : cfg_.speed_profile) {
+    if (t < phase.duration_s) return phase.speed_mps;
+    t -= phase.duration_s;
+  }
+  return cfg_.speed_profile.back().speed_mps;
+}
+
+TimePoint RadioEnvironment::time_of_position(double pos) const {
+  const double start = cfg_.initial_offset_frac * cfg_.cell_spacing_m;
+  double remaining = pos - start;
+  if (remaining <= 0.0) return TimePoint::zero();
+  if (cfg_.speed_profile.empty()) {
+    if (cfg_.speed_mps <= 0.0) return TimePoint::max();
+    return TimePoint::from_seconds(remaining / cfg_.speed_mps);
+  }
+  double t = 0.0;
+  for (const auto& phase : cfg_.speed_profile) {
+    const double leg = phase.speed_mps * phase.duration_s;
+    if (leg >= remaining && phase.speed_mps > 0.0) {
+      return TimePoint::from_seconds(t + remaining / phase.speed_mps);
+    }
+    remaining -= leg;
+    t += phase.duration_s;
+  }
+  const double tail_speed = cfg_.speed_profile.back().speed_mps;
+  if (tail_speed <= 0.0) return TimePoint::max();
+  return TimePoint::from_seconds(t + remaining / tail_speed);
+}
+
+double RadioEnvironment::position_m(TimePoint now) const {
+  const double start = cfg_.initial_offset_frac * cfg_.cell_spacing_m;
+  if (cfg_.speed_profile.empty()) {
+    return start + cfg_.speed_mps * now.to_seconds();
+  }
+  double t = now.to_seconds();
+  double pos = start;
+  for (const auto& phase : cfg_.speed_profile) {
+    const double dt = std::min(t, phase.duration_s);
+    pos += phase.speed_mps * dt;
+    t -= dt;
+    if (t <= 0.0) return pos;
+  }
+  return pos + cfg_.speed_profile.back().speed_mps * t;
+}
+
+double RadioEnvironment::normalized_edge_distance(TimePoint now) const {
+  if (cfg_.speed_profile.empty() && cfg_.speed_mps <= 0.0) {
+    // Stationary scenario: parked near the cell center.
+    return cfg_.initial_offset_frac;
+  }
+  // Towers sit at cell centers (k + 0.5) * spacing; boundaries at k * spacing.
+  const double within = std::fmod(position_m(now), cfg_.cell_spacing_m);
+  const double center = cfg_.cell_spacing_m / 2.0;
+  return std::abs(within - center) / center;  // 0 at tower, 1 at boundary
+}
+
+void RadioEnvironment::advance_handoffs(TimePoint now) {
+  while (next_handoff_ <= now) {
+    ++handoffs_started_;
+    const double duration_s =
+        rng_.lognormal(std::log(cfg_.handoff_outage_median_s), cfg_.handoff_outage_sigma);
+    const TimePoint end = next_handoff_ + Duration::from_seconds(duration_s);
+    if (end > outage_end_) {
+      outage_end_ = end;
+      outage_downlink_only_ = rng_.bernoulli(cfg_.downlink_only_outage_fraction);
+    }
+    // Next boundary crossing from the handoff position onward (with a speed
+    // profile, crossings are irregular in time even though cells are
+    // regular in space).
+    const double crossed = position_m(next_handoff_);
+    const double next_boundary =
+        (std::floor(crossed / cfg_.cell_spacing_m) + 1.0) * cfg_.cell_spacing_m;
+    const TimePoint next_time = time_of_position(next_boundary);
+    if (next_time <= next_handoff_) {
+      // Degenerate (should not happen with positive speeds); bail out.
+      next_handoff_ = TimePoint::max();
+      return;
+    }
+    next_handoff_ = next_time;
+  }
+}
+
+bool RadioEnvironment::in_outage(TimePoint now) {
+  if (cfg_.speed_profile.empty() && cfg_.speed_mps <= 0.0) return false;
+  advance_handoffs(now);
+  return now < outage_end_;
+}
+
+std::uint64_t RadioEnvironment::handoff_count(TimePoint now) {
+  advance_handoffs(now);
+  return handoffs_started_;
+}
+
+bool RadioEnvironment::outage_affects(Direction dir, TimePoint now) {
+  if (!in_outage(now)) return false;
+  return dir == Direction::kDownlink || !outage_downlink_only_;
+}
+
+bool RadioEnvironment::in_coverage_gap(TimePoint now) {
+  return coverage_gaps_.active(now);
+}
+
+double RadioEnvironment::drop_probability(Direction dir, TimePoint now) {
+  if (in_coverage_gap(now)) return cfg_.coverage_gap_loss;
+  if (outage_affects(dir, now)) return cfg_.handoff_loss;
+
+  const double edge = normalized_edge_distance(now);
+  const double edge2 = edge * edge;
+  double p = (dir == Direction::kDownlink)
+                 ? cfg_.base_loss_down + cfg_.edge_loss_down * edge2
+                 : cfg_.base_loss_up + cfg_.edge_loss_up * edge2;
+
+  if (dir == Direction::kUplink && uplink_fades_.active(now)) {
+    p = std::max(p, cfg_.uplink_fade_loss);
+  }
+  if (dir == Direction::kDownlink && downlink_fades_.active(now)) {
+    p = std::max(p, cfg_.downlink_fade_loss);
+  }
+  return std::clamp(p, 0.0, 1.0);
+}
+
+Duration RadioEnvironment::extra_delay(Direction dir, TimePoint now) {
+  (void)dir;
+  const double edge = normalized_edge_distance(now);
+  // Delay wander grows quadratically toward the cell edge: the link-layer
+  // retransmission/scheduling latency that precedes a disconnection. This
+  // inflates RTTVAR (and so the RTO base) exactly where timeouts strike,
+  // which is what makes HSR timeout recoveries span seconds.
+  const double wander_scale = 0.15 + 0.85 * edge * edge;
+  double delay_s = cfg_.access_delay_s + cfg_.edge_extra_delay_s * edge +
+                   wander_scale * delay_wander_.value(now) / 2.0;  // half per direction
+  if (in_outage(now)) delay_s += cfg_.handoff_extra_delay_s;
+  return Duration::from_seconds(delay_s);
+}
+
+std::unique_ptr<net::ChannelModel> RadioEnvironment::make_channel(Direction dir, Rng rng) {
+  return std::make_unique<net::FunctionalChannel>(
+      [this, dir](const net::Packet&, TimePoint now) {
+        return drop_probability(dir, now);
+      },
+      [this, dir](const net::Packet&, TimePoint now) {
+        return extra_delay(dir, now);
+      },
+      rng);
+}
+
+}  // namespace hsr::radio

@@ -1,0 +1,195 @@
+// The high-speed-rail radio environment.
+//
+// Substitutes for the physical-layer conditions of the Beijing–Tianjin
+// Intercity Railway measurements: a train moving at constant speed through a
+// line of cells, with
+//   * bidirectional outages at cell handoffs (long for 3G, shorter for LTE),
+//   * uplink-dominant fades (the phone's uplink is the weak side: low
+//     transmit power through the carriage body) — these are what turn into
+//     ACK burst loss and spurious retransmission timeouts,
+//   * downlink fades and distance-to-tower dependent residual loss,
+//   * delay that grows toward the cell edge.
+//
+// The environment is queried lazily and advances its internal processes
+// (handoff schedule, fade processes) monotonically with the simulation
+// clock, so it composes with the deterministic event engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/channel.h"
+#include "net/packet.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace hsr::radio {
+
+using util::Duration;
+using util::Rng;
+using util::TimePoint;
+
+enum class Direction : std::uint8_t { kDownlink = 0, kUplink = 1 };
+
+// One leg of a journey's speed profile.
+struct SpeedPhase {
+  double duration_s = 0.0;
+  double speed_mps = 0.0;  // 0 = stopped (station dwell)
+};
+
+struct RadioConfig {
+  // Mobility. speed 0 => stationary scenario (no handoffs, fixed position).
+  double speed_mps = 300.0 / 3.6;  // 300 km/h
+  // Optional piecewise-constant speed profile (acceleration legs, cruising,
+  // station stops). When non-empty it overrides `speed_mps`; after the last
+  // phase the train keeps the last phase's speed.
+  std::vector<SpeedPhase> speed_profile;
+  double cell_spacing_m = 1600.0;
+  // Fraction of a cell span at which the train starts (0.5 = cell center).
+  double initial_offset_frac = 0.0;
+
+  // Handoff outage: starts when crossing the cell boundary; duration is
+  // log-normal with the given median and sigma (of the underlying normal).
+  double handoff_outage_median_s = 0.8;
+  double handoff_outage_sigma = 0.6;
+  double handoff_loss = 0.97;        // affected directions during outage
+  double handoff_extra_delay_s = 0.05;
+  // Fraction of handoff outages that break only the downlink (forward-link
+  // sync loss while the uplink still carries ACKs). These produce genuine
+  // data-loss timeouts; bidirectional outages tend to classify as spurious
+  // because the oldest unacked segment often crossed just before the outage
+  // and only its ACK died.
+  double downlink_only_outage_fraction = 0.45;
+
+  // Residual loss: base at cell center, plus edge term scaled by the square
+  // of the normalized distance to the serving tower.
+  double base_loss_down = 0.001;
+  double base_loss_up = 0.001;
+  double edge_loss_down = 0.01;
+  double edge_loss_up = 0.015;
+
+  // Uplink fades (carriage attenuation, Doppler mis-tracking): Poisson
+  // arrivals; exponential duration; high loss while active. These hit ACKs.
+  double uplink_fade_rate_per_s = 0.0;
+  double uplink_fade_mean_s = 0.4;
+  double uplink_fade_loss = 0.92;
+
+  // Downlink fades (deep fading of the forward channel).
+  double downlink_fade_rate_per_s = 0.0;
+  double downlink_fade_mean_s = 0.3;
+  double downlink_fade_loss = 0.85;
+
+  // Coverage gaps: long bidirectional dead zones independent of handoffs
+  // (sparse rural coverage — the paper attributes China Telecom's collapse
+  // around Beijing/Tianjin to its southern-centric 3G build-out). A single
+  // TCP flow spirals into deep RTO backoff inside a gap and then wastes the
+  // first usable seconds after it; this is the regime where MPTCP's gain is
+  // largest (Fig. 12).
+  double coverage_gap_rate_per_s = 0.0;
+  double coverage_gap_mean_s = 6.0;
+  double coverage_gap_loss = 0.995;
+
+  // Radio-access latency: base per direction plus an edge-dependent bump.
+  double access_delay_s = 0.010;
+  double edge_extra_delay_s = 0.030;
+
+  // Slowly wandering delay (scheduler/bearer latency variation, seconds of
+  // time scale). Piecewise-linear with a bounded downward slope, so packet
+  // order is preserved; inflates RTTVAR and hence the RTO base, which is
+  // what makes HSR timeout recoveries long (§III-B). Applied half per
+  // direction.
+  double delay_wander_amplitude_s = 0.0;
+  double delay_wander_period_s = 2.0;
+};
+
+// A Poisson on/off impairment process advanced lazily in time order.
+class FadeProcess {
+ public:
+  FadeProcess(double rate_per_s, double mean_duration_s, Rng rng);
+
+  // True if a fade is active at `now`. `now` must be non-decreasing across
+  // calls (guaranteed by the simulator's monotonic clock).
+  bool active(TimePoint now);
+
+ private:
+  void advance(TimePoint now);
+
+  double rate_per_s_;
+  double mean_duration_s_;
+  Rng rng_;
+  bool in_fade_ = false;
+  TimePoint next_change_ = TimePoint::zero();
+  bool initialized_ = false;
+};
+
+// Piecewise-linear random delay wander in [0, amplitude]: every `period` a
+// new target is drawn and the value ramps linearly toward it. The downward
+// slope is bounded by amplitude/period, so with period >= amplitude the
+// induced delay never reorders packets.
+class DelayWanderProcess {
+ public:
+  DelayWanderProcess(double amplitude_s, double period_s, Rng rng);
+
+  // Current wander value (seconds). `now` must be non-decreasing.
+  double value(TimePoint now);
+
+ private:
+  double amplitude_s_;
+  double period_s_;
+  Rng rng_;
+  double from_ = 0.0;
+  double to_ = 0.0;
+  TimePoint segment_start_ = TimePoint::zero();
+  bool initialized_ = false;
+};
+
+class RadioEnvironment {
+ public:
+  RadioEnvironment(RadioConfig config, Rng rng);
+
+  // Per-packet drop probability for the given direction at time `now`.
+  double drop_probability(Direction dir, TimePoint now);
+  // Extra one-way delay for the given direction at time `now`.
+  Duration extra_delay(Direction dir, TimePoint now);
+
+  // True while a handoff outage is in progress.
+  bool in_outage(TimePoint now);
+  // True while an outage affecting the given direction is in progress.
+  bool outage_affects(Direction dir, TimePoint now);
+  // True while a (bidirectional) coverage gap is active.
+  bool in_coverage_gap(TimePoint now);
+  // Train position along the track, meters.
+  double position_m(TimePoint now) const;
+  // Instantaneous speed at `now` (m/s).
+  double speed_at(TimePoint now) const;
+  // Earliest time the train reaches `pos` meters; TimePoint::max() if never.
+  TimePoint time_of_position(double pos) const;
+  // Normalized distance to the serving tower in [0, 1] (0 = under tower).
+  double normalized_edge_distance(TimePoint now) const;
+  // Number of handoffs that have started up to `now`.
+  std::uint64_t handoff_count(TimePoint now);
+
+  const RadioConfig& config() const { return cfg_; }
+
+  // Builds a net::ChannelModel view over this environment for one direction.
+  // The environment must outlive the returned channel.
+  std::unique_ptr<net::ChannelModel> make_channel(Direction dir, Rng rng);
+
+ private:
+  void advance_handoffs(TimePoint now);
+
+  RadioConfig cfg_;
+  Rng rng_;
+  FadeProcess uplink_fades_;
+  FadeProcess downlink_fades_;
+  FadeProcess coverage_gaps_;
+  DelayWanderProcess delay_wander_;
+
+  // Handoff state.
+  std::uint64_t handoffs_started_ = 0;
+  TimePoint next_handoff_ = TimePoint::max();
+  TimePoint outage_end_ = TimePoint::zero();
+  bool outage_downlink_only_ = false;
+};
+
+}  // namespace hsr::radio

@@ -1,0 +1,171 @@
+#include "radio/profiles.h"
+
+#include <algorithm>
+
+namespace hsr::radio {
+
+namespace {
+constexpr double kTrainSpeedMps = 300.0 / 3.6;  // 300 km/h
+}  // namespace
+
+ProviderProfile mobile_lte_highspeed() {
+  ProviderProfile p;
+  p.name = "China Mobile (LTE)";
+  p.provider = Provider::kChinaMobileLte;
+  p.mobility = Mobility::kHighSpeed;
+
+  RadioConfig& r = p.radio;
+  r.speed_mps = kTrainSpeedMps;
+  r.cell_spacing_m = 1400.0;            // dedicated rail coverage, dense cells
+  r.handoff_outage_median_s = 1.2;      // LTE handoff with occasional RRC re-establishment
+  r.handoff_outage_sigma = 0.55;
+  r.handoff_loss = 0.97;
+  r.base_loss_down = 0.0012;
+  r.base_loss_up = 0.0008;
+  r.edge_loss_down = 0.005;
+  r.edge_loss_up = 0.004;
+  r.uplink_fade_rate_per_s = 0.007;     // carriage attenuation bursts on the uplink
+  r.uplink_fade_mean_s = 1.8;
+  r.uplink_fade_loss = 0.93;
+  r.downlink_fade_rate_per_s = 0.003;
+  r.downlink_fade_mean_s = 0.5;
+  r.downlink_fade_loss = 0.9;
+  r.access_delay_s = 0.012;
+  r.edge_extra_delay_s = 0.020;
+  r.handoff_extra_delay_s = 0.06;
+  r.delay_wander_amplitude_s = 0.65;
+  r.delay_wander_period_s = 2.0;
+
+  p.downlink_rate_bps = 24e6;
+  p.uplink_rate_bps = 8e6;
+  p.core_delay = util::Duration::millis(12);
+  // Deep buffers (cellular bufferbloat) let the RTT and hence the RTO base
+  // inflate under load, as observed on real HSR paths.
+  p.queue_capacity = 400;
+  p.receiver_window_segments = 256;
+  return p;
+}
+
+ProviderProfile unicom_3g_highspeed() {
+  ProviderProfile p;
+  p.name = "China Unicom (3G)";
+  p.provider = Provider::kChinaUnicom3g;
+  p.mobility = Mobility::kHighSpeed;
+
+  RadioConfig& r = p.radio;
+  r.speed_mps = kTrainSpeedMps;
+  r.cell_spacing_m = 1800.0;            // sparser macro cells
+  r.handoff_outage_median_s = 1.7;      // 3G hard-ish handover on HSR
+  r.handoff_outage_sigma = 0.8;
+  r.handoff_loss = 0.98;
+  r.base_loss_down = 0.0016;
+  r.base_loss_up = 0.001;
+  r.edge_loss_down = 0.007;
+  r.edge_loss_up = 0.004;
+  r.uplink_fade_rate_per_s = 0.0045;
+  r.uplink_fade_mean_s = 1.5;
+  r.uplink_fade_loss = 0.94;
+  r.downlink_fade_rate_per_s = 0.0035;
+  r.downlink_fade_mean_s = 0.6;
+  r.downlink_fade_loss = 0.9;
+  r.coverage_gap_rate_per_s = 0.005;   // occasional short dead zones
+  r.coverage_gap_mean_s = 4.0;
+  r.access_delay_s = 0.035;
+  r.edge_extra_delay_s = 0.045;
+  r.handoff_extra_delay_s = 0.10;
+  r.delay_wander_amplitude_s = 1.0;
+  r.delay_wander_period_s = 2.5;
+
+  p.downlink_rate_bps = 7e6;
+  p.uplink_rate_bps = 2e6;
+  p.core_delay = util::Duration::millis(20);
+  p.queue_capacity = 350;
+  p.receiver_window_segments = 224;
+  return p;
+}
+
+ProviderProfile telecom_3g_highspeed() {
+  ProviderProfile p;
+  p.name = "China Telecom (3G)";
+  p.provider = Provider::kChinaTelecom3g;
+  p.mobility = Mobility::kHighSpeed;
+
+  // Telecom's 3G coverage around Beijing/Tianjin is poor (its backbone
+  // mainly covers southern China — paper §V-B); long outages and strong
+  // edge degradation dominate.
+  RadioConfig& r = p.radio;
+  r.speed_mps = kTrainSpeedMps;
+  r.cell_spacing_m = 2400.0;
+  r.handoff_outage_median_s = 1.8;
+  r.handoff_outage_sigma = 0.8;
+  r.handoff_loss = 0.99;
+  r.base_loss_down = 0.002;
+  r.base_loss_up = 0.0012;
+  r.edge_loss_down = 0.009;
+  r.edge_loss_up = 0.005;
+  r.uplink_fade_rate_per_s = 0.0045;
+  r.uplink_fade_mean_s = 1.8;
+  r.uplink_fade_loss = 0.95;
+  r.downlink_fade_rate_per_s = 0.004;
+  r.downlink_fade_mean_s = 0.7;
+  r.downlink_fade_loss = 0.9;
+  r.coverage_gap_rate_per_s = 0.006;   // a long dead zone every ~3 minutes
+  r.coverage_gap_mean_s = 40.0;  // tens of km without usable 3G at 300 km/h
+  r.access_delay_s = 0.045;
+  r.edge_extra_delay_s = 0.060;
+  r.handoff_extra_delay_s = 0.15;
+  r.delay_wander_amplitude_s = 1.25;
+  r.delay_wander_period_s = 3.0;
+
+  p.downlink_rate_bps = 3.6e6;
+  p.uplink_rate_bps = 1.2e6;
+  p.core_delay = util::Duration::millis(28);
+  p.queue_capacity = 250;
+  p.receiver_window_segments = 160;
+  return p;
+}
+
+ProviderProfile stationary_of(const ProviderProfile& highspeed) {
+  ProviderProfile p = highspeed;
+  p.name = highspeed.name + " [stationary]";
+  p.mobility = Mobility::kStationary;
+
+  RadioConfig& r = p.radio;
+  r.speed_mps = 0.0;                 // parked; no handoffs
+  r.initial_offset_frac = 0.25;      // near (not under) a tower
+  // Residual impairments only: rare, short fades; low base loss.
+  r.base_loss_down = 0.0004;
+  r.base_loss_up = 0.00025;
+  r.edge_loss_down = 0.001;
+  r.edge_loss_up = 0.001;
+  r.coverage_gap_rate_per_s = 0.0;
+  r.uplink_fade_rate_per_s = 0.0012;
+  r.uplink_fade_mean_s = 0.15;
+  r.uplink_fade_loss = 0.75;
+  r.downlink_fade_rate_per_s = 0.0025;
+  r.downlink_fade_mean_s = 0.15;
+  r.downlink_fade_loss = 0.7;
+  r.delay_wander_amplitude_s = 0.01;
+  r.delay_wander_period_s = 2.0;
+  // The stationary control is not bloat-bound: with a quiet radio the same
+  // phone keeps a small advertised window, so RTTs (and hence RTO bases and
+  // recovery times) stay near the propagation floor, matching the paper's
+  // 0.65 s stationary recoveries.
+  p.receiver_window_segments = std::max(32u, highspeed.receiver_window_segments / 6);
+  return p;
+}
+
+std::vector<ProviderProfile> all_highspeed_profiles() {
+  return {mobile_lte_highspeed(), unicom_3g_highspeed(), telecom_3g_highspeed()};
+}
+
+const char* provider_name(Provider p) {
+  switch (p) {
+    case Provider::kChinaMobileLte: return "China Mobile";
+    case Provider::kChinaUnicom3g: return "China Unicom";
+    case Provider::kChinaTelecom3g: return "China Telecom";
+  }
+  return "?";
+}
+
+}  // namespace hsr::radio

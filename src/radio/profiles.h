@@ -1,0 +1,50 @@
+// Provider profiles: parameter sets standing in for the three ISPs measured
+// in the paper (China Mobile LTE, China Unicom 3G, China Telecom 3G), plus a
+// stationary control. The values are chosen so the synthetic corpus lands in
+// the paper's reported ranges (ACK loss ~0.66 %, data loss ~0.75 %,
+// in-recovery retransmit loss q in [0.25, 0.4], ~49 % spurious timeouts,
+// mean recovery around 5 s high-speed vs 0.65 s stationary); the ordering
+// between providers (Mobile best, Telecom worst coverage) mirrors Fig. 12.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "radio/environment.h"
+#include "util/time.h"
+
+namespace hsr::radio {
+
+enum class Provider { kChinaMobileLte, kChinaUnicom3g, kChinaTelecom3g };
+enum class Mobility { kHighSpeed, kStationary };
+
+struct ProviderProfile {
+  std::string name;
+  Provider provider = Provider::kChinaMobileLte;
+  Mobility mobility = Mobility::kHighSpeed;
+
+  RadioConfig radio;
+
+  // Bottleneck link characteristics (radio access + core network).
+  double downlink_rate_bps = 20e6;
+  double uplink_rate_bps = 5e6;
+  util::Duration core_delay = util::Duration::millis(15);
+  std::size_t queue_capacity = 100;
+
+  // Receiver window advertised by the phone, in MSS units.
+  unsigned receiver_window_segments = 64;
+};
+
+// High-speed (300 km/h) profiles.
+ProviderProfile mobile_lte_highspeed();
+ProviderProfile unicom_3g_highspeed();
+ProviderProfile telecom_3g_highspeed();
+
+// Stationary controls (same access technology, train parked near a tower).
+ProviderProfile stationary_of(const ProviderProfile& highspeed);
+
+std::vector<ProviderProfile> all_highspeed_profiles();
+
+const char* provider_name(Provider p);
+
+}  // namespace hsr::radio

@@ -1,0 +1,57 @@
+#include "sim/event_queue.h"
+
+#include "util/logging.h"
+
+namespace hsr::sim {
+
+bool EventHandle::pending() const {
+  return rec_ && !rec_->cancelled && !rec_->fired;
+}
+
+bool EventHandle::cancel() {
+  if (!pending()) return false;
+  rec_->cancelled = true;
+  return true;
+}
+
+EventHandle EventQueue::schedule(TimePoint when, std::function<void()> action) {
+  auto rec = std::make_shared<EventHandle::Record>();
+  rec->when = when;
+  rec->seq = next_seq_++;
+  rec->action = std::move(action);
+  heap_.push(Entry{rec});
+  return EventHandle(std::move(rec));
+}
+
+void EventQueue::prune() const {
+  while (!heap_.empty() && heap_.top().rec->cancelled) {
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  prune();
+  return heap_.empty();
+}
+
+TimePoint EventQueue::next_time() const {
+  prune();
+  if (heap_.empty()) return TimePoint::max();
+  return heap_.top().rec->when;
+}
+
+TimePoint EventQueue::pop_and_run() {
+  prune();
+  HSR_CHECK_MSG(!heap_.empty(), "pop_and_run on empty queue");
+  Entry e = heap_.top();
+  heap_.pop();
+  e.rec->fired = true;
+  const TimePoint when = e.rec->when;
+  // Move the action out so captured state is released promptly even if the
+  // handle outlives the event.
+  auto action = std::move(e.rec->action);
+  action();
+  return when;
+}
+
+}  // namespace hsr::sim

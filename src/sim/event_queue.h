@@ -1,0 +1,82 @@
+// Priority queue of timestamped events with stable FIFO ordering among
+// events scheduled for the same instant, and O(1) lazy cancellation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/time.h"
+
+namespace hsr::sim {
+
+using util::Duration;
+using util::TimePoint;
+
+// Handle to a scheduled event; allows cancellation. Default-constructed
+// handles are inert. Handles are cheap to copy (shared control block).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // True if the event is still pending (not fired, not cancelled).
+  bool pending() const;
+  // Cancels the event if still pending; returns whether it was pending.
+  bool cancel();
+
+ private:
+  friend class EventQueue;
+  struct Record {
+    TimePoint when;
+    std::uint64_t seq = 0;
+    std::function<void()> action;
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<Record> rec) : rec_(std::move(rec)) {}
+  std::shared_ptr<Record> rec_;
+};
+
+// Cancellation is lazy: a cancelled event stays in the heap as a tombstone
+// until it reaches the top, so `empty()`/`next_time()` prune before
+// answering and are exact; they are the queue's source of truth.
+class EventQueue {
+ public:
+  // Schedules `action` at absolute time `when`. Events at equal times fire
+  // in scheduling order.
+  EventHandle schedule(TimePoint when, std::function<void()> action);
+
+  // True when no live (non-cancelled) events remain.
+  bool empty() const;
+
+  // Time of the earliest pending event; TimePoint::max() when empty.
+  TimePoint next_time() const;
+
+  // Pops and runs the earliest pending event; returns its timestamp.
+  // Precondition: !empty().
+  TimePoint pop_and_run();
+
+  // Total events scheduled over the queue's lifetime (diagnostics).
+  std::uint64_t scheduled_total() const { return next_seq_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<EventHandle::Record> rec;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.rec->when != b.rec->when) return a.rec->when > b.rec->when;
+      return a.rec->seq > b.rec->seq;
+    }
+  };
+
+  // Drops cancelled events from the head of the heap.
+  void prune() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace hsr::sim

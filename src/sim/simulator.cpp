@@ -1,0 +1,36 @@
+#include "sim/simulator.h"
+
+#include "util/logging.h"
+
+namespace hsr::sim {
+
+EventHandle Simulator::at(TimePoint when, std::function<void()> action) {
+  HSR_CHECK_MSG(when >= now_, "scheduling into the past");
+  return queue_.schedule(when, std::move(action));
+}
+
+EventHandle Simulator::after(Duration delay, std::function<void()> action) {
+  HSR_CHECK_MSG(delay >= Duration::zero(), "negative delay");
+  return queue_.schedule(now_ + delay, std::move(action));
+}
+
+std::uint64_t Simulator::run_until(TimePoint deadline) {
+  std::uint64_t n = 0;
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
+    now_ = queue_.next_time();
+    queue_.pop_and_run();
+    ++n;
+    ++executed_;
+  }
+  // Advance the clock to the deadline even if the queue drained early, so
+  // callers measure elapsed wall time consistently.
+  if (!stopped_ && now_ < deadline && deadline != TimePoint::max()) {
+    now_ = deadline;
+  }
+  return n;
+}
+
+std::uint64_t Simulator::run() { return run_until(TimePoint::max()); }
+
+}  // namespace hsr::sim

@@ -1,0 +1,48 @@
+// The simulation engine: a virtual clock driving an event queue.
+//
+// Single-threaded and deterministic: with the same seed and the same
+// component construction order, a run is bit-reproducible. Experiments that
+// need parallelism run multiple Simulators in separate processes/threads;
+// a Simulator itself is never shared across threads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "util/time.h"
+
+namespace hsr::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  // Schedules an event at an absolute time (must not be in the past).
+  EventHandle at(TimePoint when, std::function<void()> action);
+  // Schedules an event `delay` from now (delay must be non-negative).
+  EventHandle after(Duration delay, std::function<void()> action);
+
+  // Runs until the queue drains or `deadline` passes, whichever first.
+  // Events exactly at the deadline still run. Returns events executed.
+  std::uint64_t run_until(TimePoint deadline);
+  // Runs until the queue drains or stop() is called.
+  std::uint64_t run();
+
+  // Requests the run loop to exit after the current event.
+  void stop() { stopped_ = true; }
+
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  EventQueue queue_;
+  TimePoint now_ = TimePoint::zero();
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace hsr::sim

@@ -1,0 +1,13 @@
+#include "sim/timer.h"
+
+namespace hsr::sim {
+
+void Timer::arm(Duration delay) {
+  cancel();
+  expiry_ = sim_.now() + delay;
+  handle_ = sim_.after(delay, [this] { on_expire_(); });
+}
+
+void Timer::cancel() { handle_.cancel(); }
+
+}  // namespace hsr::sim

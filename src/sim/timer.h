@@ -1,0 +1,38 @@
+// Restartable one-shot timer, the building block for TCP's retransmission
+// and delayed-ACK timers.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "sim/simulator.h"
+
+namespace hsr::sim {
+
+class Timer {
+ public:
+  // `on_expire` fires when the timer runs out; the timer is then idle and
+  // can be re-armed (including from inside the callback).
+  Timer(Simulator& sim, std::function<void()> on_expire)
+      : sim_(sim), on_expire_(std::move(on_expire)) {}
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+  ~Timer() { cancel(); }
+
+  // Arms (or re-arms) the timer to fire `delay` from now.
+  void arm(Duration delay);
+  // Cancels without firing; no-op when idle.
+  void cancel();
+  bool armed() const { return handle_.pending(); }
+  // Absolute expiry time; only meaningful while armed.
+  TimePoint expiry() const { return expiry_; }
+
+ private:
+  Simulator& sim_;
+  std::function<void()> on_expire_;
+  EventHandle handle_;
+  TimePoint expiry_;
+};
+
+}  // namespace hsr::sim

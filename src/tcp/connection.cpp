@@ -1,0 +1,31 @@
+#include "tcp/connection.h"
+
+namespace hsr::tcp {
+
+Connection::Connection(sim::Simulator& sim, FlowId flow, ConnectionConfig config,
+                       std::unique_ptr<net::ChannelModel> down_channel,
+                       std::unique_ptr<net::ChannelModel> up_channel)
+    : sim_(sim),
+      flow_(flow),
+      cfg_(config),
+      downlink_(sim, config.downlink, std::move(down_channel)),
+      uplink_(sim, config.uplink, std::move(up_channel)),
+      receiver_(sim, config.tcp, flow,
+                [this](net::Packet p) { uplink_.send(std::move(p)); }),
+      sender_(sim, config.tcp, flow,
+              [this](net::Packet p) { downlink_.send(std::move(p)); }) {
+  downlink_.set_receiver([this](const net::Packet& p) { receiver_.on_data(p); });
+  uplink_.set_receiver([this](const net::Packet& p) { sender_.on_ack(p); });
+}
+
+double Connection::goodput_segments_per_s() const {
+  const double elapsed = sim_.now().to_seconds();
+  if (elapsed <= 0.0) return 0.0;
+  return static_cast<double>(receiver_.stats().unique_segments) / elapsed;
+}
+
+double Connection::goodput_bps() const {
+  return goodput_segments_per_s() * static_cast<double>(cfg_.tcp.mss_bytes) * 8.0;
+}
+
+}  // namespace hsr::tcp

@@ -1,0 +1,118 @@
+#include "tcp/receiver.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace hsr::tcp {
+
+TcpReceiver::TcpReceiver(sim::Simulator& sim, TcpConfig config, FlowId flow,
+                         std::function<void(net::Packet)> send_ack)
+    : sim_(sim),
+      cfg_(config),
+      flow_(flow),
+      send_ack_(std::move(send_ack)),
+      delack_timer_(sim, [this] { on_delack_timer(); }),
+      next_packet_id_(0) {
+  HSR_CHECK(send_ack_ != nullptr);
+  HSR_CHECK(cfg_.delayed_ack_b >= 1);
+}
+
+void TcpReceiver::on_data(const net::Packet& packet) {
+  HSR_CHECK(packet.kind == net::PacketKind::kData);
+  ++stats_.segments_received;
+
+  const SeqNo seq = packet.seq;
+  if (seq < rcv_next_ || out_of_order_.contains(seq)) {
+    // Duplicate payload: the hallmark of a spurious retransmission (the
+    // original copy already arrived). Ack immediately (RFC 5681 §4.2).
+    ++stats_.duplicate_segments;
+    if (cfg_.adaptive_delack) quickack_budget_ = cfg_.quickack_segments;
+    send_ack_now();
+    return;
+  }
+
+  if (seq == rcv_next_) {
+    ++stats_.unique_segments;
+    delivery_times_.push_back(sim_.now());
+    ++rcv_next_;
+    // Drain any contiguous out-of-order segments.
+    while (!out_of_order_.empty() && *out_of_order_.begin() == rcv_next_) {
+      out_of_order_.erase(out_of_order_.begin());
+      ++rcv_next_;
+    }
+    stats_.highest_contiguous = rcv_next_ - 1;
+    ++unacked_in_order_;
+    maybe_delay_ack();
+  } else {
+    // Above rcv_next_: a hole exists. Buffer and send an immediate
+    // duplicate ACK to trigger fast retransmit at the sender.
+    ++stats_.unique_segments;
+    delivery_times_.push_back(sim_.now());
+    out_of_order_.insert(seq);
+    if (cfg_.adaptive_delack) quickack_budget_ = cfg_.quickack_segments;
+    send_ack_now();
+  }
+}
+
+void TcpReceiver::maybe_delay_ack() {
+  if (quickack_budget_ > 0) {
+    // Loss-suspicious period: every ACK is precious (paper §V-A), so do
+    // not batch until the budget drains.
+    --quickack_budget_;
+    send_ack_now();
+    return;
+  }
+  if (unacked_in_order_ >= cfg_.delayed_ack_b) {
+    send_ack_now();
+  } else if (!delack_timer_.armed()) {
+    delack_timer_.arm(cfg_.delayed_ack_timeout);
+  }
+}
+
+void TcpReceiver::on_delack_timer() {
+  if (unacked_in_order_ > 0) send_ack_now();
+}
+
+void TcpReceiver::send_ack_now() {
+  delack_timer_.cancel();
+  unacked_in_order_ = 0;
+
+  net::Packet ack;
+  ack.id = net::allocate_packet_id();
+  ack.flow = flow_;
+  ack.kind = net::PacketKind::kAck;
+  ack.ack_next = rcv_next_;
+  ack.size_bytes = cfg_.ack_bytes;
+  if (cfg_.enable_sack && !out_of_order_.empty()) {
+    // Collect every contiguous out-of-order block above rcv_next_, then
+    // report up to kMaxSackBlocks of them starting from a rotating cursor
+    // (RFC 2018 rotates so the sender accumulates the full picture across
+    // consecutive ACKs even when the holes are badly fragmented).
+    std::vector<std::pair<SeqNo, SeqNo>> blocks;
+    SeqNo block_start = 0, prev = 0;
+    for (SeqNo seq : out_of_order_) {
+      if (block_start == 0) {
+        block_start = prev = seq;
+        continue;
+      }
+      if (seq == prev + 1) {
+        prev = seq;
+        continue;
+      }
+      blocks.emplace_back(block_start, prev + 1);
+      block_start = prev = seq;
+    }
+    if (block_start != 0) blocks.emplace_back(block_start, prev + 1);
+    const std::size_t n = blocks.size();
+    const std::size_t to_report = std::min(n, net::Packet::kMaxSackBlocks);
+    for (std::size_t i = 0; i < to_report; ++i) {
+      ack.sack[ack.sack_count++] = blocks[(sack_rotation_ + i) % n];
+    }
+    if (n > 0) sack_rotation_ = (sack_rotation_ + to_report) % n;
+  }
+  ++stats_.acks_sent;
+  send_ack_(ack);
+}
+
+}  // namespace hsr::tcp

@@ -1,0 +1,52 @@
+// TCP receiver: cumulative acknowledgements, out-of-order reassembly,
+// duplicate detection, and the delayed-ACK scheme (RFC 1122).
+#pragma once
+
+#include <functional>
+#include <set>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "sim/timer.h"
+#include "tcp/types.h"
+
+namespace hsr::tcp {
+
+class TcpReceiver {
+ public:
+  // `send_ack` transmits an ACK packet toward the sender (usually bound to
+  // the uplink's send()).
+  TcpReceiver(sim::Simulator& sim, TcpConfig config, FlowId flow,
+              std::function<void(net::Packet)> send_ack);
+
+  // Entry point for data segments delivered by the downlink.
+  void on_data(const net::Packet& packet);
+
+  const ReceiverStats& stats() const { return stats_; }
+  SeqNo rcv_next() const { return rcv_next_; }
+  // Arrival times of first copies, indexed implicitly by segment number
+  // (for goodput-over-time series).
+  const std::vector<TimePoint>& delivery_times() const { return delivery_times_; }
+
+ private:
+  void send_ack_now();
+  void maybe_delay_ack();
+  void on_delack_timer();
+
+  sim::Simulator& sim_;
+  TcpConfig cfg_;
+  FlowId flow_;
+  std::function<void(net::Packet)> send_ack_;
+  sim::Timer delack_timer_;
+
+  SeqNo rcv_next_ = 1;                  // next expected segment (1-based)
+  std::set<SeqNo> out_of_order_;
+  unsigned unacked_in_order_ = 0;       // in-order segments since last ACK
+  unsigned quickack_budget_ = 0;        // adaptive delack: ack-per-segment budget
+  std::size_t sack_rotation_ = 0;       // rotating cursor over SACK blocks
+  std::uint64_t next_packet_id_;
+  ReceiverStats stats_;
+  std::vector<TimePoint> delivery_times_;
+};
+
+}  // namespace hsr::tcp

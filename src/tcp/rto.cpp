@@ -1,0 +1,47 @@
+#include "tcp/rto.h"
+
+#include <algorithm>
+
+namespace hsr::tcp {
+
+RtoEstimator::RtoEstimator(RtoConfig config) : cfg_(config) {
+  base_ = cfg_.initial_rto;
+}
+
+Duration RtoEstimator::clamp_base(Duration d) const {
+  return std::min(d, cfg_.max_rto);
+}
+
+void RtoEstimator::add_sample(Duration rtt) {
+  if (!has_sample_) {
+    srtt_ = rtt;
+    rttvar_ = Duration::nanos(rtt.ns() / 2);
+    has_sample_ = true;
+  } else {
+    // RFC 6298: RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - R'|; SRTT = 7/8 SRTT + 1/8 R'.
+    const Duration err = Duration::nanos(std::abs((srtt_ - rtt).ns()));
+    rttvar_ = Duration::nanos((3 * rttvar_.ns() + err.ns()) / 4);
+    srtt_ = Duration::nanos((7 * srtt_.ns() + rtt.ns()) / 8);
+  }
+  // Linux-style floor: the variance term, not the whole RTO, is floored at
+  // min_rto (tcp_rto_min). This keeps the timer clear of delayed-ACK waits
+  // and of RTT inflation while the bottleneck queue fills — firing earlier
+  // is what produces premature (spurious-by-mistiming) timeouts.
+  const Duration var_term =
+      std::max(Duration::nanos(rttvar_.ns() * 4), cfg_.min_rto);
+  base_ = clamp_base(srtt_ + var_term);
+  backoff_multiplier_ = 1;
+}
+
+Duration RtoEstimator::base_rto() const { return base_; }
+
+Duration RtoEstimator::rto() const {
+  const Duration scaled = Duration::nanos(base_.ns() * backoff_multiplier_);
+  return std::min(scaled, cfg_.max_rto);
+}
+
+void RtoEstimator::backoff() {
+  backoff_multiplier_ = std::min(backoff_multiplier_ * 2, cfg_.backoff_cap);
+}
+
+}  // namespace hsr::tcp

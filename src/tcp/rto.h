@@ -1,0 +1,56 @@
+// RTT estimation and retransmission-timeout computation (RFC 6298), with
+// Karn's algorithm (no samples from retransmitted segments) and exponential
+// backoff capped at a 64x multiplier as described in the paper (§III-B:
+// "This doubling will continue until the timer reaches 64T").
+#pragma once
+
+#include "util/time.h"
+
+namespace hsr::tcp {
+
+using util::Duration;
+
+struct RtoConfig {
+  Duration initial_rto = Duration::seconds(1);   // before any sample (RFC 6298 §2.1)
+  // Linux-style floor applied to the 4*RTTVAR term (tcp_rto_min), so
+  // RTO >= SRTT + min_rto always holds.
+  Duration min_rto = Duration::millis(200);
+  Duration max_rto = Duration::seconds(120);     // absolute ceiling
+  unsigned backoff_cap = 64;                     // T, 2T, 4T ... 64T
+};
+
+class RtoEstimator {
+ public:
+  explicit RtoEstimator(RtoConfig config = {});
+
+  // Feeds a round-trip sample measured on a never-retransmitted segment.
+  // Resets any backoff in effect (new sample implies forward progress).
+  void add_sample(Duration rtt);
+
+  // Current timer value including backoff.
+  Duration rto() const;
+  // The base timer T (no backoff applied).
+  Duration base_rto() const;
+
+  // Doubles the timer after a timeout, up to backoff_cap * T.
+  void backoff();
+  // Clears backoff without a sample (e.g. after recovery completes).
+  void reset_backoff() { backoff_multiplier_ = 1; }
+
+  unsigned backoff_multiplier() const { return backoff_multiplier_; }
+  bool has_sample() const { return has_sample_; }
+  Duration srtt() const { return srtt_; }
+  Duration rttvar() const { return rttvar_; }
+
+ private:
+  Duration clamp_base(Duration d) const;
+
+  RtoConfig cfg_;
+  bool has_sample_ = false;
+  Duration srtt_ = Duration::zero();
+  Duration rttvar_ = Duration::zero();
+  Duration base_ = Duration::zero();
+  unsigned backoff_multiplier_ = 1;
+};
+
+}  // namespace hsr::tcp

@@ -1,0 +1,355 @@
+#include "tcp/sender.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace hsr::tcp {
+
+const char* sender_event_name(SenderEventType t) {
+  switch (t) {
+    case SenderEventType::kTimeout: return "TIMEOUT";
+    case SenderEventType::kFastRetransmit: return "FAST_RETRANSMIT";
+    case SenderEventType::kRecoveryExit: return "RECOVERY_EXIT";
+    case SenderEventType::kSlowStartEntered: return "SLOW_START";
+  }
+  return "?";
+}
+
+TcpSender::TcpSender(sim::Simulator& sim, TcpConfig config, FlowId flow,
+                     std::function<void(net::Packet)> send_data)
+    : sim_(sim),
+      cfg_(config),
+      flow_(flow),
+      send_data_(std::move(send_data)),
+      cwnd_(config.initial_cwnd),
+      ssthresh_(config.initial_ssthresh),
+      rto_(config.rto),
+      rto_timer_(sim, [this] { on_rto_expired(); }) {
+  HSR_CHECK(send_data_ != nullptr);
+  HSR_CHECK(cfg_.initial_cwnd >= 1.0);
+}
+
+void TcpSender::start() {
+  record_cwnd();
+  try_send();
+}
+
+double TcpSender::effective_window() const {
+  return std::min(cwnd_, static_cast<double>(cfg_.receiver_window));
+}
+
+void TcpSender::try_send() {
+  while (static_cast<double>(in_flight()) < std::floor(effective_window()) &&
+         snd_next_ <= cfg_.total_segments) {
+    if (cfg_.enable_sack && sacked_.contains(snd_next_)) {
+      // Already at the receiver (SACKed): no need to resend during
+      // go-back-N; the cumulative ACK will cover it once the holes fill.
+      ++snd_next_;
+      continue;
+    }
+    transmit(snd_next_);
+    ++snd_next_;
+  }
+  if (in_flight() > 0 && !rto_timer_.armed()) {
+    restart_rto_timer();
+  }
+}
+
+void TcpSender::transmit(SeqNo seq) {
+  net::Packet p;
+  p.id = net::allocate_packet_id();
+  p.flow = flow_;
+  p.kind = net::PacketKind::kData;
+  p.seq = seq;
+  p.size_bytes = cfg_.mss_bytes;
+
+  // Anything at or below the transmission high-water mark has been on the
+  // wire before: after a timeout the sender goes back to snd_una (go-back-N
+  // without SACK), and those re-sends are retransmissions.
+  const bool retransmission = seq <= highest_transmitted_;
+  highest_transmitted_ = std::max(highest_transmitted_, seq);
+
+  auto& info = segments_[seq];
+  if (retransmission) {
+    ++info.retx_count;
+    p.is_retransmission = true;
+    p.retx_count = info.retx_count;
+    ++stats_.retransmissions;
+  }
+  info.last_sent = sim_.now();
+
+  ++stats_.segments_sent;
+  send_data_(p);
+}
+
+void TcpSender::restart_rto_timer() { rto_timer_.arm(rto_.rto()); }
+
+void TcpSender::record_cwnd() { cwnd_trace_.emplace_back(sim_.now(), cwnd_); }
+
+void TcpSender::log_event(SenderEventType type, SeqNo seq) {
+  events_.push_back(SenderEvent{sim_.now(), type, seq, rto_.rto(),
+                                rto_.backoff_multiplier()});
+}
+
+void TcpSender::absorb_sack(const net::Packet& packet) {
+  for (std::uint8_t i = 0; i < packet.sack_count; ++i) {
+    const auto [first, last] = packet.sack[i];
+    for (SeqNo seq = std::max(first, snd_una_ + 1); seq < last; ++seq) {
+      sacked_.insert(seq);
+    }
+  }
+}
+
+bool TcpSender::retransmit_next_hole() {
+  // A segment is only presumed lost when something ABOVE it has been
+  // SACKed (RFC 6675's loss inference). Un-SACKed segments above the
+  // highest SACKed sequence may simply be un-reported — under ACK loss the
+  // scoreboard is chronically incomplete, and retransmitting on absence of
+  // evidence storms the receiver with duplicates.
+  if (sacked_.empty()) return false;
+  const SeqNo highest_sacked = *sacked_.rbegin();
+  SeqNo seq = std::max(sack_retx_next_, snd_una_);
+  while (seq <= recover_point_ && seq < snd_next_ && seq < highest_sacked) {
+    if (!sacked_.contains(seq)) {
+      transmit(seq);
+      sack_retx_next_ = seq + 1;
+      return true;
+    }
+    ++seq;
+  }
+  sack_retx_next_ = seq;
+  return false;
+}
+
+void TcpSender::on_ack(const net::Packet& packet) {
+  HSR_CHECK(packet.kind == net::PacketKind::kAck);
+  ++stats_.acks_received;
+  const SeqNo ack_next = packet.ack_next;
+  if (cfg_.enable_sack) absorb_sack(packet);
+
+  if (ack_next <= snd_una_) {
+    if (frto_phase_ != 0 && ack_next == snd_una_) {
+      // F-RTO step: a duplicate ACK during the probe window means the
+      // timeout was genuine — retransmit the hole and fall back to
+      // conventional go-back-N slow start.
+      frto_phase_ = 0;
+      transmit(snd_una_);
+      snd_next_ = snd_una_ + 1;
+      record_cwnd();
+      restart_rto_timer();
+      return;
+    }
+    // Duplicate ACK: acknowledges nothing new.
+    if (ack_next == snd_una_ && in_flight() > 0) {
+      ++dup_ack_count_;
+      if (in_fast_recovery_) {
+        cwnd_ += 1.0;  // window inflation for each additional dup ACK
+        record_cwnd();
+        // With SACK, spend the inflation on repairing the next known hole
+        // before injecting new data.
+        if (!cfg_.enable_sack || !retransmit_next_hole()) {
+          try_send();
+        }
+      } else if (dup_ack_count_ == 3) {
+        enter_fast_retransmit();
+      }
+    }
+    return;
+  }
+
+  // --- New cumulative ACK. ---------------------------------------------------
+  const std::uint64_t newly_acked = ack_next - snd_una_;
+
+  // Karn's algorithm: only segments never retransmitted yield RTT samples.
+  const auto it = segments_.find(ack_next - 1);
+  if (it != segments_.end() && it->second.retx_count == 0) {
+    const Duration sample = sim_.now() - it->second.last_sent;
+    rto_.add_sample(sample);
+    observe_rtt(sample);
+  }
+  segments_.erase(segments_.begin(), segments_.lower_bound(ack_next));
+  snd_una_ = ack_next;
+  if (cfg_.enable_sack) {
+    sacked_.erase(sacked_.begin(), sacked_.lower_bound(snd_una_));
+  }
+  // A cumulative ACK can leap past the go-back-N resend pointer when the
+  // receiver had later segments buffered all along (e.g. spurious timeout).
+  snd_next_ = std::max(snd_next_, snd_una_);
+  dup_ack_count_ = 0;
+
+  const bool was_in_timeout_recovery = in_timeout_recovery_;
+  if (frto_phase_ == 1) {
+    // First ACK after the RTO advanced the window: probe with two NEW
+    // segments (RFC 5682 step 2b) instead of retransmitting. The timeout is
+    // still unresolved, so the backoff state is deliberately kept — a lost
+    // probe must not fire a hair-trigger timer into a live outage.
+    frto_phase_ = 2;
+    cwnd_ = 2.0;
+    record_cwnd();
+    restart_rto_timer();
+    try_send();
+    return;
+  }
+  if (frto_phase_ == 2) {
+    // Second advancing ACK: no retransmission was needed — the timeout was
+    // spurious. Undo the congestion response (Eifel-style full restore).
+    frto_phase_ = 0;
+    ++frto_spurious_detected_;
+    cwnd_ = frto_prior_cwnd_;
+    ssthresh_ = frto_prior_ssthresh_;
+    in_timeout_recovery_ = false;
+    rto_.reset_backoff();
+    log_event(SenderEventType::kRecoveryExit, ack_next);
+    record_cwnd();
+    if (in_flight() > 0) restart_rto_timer(); else rto_timer_.cancel();
+    try_send();
+    return;
+  }
+  if (in_fast_recovery_) {
+    if (cfg_.congestion_control == CongestionControl::kNewReno &&
+        ack_next <= recover_point_) {
+      // NewReno partial ACK (RFC 6582): the next hole is already known —
+      // retransmit it immediately, deflate by the amount acknowledged, and
+      // STAY in fast recovery until the whole pre-loss window is covered.
+      cwnd_ = std::max(ssthresh_, cwnd_ - static_cast<double>(newly_acked) + 1.0);
+      transmit(snd_una_);
+      record_cwnd();
+      restart_rto_timer();
+      return;
+    }
+    if (cfg_.enable_sack && ack_next <= recover_point_) {
+      // SACK partial ACK: repair the next un-repaired hole and stay in
+      // recovery (in the spirit of RFC 6675). Holes below the repair
+      // pointer already have a retransmission in flight — re-sending them
+      // here would storm the receiver with duplicates; if that repair is
+      // itself lost, the RTO (restarted below) covers it.
+      cwnd_ = std::max(ssthresh_, cwnd_ - static_cast<double>(newly_acked) + 1.0);
+      retransmit_next_hole();
+      record_cwnd();
+      restart_rto_timer();
+      try_send();  // the pipe estimate frees room for new data
+      return;
+    }
+    // Full ACK (or classic Reno on any new ACK): recovery ends and the
+    // window deflates back to ssthresh.
+    in_fast_recovery_ = false;
+    cwnd_ = ssthresh_;
+    log_event(SenderEventType::kRecoveryExit, ack_next);
+  } else if (was_in_timeout_recovery) {
+    in_timeout_recovery_ = false;
+    rto_.reset_backoff();
+    log_event(SenderEventType::kRecoveryExit, ack_next);
+    log_event(SenderEventType::kSlowStartEntered, ack_next);
+    // Window growth resumes below from cwnd = 1 (slow start).
+  }
+
+  if (cwnd_ < ssthresh_) {
+    // Slow start with byte counting: grow by the amount acknowledged.
+    cwnd_ = std::min(cwnd_ + static_cast<double>(newly_acked), ssthresh_);
+  } else if (cfg_.congestion_control == CongestionControl::kVeno &&
+             veno_backlog() >= kVenoBeta) {
+    // Veno: with a full bottleneck backlog, grow half as fast (every other
+    // ACK) to hold the operating point near the knee.
+    if (!veno_skip_increment_) cwnd_ += 1.0 / cwnd_;
+    veno_skip_increment_ = !veno_skip_increment_;
+  } else {
+    // Congestion avoidance: +1/cwnd per ACK; with delayed ACKs (b segments
+    // per ACK) this yields the model's one-segment-per-b-rounds growth.
+    cwnd_ += 1.0 / cwnd_;
+  }
+  cwnd_ = std::min(cwnd_, static_cast<double>(cfg_.receiver_window));
+  record_cwnd();
+
+  if (in_flight() > 0) {
+    restart_rto_timer();
+  } else {
+    rto_timer_.cancel();
+  }
+  try_send();
+}
+
+double TcpSender::veno_backlog() const {
+  // N = cwnd * (RTT - BaseRTT) / RTT: segments queued at the bottleneck.
+  if (base_rtt_ == Duration::max() || last_rtt_ <= Duration::zero()) return 0.0;
+  const double rtt = last_rtt_.to_seconds();
+  const double base = base_rtt_.to_seconds();
+  if (rtt <= base) return 0.0;
+  return cwnd_ * (rtt - base) / rtt;
+}
+
+void TcpSender::observe_rtt(Duration rtt) {
+  last_rtt_ = rtt;
+  if (rtt < base_rtt_) base_rtt_ = rtt;
+}
+
+double TcpSender::reduced_ssthresh() const {
+  const double flight = static_cast<double>(in_flight());
+  if (cfg_.congestion_control == CongestionControl::kVeno &&
+      veno_backlog() < kVenoBeta) {
+    // Veno loss differentiation: a small bottleneck backlog means the loss
+    // was likely random (wireless), so cut gently to 4/5 instead of 1/2.
+    return std::max(flight * 4.0 / 5.0, 2.0);
+  }
+  return std::max(flight / 2.0, 2.0);
+}
+
+void TcpSender::enter_fast_retransmit() {
+  ++stats_.fast_retransmits;
+  ssthresh_ = reduced_ssthresh();
+  in_fast_recovery_ = true;
+  recover_point_ = snd_next_ - 1;
+  sack_retx_next_ = snd_una_ + 1;
+  log_event(SenderEventType::kFastRetransmit, snd_una_);
+  transmit(snd_una_);
+  cwnd_ = ssthresh_ + 3.0;
+  record_cwnd();
+  restart_rto_timer();
+}
+
+void TcpSender::on_rto_expired() {
+  if (in_flight() == 0) return;  // spurious arm; nothing outstanding
+
+  ++stats_.timeouts;
+  frto_prior_cwnd_ = cwnd_;  // for a potential F-RTO undo
+  frto_prior_ssthresh_ = ssthresh_;
+  ssthresh_ = reduced_ssthresh();
+  cwnd_ = 1.0;
+  in_fast_recovery_ = false;
+  dup_ack_count_ = 0;
+  in_timeout_recovery_ = true;
+
+  log_event(SenderEventType::kTimeout, snd_una_);
+  record_cwnd();
+
+  // Exponential backoff, then retransmit only the oldest outstanding
+  // segment (Fig. 2).
+  const bool first_timeout_of_sequence = rto_.backoff_multiplier() == 1;
+  rto_.backoff();
+  stats_.max_backoff_seen =
+      std::max<std::uint64_t>(stats_.max_backoff_seen, rto_.backoff_multiplier());
+  transmit(snd_una_);
+  if (cfg_.enable_frto && first_timeout_of_sequence) {
+    // F-RTO: keep snd_next where it is; whether to go back is decided by
+    // the next two ACKs instead of assumed. (frto_prior_cwnd_ was captured
+    // above, before the window collapsed.)
+    frto_phase_ = 1;
+  } else {
+    // Conventional recovery: everything beyond snd_una is treated as lost
+    // and will be re-sent in slow start (go-back-N, no SACK).
+    frto_phase_ = 0;
+    snd_next_ = snd_una_ + 1;
+  }
+  restart_rto_timer();
+  if (timeout_callback_) timeout_callback_(snd_una_);
+}
+
+void TcpSender::add_available_segments(std::uint64_t n) {
+  if (cfg_.total_segments != UINT64_MAX) {
+    cfg_.total_segments += n;
+  }
+  try_send();
+}
+
+}  // namespace hsr::tcp

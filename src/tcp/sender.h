@@ -1,0 +1,162 @@
+// TCP Reno sender: slow start, congestion avoidance, fast retransmit /
+// fast recovery (RFC 5681), RFC 6298 retransmission timer with Karn's
+// algorithm and exponential backoff, and a receiver-advertised window cap.
+//
+// The sender transmits an infinite (configurable) backlog of MSS-sized
+// segments, matching the steady-state assumption of the Padhye model.
+#pragma once
+
+#include <functional>
+#include <iterator>
+#include <map>
+#include <set>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "sim/timer.h"
+#include "tcp/rto.h"
+#include "tcp/types.h"
+
+namespace hsr::tcp {
+
+class TcpSender {
+ public:
+  // `send_data` transmits a data segment toward the receiver (usually bound
+  // to the downlink's send()).
+  TcpSender(sim::Simulator& sim, TcpConfig config, FlowId flow,
+            std::function<void(net::Packet)> send_data);
+
+  // Begins transmission at the current simulation time.
+  void start();
+
+  // Entry point for ACKs delivered by the uplink.
+  void on_ack(const net::Packet& packet);
+
+  // Invoked at every RTO expiry with the timed-out segment, after the
+  // retransmission went out. MPTCP uses this for its double-retransmission
+  // rescue on an alternative subflow.
+  void set_timeout_callback(std::function<void(SeqNo)> cb) {
+    timeout_callback_ = std::move(cb);
+  }
+
+  // Makes `n` more application segments available to send (for senders
+  // created with a finite/zero backlog, e.g. an MPTCP backup subflow fed on
+  // demand) and tries to transmit immediately.
+  void add_available_segments(std::uint64_t n);
+
+  // --- Introspection -------------------------------------------------------
+  const SenderStats& stats() const { return stats_; }
+  const std::vector<SenderEvent>& events() const { return events_; }
+  double cwnd() const { return cwnd_; }
+  double ssthresh() const { return ssthresh_; }
+  SeqNo snd_una() const { return snd_una_; }
+  SeqNo snd_next() const { return snd_next_; }
+  bool in_fast_recovery() const { return in_fast_recovery_; }
+  bool in_timeout_recovery() const { return in_timeout_recovery_; }
+  const RtoEstimator& rto_estimator() const { return rto_; }
+  bool finished() const {
+    return snd_una_ > cfg_.total_segments;
+  }
+  // (time, cwnd) samples recorded at every cwnd change (Figs. 7-9).
+  const std::vector<std::pair<TimePoint, double>>& cwnd_trace() const {
+    return cwnd_trace_;
+  }
+
+ private:
+  struct SegmentInfo {
+    TimePoint last_sent;
+    std::uint32_t retx_count = 0;
+  };
+
+  // Outstanding segments. With SACK, segments known to have reached the
+  // receiver no longer occupy the pipe (RFC 6675's pipe estimate). Only
+  // scoreboard entries inside [snd_una, snd_next) count: after a go-back-N
+  // pullback the entries above snd_next are not outstanding in the first
+  // place.
+  std::uint64_t in_flight() const {
+    const std::uint64_t outstanding = snd_next_ - snd_una_;
+    if (!cfg_.enable_sack || sacked_.empty()) return outstanding;
+    const std::uint64_t sacked_outstanding = static_cast<std::uint64_t>(
+        std::distance(sacked_.begin(), sacked_.lower_bound(snd_next_)));
+    return outstanding > sacked_outstanding ? outstanding - sacked_outstanding : 0;
+  }
+  double effective_window() const;
+  void try_send();
+  void transmit(SeqNo seq);
+  void on_rto_expired();
+  void enter_fast_retransmit();
+  void restart_rto_timer();
+  void record_cwnd();
+  void log_event(SenderEventType type, SeqNo seq);
+  // Multiplicative-decrease ssthresh on a loss indication. Veno applies its
+  // loss differentiation here (4/5 cut for random loss, 1/2 for congestion).
+  double reduced_ssthresh() const;
+  // Veno's bottleneck-backlog estimate N = cwnd (RTT - BaseRTT)/RTT.
+  double veno_backlog() const;
+  // Records the ACK's SACK blocks into the scoreboard.
+  void absorb_sack(const net::Packet& packet);
+  // Retransmits the lowest un-SACKed hole in (snd_una, recover_point], if
+  // any; returns whether something was sent.
+  bool retransmit_next_hole();
+  // Feeds Veno's backlog estimator with an RTT sample.
+  void observe_rtt(Duration rtt);
+
+  // Veno's backlog threshold (beta) distinguishing random from congestive
+  // loss, in segments (Fu et al. use 3).
+  static constexpr double kVenoBeta = 3.0;
+
+ public:
+  // True while an F-RTO probe is deciding whether the last RTO was spurious.
+  bool frto_probing() const { return frto_phase_ != 0; }
+  // Spurious timeouts detected and undone by F-RTO.
+  std::uint64_t frto_spurious_detected() const { return frto_spurious_detected_; }
+
+ private:
+  std::uint64_t frto_spurious_detected_ = 0;
+
+  sim::Simulator& sim_;
+  TcpConfig cfg_;
+  FlowId flow_;
+  std::function<void(net::Packet)> send_data_;
+
+  SeqNo snd_una_ = 1;   // lowest unacknowledged segment
+  SeqNo snd_next_ = 1;  // next segment to transmit (may be pulled back by RTO)
+  SeqNo highest_transmitted_ = 0;  // high-water mark of segments ever sent
+  double cwnd_;
+  double ssthresh_;
+  unsigned dup_ack_count_ = 0;
+  bool in_fast_recovery_ = false;
+  SeqNo recover_point_ = 0;
+  bool in_timeout_recovery_ = false;
+
+  // F-RTO state (RFC 5682 without SACK). Phase 0: inactive. Phase 1: RTO
+  // fired, snd_una retransmitted, waiting for the first ACK. Phase 2: that
+  // ACK advanced the window, two NEW segments were probed, waiting for the
+  // second ACK to decide spurious-vs-genuine.
+  unsigned frto_phase_ = 0;
+  double frto_prior_cwnd_ = 0.0;
+  double frto_prior_ssthresh_ = 0.0;
+
+  // Veno state: minimum and latest smoothed RTT for the backlog estimate
+  // N = cwnd * (RTT - BaseRTT) / RTT.
+  Duration base_rtt_ = Duration::max();
+  Duration last_rtt_ = Duration::zero();
+  // Veno CA pacing: when the backlog is large, grow cwnd every other ACK.
+  bool veno_skip_increment_ = false;
+
+  // SACK scoreboard: segments above snd_una known to have been received.
+  std::set<SeqNo> sacked_;
+  // Next candidate for SACK-driven hole retransmission in fast recovery.
+  SeqNo sack_retx_next_ = 0;
+
+  RtoEstimator rto_;
+  sim::Timer rto_timer_;
+  std::map<SeqNo, SegmentInfo> segments_;  // un-acked segment metadata
+
+  SenderStats stats_;
+  std::vector<SenderEvent> events_;
+  std::vector<std::pair<TimePoint, double>> cwnd_trace_;
+  std::function<void(SeqNo)> timeout_callback_;
+};
+
+}  // namespace hsr::tcp

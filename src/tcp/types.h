@@ -1,0 +1,106 @@
+// Shared TCP configuration and ground-truth event types.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+#include "tcp/rto.h"
+#include "util/time.h"
+
+namespace hsr::tcp {
+
+using net::FlowId;
+using net::SeqNo;
+using util::Duration;
+using util::TimePoint;
+
+// Congestion-control flavor. Reno is the paper's subject ("TCP Reno is the
+// basis of the other TCP versions"); NewReno (RFC 6582 partial-ACK recovery)
+// and Veno (loss differentiation for wireless paths, Fu et al.) are the
+// §II-cited variants, provided for comparison studies.
+enum class CongestionControl : std::uint8_t { kReno = 0, kNewReno = 1, kVeno = 2 };
+
+struct TcpConfig {
+  CongestionControl congestion_control = CongestionControl::kReno;
+
+  std::uint32_t mss_bytes = 1400;
+  std::uint32_t ack_bytes = 52;
+
+  // Delayed acknowledgements: one ACK per `delayed_ack_b` in-order segments
+  // (b in the model); 1 disables delaying. The delayed-ACK timer bounds how
+  // long a single segment can wait.
+  unsigned delayed_ack_b = 2;
+  Duration delayed_ack_timeout = Duration::millis(150);
+
+  // Receiver advertised window W_m, in segments.
+  unsigned receiver_window = 64;
+
+  // Selective acknowledgements (RFC 2018, simplified): the receiver reports
+  // up to 3 out-of-order blocks; the sender keeps a scoreboard, retransmits
+  // only the holes during fast recovery, and skips SACKed segments during
+  // post-RTO go-back-N.
+  bool enable_sack = false;
+
+  // F-RTO (RFC 5682, SACK-less variant): after an RTO, probe with NEW data
+  // instead of immediately going back to snd_una; if the next two ACKs both
+  // advance, the timeout was spurious and the congestion state is restored.
+  // Directly targets the paper's spurious-RTO pathology.
+  bool enable_frto = false;
+
+  // Adaptive delayed ACKs (TCP-DCA-inspired, §V-A future work): the
+  // receiver drops to quick ACKs (every segment) for a while after any
+  // reordering or duplicate — the loss-suspicious periods where ACKs are
+  // "precious" — and batches b segments per ACK otherwise.
+  bool adaptive_delack = false;
+  unsigned quickack_segments = 16;  // quick-ACK budget armed per trigger
+
+  // Congestion control.
+  double initial_cwnd = 2.0;
+  double initial_ssthresh = 1e9;  // effectively: slow start until first loss
+
+  RtoConfig rto;
+
+  // Amount of application data (segments); default: effectively infinite.
+  std::uint64_t total_segments = UINT64_MAX;
+};
+
+// Ground-truth sender events, logged by the stack itself. Used to validate
+// the trace-analysis pipeline (which must reconstruct these from packet
+// captures alone) and to drive the mechanism figures.
+enum class SenderEventType : std::uint8_t {
+  kTimeout,           // RTO fired
+  kFastRetransmit,    // third duplicate ACK
+  kRecoveryExit,      // snd_una advanced past the recovery point
+  kSlowStartEntered,  // post-timeout slow start began
+};
+
+struct SenderEvent {
+  TimePoint when;
+  SenderEventType type;
+  SeqNo seq = 0;          // segment concerned
+  Duration rto_value;     // timer value (timeout events)
+  unsigned backoff = 1;   // backoff multiplier at the event
+};
+
+struct SenderStats {
+  std::uint64_t segments_sent = 0;          // including retransmissions
+  std::uint64_t retransmissions = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t max_backoff_seen = 1;
+};
+
+struct ReceiverStats {
+  std::uint64_t segments_received = 0;   // everything that arrived
+  std::uint64_t unique_segments = 0;     // distinct payload delivered
+  std::uint64_t duplicate_segments = 0;  // same payload seen again (spurious retx evidence)
+  std::uint64_t acks_sent = 0;
+  SeqNo highest_contiguous = 0;          // rcv_next - 1
+};
+
+const char* sender_event_name(SenderEventType t);
+
+}  // namespace hsr::tcp

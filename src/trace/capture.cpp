@@ -1,0 +1,82 @@
+#include "trace/capture.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+
+namespace hsr::trace {
+
+void DirectionCapture::on_send(const Packet& packet, TimePoint when) {
+  Transmission tx;
+  tx.packet = packet;
+  tx.sent = when;
+  index_by_id_[packet.id] = txs_.size();
+  txs_.push_back(std::move(tx));
+}
+
+void DirectionCapture::on_drop(const Packet& packet, TimePoint when, DropReason reason) {
+  (void)when;
+  const auto it = index_by_id_.find(packet.id);
+  HSR_CHECK_MSG(it != index_by_id_.end(), "drop for unseen packet");
+  txs_[it->second].drop_reason = reason;
+  ++lost_;
+}
+
+void DirectionCapture::on_deliver(const Packet& packet, TimePoint sent, TimePoint arrived) {
+  (void)sent;
+  const auto it = index_by_id_.find(packet.id);
+  HSR_CHECK_MSG(it != index_by_id_.end(), "delivery for unseen packet");
+  txs_[it->second].arrived = arrived;
+}
+
+Duration DirectionCapture::mean_transit() const {
+  std::int64_t total_ns = 0;
+  std::int64_t n = 0;
+  for (const auto& tx : txs_) {
+    if (tx.arrived) {
+      total_ns += tx.transit().ns();
+      ++n;
+    }
+  }
+  if (n == 0) return Duration::zero();
+  return Duration::nanos(total_ns / n);
+}
+
+SeqNo FlowCapture::highest_delivered_seq() const {
+  SeqNo best = 0;
+  for (const auto& tx : data.transmissions()) {
+    if (tx.arrived) best = std::max(best, tx.packet.seq);
+  }
+  return best;
+}
+
+std::uint64_t FlowCapture::unique_segments_delivered() const {
+  std::set<SeqNo> seen;
+  for (const auto& tx : data.transmissions()) {
+    if (tx.arrived) seen.insert(tx.packet.seq);
+  }
+  return seen.size();
+}
+
+Duration FlowCapture::span() const {
+  TimePoint first = TimePoint::max();
+  TimePoint last = TimePoint::zero();
+  auto scan = [&](const DirectionCapture& dir) {
+    for (const auto& tx : dir.transmissions()) {
+      first = std::min(first, tx.sent);
+      last = std::max(last, tx.sent);
+      if (tx.arrived) last = std::max(last, *tx.arrived);
+    }
+  };
+  scan(data);
+  scan(acks);
+  if (first == TimePoint::max()) return Duration::zero();
+  return last - first;
+}
+
+Duration FlowCapture::estimated_rtt() const {
+  return data.mean_transit() + acks.mean_transit();
+}
+
+}  // namespace hsr::trace

@@ -1,0 +1,82 @@
+// Packet capture: the simulation's substitute for the paper's wireshark /
+// shark captures at the phone and the server.
+//
+// A DirectionCapture taps one link and records every transmission together
+// with its fate (delivered at some time, or lost). A FlowCapture bundles the
+// data direction and the ACK direction of one TCP flow. The analysis module
+// consumes these records exactly as the paper's methodology consumes
+// endpoint captures; it must not peek at the stack's internal state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link.h"
+#include "net/packet.h"
+#include "util/time.h"
+
+namespace hsr::trace {
+
+using net::DropReason;
+using net::Packet;
+using net::SeqNo;
+using util::Duration;
+using util::TimePoint;
+
+// One packet put on the wire, with its observed fate.
+struct Transmission {
+  Packet packet;                       // header as sent
+  TimePoint sent;
+  std::optional<TimePoint> arrived;    // nullopt => lost
+  std::optional<DropReason> drop_reason;
+
+  bool lost() const { return !arrived.has_value(); }
+  // One-way transit time; only valid when delivered.
+  Duration transit() const { return *arrived - sent; }
+};
+
+class DirectionCapture final : public net::LinkTap {
+ public:
+  void on_send(const Packet& packet, TimePoint when) override;
+  void on_drop(const Packet& packet, TimePoint when, DropReason reason) override;
+  void on_deliver(const Packet& packet, TimePoint sent, TimePoint arrived) override;
+
+  const std::vector<Transmission>& transmissions() const { return txs_; }
+
+  std::uint64_t sent_count() const { return txs_.size(); }
+  std::uint64_t lost_count() const { return lost_; }
+  double loss_rate() const {
+    return txs_.empty() ? 0.0
+                        : static_cast<double>(lost_) / static_cast<double>(txs_.size());
+  }
+  // Mean one-way transit time over delivered packets.
+  Duration mean_transit() const;
+
+ private:
+  std::vector<Transmission> txs_;
+  std::unordered_map<std::uint64_t, std::size_t> index_by_id_;
+  std::uint64_t lost_ = 0;
+};
+
+// Both directions of one flow.
+struct FlowCapture {
+  net::FlowId flow = 0;
+  DirectionCapture data;  // downlink: data segments
+  DirectionCapture acks;  // uplink: acknowledgements
+
+  double data_loss_rate() const { return data.loss_rate(); }
+  double ack_loss_rate() const { return acks.loss_rate(); }
+
+  // Highest data segment number that reached the receiver at least once.
+  SeqNo highest_delivered_seq() const;
+  // Count of distinct data segments delivered at least once (goodput basis).
+  std::uint64_t unique_segments_delivered() const;
+  // Duration from first to last captured event.
+  Duration span() const;
+  // Estimated path RTT: mean data transit + mean ACK transit.
+  Duration estimated_rtt() const;
+};
+
+}  // namespace hsr::trace

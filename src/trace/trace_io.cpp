@@ -1,0 +1,93 @@
+#include "trace/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace hsr::trace {
+
+namespace {
+
+constexpr const char* kMagic = "hsrtrace-v1";
+
+// Fate codes: '-' = no fate recorded (still in flight at capture end),
+// 'Q' = queue drop, 'C' = channel loss.
+char drop_code(const Transmission& tx) {
+  if (!tx.drop_reason) return '-';
+  return *tx.drop_reason == DropReason::kQueueOverflow ? 'Q' : 'C';
+}
+
+void write_direction(std::ostream& os, char dir, const DirectionCapture& cap) {
+  for (const auto& tx : cap.transmissions()) {
+    os << dir << ' ' << tx.packet.id << ' ' << tx.packet.seq << ' '
+       << tx.packet.ack_next << ' ' << tx.packet.size_bytes << ' '
+       << tx.sent.ns() << ' ' << (tx.arrived ? tx.arrived->ns() : -1) << ' '
+       << drop_code(tx) << ' ' << tx.packet.retx_count << '\n';
+  }
+}
+
+}  // namespace
+
+void write_flow_capture(std::ostream& os, const FlowCapture& capture) {
+  os << kMagic << " flow=" << capture.flow << '\n';
+  write_direction(os, 'D', capture.data);
+  write_direction(os, 'A', capture.acks);
+}
+
+util::StatusOr<FlowCapture> read_flow_capture(std::istream& is) {
+  std::string magic;
+  std::string flow_field;
+  if (!(is >> magic >> flow_field) || magic != kMagic ||
+      flow_field.rfind("flow=", 0) != 0) {
+    return util::Status::invalid_argument("bad trace header");
+  }
+  FlowCapture cap;
+  cap.flow = static_cast<net::FlowId>(std::stoul(flow_field.substr(5)));
+
+  std::string line;
+  std::getline(is, line);  // consume header remainder
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    char dir = 0;
+    char drop = 0;
+    std::int64_t sent_ns = 0;
+    std::int64_t arrived_ns = 0;
+    Packet p;
+    std::uint32_t retx = 0;
+    if (!(ls >> dir >> p.id >> p.seq >> p.ack_next >> p.size_bytes >> sent_ns >>
+          arrived_ns >> drop >> retx)) {
+      return util::Status::invalid_argument("bad trace line: " + line);
+    }
+    p.flow = cap.flow;
+    p.kind = (dir == 'D') ? net::PacketKind::kData : net::PacketKind::kAck;
+    p.retx_count = retx;
+    p.is_retransmission = retx > 0;
+
+    DirectionCapture& target = (dir == 'D') ? cap.data : cap.acks;
+    target.on_send(p, TimePoint::from_ns(sent_ns));
+    if (arrived_ns >= 0) {
+      target.on_deliver(p, TimePoint::from_ns(sent_ns), TimePoint::from_ns(arrived_ns));
+    } else if (drop != '-') {
+      target.on_drop(p, TimePoint::from_ns(sent_ns),
+                     drop == 'Q' ? DropReason::kQueueOverflow : DropReason::kChannelLoss);
+    }
+    // drop == '-' with no arrival: the packet was still in flight when the
+    // capture ended; it is neither delivered nor lost.
+  }
+  return cap;
+}
+
+util::Status save_flow_capture(const std::string& path, const FlowCapture& capture) {
+  std::ofstream f(path);
+  if (!f) return util::Status::internal("cannot open for write: " + path);
+  write_flow_capture(f, capture);
+  return util::Status::ok();
+}
+
+util::StatusOr<FlowCapture> load_flow_capture(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return util::Status::not_found("cannot open: " + path);
+  return read_flow_capture(f);
+}
+
+}  // namespace hsr::trace

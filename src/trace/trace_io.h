@@ -1,0 +1,26 @@
+// Text serialization of flow captures, so traces can be archived, diffed and
+// re-analyzed offline (the role pcap files played in the paper's workflow).
+//
+// Format: a header line, then one line per transmission:
+//   <dir> <pkt_id> <seq> <ack_next> <size> <sent_ns> <arrived_ns|-1> <drop> <retx>
+// where dir is D (data) or A (ack) and drop is '-', 'Q' (queue) or 'C'
+// (channel); lost packets have arrived_ns = -1 (exactly the convention of
+// the paper's Fig. 1).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/capture.h"
+#include "util/status.h"
+
+namespace hsr::trace {
+
+void write_flow_capture(std::ostream& os, const FlowCapture& capture);
+util::StatusOr<FlowCapture> read_flow_capture(std::istream& is);
+
+// Convenience file wrappers.
+util::Status save_flow_capture(const std::string& path, const FlowCapture& capture);
+util::StatusOr<FlowCapture> load_flow_capture(const std::string& path);
+
+}  // namespace hsr::trace

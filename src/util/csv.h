@@ -1,0 +1,44 @@
+// Tiny CSV writer used by bench binaries and examples to dump figure data.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace hsr::util {
+
+// Writes rows to an ostream (file or stdout) with minimal quoting: fields
+// containing commas, quotes or newlines are double-quoted per RFC 4180.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void write_row(const std::vector<std::string>& fields);
+  void write_row(std::initializer_list<std::string> fields) {
+    write_row(std::vector<std::string>(fields));
+  }
+
+  // Convenience: formats arbitrary streamable values into one row.
+  template <typename... Ts>
+  void row(const Ts&... values) {
+    std::vector<std::string> fields;
+    fields.reserve(sizeof...(values));
+    (fields.push_back(to_field(values)), ...);
+    write_row(fields);
+  }
+
+ private:
+  template <typename T>
+  static std::string to_field(const T& v) {
+    std::ostringstream ss;
+    ss << v;
+    return ss.str();
+  }
+  static std::string escape(const std::string& field);
+  std::ostream& os_;
+};
+
+}  // namespace hsr::util

@@ -1,0 +1,41 @@
+#include "util/logging.h"
+
+namespace hsr::util {
+
+namespace {
+LogLevel g_threshold = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_threshold() { return g_threshold; }
+void set_log_threshold(LogLevel level) { g_threshold = level; }
+
+namespace internal {
+
+LogLine::LogLine(LogLevel level, const char* file, int line)
+    : enabled_(level >= g_threshold && g_threshold != LogLevel::kOff) {
+  if (enabled_) {
+    const char* base = file;
+    for (const char* p = file; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    stream_ << "[" << level_name(level) << " " << base << ":" << line << "] ";
+  }
+}
+
+LogLine::~LogLine() {
+  if (enabled_) std::cerr << stream_.str() << std::endl;
+}
+
+}  // namespace internal
+}  // namespace hsr::util

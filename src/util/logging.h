@@ -1,0 +1,61 @@
+// Minimal leveled logging plus CHECK macros.
+//
+// The simulator is single-threaded by design (one engine per experiment;
+// experiments parallelize across processes), so the logger keeps no locks.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace hsr::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global threshold; messages below it are discarded. Default: kWarn, so
+// library code stays quiet inside tests and benches unless asked.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+namespace internal {
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace hsr::util
+
+#define HSR_LOG(level) \
+  ::hsr::util::internal::LogLine(::hsr::util::LogLevel::level, __FILE__, __LINE__)
+
+// Invariant check: aborts with a message when violated. Used for programming
+// errors (broken invariants), not for recoverable conditions.
+#define HSR_CHECK(cond)                                                      \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::cerr << "CHECK failed: " #cond " at " << __FILE__ << ":"          \
+                << __LINE__ << std::endl;                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define HSR_CHECK_MSG(cond, msg)                                             \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::cerr << "CHECK failed: " #cond " at " << __FILE__ << ":"          \
+                << __LINE__ << ": " << msg << std::endl;                     \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)

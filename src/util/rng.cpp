@@ -1,0 +1,21 @@
+#include "util/rng.h"
+
+namespace hsr::util {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_label(std::string_view label) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (unsigned char c : label) {
+    h ^= c;
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return splitmix64(h);
+}
+
+}  // namespace hsr::util

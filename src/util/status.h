@@ -1,0 +1,92 @@
+// Minimal Status / StatusOr error-propagation types.
+//
+// Used at module boundaries where a failure is an expected outcome (parsing
+// traces, estimating parameters from degenerate flows) rather than a
+// programming error. Programming errors use HSR_CHECK/assertions instead.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace hsr::util {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+// Returns a stable human-readable name for a status code.
+const char* status_code_name(StatusCode code);
+
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+  static Status invalid_argument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status not_found(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status out_of_range(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status failed_precondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Value-or-error. `value()` on an error status throws std::runtime_error,
+// so callers that cannot handle the failure fail loudly rather than reading
+// indeterminate data.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  StatusOr(Status status) : status_(std::move(status)) {   // NOLINT(google-explicit-constructor)
+    assert(!status_.is_ok() && "OK StatusOr must carry a value");
+  }
+
+  bool is_ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    if (!value_) throw std::runtime_error("StatusOr::value on error: " + status_.to_string());
+    return *value_;
+  }
+  T& value() & {
+    if (!value_) throw std::runtime_error("StatusOr::value on error: " + status_.to_string());
+    return *value_;
+  }
+  T value_or(T fallback) const {
+    return value_ ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace hsr::util

@@ -1,0 +1,79 @@
+// Strong time types for the simulator.
+//
+// All simulation time is kept as integer nanoseconds to make event ordering
+// exact and runs bit-reproducible across platforms; helpers convert to and
+// from floating-point seconds only at API boundaries (models, reports).
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+
+namespace hsr::util {
+
+// A span of simulated time. Signed so that differences are representable.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration nanos(std::int64_t ns) { return Duration(ns); }
+  static constexpr Duration micros(std::int64_t us) { return Duration(us * 1'000); }
+  static constexpr Duration millis(std::int64_t ms) { return Duration(ms * 1'000'000); }
+  static constexpr Duration seconds(std::int64_t s) { return Duration(s * 1'000'000'000); }
+  // Converts from floating-point seconds, rounding to the nearest nanosecond.
+  static constexpr Duration from_seconds(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5)));
+  }
+  static constexpr Duration zero() { return Duration(0); }
+  static constexpr Duration max() {
+    return Duration(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) * 1e-6; }
+
+  constexpr Duration operator+(Duration o) const { return Duration(ns_ + o.ns_); }
+  constexpr Duration operator-(Duration o) const { return Duration(ns_ - o.ns_); }
+  constexpr Duration operator*(std::int64_t k) const { return Duration(ns_ * k); }
+  constexpr Duration operator/(std::int64_t k) const { return Duration(ns_ / k); }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  // Scales by a floating-point factor (used for jitter and backoff caps).
+  constexpr Duration scaled(double k) const {
+    return Duration(static_cast<std::int64_t>(static_cast<double>(ns_) * k + 0.5));
+  }
+
+ private:
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+// An absolute point on the simulation clock (ns since simulation start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  static constexpr TimePoint from_ns(std::int64_t ns) { return TimePoint(ns); }
+  static constexpr TimePoint from_seconds(double s) {
+    return TimePoint(Duration::from_seconds(s).ns());
+  }
+  static constexpr TimePoint zero() { return TimePoint(0); }
+  static constexpr TimePoint max() {
+    return TimePoint(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint(ns_ + d.ns()); }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint(ns_ - d.ns()); }
+  constexpr Duration operator-(TimePoint o) const { return Duration::nanos(ns_ - o.ns_); }
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+ private:
+  constexpr explicit TimePoint(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace hsr::util

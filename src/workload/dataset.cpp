@@ -1,0 +1,112 @@
+#include "workload/dataset.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace hsr::workload {
+
+DatasetSpec DatasetSpec::paper_table1(double scale) {
+  scale = std::clamp(scale, 0.01, 1.0);
+  const auto scaled = [scale](unsigned n) {
+    return std::max(1u, static_cast<unsigned>(n * scale));
+  };
+
+  DatasetSpec spec;
+  spec.campaigns = {
+      {"January 2015", "Samsung Note 3", radio::mobile_lte_highspeed(), scaled(52), 8},
+      {"October 2015", "Samsung Note 3", radio::mobile_lte_highspeed(), scaled(73), 24},
+      {"October 2015", "Samsung Galaxy S4", radio::unicom_3g_highspeed(), scaled(65), 24},
+      {"October 2015", "Samsung Galaxy S4", radio::telecom_3g_highspeed(), scaled(65), 24},
+  };
+  spec.stationary_flows_per_provider = std::max(3u, scaled(12));
+  return spec;
+}
+
+namespace {
+
+FlowRecord run_and_analyze(const radio::ProviderProfile& profile,
+                           const std::string& campaign, const std::string& phone,
+                           util::Duration duration, std::uint64_t seed) {
+  FlowRunConfig cfg;
+  cfg.profile = profile;
+  cfg.duration = duration;
+  cfg.seed = seed;
+
+  FlowRunResult run = run_flow(cfg);
+
+  FlowRecord rec;
+  rec.provider = radio::provider_name(profile.provider);
+  rec.campaign = campaign;
+  rec.phone = phone;
+  rec.high_speed = profile.mobility == radio::Mobility::kHighSpeed;
+  rec.analysis = analysis::analyze_flow(run.capture);
+  rec.goodput_pps = run.goodput_pps;
+  rec.bytes_captured = run.bytes_captured;
+  rec.duration = duration;
+  rec.receiver_window = profile.receiver_window_segments;
+  rec.delayed_ack_b = cfg.delayed_ack_b;
+  return rec;
+}
+
+}  // namespace
+
+DatasetResult generate_dataset(const DatasetSpec& spec) {
+  DatasetResult out;
+  util::Rng rng(spec.seed);
+
+  std::uint64_t flow_index = 0;
+  for (const auto& campaign : spec.campaigns) {
+    for (unsigned i = 0; i < campaign.flows; ++i, ++flow_index) {
+      util::Rng flow_rng = rng.fork("flow", flow_index);
+      const double span_s = flow_rng.uniform(spec.flow_duration_min.to_seconds(),
+                                             spec.flow_duration_max.to_seconds());
+      FlowRecord rec = run_and_analyze(
+          campaign.profile, campaign.campaign, campaign.phone,
+          util::Duration::from_seconds(span_s),
+          util::splitmix64(spec.seed ^ (flow_index * 0x9e3779b97f4a7c15ULL)));
+      out.corpus.add(rec.provider, rec.high_speed, rec.analysis);
+      out.flows.push_back(std::move(rec));
+    }
+  }
+
+  // Stationary control corpus: one batch per distinct provider profile.
+  std::vector<radio::ProviderProfile> seen;
+  for (const auto& campaign : spec.campaigns) {
+    const bool dup = std::any_of(seen.begin(), seen.end(), [&](const auto& p) {
+      return p.provider == campaign.profile.provider;
+    });
+    if (dup) continue;
+    seen.push_back(campaign.profile);
+
+    const radio::ProviderProfile stat = radio::stationary_of(campaign.profile);
+    for (unsigned i = 0; i < spec.stationary_flows_per_provider; ++i, ++flow_index) {
+      util::Rng flow_rng = rng.fork("stationary-flow", flow_index);
+      const double span_s = flow_rng.uniform(spec.flow_duration_min.to_seconds(),
+                                             spec.flow_duration_max.to_seconds());
+      FlowRecord rec = run_and_analyze(
+          stat, "stationary control", "Samsung Galaxy S4",
+          util::Duration::from_seconds(span_s),
+          util::splitmix64(spec.seed ^ 0xABCDEF ^ (flow_index * 0x9e3779b97f4a7c15ULL)));
+      out.corpus.add(rec.provider, rec.high_speed, rec.analysis);
+      out.flows.push_back(std::move(rec));
+    }
+  }
+  return out;
+}
+
+double DatasetResult::total_capture_gb() const {
+  double bytes = 0.0;
+  for (const auto& f : flows) bytes += static_cast<double>(f.bytes_captured);
+  return bytes / 1e9;
+}
+
+unsigned DatasetResult::flow_count(const std::string& provider, bool high_speed) const {
+  unsigned n = 0;
+  for (const auto& f : flows) {
+    if (f.provider == provider && f.high_speed == high_speed) ++n;
+  }
+  return n;
+}
+
+}  // namespace hsr::workload

@@ -1,0 +1,67 @@
+// Dataset generation mirroring Table I of the paper: two measurement
+// campaigns (January and October 2015) on the Beijing-Tianjin Intercity
+// Railway, three providers, 255 flows, 40.47 GB of captures — plus a
+// stationary control corpus for the §III comparisons.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/corpus.h"
+#include "radio/profiles.h"
+#include "workload/scenario.h"
+
+namespace hsr::workload {
+
+struct CampaignSpec {
+  std::string campaign;        // "January 2015" / "October 2015"
+  std::string phone;           // "Samsung Note 3" / "Samsung Galaxy S4"
+  radio::ProviderProfile profile;
+  unsigned flows = 0;
+  unsigned trips = 0;
+};
+
+struct DatasetSpec {
+  std::vector<CampaignSpec> campaigns;
+  // Stationary control flows generated per provider.
+  unsigned stationary_flows_per_provider = 12;
+  // Per-flow duration is uniform in [min, max].
+  // The paper's flows span minutes (40.47 GB over 255 flows); minute-scale
+  // durations also give each flow enough timeout samples for stable
+  // parameter estimates.
+  util::Duration flow_duration_min = util::Duration::seconds(180);
+  util::Duration flow_duration_max = util::Duration::seconds(300);
+  std::uint64_t seed = 2015;
+
+  // Table I of the paper. `scale` in (0, 1] shrinks the flow counts
+  // proportionally (floor, at least 1 per campaign) for quick runs.
+  static DatasetSpec paper_table1(double scale = 1.0);
+};
+
+struct FlowRecord {
+  std::string provider;   // short provider name ("China Mobile", ...)
+  std::string campaign;
+  std::string phone;
+  bool high_speed = true;
+  analysis::FlowAnalysis analysis;
+  double goodput_pps = 0.0;
+  std::uint64_t bytes_captured = 0;
+  util::Duration duration;
+  unsigned receiver_window = 64;  // W_m used by this flow
+  unsigned delayed_ack_b = 2;     // b used by this flow
+};
+
+struct DatasetResult {
+  std::vector<FlowRecord> flows;
+  analysis::Corpus corpus;  // built from `flows`
+
+  double total_capture_gb() const;
+  unsigned flow_count(const std::string& provider, bool high_speed) const;
+};
+
+// Runs every flow of the spec (each with its own derived seed) and analyzes
+// the captures. Deterministic for a given spec.
+DatasetResult generate_dataset(const DatasetSpec& spec);
+
+}  // namespace hsr::workload

@@ -1,0 +1,86 @@
+// Scenario assembly: builds and runs complete experiments (one TCP flow on
+// a provider profile; TCP-vs-MPTCP comparisons) and returns the captures
+// and ground truth. This is the piece that plays the role of the paper's
+// field measurement campaign.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mptcp/mptcp.h"
+#include "radio/profiles.h"
+#include "tcp/connection.h"
+#include "trace/capture.h"
+#include "util/time.h"
+
+namespace hsr::workload {
+
+using util::Duration;
+using util::TimePoint;
+
+struct FlowRunConfig {
+  radio::ProviderProfile profile;
+  Duration duration = Duration::seconds(60);
+  std::uint64_t seed = 1;
+  // TCP knobs (protocol-level, independent of the provider).
+  tcp::CongestionControl congestion_control = tcp::CongestionControl::kReno;
+  bool enable_sack = false;        // selective acknowledgements (RFC 2018/6675)
+  bool enable_frto = false;        // F-RTO spurious-timeout response
+  bool adaptive_delack = false;    // TCP-DCA-style quick ACKs after reordering
+  unsigned delayed_ack_b = 2;
+  Duration min_rto = Duration::millis(200);
+  std::uint32_t mss_bytes = 1400;
+};
+
+struct FlowRunResult {
+  trace::FlowCapture capture;  // the wireshark-equivalent record
+  // Ground truth from the stack, used to validate the analysis pipeline.
+  tcp::SenderStats sender_stats;
+  tcp::ReceiverStats receiver_stats;
+  std::vector<tcp::SenderEvent> events;
+  std::vector<std::pair<TimePoint, double>> cwnd_trace;
+  std::vector<TimePoint> delivery_times;
+
+  Duration duration;
+  double goodput_pps = 0.0;
+  double goodput_bps = 0.0;
+  std::uint64_t bytes_captured = 0;  // both directions; Table I trace sizes
+  std::uint64_t handoffs = 0;
+};
+
+// TCP configuration used for a profile (exposed so analyses know b and W_m).
+tcp::TcpConfig tcp_config_for(const FlowRunConfig& cfg);
+
+// Runs a single bulk-download TCP flow over the profile for `duration`.
+FlowRunResult run_flow(const FlowRunConfig& cfg);
+
+// --- TCP vs MPTCP (Fig. 12) ---------------------------------------------------
+
+struct MptcpComparison {
+  double tcp_pps = 0.0;          // single-path TCP goodput
+  double mptcp_pps = 0.0;        // 2-subflow MPTCP meta goodput
+  double improvement = 0.0;      // (mptcp - tcp) / tcp
+  std::uint64_t rescues = 0;     // backup mode only
+  std::uint64_t useful_rescues = 0;
+};
+
+// Runs single-path TCP and a 2-subflow MPTCP connection over independent
+// path instances of the same provider (the paper's "two flows sharing no
+// bottleneck" approximation) and compares goodput over a fixed duration.
+MptcpComparison run_mptcp_comparison(const radio::ProviderProfile& profile,
+                                     Duration duration, std::uint64_t seed,
+                                     mptcp::Mode mode = mptcp::Mode::kDuplex);
+
+// The paper's exact Fig. 12 methodology: one large TCP flow of
+// `total_segments` vs two parallel small flows of total_segments/2 each
+// (which "can be regarded as two independent subflows of MPTCP"). Both run
+// on the same radio environment (same handset); throughput is
+// bytes/completion-time. In gap-dominated coverage a single large flow
+// straddles dead zones and deep RTO backoff, which is where the paper's
+// 283 % Telecom gain comes from.
+MptcpComparison run_fixed_transfer_comparison(const radio::ProviderProfile& profile,
+                                              std::uint64_t total_segments,
+                                              std::uint64_t seed);
+
+}  // namespace hsr::workload

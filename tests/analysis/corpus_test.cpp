@@ -1,0 +1,92 @@
+#include "analysis/corpus.h"
+
+#include <gtest/gtest.h>
+
+namespace hsr::analysis {
+namespace {
+
+FlowAnalysis make_flow(double data_loss, double ack_loss, double q,
+                       unsigned sequences, unsigned spurious,
+                       unsigned fast_retx, double recovery_s) {
+  FlowAnalysis a;
+  a.data_loss_rate = data_loss;
+  a.ack_loss_rate = ack_loss;
+  a.recovery_retx_loss_rate = q;
+  a.fast_retransmits = fast_retx;
+  for (unsigned i = 0; i < sequences; ++i) {
+    TimeoutSequence ts;
+    ts.seq = i + 1;
+    ts.spurious = i < spurious;
+    ts.recovered_observed = true;
+    ts.ca_end = util::TimePoint::zero();
+    ts.recovered = util::TimePoint::from_seconds(recovery_s);
+    ts.first_retx = util::TimePoint::from_seconds(recovery_s / 2);
+    a.timeout_sequences.push_back(ts);
+  }
+  a.loss_indications = sequences + fast_retx;
+  a.timeout_probability =
+      a.loss_indications == 0
+          ? 0.0
+          : static_cast<double>(sequences) / a.loss_indications;
+  return a;
+}
+
+TEST(CorpusTest, HeadlineAggregatesHighSpeedAndStationary) {
+  Corpus corpus;
+  corpus.add("China Mobile", true, make_flow(0.008, 0.006, 0.3, 4, 2, 8, 5.0));
+  corpus.add("China Mobile", true, make_flow(0.006, 0.007, 0.2, 2, 1, 10, 3.0));
+  corpus.add("China Mobile", false, make_flow(0.0005, 0.0005, 0.0, 1, 0, 2, 0.6));
+
+  const Corpus::Headline h = corpus.headline();
+  EXPECT_EQ(h.flows_highspeed, 2u);
+  EXPECT_EQ(h.flows_stationary, 1u);
+  EXPECT_EQ(h.timeout_sequences_highspeed, 6u);
+  // 3 spurious of 6 sequences.
+  EXPECT_NEAR(h.spurious_timeout_share, 0.5, 1e-12);
+  // Recovery: 4 flows' sequences at 5 s + 2 at 3 s => (4*5 + 2*3)/6.
+  EXPECT_NEAR(h.mean_recovery_s_highspeed, 26.0 / 6.0, 1e-9);
+  EXPECT_NEAR(h.mean_recovery_s_stationary, 0.6, 1e-12);
+  EXPECT_NEAR(h.mean_ack_loss_highspeed, 0.0065, 1e-12);
+  EXPECT_NEAR(h.mean_ack_loss_stationary, 0.0005, 1e-12);
+  EXPECT_NEAR(h.mean_data_loss_highspeed, 0.007, 1e-12);
+  EXPECT_NEAR(h.mean_recovery_loss_highspeed, 0.25, 1e-12);
+}
+
+TEST(CorpusTest, CdfsFilterByMobility) {
+  Corpus corpus;
+  corpus.add("A", true, make_flow(0.01, 0.005, 0.3, 1, 0, 1, 2.0));
+  corpus.add("A", false, make_flow(0.001, 0.0001, 0.0, 0, 0, 1, 0.0));
+
+  auto hs = corpus.ack_loss_cdf(true);
+  auto st = corpus.ack_loss_cdf(false);
+  ASSERT_EQ(hs.size(), 1u);
+  ASSERT_EQ(st.size(), 1u);
+  EXPECT_GT(hs.mean(), st.mean());
+
+  auto lifetime = corpus.lifetime_data_loss_cdf(true);
+  EXPECT_EQ(lifetime.size(), 1u);
+  // Recovery-loss CDF only includes flows that had timeouts.
+  EXPECT_EQ(corpus.recovery_loss_cdf(true).size(), 1u);
+  EXPECT_EQ(corpus.recovery_loss_cdf(false).size(), 0u);
+}
+
+TEST(CorpusTest, AckLossTimeoutScatterSkipsFlowsWithoutIndications) {
+  Corpus corpus;
+  corpus.add("A", true, make_flow(0.01, 0.004, 0.3, 2, 1, 6, 2.0));
+  corpus.add("A", true, make_flow(0.01, 0.002, 0.0, 0, 0, 0, 0.0));  // no indications
+  const auto points = corpus.ack_loss_vs_timeout(true);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_DOUBLE_EQ(points[0].first, 0.004);
+  EXPECT_NEAR(points[0].second, 0.25, 1e-12);
+}
+
+TEST(CorpusTest, EmptyCorpusHeadlineIsZeroed) {
+  Corpus corpus;
+  const auto h = corpus.headline();
+  EXPECT_EQ(h.flows_highspeed, 0u);
+  EXPECT_DOUBLE_EQ(h.spurious_timeout_share, 0.0);
+  EXPECT_DOUBLE_EQ(h.mean_recovery_s_highspeed, 0.0);
+}
+
+}  // namespace
+}  // namespace hsr::analysis

@@ -1,0 +1,134 @@
+// Calibration tests: the synthetic corpus must land in (generous) bands
+// around the paper's reported statistics, and the model comparison must
+// reproduce the paper's SHAPE: the enhanced model strictly more accurate
+// than the Padhye baseline, which overpredicts on HSR flows.
+//
+// Deterministic: fixed seeds, fixed spec. Bands are wide enough to survive
+// legitimate code changes but tight enough to catch calibration regressions.
+#include <gtest/gtest.h>
+
+#include "model/params.h"
+#include "util/stats.h"
+#include "workload/dataset.h"
+
+namespace hsr {
+namespace {
+
+const workload::DatasetResult& corpus() {
+  static const workload::DatasetResult* ds = [] {
+    workload::DatasetSpec spec = workload::DatasetSpec::paper_table1(0.12);
+    spec.stationary_flows_per_provider = 4;
+    return new workload::DatasetResult(workload::generate_dataset(spec));
+  }();
+  return *ds;
+}
+
+TEST(CalibrationTest, HeadlineStatisticsInPaperBands) {
+  const auto h = corpus().corpus.headline();
+
+  // Paper: 5.05 s high-speed vs 0.65 s stationary mean recovery.
+  EXPECT_GT(h.mean_recovery_s_highspeed, 2.0);
+  EXPECT_LT(h.mean_recovery_s_highspeed, 9.0);
+  EXPECT_LT(h.mean_recovery_s_stationary, 2.0);
+  EXPECT_GT(h.mean_recovery_s_highspeed, 2.0 * h.mean_recovery_s_stationary);
+
+  // Paper: 49.24 % spurious timeouts.
+  EXPECT_GT(h.spurious_timeout_share, 0.30);
+  EXPECT_LT(h.spurious_timeout_share, 0.75);
+
+  // Paper: ACK loss 0.661 % high-speed vs 0.0718 % stationary.
+  EXPECT_GT(h.mean_ack_loss_highspeed, 0.003);
+  EXPECT_LT(h.mean_ack_loss_highspeed, 0.020);
+  EXPECT_LT(h.mean_ack_loss_stationary, 0.002);
+  EXPECT_GT(h.mean_ack_loss_highspeed, 4.0 * h.mean_ack_loss_stationary);
+
+  // Paper: data loss 0.7526 %; in-recovery retransmit loss 27.26 %.
+  EXPECT_GT(h.mean_data_loss_highspeed, 0.004);
+  EXPECT_LT(h.mean_data_loss_highspeed, 0.025);
+  EXPECT_GT(h.mean_recovery_loss_highspeed, 0.15);
+  EXPECT_LT(h.mean_recovery_loss_highspeed, 0.60);
+  // q must dwarf the lifetime loss rate (the paper's central observation).
+  EXPECT_GT(h.mean_recovery_loss_highspeed, 10.0 * h.mean_data_loss_highspeed);
+}
+
+TEST(CalibrationTest, AckLossPositivelyCorrelatesWithTimeouts) {
+  // Fig. 4: positive correlation between per-flow ACK loss rate and the
+  // probability that a loss indication is a timeout.
+  const auto points = corpus().corpus.ack_loss_vs_timeout(true);
+  ASSERT_GE(points.size(), 10u);
+  std::vector<double> xs, ys;
+  for (const auto& [x, y] : points) {
+    xs.push_back(x);
+    ys.push_back(y);
+  }
+  EXPECT_GT(util::pearson_correlation(xs, ys), 0.15);
+}
+
+TEST(CalibrationTest, EnhancedModelBeatsPadhyeBaseline) {
+  util::RunningStats d_padhye, d_enhanced;
+  unsigned padhye_over = 0, evaluated = 0;
+  for (const auto& f : corpus().flows) {
+    // Same usability thresholds as bench_fig10: a flow stuck in a coverage
+    // gap has no steady state for either model.
+    if (!f.high_speed || f.goodput_pps < 2.0 ||
+        f.analysis.recovery_time_fraction > 0.5) {
+      continue;
+    }
+    model::EstimationOptions opt;
+    opt.b = f.delayed_ack_b;
+    opt.w_m = f.receiver_window;
+    const model::FlowEvaluation ev = model::evaluate_flow(f.analysis, opt);
+    d_padhye.add(ev.d_padhye);
+    d_enhanced.add(ev.d_enhanced);
+    if (ev.padhye_pps > ev.trace_pps) ++padhye_over;
+    ++evaluated;
+  }
+  ASSERT_GE(evaluated, 20u);
+
+  // Paper Fig. 10 shape: Padhye mean D ~22 %, enhanced mean D ~5.7 %,
+  // improvement ~16 pp. Bands are generous.
+  EXPECT_GT(d_padhye.mean(), 0.10);
+  EXPECT_LT(d_padhye.mean(), 0.50);
+  EXPECT_LT(d_enhanced.mean(), d_padhye.mean());
+  EXPECT_GT(d_padhye.mean() - d_enhanced.mean(), 0.05);
+  // Padhye overpredicts on the bulk of HSR flows (it ignores spurious
+  // timeouts and long recoveries).
+  EXPECT_GT(static_cast<double>(padhye_over) / evaluated, 0.5);
+}
+
+TEST(CalibrationTest, ProviderGoodputOrdering) {
+  // Mobile LTE > Unicom 3G > Telecom 3G, as in the paper's dataset.
+  util::RunningStats mobile, unicom, telecom;
+  for (const auto& f : corpus().flows) {
+    if (!f.high_speed) continue;
+    if (f.provider == "China Mobile") mobile.add(f.goodput_pps);
+    if (f.provider == "China Unicom") unicom.add(f.goodput_pps);
+    if (f.provider == "China Telecom") telecom.add(f.goodput_pps);
+  }
+  EXPECT_GT(mobile.mean(), unicom.mean());
+  EXPECT_GT(unicom.mean(), telecom.mean());
+}
+
+TEST(CalibrationTest, RecoveryLossCdfDominatesLifetimeCdf) {
+  // Fig. 3 shape: the in-recovery loss distribution sits far to the right
+  // of the lifetime loss distribution.
+  auto lifetime = corpus().corpus.lifetime_data_loss_cdf(true);
+  auto recovery = corpus().corpus.recovery_loss_cdf(true);
+  ASSERT_GT(lifetime.size(), 0u);
+  ASSERT_GT(recovery.size(), 0u);
+  EXPECT_GT(recovery.median(), 5.0 * lifetime.median());
+}
+
+TEST(CalibrationTest, AckLossCdfSeparatesMobilities) {
+  // Fig. 6 shape: the high-speed ACK-loss CDF lies to the right of the
+  // stationary one.
+  auto hs = corpus().corpus.ack_loss_cdf(true);
+  auto st = corpus().corpus.ack_loss_cdf(false);
+  ASSERT_GT(hs.size(), 0u);
+  ASSERT_GT(st.size(), 0u);
+  EXPECT_GT(hs.median(), st.median());
+  EXPECT_GT(hs.quantile(0.9), st.quantile(0.9));
+}
+
+}  // namespace
+}  // namespace hsr

@@ -1,0 +1,100 @@
+// End-to-end pipeline tests: simulate -> capture -> serialize -> re-analyze
+// -> model, verifying the pieces agree with each other and with the TCP
+// stack's ground truth.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/flow_analysis.h"
+#include "model/params.h"
+#include "trace/trace_io.h"
+#include "workload/scenario.h"
+
+namespace hsr {
+namespace {
+
+workload::FlowRunResult run_unicom(double seconds, std::uint64_t seed) {
+  workload::FlowRunConfig cfg;
+  cfg.profile = radio::unicom_3g_highspeed();
+  cfg.duration = util::Duration::from_seconds(seconds);
+  cfg.seed = seed;
+  return workload::run_flow(cfg);
+}
+
+TEST(PipelineTest, AnalysisAgreesWithGroundTruthEvents) {
+  const auto run = run_unicom(60, 4242);
+  const analysis::FlowAnalysis a = analysis::analyze_flow(run.capture);
+
+  // Timeout count from the trace matches the stack's event log.
+  unsigned analyzed = 0;
+  for (const auto& ts : a.timeout_sequences) analyzed += ts.num_timeouts;
+  EXPECT_EQ(analyzed, run.sender_stats.timeouts);
+
+  // Fast retransmits agree within a small tolerance (boundary cases where
+  // a dup-ack-triggered resend races a timer are inherently ambiguous in
+  // any capture-based methodology).
+  const double fr_truth = static_cast<double>(run.sender_stats.fast_retransmits);
+  EXPECT_NEAR(static_cast<double>(a.fast_retransmits), fr_truth,
+              std::max(2.0, 0.2 * fr_truth));
+
+  // Goodput from the capture matches the receiver's unique-segment count.
+  EXPECT_EQ(a.unique_segments, run.receiver_stats.unique_segments);
+}
+
+TEST(PipelineTest, SpuriousClassificationMatchesReceiverDuplicates) {
+  const auto run = run_unicom(60, 99);
+  const analysis::FlowAnalysis a = analysis::analyze_flow(run.capture);
+  // Each spurious timeout implies the receiver saw a duplicate payload
+  // (original + retransmission), so duplicates bound spurious sequences.
+  unsigned spurious = 0;
+  for (const auto& ts : a.timeout_sequences) {
+    if (ts.spurious) ++spurious;
+  }
+  EXPECT_LE(spurious, run.receiver_stats.duplicate_segments);
+}
+
+TEST(PipelineTest, SerializationRoundTripPreservesAnalysis) {
+  const auto run = run_unicom(30, 7);
+  std::stringstream ss;
+  trace::write_flow_capture(ss, run.capture);
+  auto loaded = trace::read_flow_capture(ss);
+  ASSERT_TRUE(loaded.is_ok());
+
+  const analysis::FlowAnalysis before = analysis::analyze_flow(run.capture);
+  const analysis::FlowAnalysis after = analysis::analyze_flow(loaded.value());
+  EXPECT_EQ(before.unique_segments, after.unique_segments);
+  EXPECT_EQ(before.timeout_sequences.size(), after.timeout_sequences.size());
+  EXPECT_DOUBLE_EQ(before.data_loss_rate, after.data_loss_rate);
+  EXPECT_DOUBLE_EQ(before.ack_loss_rate, after.ack_loss_rate);
+  EXPECT_EQ(before.mean_rtt.ns(), after.mean_rtt.ns());
+}
+
+TEST(PipelineTest, ModelEvaluationProducesSaneDeviations) {
+  const auto run = run_unicom(90, 2024);
+  const analysis::FlowAnalysis a = analysis::analyze_flow(run.capture);
+  model::EstimationOptions opt;
+  opt.b = 2;
+  opt.w_m = radio::unicom_3g_highspeed().receiver_window_segments;
+  const model::FlowEvaluation ev = model::evaluate_flow(a, opt);
+  EXPECT_GT(ev.trace_pps, 0.0);
+  EXPECT_GT(ev.padhye_pps, 0.0);
+  EXPECT_GT(ev.enhanced_pps, 0.0);
+  // Deviations are finite fractions, not blowups.
+  EXPECT_LT(ev.d_padhye, 3.0);
+  EXPECT_LT(ev.d_enhanced, 3.0);
+}
+
+TEST(PipelineTest, RecoveryDurationsBracketGroundTruthGaps) {
+  const auto run = run_unicom(60, 31337);
+  const analysis::FlowAnalysis a = analysis::analyze_flow(run.capture);
+  for (const auto& ts : a.timeout_sequences) {
+    if (!ts.recovered_observed) continue;
+    // Every recovery spans at least one RTO (>= the configured floor) and
+    // less than the whole trace.
+    EXPECT_GE(ts.duration().to_seconds(), 0.2);
+    EXPECT_LT(ts.duration().to_seconds(), 60.0);
+  }
+}
+
+}  // namespace
+}  // namespace hsr

@@ -1,0 +1,268 @@
+#include "model/enhanced.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hsr::model {
+namespace {
+
+EnhancedInputs base_inputs() {
+  EnhancedInputs in;
+  in.p_d = 0.0075;  // the paper's lifetime data-loss rate
+  in.P_a = 0.01;
+  in.q = 0.3;
+  in.path = PathParams{0.1, 0.5, 2.0, 1000.0};
+  return in;
+}
+
+TEST(EnhancedModelTest, BreakdownMatchesEquations) {
+  const EnhancedInputs in = base_inputs();
+  const EnhancedBreakdown bd = enhanced_model(in);
+
+  // Eq. 1.
+  const double k = (2.0 + in.path.b) / 6.0;
+  const double x_p =
+      k + std::sqrt(2.0 * in.path.b * (1 - in.p_d) / (3.0 * in.p_d) + k * k);
+  EXPECT_NEAR(bd.x_p, x_p, 1e-9);
+
+  // Eq. 2.
+  EXPECT_NEAR(bd.e_x, (1.0 - std::pow(1 - in.P_a, x_p + 1)) / in.P_a, 1e-9);
+
+  // Corrected Eq. 4: E[W] = 2 E[X]/b - 2.
+  EXPECT_NEAR(bd.e_w, 2.0 * bd.e_x / in.path.b - 2.0, 1e-9);
+
+  // Eq. 6.
+  EXPECT_NEAR(bd.e_y, bd.e_w / 2.0 * (3.0 * bd.e_x / 2.0 - 1.0), 1e-9);
+
+  // Eq. 9 and 10.
+  EXPECT_NEAR(bd.q_p, std::min(1.0, 3.0 / bd.e_w), 1e-12);
+  EXPECT_NEAR(bd.q_timeout,
+              1.0 - (1.0 - bd.q_p) * std::pow(1 - in.P_a, x_p), 1e-9);
+
+  // Eq. 11-13.
+  const double p = 1.0 - (1.0 - in.q) * (1.0 - in.P_a);
+  EXPECT_NEAR(bd.p_consec, p, 1e-12);
+  EXPECT_NEAR(bd.e_r, 1.0 / (1.0 - p), 1e-12);
+  EXPECT_NEAR(bd.e_y_to, std::pow(1.0 - in.q, bd.e_r), 1e-12);
+  EXPECT_NEAR(bd.e_a_to_s, in.path.t0_s * pftk_f(p) / (1.0 - p), 1e-9);
+
+  // Eq. 15.
+  EXPECT_FALSE(bd.window_limited);
+  const double tp = (bd.e_y + bd.q_timeout * bd.e_y_to) /
+                    (bd.e_x * in.path.rtt_s + bd.q_timeout * bd.e_a_to_s);
+  EXPECT_NEAR(bd.throughput_pps, tp, 1e-9);
+}
+
+TEST(EnhancedModelTest, DegeneratesToNoBurstLimitAsPaVanishes) {
+  // P_a -> 0: E[X] -> X_P + 1 (the L'Hopital limit stated in §IV-B).
+  EnhancedInputs in = base_inputs();
+  in.P_a = 0.0;
+  const EnhancedBreakdown bd = enhanced_model(in);
+  EXPECT_NEAR(bd.e_x, bd.x_p + 1.0, 1e-6);
+  EXPECT_NEAR(bd.q_timeout, bd.q_p, 1e-9);
+}
+
+TEST(EnhancedModelTest, ContinuousInPaNearZero) {
+  EnhancedInputs in = base_inputs();
+  in.P_a = 1e-13;
+  const double tiny = enhanced_throughput_pps(in);
+  in.P_a = 0.0;
+  const double zero = enhanced_throughput_pps(in);
+  EXPECT_NEAR(tiny / zero, 1.0, 1e-6);
+}
+
+TEST(EnhancedModelTest, NearPadhyeWhenExtensionsVanish) {
+  // With P_a = 0 and q = p_d the model should land near the PFTK value
+  // (small constant-level differences remain by construction).
+  EnhancedInputs in = base_inputs();
+  in.P_a = 0.0;
+  in.q = in.p_d;
+  const double enhanced = enhanced_throughput_pps(in);
+  PadhyeInputs pin;
+  pin.p = in.p_d;
+  pin.path = in.path;
+  const double padhye = padhye_throughput_pps(pin);
+  EXPECT_NEAR(enhanced / padhye, 1.0, 0.15);
+}
+
+TEST(EnhancedModelTest, MonotoneDecreasingInPa) {
+  EnhancedInputs in = base_inputs();
+  double prev = 1e18;
+  for (double pa : {0.0, 0.005, 0.01, 0.05, 0.1, 0.3}) {
+    in.P_a = pa;
+    const double tp = enhanced_throughput_pps(in);
+    EXPECT_LT(tp, prev);
+    prev = tp;
+  }
+}
+
+TEST(EnhancedModelTest, MonotoneDecreasingInQ) {
+  EnhancedInputs in = base_inputs();
+  double prev = 1e18;
+  for (double q : {0.0, 0.1, 0.25, 0.4, 0.6, 0.9}) {
+    in.q = q;
+    const double tp = enhanced_throughput_pps(in);
+    EXPECT_LT(tp, prev);
+    prev = tp;
+  }
+}
+
+TEST(EnhancedModelTest, MonotoneDecreasingInDataLoss) {
+  EnhancedInputs in = base_inputs();
+  double prev = 1e18;
+  for (double pd : {0.001, 0.005, 0.01, 0.05, 0.1}) {
+    in.p_d = pd;
+    const double tp = enhanced_throughput_pps(in);
+    EXPECT_LT(tp, prev);
+    prev = tp;
+  }
+}
+
+TEST(EnhancedModelTest, WindowLimitedBranchEngages) {
+  EnhancedInputs in = base_inputs();
+  in.p_d = 1e-4;        // huge unconstrained window
+  in.path.w_m = 20.0;   // small advertised window
+  const EnhancedBreakdown bd = enhanced_model(in);
+  EXPECT_TRUE(bd.window_limited);
+  EXPECT_NEAR(bd.e_u, in.path.b * in.path.w_m / 2.0, 1e-12);  // Eq. 16
+  EXPECT_GT(bd.v_p, 1.0);
+  // Throughput can never exceed the window ceiling.
+  EXPECT_LE(bd.throughput_pps, in.path.w_m / in.path.rtt_s * 1.01);
+}
+
+TEST(EnhancedModelTest, WindowLimitedMatchesEq21SecondBranch) {
+  EnhancedInputs in = base_inputs();
+  in.p_d = 5e-4;
+  in.path.w_m = 30.0;
+  const EnhancedBreakdown bd = enhanced_model(in);
+  ASSERT_TRUE(bd.window_limited);
+  const double w_m = in.path.w_m, b = in.path.b;
+  // Eq. 17.
+  const double v_p = (1 - in.p_d) / (in.p_d * w_m) + 1.0 - 3.0 * b * w_m / 8.0;
+  EXPECT_NEAR(bd.v_p, std::max(v_p, 1.0), 1e-9);
+  // Eq. 18.
+  EXPECT_NEAR(bd.e_v, (1.0 - std::pow(1 - in.P_a, bd.v_p)) / in.P_a, 1e-6);
+  // Eq. 19-20 feed the reported E[X], E[Y].
+  EXPECT_NEAR(bd.e_x, b * w_m / 2.0 + bd.e_v, 1e-9);
+  EXPECT_NEAR(bd.e_y, 3.0 * b * w_m * w_m / 8.0 + w_m * (bd.e_v - 0.5), 1e-6);
+}
+
+TEST(EnhancedModelTest, BranchesAgreeNearTheBoundary) {
+  // Continuity check: pick p_d such that E[W] crosses W_m; throughput on
+  // both sides of the crossing should not jump wildly.
+  EnhancedInputs in = base_inputs();
+  in.path.w_m = 40.0;
+  double prev_tp = -1.0;
+  for (double pd = 0.0008; pd < 0.01; pd *= 1.15) {
+    in.p_d = pd;
+    const double tp = enhanced_throughput_pps(in);
+    if (prev_tp > 0.0) {
+      EXPECT_LT(std::abs(tp - prev_tp) / prev_tp, 0.35);
+    }
+    prev_tp = tp;
+  }
+}
+
+TEST(EnhancedModelTest, AsPublishedVariantDiffersForBNot2) {
+  EnhancedInputs in = base_inputs();
+  in.path.b = 1.0;
+  const double corrected = enhanced_throughput_pps(in, EnhancedVariant::kCorrected);
+  const double published = enhanced_throughput_pps(in, EnhancedVariant::kAsPublished);
+  EXPECT_NE(corrected, published);
+  // At b = 2 the two E[W] forms coincide (b/2 == 2/b), so the variants agree.
+  in.path.b = 2.0;
+  EXPECT_NEAR(enhanced_throughput_pps(in, EnhancedVariant::kCorrected),
+              enhanced_throughput_pps(in, EnhancedVariant::kAsPublished), 1e-9);
+}
+
+TEST(AckBurstProbabilityTest, PowerLaw) {
+  // w/b ACKs per round; independence gives p_a^(w/b).
+  EXPECT_NEAR(ack_burst_probability(0.1, 6.0, 2.0), std::pow(0.1, 3.0), 1e-15);
+  EXPECT_NEAR(ack_burst_probability(0.5, 4.0, 1.0), std::pow(0.5, 4.0), 1e-15);
+  // At least one ACK per round.
+  EXPECT_NEAR(ack_burst_probability(0.3, 0.5, 2.0), 0.3, 1e-15);
+  EXPECT_DOUBLE_EQ(ack_burst_probability(0.0, 10, 2), 0.0);
+  EXPECT_DOUBLE_EQ(ack_burst_probability(1.0, 10, 2), 1.0);
+}
+
+TEST(SelfConsistentPaTest, ConvergesAndIsConsistent) {
+  EnhancedInputs seed = base_inputs();
+  const double p_a = 0.2;  // strong per-ACK loss so P_a is non-negligible
+  const EnhancedInputs solved = solve_self_consistent_pa(p_a, seed);
+  const EnhancedBreakdown bd = enhanced_model(solved);
+  const double window = std::min(bd.window_limited ? seed.path.w_m : bd.e_w,
+                                 seed.path.w_m);
+  EXPECT_NEAR(solved.P_a, ack_burst_probability(p_a, window, seed.path.b), 1e-6);
+}
+
+TEST(DeviationRateTest, Eq22) {
+  EXPECT_DOUBLE_EQ(deviation_rate(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(deviation_rate(90.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(deviation_rate(100.0, 100.0), 0.0);
+}
+
+TEST(DeviationRateDeathTest, RequiresPositiveTrace) {
+  EXPECT_DEATH(deviation_rate(1.0, 0.0), "trace");
+}
+
+class EnhancedGrid
+    : public testing::TestWithParam<std::tuple<double, double, double, double>> {};
+
+TEST_P(EnhancedGrid, FiniteNonNegativeAndBelowWindowCeiling) {
+  const auto [pd, pa, q, wm] = GetParam();
+  EnhancedInputs in;
+  in.p_d = pd;
+  in.P_a = pa;
+  in.q = q;
+  in.path = PathParams{0.12, 0.6, 2.0, wm};
+  const EnhancedBreakdown bd = enhanced_model(in);
+  EXPECT_TRUE(std::isfinite(bd.throughput_pps));
+  EXPECT_GE(bd.throughput_pps, 0.0);
+  EXPECT_LE(bd.throughput_pps, wm / in.path.rtt_s * 1.05);
+  EXPECT_GE(bd.q_timeout, 0.0);
+  EXPECT_LE(bd.q_timeout, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EnhancedGrid,
+    testing::Combine(testing::Values(1e-5, 0.001, 0.0075, 0.05, 0.3),
+                     testing::Values(0.0, 0.001, 0.02, 0.2, 0.8),
+                     testing::Values(0.0, 0.25, 0.4, 0.9),
+                     testing::Values(8.0, 64.0, 512.0)));
+
+// The paper's qualitative claims, as model properties:
+TEST(PaperClaimsTest, EnhancedAlwaysAtOrBelowPadhyeBaseline) {
+  // Extra impairments (P_a, q > p_d) can only reduce predicted throughput.
+  for (double pd : {0.002, 0.0075, 0.02}) {
+    EnhancedInputs in = base_inputs();
+    in.p_d = pd;
+    in.q = 0.3;
+    in.P_a = 0.01;
+    PadhyeInputs pin;
+    pin.p = pd;
+    pin.path = in.path;
+    EXPECT_LE(enhanced_throughput_pps(in), padhye_throughput_pps(pin) * 1.02);
+  }
+}
+
+TEST(PaperClaimsTest, DelayedAckRaisesBurstProbability) {
+  // §V-A: fewer ACKs per round (larger b) make ACK burst loss more likely.
+  const double p_a = 0.05;
+  const double w = 12.0;
+  EXPECT_LT(ack_burst_probability(p_a, w, 1.0), ack_burst_probability(p_a, w, 2.0));
+  EXPECT_LT(ack_burst_probability(p_a, w, 2.0), ack_burst_probability(p_a, w, 4.0));
+}
+
+TEST(PaperClaimsTest, ReducingQRecoversThroughput) {
+  // §V-B: MPTCP's double retransmission reduces q; the model must reward it.
+  EnhancedInputs in = base_inputs();
+  in.q = 0.4;
+  const double high_q = enhanced_throughput_pps(in);
+  in.q = 0.1;
+  const double low_q = enhanced_throughput_pps(in);
+  EXPECT_GT(low_q, high_q);
+}
+
+}  // namespace
+}  // namespace hsr::model

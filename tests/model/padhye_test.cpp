@@ -1,0 +1,164 @@
+#include "model/padhye.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hsr::model {
+namespace {
+
+PathParams path(double rtt = 0.1, double t0 = 0.5, double b = 2, double wm = 1000) {
+  return PathParams{rtt, t0, b, wm};
+}
+
+TEST(PftkFTest, PolynomialValues) {
+  EXPECT_DOUBLE_EQ(pftk_f(0.0), 1.0);
+  // f(1) = 1+1+2+4+8+16+32 = 64.
+  EXPECT_DOUBLE_EQ(pftk_f(1.0), 64.0);
+  EXPECT_NEAR(pftk_f(0.5), 1 + 0.5 + 2 * 0.25 + 4 * 0.125 + 8 * 0.0625 +
+                               16 * 0.03125 + 32 * 0.015625,
+              1e-12);
+}
+
+TEST(PftkQTest, ApproximationIs3OverW) {
+  EXPECT_DOUBLE_EQ(pftk_q(0.01, 30.0, QFormula::kApprox3OverW), 0.1);
+  EXPECT_DOUBLE_EQ(pftk_q(0.01, 2.0, QFormula::kApprox3OverW), 1.0);
+  EXPECT_DOUBLE_EQ(pftk_q(0.01, 1.0, QFormula::kApprox3OverW), 1.0);
+}
+
+TEST(PftkQTest, FullFormInUnitRangeAndNearApproxForSmallP) {
+  for (double w : {5.0, 10.0, 30.0, 100.0}) {
+    for (double p : {0.001, 0.01, 0.05, 0.2}) {
+      const double q = pftk_q(p, w, QFormula::kFullPftk);
+      EXPECT_GE(q, 0.0);
+      EXPECT_LE(q, 1.0);
+    }
+  }
+  // For small p the full Q converges to 3/w.
+  EXPECT_NEAR(pftk_q(1e-4, 50.0, QFormula::kFullPftk), 3.0 / 50.0, 5e-3);
+}
+
+TEST(ExpectedWindowTest, MatchesClosedForm) {
+  const double p = 0.01, b = 2.0;
+  const double k = (2.0 + b) / (3.0 * b);
+  const double expected = k + std::sqrt(8.0 * (1 - p) / (3.0 * b * p) + k * k);
+  EXPECT_NEAR(pftk_expected_window(p, b), expected, 1e-12);
+}
+
+TEST(ExpectedWindowTest, ShrinksWithLoss) {
+  EXPECT_GT(pftk_expected_window(0.001, 2), pftk_expected_window(0.01, 2));
+  EXPECT_GT(pftk_expected_window(0.01, 2), pftk_expected_window(0.1, 2));
+}
+
+TEST(FirstLossRoundTest, MatchesEq1) {
+  const double p = 0.01, b = 2.0;
+  const double k = (2.0 + b) / 6.0;
+  const double expected = k + std::sqrt(2.0 * b * (1 - p) / (3.0 * p) + k * k);
+  EXPECT_NEAR(padhye_first_loss_round(p, b), expected, 1e-12);
+}
+
+TEST(FirstLossRoundTest, ZeroLossEffectivelyInfinite) {
+  EXPECT_GT(padhye_first_loss_round(0.0, 2), 1e10);
+}
+
+TEST(PadhyeThroughputTest, EdgeCases) {
+  PadhyeInputs in;
+  in.path = path();
+  in.p = 1.0;
+  EXPECT_DOUBLE_EQ(padhye_throughput_pps(in), 0.0);
+  in.p = 0.0;
+  EXPECT_DOUBLE_EQ(padhye_throughput_pps(in), in.path.w_m / in.path.rtt_s);
+}
+
+TEST(PadhyeThroughputTest, MonotoneDecreasingInLoss) {
+  PadhyeInputs in;
+  in.path = path();
+  double prev = 1e18;
+  for (double p : {0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.3}) {
+    in.p = p;
+    const double tp = padhye_throughput_pps(in);
+    EXPECT_LT(tp, prev);
+    prev = tp;
+  }
+}
+
+TEST(PadhyeThroughputTest, WindowLimitCaps) {
+  PadhyeInputs in;
+  in.p = 1e-5;  // nearly lossless: E[W] >> W_m
+  in.path = path(0.1, 0.5, 2, 20);
+  const double tp = padhye_throughput_pps(in);
+  // Window-limited: close to W_m/RTT = 200, never above it.
+  EXPECT_LE(tp, 20.0 / 0.1 + 1.0);
+  EXPECT_GT(tp, 0.8 * 20.0 / 0.1);
+}
+
+TEST(PadhyeThroughputTest, ScalesInverselyWithRtt) {
+  PadhyeInputs a, b;
+  a.p = b.p = 0.01;
+  a.path = path(0.05);
+  b.path = path(0.2);
+  EXPECT_GT(padhye_throughput_pps(a), 3.0 * padhye_throughput_pps(b));
+}
+
+TEST(PadhyeSimpleTest, NearFullModelInModerateRegime) {
+  PadhyeInputs in;
+  in.path = path();
+  for (double p : {0.002, 0.01, 0.03}) {
+    in.p = p;
+    const double full = padhye_throughput_pps(in);
+    const double simple = padhye_simple_pps(in);
+    EXPECT_NEAR(simple / full, 1.0, 0.25);
+  }
+}
+
+TEST(PadhyeSimpleTest, RespectsWindowCeiling) {
+  PadhyeInputs in;
+  in.p = 1e-6;
+  in.path = path(0.1, 0.5, 2, 10);
+  EXPECT_DOUBLE_EQ(padhye_simple_pps(in), 100.0);
+}
+
+// Published sanity point: the famous 1/(RTT*sqrt(2bp/3)) term dominates for
+// tiny p; check the simple model tracks it.
+TEST(PadhyeSimpleTest, SqrtPScalingForSmallP) {
+  PadhyeInputs in;
+  in.path = path(0.1, 0.5, 1, 1e9);
+  in.p = 1e-4;
+  const double tp1 = padhye_simple_pps(in);
+  in.p = 4e-4;  // 4x the loss => ~half the throughput
+  const double tp2 = padhye_simple_pps(in);
+  EXPECT_NEAR(tp1 / tp2, 2.0, 0.2);
+}
+
+TEST(PadhyeDeathTest, RejectsBadPathParams) {
+  PadhyeInputs in;
+  in.p = 0.01;
+  in.path = path();
+  in.path.rtt_s = 0.0;
+  EXPECT_DEATH(padhye_throughput_pps(in), "rtt");
+}
+
+class PadhyeGrid
+    : public testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(PadhyeGrid, FiniteNonNegativeEverywhere) {
+  const auto [p, rtt, b] = GetParam();
+  PadhyeInputs in;
+  in.p = p;
+  in.path = path(rtt, 0.5, b, 200);
+  const double tp = padhye_throughput_pps(in);
+  EXPECT_TRUE(std::isfinite(tp));
+  EXPECT_GE(tp, 0.0);
+  const double tps = padhye_simple_pps(in);
+  EXPECT_TRUE(std::isfinite(tps));
+  EXPECT_GE(tps, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PadhyeGrid,
+    testing::Combine(testing::Values(1e-6, 1e-4, 0.001, 0.01, 0.1, 0.5, 0.9),
+                     testing::Values(0.02, 0.1, 0.5),
+                     testing::Values(1.0, 2.0, 3.0)));
+
+}  // namespace
+}  // namespace hsr::model

@@ -1,0 +1,138 @@
+#include "model/params.h"
+
+#include <gtest/gtest.h>
+
+namespace hsr::model {
+namespace {
+
+analysis::FlowAnalysis typical_analysis() {
+  analysis::FlowAnalysis a;
+  a.data_loss_rate = 0.012;
+  a.first_tx_loss_rate = 0.009;
+  a.loss_event_rate_all = 0.006;
+  a.loss_event_rate_data = 0.004;
+  a.ack_loss_rate = 0.006;
+  a.recovery_retx_loss_rate = 0.33;
+  a.ack_burst_loss_probability = 0.015;
+  a.ack_burst_loss_episode = 0.008;
+  a.mean_rtt = util::Duration::millis(150);
+  a.mean_first_rto = util::Duration::millis(700);
+  a.goodput_pps = 80.0;
+  a.unique_segments = 8000;
+  a.span = util::Duration::seconds(100);
+  a.fast_retransmits = 20;
+  analysis::TimeoutSequence ts;
+  ts.recovered_observed = true;
+  a.timeout_sequences.push_back(ts);
+  a.loss_indications = 21;
+  a.timeout_probability = 1.0 / 21.0;
+  return a;
+}
+
+TEST(PathFromAnalysisTest, UsesMeasuredRttAndT) {
+  const auto a = typical_analysis();
+  EstimationOptions opt;
+  opt.b = 2;
+  opt.w_m = 128;
+  const PathParams p = path_from_analysis(a, opt);
+  EXPECT_DOUBLE_EQ(p.rtt_s, 0.150);
+  EXPECT_DOUBLE_EQ(p.t0_s, 0.700);
+  EXPECT_DOUBLE_EQ(p.b, 2.0);
+  EXPECT_DOUBLE_EQ(p.w_m, 128.0);
+}
+
+TEST(PathFromAnalysisTest, FallbacksForFlowWithoutTimeouts) {
+  analysis::FlowAnalysis a = typical_analysis();
+  a.timeout_sequences.clear();
+  EstimationOptions opt;
+  const PathParams p = path_from_analysis(a, opt);
+  // No timeouts: T falls back to max(2*RTT, floor).
+  EXPECT_DOUBLE_EQ(p.t0_s, 0.300);
+}
+
+TEST(PathFromAnalysisTest, DegenerateRttUsesDefault) {
+  analysis::FlowAnalysis a = typical_analysis();
+  a.mean_rtt = util::Duration::zero();
+  EstimationOptions opt;
+  const PathParams p = path_from_analysis(a, opt);
+  EXPECT_DOUBLE_EQ(p.rtt_s, opt.default_rtt_s);
+}
+
+TEST(LossSourceTest, EventRateIsDefaultAndSplitsModels) {
+  const auto a = typical_analysis();
+  EstimationOptions opt;
+  const PadhyeInputs pin = padhye_inputs_from_analysis(a, opt);
+  EXPECT_DOUBLE_EQ(pin.p, 0.006);  // all indications
+  const EnhancedInputs ein = enhanced_inputs_from_analysis(a, opt);
+  EXPECT_DOUBLE_EQ(ein.p_d, 0.004);  // data-loss indications only
+}
+
+TEST(LossSourceTest, AlternativeSources) {
+  const auto a = typical_analysis();
+  EstimationOptions opt;
+  opt.loss_source = EstimationOptions::LossSource::kFirstTxRate;
+  EXPECT_DOUBLE_EQ(padhye_inputs_from_analysis(a, opt).p, 0.009);
+  opt.loss_source = EstimationOptions::LossSource::kAllTxRate;
+  EXPECT_DOUBLE_EQ(padhye_inputs_from_analysis(a, opt).p, 0.012);
+}
+
+TEST(PaSourceTest, EpisodeIsDefault) {
+  const auto a = typical_analysis();
+  EstimationOptions opt;
+  EXPECT_DOUBLE_EQ(enhanced_inputs_from_analysis(a, opt).P_a, 0.008);
+  opt.pa_source = EstimationOptions::PaSource::kRoundMeasured;
+  EXPECT_DOUBLE_EQ(enhanced_inputs_from_analysis(a, opt).P_a, 0.015);
+  opt.pa_source = EstimationOptions::PaSource::kDerived;
+  const EnhancedInputs derived = enhanced_inputs_from_analysis(a, opt);
+  EXPECT_GE(derived.P_a, 0.0);
+  EXPECT_LT(derived.P_a, 1.0);
+}
+
+TEST(QSourceTest, RecommendedConstantByDefault) {
+  const auto a = typical_analysis();
+  EstimationOptions opt;
+  EXPECT_DOUBLE_EQ(enhanced_inputs_from_analysis(a, opt).q, opt.recommended_q);
+  opt.use_measured_q = true;
+  EXPECT_DOUBLE_EQ(enhanced_inputs_from_analysis(a, opt).q, 0.33);
+}
+
+TEST(QSourceTest, MeasuredFallsBackWithoutTimeouts) {
+  analysis::FlowAnalysis a = typical_analysis();
+  a.timeout_sequences.clear();
+  EstimationOptions opt;
+  opt.use_measured_q = true;
+  EXPECT_DOUBLE_EQ(enhanced_inputs_from_analysis(a, opt).q, opt.recommended_q);
+}
+
+TEST(EvaluateFlowTest, DeviationsComputedAgainstTrace) {
+  const auto a = typical_analysis();
+  EstimationOptions opt;
+  const FlowEvaluation ev = evaluate_flow(a, opt);
+  EXPECT_DOUBLE_EQ(ev.trace_pps, 80.0);
+  EXPECT_GT(ev.padhye_pps, 0.0);
+  EXPECT_GT(ev.enhanced_pps, 0.0);
+  EXPECT_NEAR(ev.d_padhye, std::abs(ev.padhye_pps - 80.0) / 80.0, 1e-12);
+  EXPECT_NEAR(ev.d_enhanced, std::abs(ev.enhanced_pps - 80.0) / 80.0, 1e-12);
+  // The enhanced model never predicts above the Padhye baseline.
+  EXPECT_LE(ev.enhanced_pps, ev.padhye_pps * 1.02);
+}
+
+TEST(EvaluateFlowTest, ZeroGoodputSkipsDeviation) {
+  analysis::FlowAnalysis a = typical_analysis();
+  a.goodput_pps = 0.0;
+  const FlowEvaluation ev = evaluate_flow(a, EstimationOptions{});
+  EXPECT_DOUBLE_EQ(ev.d_padhye, 0.0);
+  EXPECT_DOUBLE_EQ(ev.d_enhanced, 0.0);
+}
+
+TEST(EvaluateFlowTest, ZeroLossFlowFiniteEvaluation) {
+  analysis::FlowAnalysis a;
+  a.goodput_pps = 100.0;
+  a.mean_rtt = util::Duration::millis(50);
+  const FlowEvaluation ev = evaluate_flow(a, EstimationOptions{});
+  EXPECT_TRUE(std::isfinite(ev.padhye_pps));
+  EXPECT_TRUE(std::isfinite(ev.enhanced_pps));
+}
+
+}  // namespace
+}  // namespace hsr::model

@@ -1,0 +1,181 @@
+#include "net/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace hsr::net {
+namespace {
+
+Packet make_packet() {
+  Packet p;
+  p.id = allocate_packet_id();
+  p.size_bytes = 1400;
+  return p;
+}
+
+TEST(PerfectChannelTest, NeverDropsNeverDelays) {
+  PerfectChannel ch;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(ch.should_drop(make_packet(), TimePoint::from_seconds(i)));
+    EXPECT_EQ(ch.extra_delay(make_packet(), TimePoint::from_seconds(i)), Duration::zero());
+  }
+}
+
+TEST(BernoulliChannelTest, ZeroAndOne) {
+  BernoulliChannel never(0.0, util::Rng(1));
+  BernoulliChannel always(1.0, util::Rng(1));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(never.should_drop(make_packet(), TimePoint::zero()));
+    EXPECT_TRUE(always.should_drop(make_packet(), TimePoint::zero()));
+  }
+}
+
+TEST(BernoulliChannelTest, LossRateMatchesProbability) {
+  const double p = 0.07;
+  BernoulliChannel ch(p, util::Rng(42));
+  int drops = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    if (ch.should_drop(make_packet(), TimePoint::zero())) ++drops;
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / n, p, 0.01);
+}
+
+TEST(BernoulliChannelDeathTest, RejectsOutOfRangeProbability) {
+  EXPECT_DEATH(BernoulliChannel(-0.1, util::Rng(1)), "range");
+  EXPECT_DEATH(BernoulliChannel(1.1, util::Rng(1)), "range");
+}
+
+TEST(GilbertElliottChannelTest, StationaryLossRateFormula) {
+  GilbertElliottChannel::Config cfg;
+  cfg.loss_good = 0.01;
+  cfg.loss_bad = 0.5;
+  cfg.mean_good_s = 9.0;
+  cfg.mean_bad_s = 1.0;
+  GilbertElliottChannel ch(cfg, util::Rng(1));
+  EXPECT_NEAR(ch.stationary_loss_rate(), 0.9 * 0.01 + 0.1 * 0.5, 1e-12);
+}
+
+TEST(GilbertElliottChannelTest, EmpiricalRateNearStationary) {
+  GilbertElliottChannel::Config cfg;
+  cfg.loss_good = 0.0;
+  cfg.loss_bad = 1.0;
+  cfg.mean_good_s = 2.0;
+  cfg.mean_bad_s = 0.5;
+  GilbertElliottChannel ch(cfg, util::Rng(7));
+  int drops = 0;
+  const int n = 200000;  // ~80 good/bad cycles: keeps the sample error small
+  for (int i = 0; i < n; ++i) {
+    // One packet per millisecond over 50 seconds of channel evolution.
+    if (ch.should_drop(make_packet(), TimePoint::from_seconds(i * 0.001))) ++drops;
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / n, ch.stationary_loss_rate(), 0.06);
+}
+
+TEST(GilbertElliottChannelTest, LossesAreBursty) {
+  // With loss_bad = 1 and loss_good = 0, consecutive drops cluster: the
+  // conditional drop rate after a drop should far exceed the marginal rate.
+  GilbertElliottChannel::Config cfg;
+  cfg.loss_good = 0.0;
+  cfg.loss_bad = 1.0;
+  cfg.mean_good_s = 5.0;
+  cfg.mean_bad_s = 0.5;
+  GilbertElliottChannel ch(cfg, util::Rng(3));
+  int drops = 0, pairs = 0, drop_then_drop = 0;
+  bool prev = false;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const bool d = ch.should_drop(make_packet(), TimePoint::from_seconds(i * 0.001));
+    if (d) ++drops;
+    if (prev) {
+      ++pairs;
+      if (d) ++drop_then_drop;
+    }
+    prev = d;
+  }
+  ASSERT_GT(drops, 100);
+  ASSERT_GT(pairs, 100);
+  const double marginal = static_cast<double>(drops) / n;
+  const double conditional = static_cast<double>(drop_then_drop) / pairs;
+  EXPECT_GT(conditional, 5.0 * marginal);
+}
+
+TEST(GilbertElliottChannelTest, InBadStateIsConsistentWithDrops) {
+  GilbertElliottChannel::Config cfg;
+  cfg.loss_good = 0.0;
+  cfg.loss_bad = 1.0;
+  cfg.mean_good_s = 1.0;
+  cfg.mean_bad_s = 1.0;
+  GilbertElliottChannel ch(cfg, util::Rng(9));
+  for (int i = 0; i < 5000; ++i) {
+    const TimePoint t = TimePoint::from_seconds(i * 0.01);
+    const bool bad = ch.in_bad_state(t);
+    const bool dropped = ch.should_drop(make_packet(), t);
+    if (!bad) {
+      EXPECT_FALSE(dropped);
+    }
+  }
+}
+
+TEST(JitterChannelTest, AddsBoundedPositiveDelay) {
+  JitterChannel ch(std::make_unique<PerfectChannel>(), 0.010, 0.5, 0.050,
+                   util::Rng(5));
+  for (int i = 0; i < 1000; ++i) {
+    const Duration d = ch.extra_delay(make_packet(), TimePoint::zero());
+    EXPECT_GT(d, Duration::zero());
+    EXPECT_LE(d, Duration::millis(50));
+  }
+}
+
+TEST(JitterChannelTest, DelegatesDropsToInner) {
+  JitterChannel ch(std::make_unique<BernoulliChannel>(1.0, util::Rng(1)), 0.001,
+                   0.1, 0.01, util::Rng(5));
+  EXPECT_TRUE(ch.should_drop(make_packet(), TimePoint::zero()));
+}
+
+TEST(CompositeChannelTest, DropsIfAnyComponentDrops) {
+  std::vector<std::unique_ptr<ChannelModel>> parts;
+  parts.push_back(std::make_unique<BernoulliChannel>(0.0, util::Rng(1)));
+  parts.push_back(std::make_unique<BernoulliChannel>(1.0, util::Rng(2)));
+  CompositeChannel ch(std::move(parts));
+  EXPECT_TRUE(ch.should_drop(make_packet(), TimePoint::zero()));
+}
+
+TEST(CompositeChannelTest, DelaysAddUp) {
+  std::vector<std::unique_ptr<ChannelModel>> parts;
+  parts.push_back(std::make_unique<JitterChannel>(
+      std::make_unique<PerfectChannel>(), 0.010, 1e-9, 0.010, util::Rng(1)));
+  parts.push_back(std::make_unique<JitterChannel>(
+      std::make_unique<PerfectChannel>(), 0.010, 1e-9, 0.010, util::Rng(2)));
+  CompositeChannel ch(std::move(parts));
+  const Duration d = ch.extra_delay(make_packet(), TimePoint::zero());
+  EXPECT_NEAR(d.to_seconds(), 0.020, 0.002);
+}
+
+TEST(FunctionalChannelTest, UsesProvidedCallables) {
+  int drop_calls = 0;
+  FunctionalChannel ch(
+      [&](const Packet&, TimePoint) {
+        ++drop_calls;
+        return 1.0;
+      },
+      [](const Packet&, TimePoint) { return Duration::millis(7); }, util::Rng(1));
+  EXPECT_TRUE(ch.should_drop(make_packet(), TimePoint::zero()));
+  EXPECT_EQ(ch.extra_delay(make_packet(), TimePoint::zero()), Duration::millis(7));
+  EXPECT_EQ(drop_calls, 1);
+}
+
+TEST(FunctionalChannelTest, TimeVaryingDropProbability) {
+  // Probability 1 before t=1s, 0 after.
+  FunctionalChannel ch(
+      [](const Packet&, TimePoint now) {
+        return now < TimePoint::from_seconds(1.0) ? 1.0 : 0.0;
+      },
+      [](const Packet&, TimePoint) { return Duration::zero(); }, util::Rng(1));
+  EXPECT_TRUE(ch.should_drop(make_packet(), TimePoint::from_seconds(0.5)));
+  EXPECT_FALSE(ch.should_drop(make_packet(), TimePoint::from_seconds(1.5)));
+}
+
+}  // namespace
+}  // namespace hsr::net

@@ -1,0 +1,200 @@
+#include "net/link.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace hsr::net {
+namespace {
+
+Packet data_packet(std::uint32_t size = 1000) {
+  Packet p;
+  p.id = allocate_packet_id();
+  p.kind = PacketKind::kData;
+  p.size_bytes = size;
+  return p;
+}
+
+class RecordingTap : public LinkTap {
+ public:
+  struct Drop {
+    std::uint64_t id;
+    DropReason reason;
+  };
+  void on_send(const Packet& p, TimePoint) override { sends.push_back(p.id); }
+  void on_drop(const Packet& p, TimePoint, DropReason r) override {
+    drops.push_back({p.id, r});
+  }
+  void on_deliver(const Packet& p, TimePoint sent, TimePoint arrived) override {
+    delivers.push_back(p.id);
+    transits.push_back(arrived - sent);
+  }
+  std::vector<std::uint64_t> sends, delivers;
+  std::vector<Drop> drops;
+  std::vector<Duration> transits;
+};
+
+TEST(LinkTest, DeliversWithSerializationPlusPropagation) {
+  sim::Simulator sim;
+  LinkConfig cfg;
+  cfg.rate_bps = 8e6;  // 1 byte per microsecond
+  cfg.prop_delay = Duration::millis(10);
+  Link link(sim, cfg, std::make_unique<PerfectChannel>());
+
+  TimePoint arrival;
+  link.set_receiver([&](const Packet&) { arrival = sim.now(); });
+  link.send(data_packet(1000));  // 1ms serialization
+  sim.run();
+  EXPECT_EQ(arrival, TimePoint::zero() + Duration::millis(11));
+  EXPECT_EQ(link.stats().sent, 1u);
+  EXPECT_EQ(link.stats().delivered, 1u);
+  EXPECT_EQ(link.stats().bytes_delivered, 1000u);
+}
+
+TEST(LinkTest, BackToBackPacketsQueueBehindEachOther) {
+  sim::Simulator sim;
+  LinkConfig cfg;
+  cfg.rate_bps = 8e6;
+  cfg.prop_delay = Duration::zero();
+  Link link(sim, cfg, std::make_unique<PerfectChannel>());
+
+  std::vector<TimePoint> arrivals;
+  link.set_receiver([&](const Packet&) { arrivals.push_back(sim.now()); });
+  link.send(data_packet(1000));  // finishes at 1ms
+  link.send(data_packet(1000));  // finishes at 2ms
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], TimePoint::zero() + Duration::millis(1));
+  EXPECT_EQ(arrivals[1], TimePoint::zero() + Duration::millis(2));
+}
+
+TEST(LinkTest, PreservesFifoOrderWithoutJitter) {
+  sim::Simulator sim;
+  LinkConfig cfg;
+  cfg.rate_bps = 1e6;
+  cfg.queue_capacity = 100;
+  Link link(sim, cfg, std::make_unique<PerfectChannel>());
+
+  std::vector<std::uint64_t> seen;
+  link.set_receiver([&](const Packet& p) { seen.push_back(p.seq); });
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    Packet p = data_packet();
+    p.seq = i;
+    link.send(std::move(p));
+  }
+  sim.run();
+  ASSERT_EQ(seen.size(), 20u);
+  for (std::uint64_t i = 0; i < 20; ++i) EXPECT_EQ(seen[i], i + 1);
+}
+
+TEST(LinkTest, DropTailOnQueueOverflow) {
+  sim::Simulator sim;
+  LinkConfig cfg;
+  cfg.rate_bps = 8e3;  // 1ms per byte: long queue residence
+  cfg.queue_capacity = 3;
+  Link link(sim, cfg, std::make_unique<PerfectChannel>());
+  RecordingTap tap;
+  link.set_tap(&tap);
+  link.set_receiver([](const Packet&) {});
+
+  for (int i = 0; i < 5; ++i) link.send(data_packet(100));
+  sim.run();
+  EXPECT_EQ(link.stats().sent, 5u);
+  EXPECT_EQ(link.stats().dropped_queue, 2u);
+  EXPECT_EQ(link.stats().delivered, 3u);
+  ASSERT_EQ(tap.drops.size(), 2u);
+  EXPECT_EQ(tap.drops[0].reason, DropReason::kQueueOverflow);
+}
+
+TEST(LinkTest, QueueDrainsOverTime) {
+  sim::Simulator sim;
+  LinkConfig cfg;
+  cfg.rate_bps = 8e6;
+  cfg.queue_capacity = 2;
+  Link link(sim, cfg, std::make_unique<PerfectChannel>());
+  link.set_receiver([](const Packet&) {});
+
+  link.send(data_packet(1000));
+  link.send(data_packet(1000));
+  EXPECT_EQ(link.queue_depth(), 2u);
+  sim.run();
+  EXPECT_EQ(link.queue_depth(), 0u);
+  // Capacity is available again.
+  link.send(data_packet(1000));
+  sim.run();
+  EXPECT_EQ(link.stats().dropped_queue, 0u);
+  EXPECT_EQ(link.stats().delivered, 3u);
+}
+
+TEST(LinkTest, ChannelLossCountsAndReportsToTap) {
+  sim::Simulator sim;
+  LinkConfig cfg;
+  Link link(sim, cfg, std::make_unique<BernoulliChannel>(1.0, util::Rng(1)));
+  RecordingTap tap;
+  link.set_tap(&tap);
+  int received = 0;
+  link.set_receiver([&](const Packet&) { ++received; });
+
+  link.send(data_packet());
+  sim.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(link.stats().dropped_channel, 1u);
+  ASSERT_EQ(tap.drops.size(), 1u);
+  EXPECT_EQ(tap.drops[0].reason, DropReason::kChannelLoss);
+  EXPECT_DOUBLE_EQ(link.stats().loss_rate(), 1.0);
+}
+
+TEST(LinkTest, StatsLossRateMixed) {
+  sim::Simulator sim;
+  LinkConfig cfg;
+  cfg.rate_bps = 100e6;
+  cfg.queue_capacity = 1000;
+  Link link(sim, cfg, std::make_unique<BernoulliChannel>(0.2, util::Rng(33)));
+  link.set_receiver([](const Packet&) {});
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    link.send(data_packet(100));
+    sim.run();  // drain each time so the queue never overflows
+  }
+  EXPECT_EQ(link.stats().sent, static_cast<std::uint64_t>(n));
+  EXPECT_NEAR(link.stats().loss_rate(), 0.2, 0.02);
+  EXPECT_EQ(link.stats().dropped_queue, 0u);
+}
+
+TEST(LinkTest, TapSeesEverySend) {
+  sim::Simulator sim;
+  Link link(sim, LinkConfig{}, std::make_unique<PerfectChannel>());
+  RecordingTap tap;
+  link.set_tap(&tap);
+  link.set_receiver([](const Packet&) {});
+  for (int i = 0; i < 7; ++i) link.send(data_packet());
+  sim.run();
+  EXPECT_EQ(tap.sends.size(), 7u);
+  EXPECT_EQ(tap.delivers.size(), 7u);
+}
+
+TEST(LinkTest, StampsSentAt) {
+  sim::Simulator sim;
+  Link link(sim, LinkConfig{}, std::make_unique<PerfectChannel>());
+  TimePoint stamped;
+  link.set_receiver([&](const Packet& p) { stamped = p.sent_at; });
+  sim.after(Duration::millis(5), [&] { link.send(data_packet()); });
+  sim.run();
+  EXPECT_EQ(stamped, TimePoint::zero() + Duration::millis(5));
+}
+
+TEST(LinkDeathTest, RejectsBadConfig) {
+  sim::Simulator sim;
+  LinkConfig zero_rate;
+  zero_rate.rate_bps = 0.0;
+  EXPECT_DEATH(Link(sim, zero_rate, std::make_unique<PerfectChannel>()), "rate");
+  LinkConfig zero_queue;
+  zero_queue.queue_capacity = 0;
+  EXPECT_DEATH(Link(sim, zero_queue, std::make_unique<PerfectChannel>()), "queue");
+}
+
+}  // namespace
+}  // namespace hsr::net

@@ -1,0 +1,190 @@
+#include "radio/environment.h"
+
+#include <gtest/gtest.h>
+
+namespace hsr::radio {
+namespace {
+
+RadioConfig quiet_config() {
+  // A configuration with every stochastic impairment disabled, so the
+  // deterministic geometry can be tested in isolation.
+  RadioConfig cfg;
+  cfg.speed_mps = 100.0;
+  cfg.cell_spacing_m = 1000.0;
+  cfg.handoff_outage_median_s = 0.5;
+  cfg.handoff_outage_sigma = 1e-6;  // essentially deterministic durations
+  cfg.base_loss_down = 0.0;
+  cfg.base_loss_up = 0.0;
+  cfg.edge_loss_down = 0.0;
+  cfg.edge_loss_up = 0.0;
+  cfg.uplink_fade_rate_per_s = 0.0;
+  cfg.downlink_fade_rate_per_s = 0.0;
+  cfg.delay_wander_amplitude_s = 0.0;
+  cfg.downlink_only_outage_fraction = 0.0;
+  return cfg;
+}
+
+TEST(TrajectoryTest, PositionAdvancesLinearly) {
+  RadioEnvironment env(quiet_config(), util::Rng(1));
+  EXPECT_DOUBLE_EQ(env.position_m(TimePoint::zero()), 0.0);
+  EXPECT_DOUBLE_EQ(env.position_m(TimePoint::from_seconds(3.0)), 300.0);
+}
+
+TEST(TrajectoryTest, EdgeDistanceGeometry) {
+  RadioEnvironment env(quiet_config(), util::Rng(1));
+  // Tower at 500 m (cell center). At t=0 (pos 0, boundary): distance 1.
+  EXPECT_NEAR(env.normalized_edge_distance(TimePoint::zero()), 1.0, 1e-9);
+  // At pos 500 (t=5): under the tower.
+  EXPECT_NEAR(env.normalized_edge_distance(TimePoint::from_seconds(5.0)), 0.0, 1e-9);
+  // At pos 250: halfway.
+  EXPECT_NEAR(env.normalized_edge_distance(TimePoint::from_seconds(2.5)), 0.5, 1e-9);
+}
+
+TEST(TrajectoryTest, StationaryPositionFixed) {
+  RadioConfig cfg = quiet_config();
+  cfg.speed_mps = 0.0;
+  cfg.initial_offset_frac = 0.25;
+  RadioEnvironment env(cfg, util::Rng(1));
+  EXPECT_NEAR(env.normalized_edge_distance(TimePoint::zero()),
+              env.normalized_edge_distance(TimePoint::from_seconds(100.0)), 1e-12);
+  EXPECT_FALSE(env.in_outage(TimePoint::from_seconds(50.0)));
+  EXPECT_EQ(env.handoff_count(TimePoint::from_seconds(1000.0)), 0u);
+}
+
+TEST(HandoffTest, OccursAtCellBoundaries) {
+  RadioEnvironment env(quiet_config(), util::Rng(1));
+  // Boundaries at 1000 m, 2000 m, ... => t = 10 s, 20 s, ...
+  EXPECT_EQ(env.handoff_count(TimePoint::from_seconds(9.9)), 0u);
+  EXPECT_EQ(env.handoff_count(TimePoint::from_seconds(10.1)), 1u);
+  EXPECT_EQ(env.handoff_count(TimePoint::from_seconds(35.0)), 3u);
+}
+
+TEST(HandoffTest, OutageWindowHasConfiguredDuration) {
+  RadioEnvironment env(quiet_config(), util::Rng(1));
+  EXPECT_FALSE(env.in_outage(TimePoint::from_seconds(9.5)));
+  EXPECT_TRUE(env.in_outage(TimePoint::from_seconds(10.2)));
+  // Median 0.5 s with sigma ~0: outage ends by ~10.5 s.
+  EXPECT_FALSE(env.in_outage(TimePoint::from_seconds(10.6)));
+}
+
+TEST(HandoffTest, OutageDropsBothDirections) {
+  RadioConfig cfg = quiet_config();
+  cfg.handoff_loss = 1.0;
+  RadioEnvironment env(cfg, util::Rng(1));
+  const TimePoint inside = TimePoint::from_seconds(10.2);
+  EXPECT_DOUBLE_EQ(env.drop_probability(Direction::kDownlink, inside), 1.0);
+  EXPECT_DOUBLE_EQ(env.drop_probability(Direction::kUplink, inside), 1.0);
+}
+
+TEST(HandoffTest, DownlinkOnlyOutagesSpareTheUplink) {
+  RadioConfig cfg = quiet_config();
+  cfg.downlink_only_outage_fraction = 1.0;
+  cfg.handoff_loss = 1.0;
+  RadioEnvironment env(cfg, util::Rng(1));
+  const TimePoint inside = TimePoint::from_seconds(10.2);
+  EXPECT_TRUE(env.outage_affects(Direction::kDownlink, inside));
+  EXPECT_FALSE(env.outage_affects(Direction::kUplink, inside));
+  EXPECT_DOUBLE_EQ(env.drop_probability(Direction::kDownlink, inside), 1.0);
+  EXPECT_DOUBLE_EQ(env.drop_probability(Direction::kUplink, inside), 0.0);
+}
+
+TEST(LossGeometryTest, EdgeLossGrowsQuadratically) {
+  RadioConfig cfg = quiet_config();
+  cfg.base_loss_down = 0.001;
+  cfg.edge_loss_down = 0.01;
+  RadioEnvironment env(cfg, util::Rng(1));
+  // Under the tower (t=5): base only.
+  EXPECT_NEAR(env.drop_probability(Direction::kDownlink, TimePoint::from_seconds(5.0)),
+              0.001, 1e-9);
+  // Halfway (t=7.5, edge=0.5): base + 0.25*edge term.
+  EXPECT_NEAR(env.drop_probability(Direction::kDownlink, TimePoint::from_seconds(7.5)),
+              0.001 + 0.01 * 0.25, 1e-9);
+}
+
+TEST(FadeProcessTest, InactiveWhenRateZero) {
+  FadeProcess f(0.0, 1.0, util::Rng(1));
+  EXPECT_FALSE(f.active(TimePoint::from_seconds(100.0)));
+}
+
+TEST(FadeProcessTest, DutyCycleMatchesRateTimesMean) {
+  const double rate = 0.5;  // every 2 s on average
+  const double mean = 0.4;
+  FadeProcess f(rate, mean, util::Rng(11));
+  int active = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    if (f.active(TimePoint::from_seconds(i * 0.01))) ++active;
+  }
+  // Alternating process: duty = mean / (mean + 1/rate).
+  const double expected = mean / (mean + 1.0 / rate);
+  EXPECT_NEAR(static_cast<double>(active) / n, expected, 0.03);
+}
+
+TEST(DelayWanderTest, ZeroAmplitudeIsZero) {
+  DelayWanderProcess w(0.0, 1.0, util::Rng(1));
+  EXPECT_DOUBLE_EQ(w.value(TimePoint::from_seconds(5.0)), 0.0);
+}
+
+TEST(DelayWanderTest, StaysWithinAmplitude) {
+  DelayWanderProcess w(0.3, 2.0, util::Rng(5));
+  for (int i = 0; i < 10000; ++i) {
+    const double v = w.value(TimePoint::from_seconds(i * 0.01));
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 0.3);
+  }
+}
+
+TEST(DelayWanderTest, SlopeBoundPreventsReordering) {
+  // With period >= amplitude the delay can fall at most 1 s per second, so
+  // t + delay(t) is nondecreasing (no packet reordering).
+  DelayWanderProcess w(1.0, 1.5, util::Rng(7));
+  double prev_virtual = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double t = i * 0.005;
+    const double virt = t + w.value(TimePoint::from_seconds(t));
+    EXPECT_GE(virt, prev_virtual - 1e-9);
+    prev_virtual = virt;
+  }
+}
+
+TEST(CoverageGapTest, GapKillsBothDirections) {
+  RadioConfig cfg = quiet_config();
+  cfg.coverage_gap_rate_per_s = 1000.0;  // effectively always in a gap
+  cfg.coverage_gap_mean_s = 10.0;
+  cfg.coverage_gap_loss = 1.0;
+  RadioEnvironment env(cfg, util::Rng(1));
+  const TimePoint t = TimePoint::from_seconds(1.0);
+  if (env.in_coverage_gap(t)) {
+    EXPECT_DOUBLE_EQ(env.drop_probability(Direction::kDownlink, t), 1.0);
+    EXPECT_DOUBLE_EQ(env.drop_probability(Direction::kUplink, t), 1.0);
+  }
+}
+
+TEST(DelayTest, ExtraDelayIncludesAccessAndEdgeTerms) {
+  RadioConfig cfg = quiet_config();
+  cfg.access_delay_s = 0.010;
+  cfg.edge_extra_delay_s = 0.020;
+  RadioEnvironment env(cfg, util::Rng(1));
+  // Under the tower: access only.
+  EXPECT_NEAR(env.extra_delay(Direction::kDownlink, TimePoint::from_seconds(5.0)).to_seconds(),
+              0.010, 1e-6);
+  // At the boundary (t=20+): access + full edge bump (plus outage bump if in
+  // outage; measure just before the boundary).
+  EXPECT_NEAR(env.extra_delay(Direction::kDownlink, TimePoint::from_seconds(9.99)).to_seconds(),
+              0.010 + 0.020 * 0.998, 1e-3);
+}
+
+TEST(MakeChannelTest, ChannelReflectsEnvironment) {
+  RadioConfig cfg = quiet_config();
+  cfg.handoff_loss = 1.0;
+  RadioEnvironment env(cfg, util::Rng(1));
+  auto down = env.make_channel(Direction::kDownlink, util::Rng(2));
+  net::Packet p;
+  // During the outage at t=10.2 every packet drops.
+  EXPECT_TRUE(down->should_drop(p, TimePoint::from_seconds(10.2)));
+  // Under the tower with zero losses nothing drops.
+  EXPECT_FALSE(down->should_drop(p, TimePoint::from_seconds(14.9)));
+}
+
+}  // namespace
+}  // namespace hsr::radio

@@ -1,0 +1,76 @@
+#include "radio/profiles.h"
+
+#include <gtest/gtest.h>
+
+namespace hsr::radio {
+namespace {
+
+TEST(ProfilesTest, AllHighspeedProfilesPresent) {
+  const auto profiles = all_highspeed_profiles();
+  ASSERT_EQ(profiles.size(), 3u);
+  EXPECT_EQ(profiles[0].provider, Provider::kChinaMobileLte);
+  EXPECT_EQ(profiles[1].provider, Provider::kChinaUnicom3g);
+  EXPECT_EQ(profiles[2].provider, Provider::kChinaTelecom3g);
+  for (const auto& p : profiles) {
+    EXPECT_EQ(p.mobility, Mobility::kHighSpeed);
+    EXPECT_NEAR(p.radio.speed_mps, 300.0 / 3.6, 1e-9);
+  }
+}
+
+TEST(ProfilesTest, CapacityOrderingMobileBest) {
+  const auto m = mobile_lte_highspeed();
+  const auto u = unicom_3g_highspeed();
+  const auto t = telecom_3g_highspeed();
+  EXPECT_GT(m.downlink_rate_bps, u.downlink_rate_bps);
+  EXPECT_GT(u.downlink_rate_bps, t.downlink_rate_bps);
+}
+
+TEST(ProfilesTest, ImpairmentOrderingTelecomWorst) {
+  const auto m = mobile_lte_highspeed();
+  const auto u = unicom_3g_highspeed();
+  const auto t = telecom_3g_highspeed();
+  EXPECT_LT(m.radio.handoff_outage_median_s, u.radio.handoff_outage_median_s);
+  EXPECT_LE(u.radio.handoff_outage_median_s, t.radio.handoff_outage_median_s);
+  // Coverage gaps: none for Mobile's dedicated LTE coverage; mild for
+  // Unicom; dominant for Telecom around Beijing/Tianjin (§V-B).
+  EXPECT_DOUBLE_EQ(m.radio.coverage_gap_rate_per_s, 0.0);
+  EXPECT_GT(t.radio.coverage_gap_rate_per_s, 0.0);
+  EXPECT_GT(t.radio.coverage_gap_rate_per_s * t.radio.coverage_gap_mean_s,
+            u.radio.coverage_gap_rate_per_s * u.radio.coverage_gap_mean_s);
+}
+
+TEST(ProfilesTest, StationaryVariantIsQuiet) {
+  const auto hs = unicom_3g_highspeed();
+  const auto st = stationary_of(hs);
+  EXPECT_EQ(st.mobility, Mobility::kStationary);
+  EXPECT_DOUBLE_EQ(st.radio.speed_mps, 0.0);
+  EXPECT_LT(st.radio.base_loss_up, hs.radio.base_loss_up);
+  EXPECT_LT(st.radio.uplink_fade_rate_per_s, hs.radio.uplink_fade_rate_per_s);
+  EXPECT_LT(st.radio.delay_wander_amplitude_s, hs.radio.delay_wander_amplitude_s);
+  EXPECT_DOUBLE_EQ(st.radio.coverage_gap_rate_per_s, 0.0);
+  EXPECT_EQ(st.provider, hs.provider);
+  EXPECT_NE(st.name, hs.name);
+}
+
+TEST(ProfilesTest, ProviderNames) {
+  EXPECT_STREQ(provider_name(Provider::kChinaMobileLte), "China Mobile");
+  EXPECT_STREQ(provider_name(Provider::kChinaUnicom3g), "China Unicom");
+  EXPECT_STREQ(provider_name(Provider::kChinaTelecom3g), "China Telecom");
+}
+
+TEST(ProfilesTest, SaneParameterRanges) {
+  for (const auto& p : all_highspeed_profiles()) {
+    EXPECT_GT(p.downlink_rate_bps, 0.0);
+    EXPECT_GT(p.uplink_rate_bps, 0.0);
+    EXPECT_GT(p.queue_capacity, 0u);
+    EXPECT_GE(p.receiver_window_segments, 32u);
+    EXPECT_GT(p.radio.cell_spacing_m, 100.0);
+    EXPECT_GE(p.radio.handoff_loss, 0.9);
+    EXPECT_LE(p.radio.handoff_loss, 1.0);
+    EXPECT_GE(p.radio.downlink_only_outage_fraction, 0.0);
+    EXPECT_LE(p.radio.downlink_only_outage_fraction, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace hsr::radio

@@ -1,0 +1,89 @@
+// Tests for piecewise speed profiles (acceleration legs and station stops).
+#include <gtest/gtest.h>
+
+#include "radio/environment.h"
+
+namespace hsr::radio {
+namespace {
+
+RadioConfig journey_config() {
+  RadioConfig cfg;
+  cfg.cell_spacing_m = 1000.0;
+  cfg.handoff_outage_median_s = 0.2;
+  cfg.handoff_outage_sigma = 1e-6;
+  cfg.base_loss_down = 0.0;
+  cfg.base_loss_up = 0.0;
+  cfg.edge_loss_down = 0.0;
+  cfg.edge_loss_up = 0.0;
+  cfg.uplink_fade_rate_per_s = 0.0;
+  cfg.downlink_fade_rate_per_s = 0.0;
+  cfg.delay_wander_amplitude_s = 0.0;
+  // 10 s at 50 m/s (500 m), 10 s stopped, then 100 m/s forever.
+  cfg.speed_profile = {{10.0, 50.0}, {10.0, 0.0}, {10.0, 100.0}};
+  return cfg;
+}
+
+TEST(SpeedProfileTest, PositionIntegratesPhases) {
+  RadioEnvironment env(journey_config(), util::Rng(1));
+  EXPECT_DOUBLE_EQ(env.position_m(TimePoint::from_seconds(0.0)), 0.0);
+  EXPECT_DOUBLE_EQ(env.position_m(TimePoint::from_seconds(5.0)), 250.0);
+  EXPECT_DOUBLE_EQ(env.position_m(TimePoint::from_seconds(10.0)), 500.0);
+  // Stopped: position frozen.
+  EXPECT_DOUBLE_EQ(env.position_m(TimePoint::from_seconds(15.0)), 500.0);
+  EXPECT_DOUBLE_EQ(env.position_m(TimePoint::from_seconds(20.0)), 500.0);
+  // Moving again at 100 m/s.
+  EXPECT_DOUBLE_EQ(env.position_m(TimePoint::from_seconds(25.0)), 1000.0);
+  // Past the last phase: keeps the last speed.
+  EXPECT_DOUBLE_EQ(env.position_m(TimePoint::from_seconds(40.0)), 2500.0);
+}
+
+TEST(SpeedProfileTest, SpeedAtPhases) {
+  RadioEnvironment env(journey_config(), util::Rng(1));
+  EXPECT_DOUBLE_EQ(env.speed_at(TimePoint::from_seconds(5.0)), 50.0);
+  EXPECT_DOUBLE_EQ(env.speed_at(TimePoint::from_seconds(15.0)), 0.0);
+  EXPECT_DOUBLE_EQ(env.speed_at(TimePoint::from_seconds(25.0)), 100.0);
+  EXPECT_DOUBLE_EQ(env.speed_at(TimePoint::from_seconds(99.0)), 100.0);
+}
+
+TEST(SpeedProfileTest, TimeOfPositionInvertsAcrossStops) {
+  RadioEnvironment env(journey_config(), util::Rng(1));
+  EXPECT_DOUBLE_EQ(env.time_of_position(250.0).to_seconds(), 5.0);
+  // 1000 m: 500 in phase 1, stop, then 500 more at 100 m/s -> t = 25 s.
+  EXPECT_DOUBLE_EQ(env.time_of_position(1000.0).to_seconds(), 25.0);
+  EXPECT_EQ(env.time_of_position(-5.0), TimePoint::zero());
+}
+
+TEST(SpeedProfileTest, TimeOfPositionNeverWhenEndingStopped) {
+  RadioConfig cfg = journey_config();
+  cfg.speed_profile = {{10.0, 50.0}, {10.0, 0.0}};  // ends stopped
+  RadioEnvironment env(cfg, util::Rng(1));
+  EXPECT_EQ(env.time_of_position(501.0), TimePoint::max());
+  EXPECT_DOUBLE_EQ(env.time_of_position(500.0).to_seconds(), 10.0);
+}
+
+TEST(SpeedProfileTest, HandoffsFollowPositionNotTime) {
+  RadioEnvironment env(journey_config(), util::Rng(1));
+  // First boundary at 1000 m is reached at t = 25 s (the stop delays it).
+  EXPECT_EQ(env.handoff_count(TimePoint::from_seconds(24.9)), 0u);
+  EXPECT_EQ(env.handoff_count(TimePoint::from_seconds(25.1)), 1u);
+  // Next boundary at 2000 m: 10 more seconds at 100 m/s -> t = 35 s.
+  EXPECT_EQ(env.handoff_count(TimePoint::from_seconds(35.1)), 2u);
+}
+
+TEST(SpeedProfileTest, NoHandoffsDuringStationDwell) {
+  RadioEnvironment env(journey_config(), util::Rng(1));
+  EXPECT_EQ(env.handoff_count(TimePoint::from_seconds(19.9)), 0u);
+  EXPECT_FALSE(env.in_outage(TimePoint::from_seconds(15.0)));
+}
+
+TEST(SpeedProfileTest, EmptyProfileFallsBackToConstantSpeed) {
+  RadioConfig cfg = journey_config();
+  cfg.speed_profile.clear();
+  cfg.speed_mps = 100.0;
+  RadioEnvironment env(cfg, util::Rng(1));
+  EXPECT_DOUBLE_EQ(env.position_m(TimePoint::from_seconds(3.0)), 300.0);
+  EXPECT_DOUBLE_EQ(env.time_of_position(1000.0).to_seconds(), 10.0);
+}
+
+}  // namespace
+}  // namespace hsr::radio

@@ -1,0 +1,112 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hsr::sim {
+namespace {
+
+TEST(EventQueueTest, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_time(), TimePoint::max());
+}
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(TimePoint::from_ns(30), [&] { order.push_back(3); });
+  q.schedule(TimePoint::from_ns(10), [&] { order.push_back(1); });
+  q.schedule(TimePoint::from_ns(20), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, FifoAmongEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  const TimePoint t = TimePoint::from_ns(5);
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(t, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop_and_run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, PopReturnsTimestamp) {
+  EventQueue q;
+  q.schedule(TimePoint::from_ns(77), [] {});
+  EXPECT_EQ(q.next_time(), TimePoint::from_ns(77));
+  EXPECT_EQ(q.pop_and_run(), TimePoint::from_ns(77));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventHandle h = q.schedule(TimePoint::from_ns(10), [&] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  EXPECT_TRUE(h.cancel());
+  EXPECT_FALSE(h.pending());
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelIsIdempotent) {
+  EventQueue q;
+  EventHandle h = q.schedule(TimePoint::from_ns(10), [] {});
+  EXPECT_TRUE(h.cancel());
+  EXPECT_FALSE(h.cancel());
+}
+
+TEST(EventQueueTest, CancelAfterFireReturnsFalse) {
+  EventQueue q;
+  EventHandle h = q.schedule(TimePoint::from_ns(10), [] {});
+  q.pop_and_run();
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(h.cancel());
+}
+
+TEST(EventQueueTest, CancelMiddleEventKeepsOthers) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(TimePoint::from_ns(1), [&] { order.push_back(1); });
+  EventHandle mid = q.schedule(TimePoint::from_ns(2), [&] { order.push_back(2); });
+  q.schedule(TimePoint::from_ns(3), [&] { order.push_back(3); });
+  mid.cancel();
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(h.cancel());
+}
+
+TEST(EventQueueTest, ScheduleFromInsideCallback) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(TimePoint::from_ns(1), [&] {
+    order.push_back(1);
+    q.schedule(TimePoint::from_ns(2), [&] { order.push_back(2); });
+  });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueueTest, ScheduledTotalCounts) {
+  EventQueue q;
+  q.schedule(TimePoint::from_ns(1), [] {});
+  q.schedule(TimePoint::from_ns(2), [] {});
+  EXPECT_EQ(q.scheduled_total(), 2u);
+}
+
+TEST(EventQueueDeathTest, PopOnEmptyAborts) {
+  EventQueue q;
+  EXPECT_DEATH(q.pop_and_run(), "empty");
+}
+
+}  // namespace
+}  // namespace hsr::sim

@@ -1,0 +1,106 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace hsr::sim {
+namespace {
+
+TEST(SimulatorTest, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), TimePoint::zero());
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTimes) {
+  Simulator sim;
+  TimePoint seen;
+  sim.after(Duration::millis(5), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, TimePoint::zero() + Duration::millis(5));
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int ran = 0;
+  sim.after(Duration::millis(1), [&] { ++ran; });
+  sim.after(Duration::millis(10), [&] { ++ran; });
+  const std::uint64_t n = sim.run_until(TimePoint::zero() + Duration::millis(5));
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(ran, 1);
+  // Clock lands exactly on the deadline even though no event was there.
+  EXPECT_EQ(sim.now(), TimePoint::zero() + Duration::millis(5));
+}
+
+TEST(SimulatorTest, EventExactlyAtDeadlineRuns) {
+  Simulator sim;
+  bool ran = false;
+  sim.after(Duration::millis(5), [&] { ran = true; });
+  sim.run_until(TimePoint::zero() + Duration::millis(5));
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorTest, StopExitsRunLoop) {
+  Simulator sim;
+  int ran = 0;
+  sim.after(Duration::millis(1), [&] {
+    ++ran;
+    sim.stop();
+  });
+  sim.after(Duration::millis(2), [&] { ++ran; });
+  sim.run();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(SimulatorTest, CascadedEventsRunSameRun) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.after(Duration::millis(1), [&] {
+    order.push_back(1);
+    sim.after(Duration::millis(1), [&] { order.push_back(2); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), TimePoint::zero() + Duration::millis(2));
+}
+
+TEST(SimulatorTest, ZeroDelayEventRunsAtCurrentTime) {
+  Simulator sim;
+  TimePoint seen = TimePoint::max();
+  sim.after(Duration::zero(), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, TimePoint::zero());
+}
+
+TEST(SimulatorDeathTest, SchedulingIntoThePastAborts) {
+  Simulator sim;
+  sim.after(Duration::millis(10), [&] {
+    // now == 10ms; scheduling at 5ms must abort.
+    sim.at(TimePoint::zero() + Duration::millis(5), [] {});
+  });
+  EXPECT_DEATH(sim.run(), "past");
+}
+
+TEST(SimulatorDeathTest, NegativeDelayAborts) {
+  Simulator sim;
+  EXPECT_DEATH(sim.after(Duration::millis(-1), [] {}), "negative");
+}
+
+TEST(SimulatorTest, DeterministicEventCountAcrossRuns) {
+  auto run_once = [] {
+    Simulator sim;
+    std::uint64_t count = 0;
+    std::function<void(int)> chain = [&](int depth) {
+      ++count;
+      if (depth < 50) {
+        sim.after(Duration::micros(depth + 1), [&chain, depth] { chain(depth + 1); });
+      }
+    };
+    sim.after(Duration::micros(1), [&chain] { chain(0); });
+    sim.run();
+    return count;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace hsr::sim

@@ -1,0 +1,72 @@
+#include "sim/timer.h"
+
+#include <gtest/gtest.h>
+
+namespace hsr::sim {
+namespace {
+
+TEST(TimerTest, FiresAtExpiry) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.arm(Duration::millis(10));
+  EXPECT_TRUE(t.armed());
+  EXPECT_EQ(t.expiry(), TimePoint::zero() + Duration::millis(10));
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.armed());
+}
+
+TEST(TimerTest, CancelPreventsFiring) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.arm(Duration::millis(10));
+  t.cancel();
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(TimerTest, RearmReplacesPrevious) {
+  Simulator sim;
+  std::vector<TimePoint> fires;
+  Timer t(sim, [&] { fires.push_back(sim.now()); });
+  t.arm(Duration::millis(10));
+  t.arm(Duration::millis(20));  // replaces the 10ms arm
+  sim.run();
+  ASSERT_EQ(fires.size(), 1u);
+  EXPECT_EQ(fires[0], TimePoint::zero() + Duration::millis(20));
+}
+
+TEST(TimerTest, RearmFromCallback) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] {
+    if (++fired < 3) t.arm(Duration::millis(5));
+  });
+  t.arm(Duration::millis(5));
+  sim.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now(), TimePoint::zero() + Duration::millis(15));
+}
+
+TEST(TimerTest, CancelIdleIsNoop) {
+  Simulator sim;
+  Timer t(sim, [] {});
+  t.cancel();
+  EXPECT_FALSE(t.armed());
+}
+
+TEST(TimerTest, DestructorCancels) {
+  Simulator sim;
+  int fired = 0;
+  {
+    Timer t(sim, [&] { ++fired; });
+    t.arm(Duration::millis(1));
+  }
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+}  // namespace
+}  // namespace hsr::sim

@@ -1,0 +1,181 @@
+// Behavioral tests for the NewReno and Veno congestion-control variants.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tcp/sender.h"
+
+namespace hsr::tcp {
+namespace {
+
+class CcFixture : public testing::Test {
+ protected:
+  TcpSender make_sender(CongestionControl cc, double initial_cwnd = 8.0,
+                        double initial_ssthresh = 1e9) {
+    TcpConfig cfg;
+    cfg.congestion_control = cc;
+    cfg.initial_cwnd = initial_cwnd;
+    cfg.initial_ssthresh = initial_ssthresh;
+    // Keep the RTO clear of the crafted inter-ACK gaps below.
+    cfg.rto.initial_rto = Duration::seconds(10);
+    cfg.rto.min_rto = Duration::seconds(5);
+    return TcpSender(sim_, cfg, 1,
+                     [this](net::Packet p) { sent_.push_back(std::move(p)); });
+  }
+
+  static net::Packet ack(SeqNo ack_next) {
+    net::Packet p;
+    p.id = net::allocate_packet_id();
+    p.kind = net::PacketKind::kAck;
+    p.ack_next = ack_next;
+    return p;
+  }
+
+  // Delivers an ACK `rtt` after the current time (so the sender records an
+  // RTT sample for the newest acked segment). Bounded run: the sender's RTO
+  // timer re-arms forever with an infinite backlog, so run() would not drain.
+  void ack_later(TcpSender& snd, SeqNo ack_next, Duration rtt) {
+    bool delivered = false;
+    sim_.after(rtt, [&snd, &delivered, ack_next] {
+      snd.on_ack(ack(ack_next));
+      delivered = true;
+    });
+    sim_.run_until(sim_.now() + rtt);
+    ASSERT_TRUE(delivered);
+  }
+
+  unsigned count_retx_of(SeqNo seq) const {
+    unsigned n = 0;
+    for (const auto& p : sent_) {
+      if (p.seq == seq && p.is_retransmission) ++n;
+    }
+    return n;
+  }
+
+  sim::Simulator sim_;
+  std::vector<net::Packet> sent_;
+};
+
+TEST_F(CcFixture, NewRenoPartialAckRetransmitsNextHoleImmediately) {
+  TcpSender snd = make_sender(CongestionControl::kNewReno);
+  snd.start();  // 1..8 in flight; suppose 2 and 5 are lost
+  // Dup ACKs for 2 -> fast retransmit of 2.
+  snd.on_ack(ack(2));
+  for (int i = 0; i < 3; ++i) snd.on_ack(ack(2));
+  ASSERT_TRUE(snd.in_fast_recovery());
+  EXPECT_EQ(count_retx_of(2), 1u);
+
+  // Partial ACK: 2 is repaired, but 5 is still missing.
+  snd.on_ack(ack(5));
+  // NewReno stays in recovery and retransmits 5 at once — no second set of
+  // dup ACKs, no RTO.
+  EXPECT_TRUE(snd.in_fast_recovery());
+  EXPECT_EQ(count_retx_of(5), 1u);
+  EXPECT_EQ(snd.stats().fast_retransmits, 1u);  // one episode
+
+  // Full ACK past the recovery point (snd_next-1 at loss detection) ends
+  // recovery.
+  snd.on_ack(ack(11));
+  EXPECT_FALSE(snd.in_fast_recovery());
+  EXPECT_EQ(snd.stats().timeouts, 0u);
+}
+
+TEST_F(CcFixture, RenoExitsRecoveryOnPartialAck) {
+  TcpSender snd = make_sender(CongestionControl::kReno);
+  snd.start();
+  snd.on_ack(ack(2));
+  for (int i = 0; i < 3; ++i) snd.on_ack(ack(2));
+  ASSERT_TRUE(snd.in_fast_recovery());
+  snd.on_ack(ack(5));  // partial: classic Reno deflates and exits
+  EXPECT_FALSE(snd.in_fast_recovery());
+  EXPECT_EQ(count_retx_of(5), 0u);
+}
+
+TEST_F(CcFixture, NewRenoMultiLossWindowAvoidsTimeout) {
+  // Three losses in one window, repaired hole by hole inside one episode.
+  TcpSender snd = make_sender(CongestionControl::kNewReno, 10.0);
+  snd.start();  // 1..10; losses at 1, 4, 7
+  for (int i = 0; i < 3; ++i) snd.on_ack(ack(1));  // dups for 1 (from 2,3 + ...)
+  ASSERT_TRUE(snd.in_fast_recovery());
+  snd.on_ack(ack(4));   // partial -> retx 4
+  snd.on_ack(ack(7));   // partial -> retx 7
+  snd.on_ack(ack(11));  // full
+  EXPECT_FALSE(snd.in_fast_recovery());
+  EXPECT_EQ(count_retx_of(1), 1u);
+  EXPECT_EQ(count_retx_of(4), 1u);
+  EXPECT_EQ(count_retx_of(7), 1u);
+  EXPECT_EQ(snd.stats().timeouts, 0u);
+  EXPECT_EQ(snd.stats().fast_retransmits, 1u);
+}
+
+// The sender samples RTT as (now - last_send of the newest cumulatively
+// acked segment), so these tests ack the whole outstanding window at a
+// chosen delay after its (re)fill to shape the sample exactly.
+
+TEST_F(CcFixture, VenoRandomLossCutsGently) {
+  // Stable RTT (no queue buildup): backlog ~ 0 -> the dup-ack loss is
+  // classified random and ssthresh becomes 4/5 of flight, not 1/2.
+  TcpSender snd = make_sender(CongestionControl::kVeno, 8.0, 8.0);
+  snd.start();                                  // t=0: sends 1..8
+  ack_later(snd, 9, Duration::millis(100));     // base RTT = 100 ms; sends 9..16
+  ack_later(snd, 17, Duration::millis(100));    // last RTT = 100 ms: backlog 0
+  const double flight = static_cast<double>(snd.snd_next() - snd.snd_una());
+  for (int i = 0; i < 3; ++i) snd.on_ack(ack(17));
+  ASSERT_TRUE(snd.in_fast_recovery());
+  EXPECT_NEAR(snd.ssthresh(), std::max(flight * 0.8, 2.0), 1e-9);
+}
+
+TEST_F(CcFixture, VenoCongestiveLossHalves) {
+  // RTT inflated well above base: backlog >= beta -> classic halving.
+  TcpSender snd = make_sender(CongestionControl::kVeno, 8.0, 8.0);
+  snd.start();                                  // t=0: sends 1..8
+  ack_later(snd, 9, Duration::millis(100));     // base RTT = 100 ms; sends 9..16
+  ack_later(snd, 17, Duration::millis(400));    // last RTT = 400 ms: backlog ~6
+  const double flight = static_cast<double>(snd.snd_next() - snd.snd_una());
+  ASSERT_GE(flight, 5.0);  // so 1/2 vs 4/5 branches are distinguishable
+  for (int i = 0; i < 3; ++i) snd.on_ack(ack(17));
+  ASSERT_TRUE(snd.in_fast_recovery());
+  EXPECT_NEAR(snd.ssthresh(), std::max(flight * 0.5, 2.0), 1e-9);
+}
+
+TEST_F(CcFixture, VenoGrowsAtHalfRateWhenBacklogged) {
+  TcpSender snd = make_sender(CongestionControl::kVeno, 8.0, 8.0);
+  snd.start();
+  ack_later(snd, 9, Duration::millis(100));     // base RTT
+  ack_later(snd, 17, Duration::millis(400));    // enter the backlogged regime
+  const double before = snd.cwnd();
+  // Two whole-window ACKs in the backlogged regime: only one increments.
+  ack_later(snd, snd.snd_next(), Duration::millis(400));
+  ack_later(snd, snd.snd_next(), Duration::millis(400));
+  const double grown = snd.cwnd() - before;
+  EXPECT_GT(grown, 0.0);
+  EXPECT_LT(grown, 2.0 / before);  // strictly less than two full 1/cwnd steps
+}
+
+TEST_F(CcFixture, RenoIsDefault) {
+  TcpConfig cfg;
+  EXPECT_EQ(cfg.congestion_control, CongestionControl::kReno);
+}
+
+TEST_F(CcFixture, AllVariantsSurviveTimeoutPath) {
+  for (CongestionControl cc : {CongestionControl::kReno, CongestionControl::kNewReno,
+                               CongestionControl::kVeno}) {
+    sent_.clear();
+    sim::Simulator local_sim;
+    TcpConfig cfg;
+    cfg.congestion_control = cc;
+    cfg.initial_cwnd = 4.0;
+    TcpSender snd(local_sim, cfg, 1, [this](net::Packet p) {
+      sent_.push_back(std::move(p));
+    });
+    snd.start();
+    local_sim.run_until(util::TimePoint::from_seconds(1));
+    EXPECT_EQ(snd.stats().timeouts, 1u);
+    EXPECT_NEAR(snd.cwnd(), 1.0, 1e-9);
+    snd.on_ack(ack(5));
+    EXPECT_FALSE(snd.in_timeout_recovery());
+  }
+}
+
+}  // namespace
+}  // namespace hsr::tcp

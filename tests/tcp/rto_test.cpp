@@ -1,0 +1,106 @@
+#include "tcp/rto.h"
+
+#include <gtest/gtest.h>
+
+namespace hsr::tcp {
+namespace {
+
+TEST(RtoEstimatorTest, InitialRtoBeforeAnySample) {
+  RtoEstimator est;
+  EXPECT_FALSE(est.has_sample());
+  EXPECT_EQ(est.rto(), Duration::seconds(1));
+}
+
+TEST(RtoEstimatorTest, FirstSampleSetsSrttAndVar) {
+  RtoEstimator est;
+  est.add_sample(Duration::millis(100));
+  EXPECT_TRUE(est.has_sample());
+  EXPECT_EQ(est.srtt(), Duration::millis(100));
+  EXPECT_EQ(est.rttvar(), Duration::millis(50));
+  // base = srtt + max(4*rttvar, min_rto) = 100 + max(200, 200) = 300 ms.
+  EXPECT_EQ(est.base_rto(), Duration::millis(300));
+}
+
+TEST(RtoEstimatorTest, VarTermFlooredAtMinRto) {
+  RtoEstimator est;
+  // Perfectly stable RTT drives rttvar toward 0; the floor keeps
+  // RTO >= srtt + min_rto.
+  for (int i = 0; i < 200; ++i) est.add_sample(Duration::millis(80));
+  EXPECT_GE(est.base_rto(), Duration::millis(80 + 200));
+  EXPECT_LT(est.base_rto(), Duration::millis(80 + 200 + 50));
+}
+
+TEST(RtoEstimatorTest, EwmaConvergesToStableRtt) {
+  RtoEstimator est;
+  est.add_sample(Duration::millis(500));
+  for (int i = 0; i < 100; ++i) est.add_sample(Duration::millis(100));
+  EXPECT_NEAR(est.srtt().to_millis(), 100.0, 5.0);
+}
+
+TEST(RtoEstimatorTest, JitterInflatesRto) {
+  RtoEstimator stable, jittery;
+  for (int i = 0; i < 100; ++i) {
+    stable.add_sample(Duration::millis(200));
+    jittery.add_sample(Duration::millis(i % 2 == 0 ? 100 : 300));
+  }
+  EXPECT_GT(jittery.base_rto(), stable.base_rto());
+}
+
+TEST(RtoEstimatorTest, BackoffDoublesUpToCap) {
+  RtoConfig cfg;
+  cfg.backoff_cap = 64;
+  RtoEstimator est(cfg);
+  est.add_sample(Duration::millis(100));
+  const Duration base = est.base_rto();
+  est.backoff();
+  EXPECT_EQ(est.rto(), Duration::nanos(base.ns() * 2));
+  for (int i = 0; i < 10; ++i) est.backoff();
+  EXPECT_EQ(est.backoff_multiplier(), 64u);
+  EXPECT_EQ(est.rto(), Duration::nanos(base.ns() * 64));
+}
+
+TEST(RtoEstimatorTest, NewSampleResetsBackoff) {
+  RtoEstimator est;
+  est.add_sample(Duration::millis(100));
+  est.backoff();
+  est.backoff();
+  EXPECT_EQ(est.backoff_multiplier(), 4u);
+  est.add_sample(Duration::millis(100));
+  EXPECT_EQ(est.backoff_multiplier(), 1u);
+}
+
+TEST(RtoEstimatorTest, ResetBackoffWithoutSample) {
+  RtoEstimator est;
+  est.backoff();
+  EXPECT_EQ(est.backoff_multiplier(), 2u);
+  est.reset_backoff();
+  EXPECT_EQ(est.backoff_multiplier(), 1u);
+}
+
+TEST(RtoEstimatorTest, AbsoluteCeilingHolds) {
+  RtoConfig cfg;
+  cfg.max_rto = Duration::seconds(10);
+  RtoEstimator est(cfg);
+  est.add_sample(Duration::seconds(20));
+  EXPECT_LE(est.base_rto(), Duration::seconds(10));
+  for (int i = 0; i < 10; ++i) est.backoff();
+  EXPECT_LE(est.rto(), Duration::seconds(10));
+}
+
+class RtoBackoffSequence : public testing::TestWithParam<unsigned> {};
+
+TEST_P(RtoBackoffSequence, MultiplierIsPowerOfTwoCapped) {
+  const unsigned steps = GetParam();
+  RtoConfig cfg;
+  cfg.backoff_cap = 64;
+  RtoEstimator est(cfg);
+  for (unsigned i = 0; i < steps; ++i) est.backoff();
+  const unsigned expected = std::min(1u << std::min(steps, 31u), 64u);
+  EXPECT_EQ(est.backoff_multiplier(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(BackoffSteps, RtoBackoffSequence,
+                         testing::Values(0u, 1u, 2u, 3u, 4u, 5u, 6u, 7u, 12u));
+
+}  // namespace
+}  // namespace hsr::tcp

@@ -1,0 +1,284 @@
+#include "tcp/sender.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hsr::tcp {
+namespace {
+
+class SenderFixture : public testing::Test {
+ protected:
+  TcpSender make_sender(TcpConfig cfg) {
+    return TcpSender(sim_, cfg, /*flow=*/1,
+                     [this](net::Packet p) { sent_.push_back(std::move(p)); });
+  }
+
+  // Delivers a cumulative ACK to the sender.
+  static net::Packet ack(SeqNo ack_next) {
+    net::Packet p;
+    p.id = net::allocate_packet_id();
+    p.flow = 1;
+    p.kind = net::PacketKind::kAck;
+    p.ack_next = ack_next;
+    p.size_bytes = 52;
+    return p;
+  }
+
+  std::vector<SeqNo> sent_seqs() const {
+    std::vector<SeqNo> out;
+    for (const auto& p : sent_) out.push_back(p.seq);
+    return out;
+  }
+
+  sim::Simulator sim_;
+  std::vector<net::Packet> sent_;
+};
+
+TEST_F(SenderFixture, InitialWindowLimitsFirstBurst) {
+  TcpConfig cfg;
+  cfg.initial_cwnd = 2.0;
+  TcpSender snd = make_sender(cfg);
+  snd.start();
+  EXPECT_EQ(sent_seqs(), (std::vector<SeqNo>{1, 2}));
+}
+
+TEST_F(SenderFixture, SlowStartDoublesPerRound) {
+  TcpConfig cfg;
+  cfg.initial_cwnd = 2.0;
+  TcpSender snd = make_sender(cfg);
+  snd.start();
+  sent_.clear();
+  snd.on_ack(ack(3));  // both segments acked: cwnd 2 -> 4
+  EXPECT_NEAR(snd.cwnd(), 4.0, 1e-9);
+  // Window 4, nothing in flight: sends 3,4,5,6.
+  EXPECT_EQ(sent_seqs(), (std::vector<SeqNo>{3, 4, 5, 6}));
+}
+
+TEST_F(SenderFixture, CongestionAvoidanceGrowsByInverseCwnd) {
+  TcpConfig cfg;
+  cfg.initial_cwnd = 10.0;
+  cfg.initial_ssthresh = 10.0;  // start directly in CA
+  TcpSender snd = make_sender(cfg);
+  snd.start();
+  const double before = snd.cwnd();
+  snd.on_ack(ack(3));
+  EXPECT_NEAR(snd.cwnd(), before + 1.0 / before, 1e-9);
+}
+
+TEST_F(SenderFixture, CwndCappedAtReceiverWindow) {
+  TcpConfig cfg;
+  cfg.initial_cwnd = 2.0;
+  cfg.receiver_window = 4;
+  TcpSender snd = make_sender(cfg);
+  snd.start();
+  snd.on_ack(ack(3));
+  snd.on_ack(ack(5));
+  snd.on_ack(ack(9));
+  EXPECT_LE(snd.cwnd(), 4.0);
+  EXPECT_LE(snd.snd_next() - snd.snd_una(), 4u);
+}
+
+TEST_F(SenderFixture, ThreeDupAcksTriggerFastRetransmit) {
+  TcpConfig cfg;
+  cfg.initial_cwnd = 8.0;
+  TcpSender snd = make_sender(cfg);
+  snd.start();  // sends 1..8
+  sent_.clear();
+  snd.on_ack(ack(2));  // seq 1 acked; assume 2 lost
+  snd.on_ack(ack(2));
+  snd.on_ack(ack(2));  // dupack #2
+  EXPECT_EQ(snd.stats().fast_retransmits, 0u);
+  snd.on_ack(ack(2));  // dupack #3 -> fast retransmit of 2
+  EXPECT_EQ(snd.stats().fast_retransmits, 1u);
+  EXPECT_TRUE(snd.in_fast_recovery());
+  ASSERT_FALSE(sent_.empty());
+  // The retransmission of 2 happened and is marked as such.
+  bool saw_retx = false;
+  for (const auto& p : sent_) {
+    if (p.seq == 2 && p.is_retransmission) saw_retx = true;
+  }
+  EXPECT_TRUE(saw_retx);
+}
+
+TEST_F(SenderFixture, FastRecoveryExitsOnNewAck) {
+  TcpConfig cfg;
+  cfg.initial_cwnd = 8.0;
+  TcpSender snd = make_sender(cfg);
+  snd.start();
+  snd.on_ack(ack(2));
+  for (int i = 0; i < 3; ++i) snd.on_ack(ack(2));
+  ASSERT_TRUE(snd.in_fast_recovery());
+  const double ssthresh = snd.ssthresh();
+  snd.on_ack(ack(9));  // recovery ACK
+  EXPECT_FALSE(snd.in_fast_recovery());
+  EXPECT_NEAR(snd.cwnd(), ssthresh + 1.0 / ssthresh, 1e-6);
+}
+
+TEST_F(SenderFixture, DupAckInflationDuringRecovery) {
+  TcpConfig cfg;
+  cfg.initial_cwnd = 8.0;
+  TcpSender snd = make_sender(cfg);
+  snd.start();
+  snd.on_ack(ack(2));
+  for (int i = 0; i < 3; ++i) snd.on_ack(ack(2));
+  const double during = snd.cwnd();
+  snd.on_ack(ack(2));  // 4th dupack inflates
+  EXPECT_NEAR(snd.cwnd(), during + 1.0, 1e-9);
+}
+
+TEST_F(SenderFixture, RtoRetransmitsOldestAndBacksOff) {
+  TcpConfig cfg;
+  cfg.initial_cwnd = 4.0;
+  TcpSender snd = make_sender(cfg);
+  snd.start();  // sends 1..4; RTO armed (initial 1s)
+  sent_.clear();
+  sim_.run_until(TimePoint::zero() + Duration::seconds(1));
+  EXPECT_EQ(snd.stats().timeouts, 1u);
+  ASSERT_EQ(sent_.size(), 1u);
+  EXPECT_EQ(sent_[0].seq, 1u);
+  EXPECT_TRUE(sent_[0].is_retransmission);
+  EXPECT_NEAR(snd.cwnd(), 1.0, 1e-9);
+  EXPECT_TRUE(snd.in_timeout_recovery());
+  EXPECT_EQ(snd.rto_estimator().backoff_multiplier(), 2u);
+  // snd_next pulled back to snd_una + 1 (go-back-N).
+  EXPECT_EQ(snd.snd_next(), 2u);
+}
+
+TEST_F(SenderFixture, ConsecutiveTimeoutsDoubleTheTimer) {
+  TcpConfig cfg;
+  cfg.initial_cwnd = 1.0;
+  TcpSender snd = make_sender(cfg);
+  snd.start();
+  // First RTO at t=1s, second at 1+2=3s, third at 3+4=7s (initial RTO 1s).
+  sim_.run_until(TimePoint::zero() + Duration::seconds(7));
+  EXPECT_EQ(snd.stats().timeouts, 3u);
+  EXPECT_EQ(snd.rto_estimator().backoff_multiplier(), 8u);
+  EXPECT_EQ(snd.stats().retransmissions, 3u);
+  std::vector<SeqNo> seqs = sent_seqs();
+  // Only segment 1, retransmitted repeatedly.
+  for (SeqNo s : seqs) EXPECT_EQ(s, 1u);
+}
+
+TEST_F(SenderFixture, RecoveryExitResetsBackoffAndEntersSlowStart) {
+  TcpConfig cfg;
+  cfg.initial_cwnd = 4.0;
+  TcpSender snd = make_sender(cfg);
+  snd.start();
+  sim_.run_until(TimePoint::zero() + Duration::seconds(1));  // RTO
+  ASSERT_TRUE(snd.in_timeout_recovery());
+  snd.on_ack(ack(2));
+  EXPECT_FALSE(snd.in_timeout_recovery());
+  EXPECT_EQ(snd.rto_estimator().backoff_multiplier(), 1u);
+  // Slow start from 1: cwnd grew by the newly acked amount.
+  EXPECT_NEAR(snd.cwnd(), 2.0, 1e-9);
+  // Events logged: timeout, recovery exit, slow start.
+  bool saw_to = false, saw_exit = false, saw_ss = false;
+  for (const auto& e : snd.events()) {
+    saw_to |= e.type == SenderEventType::kTimeout;
+    saw_exit |= e.type == SenderEventType::kRecoveryExit;
+    saw_ss |= e.type == SenderEventType::kSlowStartEntered;
+  }
+  EXPECT_TRUE(saw_to && saw_exit && saw_ss);
+}
+
+TEST_F(SenderFixture, SpuriousTimeoutAckJumpAdvancesPastResendPointer) {
+  TcpConfig cfg;
+  cfg.initial_cwnd = 4.0;
+  TcpSender snd = make_sender(cfg);
+  snd.start();  // 1..4 in flight
+  sim_.run_until(TimePoint::zero() + Duration::seconds(1));  // RTO, resend 1
+  // The receiver actually had everything: cumulative ACK jumps to 5.
+  snd.on_ack(ack(5));
+  EXPECT_EQ(snd.snd_una(), 5u);
+  EXPECT_GE(snd.snd_next(), 5u);
+  // New data flows again.
+  sent_.clear();
+  snd.on_ack(ack(5));  // no-op duplicate while nothing outstanding
+  EXPECT_FALSE(snd.in_timeout_recovery());
+}
+
+TEST_F(SenderFixture, KarnNoRttSampleFromRetransmittedSegment) {
+  TcpConfig cfg;
+  cfg.initial_cwnd = 1.0;
+  TcpSender snd = make_sender(cfg);
+  snd.start();
+  sim_.run_until(TimePoint::zero() + Duration::seconds(1));  // RTO, retx of 1
+  EXPECT_EQ(snd.stats().timeouts, 1u);
+  snd.on_ack(ack(2));  // acks the retransmitted segment
+  // Karn: ambiguous sample discarded; estimator still has no sample.
+  EXPECT_FALSE(snd.rto_estimator().has_sample());
+}
+
+TEST_F(SenderFixture, RttSampleTakenFromCleanSegment) {
+  TcpConfig cfg;
+  cfg.initial_cwnd = 2.0;
+  TcpSender snd = make_sender(cfg);
+  snd.start();
+  sim_.after(Duration::millis(80), [&] { snd.on_ack(ack(3)); });
+  sim_.run_until(TimePoint::zero() + Duration::millis(100));
+  ASSERT_TRUE(snd.rto_estimator().has_sample());
+  EXPECT_EQ(snd.rto_estimator().srtt(), Duration::millis(80));
+}
+
+TEST_F(SenderFixture, FiniteBacklogFinishes) {
+  TcpConfig cfg;
+  cfg.initial_cwnd = 4.0;
+  cfg.total_segments = 3;
+  TcpSender snd = make_sender(cfg);
+  snd.start();
+  EXPECT_EQ(sent_seqs(), (std::vector<SeqNo>{1, 2, 3}));
+  snd.on_ack(ack(4));
+  EXPECT_TRUE(snd.finished());
+  // Timer disarmed; no RTO fires later.
+  sim_.run_until(TimePoint::zero() + Duration::seconds(5));
+  EXPECT_EQ(snd.stats().timeouts, 0u);
+}
+
+TEST_F(SenderFixture, AddAvailableSegmentsFeedsIdleSender) {
+  TcpConfig cfg;
+  cfg.initial_cwnd = 4.0;
+  cfg.total_segments = 0;  // nothing to send initially
+  TcpSender snd = make_sender(cfg);
+  snd.start();
+  EXPECT_TRUE(sent_.empty());
+  snd.add_available_segments(2);
+  EXPECT_EQ(sent_seqs(), (std::vector<SeqNo>{1, 2}));
+}
+
+TEST_F(SenderFixture, TimeoutCallbackFires) {
+  TcpConfig cfg;
+  cfg.initial_cwnd = 1.0;
+  TcpSender snd = make_sender(cfg);
+  std::vector<SeqNo> timed_out;
+  snd.set_timeout_callback([&](SeqNo s) { timed_out.push_back(s); });
+  snd.start();
+  sim_.run_until(TimePoint::zero() + Duration::seconds(1));
+  EXPECT_EQ(timed_out, (std::vector<SeqNo>{1}));
+}
+
+TEST_F(SenderFixture, CwndTraceRecordsChanges) {
+  TcpConfig cfg;
+  cfg.initial_cwnd = 2.0;
+  TcpSender snd = make_sender(cfg);
+  snd.start();
+  snd.on_ack(ack(3));
+  EXPECT_GE(snd.cwnd_trace().size(), 2u);
+  EXPECT_NEAR(snd.cwnd_trace().front().second, 2.0, 1e-9);
+}
+
+TEST_F(SenderFixture, StaleAckBelowSndUnaIgnored) {
+  TcpConfig cfg;
+  cfg.initial_cwnd = 4.0;
+  TcpSender snd = make_sender(cfg);
+  snd.start();
+  snd.on_ack(ack(4));
+  const double cwnd = snd.cwnd();
+  snd.on_ack(ack(2));  // stale: below snd_una
+  EXPECT_EQ(snd.snd_una(), 4u);
+  EXPECT_DOUBLE_EQ(snd.cwnd(), cwnd);
+  EXPECT_EQ(snd.stats().fast_retransmits, 0u);
+}
+
+}  // namespace
+}  // namespace hsr::tcp

@@ -1,0 +1,106 @@
+#include "trace/capture.h"
+
+#include <gtest/gtest.h>
+
+namespace hsr::trace {
+namespace {
+
+Packet data(std::uint64_t id, SeqNo seq) {
+  Packet p;
+  p.id = id;
+  p.kind = net::PacketKind::kData;
+  p.seq = seq;
+  p.size_bytes = 1400;
+  return p;
+}
+
+Packet ack(std::uint64_t id, SeqNo ack_next) {
+  Packet p;
+  p.id = id;
+  p.kind = net::PacketKind::kAck;
+  p.ack_next = ack_next;
+  p.size_bytes = 52;
+  return p;
+}
+
+TEST(DirectionCaptureTest, RecordsFates) {
+  DirectionCapture cap;
+  cap.on_send(data(1, 1), TimePoint::from_ns(100));
+  cap.on_deliver(data(1, 1), TimePoint::from_ns(100), TimePoint::from_ns(400));
+  cap.on_send(data(2, 2), TimePoint::from_ns(200));
+  cap.on_drop(data(2, 2), TimePoint::from_ns(200), DropReason::kChannelLoss);
+
+  ASSERT_EQ(cap.sent_count(), 2u);
+  EXPECT_EQ(cap.lost_count(), 1u);
+  EXPECT_DOUBLE_EQ(cap.loss_rate(), 0.5);
+
+  const auto& txs = cap.transmissions();
+  EXPECT_FALSE(txs[0].lost());
+  EXPECT_EQ(txs[0].transit(), util::Duration::nanos(300));
+  EXPECT_TRUE(txs[1].lost());
+  EXPECT_EQ(*txs[1].drop_reason, DropReason::kChannelLoss);
+}
+
+TEST(DirectionCaptureTest, MeanTransitOverDeliveredOnly) {
+  DirectionCapture cap;
+  cap.on_send(data(1, 1), TimePoint::from_ns(0));
+  cap.on_deliver(data(1, 1), TimePoint::from_ns(0), TimePoint::from_ns(100));
+  cap.on_send(data(2, 2), TimePoint::from_ns(0));
+  cap.on_deliver(data(2, 2), TimePoint::from_ns(0), TimePoint::from_ns(300));
+  cap.on_send(data(3, 3), TimePoint::from_ns(0));
+  cap.on_drop(data(3, 3), TimePoint::from_ns(0), DropReason::kQueueOverflow);
+  EXPECT_EQ(cap.mean_transit(), util::Duration::nanos(200));
+}
+
+TEST(DirectionCaptureTest, EmptyCaptureIsSafe) {
+  DirectionCapture cap;
+  EXPECT_EQ(cap.sent_count(), 0u);
+  EXPECT_DOUBLE_EQ(cap.loss_rate(), 0.0);
+  EXPECT_EQ(cap.mean_transit(), util::Duration::zero());
+}
+
+TEST(FlowCaptureTest, UniqueSegmentsCountsDistinctDeliveries) {
+  FlowCapture cap;
+  cap.data.on_send(data(1, 5), TimePoint::from_ns(0));
+  cap.data.on_deliver(data(1, 5), TimePoint::from_ns(0), TimePoint::from_ns(10));
+  cap.data.on_send(data(2, 5), TimePoint::from_ns(20));  // duplicate delivery
+  cap.data.on_deliver(data(2, 5), TimePoint::from_ns(20), TimePoint::from_ns(30));
+  cap.data.on_send(data(3, 6), TimePoint::from_ns(40));
+  cap.data.on_drop(data(3, 6), TimePoint::from_ns(40), DropReason::kChannelLoss);
+  EXPECT_EQ(cap.unique_segments_delivered(), 1u);
+  EXPECT_EQ(cap.highest_delivered_seq(), 5u);
+}
+
+TEST(FlowCaptureTest, SpanCoversBothDirections) {
+  FlowCapture cap;
+  cap.data.on_send(data(1, 1), TimePoint::from_ns(100));
+  cap.data.on_deliver(data(1, 1), TimePoint::from_ns(100), TimePoint::from_ns(250));
+  cap.acks.on_send(ack(2, 2), TimePoint::from_ns(300));
+  cap.acks.on_deliver(ack(2, 2), TimePoint::from_ns(300), TimePoint::from_ns(500));
+  EXPECT_EQ(cap.span(), util::Duration::nanos(400));
+}
+
+TEST(FlowCaptureTest, EstimatedRttSumsDirections) {
+  FlowCapture cap;
+  cap.data.on_send(data(1, 1), TimePoint::from_ns(0));
+  cap.data.on_deliver(data(1, 1), TimePoint::from_ns(0), TimePoint::from_ns(1000));
+  cap.acks.on_send(ack(2, 2), TimePoint::from_ns(1000));
+  cap.acks.on_deliver(ack(2, 2), TimePoint::from_ns(1000), TimePoint::from_ns(1500));
+  EXPECT_EQ(cap.estimated_rtt(), util::Duration::nanos(1500));
+}
+
+TEST(FlowCaptureTest, EmptySpanIsZero) {
+  FlowCapture cap;
+  EXPECT_EQ(cap.span(), util::Duration::zero());
+  EXPECT_EQ(cap.unique_segments_delivered(), 0u);
+  EXPECT_EQ(cap.highest_delivered_seq(), 0u);
+}
+
+TEST(DirectionCaptureDeathTest, DropForUnseenPacketAborts) {
+  DirectionCapture cap;
+  EXPECT_DEATH(cap.on_drop(data(99, 1), TimePoint::zero(), DropReason::kChannelLoss),
+               "unseen");
+}
+
+}  // namespace
+}  // namespace hsr::trace

@@ -1,0 +1,119 @@
+#include "trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hsr::trace {
+namespace {
+
+FlowCapture sample_capture() {
+  FlowCapture cap;
+  cap.flow = 9;
+
+  Packet d1;
+  d1.id = 1;
+  d1.flow = 9;
+  d1.kind = net::PacketKind::kData;
+  d1.seq = 1;
+  d1.size_bytes = 1400;
+  cap.data.on_send(d1, TimePoint::from_ns(1000));
+  cap.data.on_deliver(d1, TimePoint::from_ns(1000), TimePoint::from_ns(31000));
+
+  Packet d2 = d1;
+  d2.id = 2;
+  d2.seq = 2;
+  d2.retx_count = 1;
+  d2.is_retransmission = true;
+  cap.data.on_send(d2, TimePoint::from_ns(2000));
+  cap.data.on_drop(d2, TimePoint::from_ns(2000), net::DropReason::kChannelLoss);
+
+  Packet a1;
+  a1.id = 3;
+  a1.flow = 9;
+  a1.kind = net::PacketKind::kAck;
+  a1.ack_next = 2;
+  a1.size_bytes = 52;
+  cap.acks.on_send(a1, TimePoint::from_ns(35000));
+  cap.acks.on_drop(a1, TimePoint::from_ns(35000), net::DropReason::kQueueOverflow);
+  return cap;
+}
+
+TEST(TraceIoTest, RoundTripPreservesEverything) {
+  const FlowCapture original = sample_capture();
+  std::stringstream ss;
+  write_flow_capture(ss, original);
+
+  auto loaded = read_flow_capture(ss);
+  ASSERT_TRUE(loaded.is_ok());
+  const FlowCapture& cap = loaded.value();
+
+  EXPECT_EQ(cap.flow, 9u);
+  ASSERT_EQ(cap.data.sent_count(), 2u);
+  ASSERT_EQ(cap.acks.sent_count(), 1u);
+
+  const auto& d = cap.data.transmissions();
+  EXPECT_EQ(d[0].packet.seq, 1u);
+  EXPECT_EQ(d[0].sent, TimePoint::from_ns(1000));
+  ASSERT_TRUE(d[0].arrived.has_value());
+  EXPECT_EQ(*d[0].arrived, TimePoint::from_ns(31000));
+  EXPECT_EQ(d[0].packet.kind, net::PacketKind::kData);
+
+  EXPECT_TRUE(d[1].lost());
+  EXPECT_EQ(*d[1].drop_reason, net::DropReason::kChannelLoss);
+  EXPECT_EQ(d[1].packet.retx_count, 1u);
+  EXPECT_TRUE(d[1].packet.is_retransmission);
+
+  const auto& a = cap.acks.transmissions();
+  EXPECT_EQ(a[0].packet.ack_next, 2u);
+  EXPECT_EQ(*a[0].drop_reason, net::DropReason::kQueueOverflow);
+}
+
+TEST(TraceIoTest, LostPacketsSerializeAsMinusOne) {
+  std::stringstream ss;
+  write_flow_capture(ss, sample_capture());
+  const std::string text = ss.str();
+  EXPECT_NE(text.find(" -1 "), std::string::npos);
+  EXPECT_NE(text.find("hsrtrace-v1 flow=9"), std::string::npos);
+}
+
+TEST(TraceIoTest, RejectsBadHeader) {
+  std::stringstream ss("not-a-trace flow=1\n");
+  auto loaded = read_flow_capture(ss);
+  EXPECT_FALSE(loaded.is_ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(TraceIoTest, RejectsMalformedLine) {
+  std::stringstream ss("hsrtrace-v1 flow=1\nD garbage\n");
+  auto loaded = read_flow_capture(ss);
+  EXPECT_FALSE(loaded.is_ok());
+}
+
+TEST(TraceIoTest, EmptyCaptureRoundTrips) {
+  FlowCapture cap;
+  cap.flow = 4;
+  std::stringstream ss;
+  write_flow_capture(ss, cap);
+  auto loaded = read_flow_capture(ss);
+  ASSERT_TRUE(loaded.is_ok());
+  EXPECT_EQ(loaded.value().flow, 4u);
+  EXPECT_EQ(loaded.value().data.sent_count(), 0u);
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/hsr_trace_test.txt";
+  ASSERT_TRUE(save_flow_capture(path, sample_capture()).is_ok());
+  auto loaded = load_flow_capture(path);
+  ASSERT_TRUE(loaded.is_ok());
+  EXPECT_EQ(loaded.value().data.sent_count(), 2u);
+}
+
+TEST(TraceIoTest, MissingFileIsNotFound) {
+  auto loaded = load_flow_capture("/nonexistent/dir/trace.txt");
+  EXPECT_FALSE(loaded.is_ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace hsr::trace

@@ -1,0 +1,61 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hsr::util {
+namespace {
+
+TEST(CsvWriterTest, PlainRow) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(CsvWriterTest, QuotesFieldsWithCommas) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"x,y", "z"});
+  EXPECT_EQ(os.str(), "\"x,y\",z\n");
+}
+
+TEST(CsvWriterTest, EscapesEmbeddedQuotes) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"say \"hi\""});
+  EXPECT_EQ(os.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriterTest, QuotesNewlines) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"two\nlines", "ok"});
+  EXPECT_EQ(os.str(), "\"two\nlines\",ok\n");
+}
+
+TEST(CsvWriterTest, HeterogeneousRowHelper) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row("flow", 42, 2.5, 'x');
+  EXPECT_EQ(os.str(), "flow,42,2.5,x\n");
+}
+
+TEST(CsvWriterTest, EmptyFields) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"", "", ""});
+  EXPECT_EQ(os.str(), ",,\n");
+}
+
+TEST(CsvWriterTest, MultipleRows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row(1, 2);
+  w.row(3, 4);
+  EXPECT_EQ(os.str(), "1,2\n3,4\n");
+}
+
+}  // namespace
+}  // namespace hsr::util

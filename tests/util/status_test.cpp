@@ -1,0 +1,62 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace hsr::util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::invalid_argument("bad p");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad p");
+  EXPECT_EQ(s.to_string(), "INVALID_ARGUMENT: bad p");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::not_found("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::out_of_range("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::failed_precondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusCodeNameTest, AllNames) {
+  EXPECT_STREQ(status_code_name(StatusCode::kOk), "OK");
+  EXPECT_STREQ(status_code_name(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(status_code_name(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.is_ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(v.value_or(-1), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::not_found("missing"));
+  EXPECT_FALSE(v.is_ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(v.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, ValueOnErrorThrows) {
+  StatusOr<int> v(Status::internal("boom"));
+  EXPECT_THROW((void)v.value(), std::runtime_error);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v(std::make_unique<int>(7));
+  ASSERT_TRUE(v.is_ok());
+  EXPECT_EQ(*v.value(), 7);
+}
+
+}  // namespace
+}  // namespace hsr::util

@@ -1,0 +1,78 @@
+#include "util/time.h"
+
+#include <gtest/gtest.h>
+
+namespace hsr::util {
+namespace {
+
+TEST(DurationTest, Constructors) {
+  EXPECT_EQ(Duration::nanos(5).ns(), 5);
+  EXPECT_EQ(Duration::micros(3).ns(), 3'000);
+  EXPECT_EQ(Duration::millis(2).ns(), 2'000'000);
+  EXPECT_EQ(Duration::seconds(1).ns(), 1'000'000'000);
+  EXPECT_EQ(Duration::zero().ns(), 0);
+}
+
+TEST(DurationTest, FromSecondsRoundsToNearestNanosecond) {
+  EXPECT_EQ(Duration::from_seconds(1.5).ns(), 1'500'000'000);
+  EXPECT_EQ(Duration::from_seconds(0.1234567891).ns(), 123'456'789);
+  EXPECT_EQ(Duration::from_seconds(-0.5).ns(), -500'000'000);
+}
+
+TEST(DurationTest, Arithmetic) {
+  const Duration a = Duration::millis(100);
+  const Duration b = Duration::millis(30);
+  EXPECT_EQ((a + b).ns(), Duration::millis(130).ns());
+  EXPECT_EQ((a - b).ns(), Duration::millis(70).ns());
+  EXPECT_EQ((a * 3).ns(), Duration::millis(300).ns());
+  EXPECT_EQ((a / 2).ns(), Duration::millis(50).ns());
+}
+
+TEST(DurationTest, CompoundAssignment) {
+  Duration d = Duration::millis(10);
+  d += Duration::millis(5);
+  EXPECT_EQ(d, Duration::millis(15));
+  d -= Duration::millis(15);
+  EXPECT_EQ(d, Duration::zero());
+}
+
+TEST(DurationTest, Comparisons) {
+  EXPECT_LT(Duration::millis(1), Duration::millis(2));
+  EXPECT_GT(Duration::seconds(1), Duration::millis(999));
+  EXPECT_EQ(Duration::micros(1000), Duration::millis(1));
+  EXPECT_LE(Duration::zero(), Duration::zero());
+}
+
+TEST(DurationTest, Conversions) {
+  EXPECT_DOUBLE_EQ(Duration::millis(1500).to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::micros(2500).to_millis(), 2.5);
+}
+
+TEST(DurationTest, ScaledRounds) {
+  EXPECT_EQ(Duration::millis(100).scaled(1.5), Duration::millis(150));
+  EXPECT_EQ(Duration::nanos(3).scaled(0.5), Duration::nanos(2));  // 1.5 + 0.5 -> 2
+}
+
+TEST(TimePointTest, OriginAndOffsets) {
+  const TimePoint t0 = TimePoint::zero();
+  const TimePoint t1 = t0 + Duration::seconds(2);
+  EXPECT_EQ((t1 - t0), Duration::seconds(2));
+  EXPECT_EQ((t1 - Duration::seconds(2)), t0);
+  EXPECT_EQ(t1.ns(), 2'000'000'000);
+}
+
+TEST(TimePointTest, Comparisons) {
+  const TimePoint a = TimePoint::from_ns(5);
+  const TimePoint b = TimePoint::from_ns(9);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, TimePoint::from_ns(5));
+  EXPECT_LT(a, TimePoint::max());
+}
+
+TEST(TimePointTest, FromSeconds) {
+  EXPECT_EQ(TimePoint::from_seconds(1.25).ns(), 1'250'000'000);
+  EXPECT_DOUBLE_EQ(TimePoint::from_seconds(3.5).to_seconds(), 3.5);
+}
+
+}  // namespace
+}  // namespace hsr::util

@@ -1,0 +1,82 @@
+#include "workload/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace hsr::workload {
+namespace {
+
+TEST(DatasetSpecTest, PaperTable1FullScale) {
+  const DatasetSpec spec = DatasetSpec::paper_table1(1.0);
+  ASSERT_EQ(spec.campaigns.size(), 4u);
+  EXPECT_EQ(spec.campaigns[0].flows, 52u);  // January, Mobile
+  EXPECT_EQ(spec.campaigns[1].flows, 73u);  // October, Mobile
+  EXPECT_EQ(spec.campaigns[2].flows, 65u);  // October, Unicom
+  EXPECT_EQ(spec.campaigns[3].flows, 65u);  // October, Telecom
+  unsigned total = 0;
+  for (const auto& c : spec.campaigns) total += c.flows;
+  EXPECT_EQ(total, 255u);  // the paper's 255 flows
+  EXPECT_EQ(spec.campaigns[0].trips, 8u);
+  EXPECT_EQ(spec.campaigns[1].trips, 24u);
+}
+
+TEST(DatasetSpecTest, ScalingShrinksProportionally) {
+  const DatasetSpec spec = DatasetSpec::paper_table1(0.1);
+  EXPECT_EQ(spec.campaigns[0].flows, 5u);
+  EXPECT_EQ(spec.campaigns[1].flows, 7u);
+  // Never below one flow per campaign.
+  const DatasetSpec tiny = DatasetSpec::paper_table1(0.001);
+  for (const auto& c : tiny.campaigns) EXPECT_GE(c.flows, 1u);
+}
+
+TEST(GenerateDatasetTest, SmallCorpusEndToEnd) {
+  DatasetSpec spec = DatasetSpec::paper_table1(0.03);
+  spec.stationary_flows_per_provider = 2;
+  spec.flow_duration_min = util::Duration::seconds(20);
+  spec.flow_duration_max = util::Duration::seconds(30);
+  const DatasetResult ds = generate_dataset(spec);
+
+  unsigned expected_hs = 0;
+  for (const auto& c : spec.campaigns) expected_hs += c.flows;
+  EXPECT_EQ(ds.flows.size(), expected_hs + 3 * 2u);  // + stationary controls
+  EXPECT_EQ(ds.corpus.size(), ds.flows.size());
+  EXPECT_GT(ds.total_capture_gb(), 0.0);
+
+  // Providers appear under their short names, both mobilities present.
+  EXPECT_GE(ds.flow_count("China Mobile", true), 2u);
+  EXPECT_EQ(ds.flow_count("China Mobile", false), 2u);
+  EXPECT_EQ(ds.flow_count("China Unicom", false), 2u);
+  EXPECT_EQ(ds.flow_count("China Telecom", false), 2u);
+
+  for (const auto& f : ds.flows) {
+    EXPECT_GT(f.goodput_pps, 0.0);
+    EXPECT_GT(f.analysis.unique_segments, 0u);
+  }
+}
+
+TEST(GenerateDatasetTest, DeterministicForSeed) {
+  DatasetSpec spec = DatasetSpec::paper_table1(0.02);
+  spec.stationary_flows_per_provider = 1;
+  spec.flow_duration_min = util::Duration::seconds(15);
+  spec.flow_duration_max = util::Duration::seconds(20);
+  const DatasetResult a = generate_dataset(spec);
+  const DatasetResult b = generate_dataset(spec);
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_EQ(a.flows[i].bytes_captured, b.flows[i].bytes_captured);
+    EXPECT_DOUBLE_EQ(a.flows[i].goodput_pps, b.flows[i].goodput_pps);
+  }
+}
+
+TEST(GenerateDatasetTest, HighSpeedWorseThanStationary) {
+  DatasetSpec spec = DatasetSpec::paper_table1(0.04);
+  spec.stationary_flows_per_provider = 3;
+  spec.flow_duration_min = util::Duration::seconds(30);
+  spec.flow_duration_max = util::Duration::seconds(45);
+  const DatasetResult ds = generate_dataset(spec);
+  const auto h = ds.corpus.headline();
+  EXPECT_GT(h.mean_ack_loss_highspeed, h.mean_ack_loss_stationary);
+  EXPECT_GT(h.mean_recovery_s_highspeed, h.mean_recovery_s_stationary);
+}
+
+}  // namespace
+}  // namespace hsr::workload
