@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_mitigations.dir/bench_ext_mitigations.cpp.o"
+  "CMakeFiles/bench_ext_mitigations.dir/bench_ext_mitigations.cpp.o.d"
+  "bench_ext_mitigations"
+  "bench_ext_mitigations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_mitigations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_precious_ack.dir/bench_fig11_precious_ack.cpp.o"
+  "CMakeFiles/bench_fig11_precious_ack.dir/bench_fig11_precious_ack.cpp.o.d"
+  "bench_fig11_precious_ack"
+  "bench_fig11_precious_ack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_precious_ack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_mptcp.dir/bench_fig12_mptcp.cpp.o"
+  "CMakeFiles/bench_fig12_mptcp.dir/bench_fig12_mptcp.cpp.o.d"
+  "bench_fig12_mptcp"
+  "bench_fig12_mptcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_mptcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_ack_timeout_corr.dir/bench_fig4_ack_timeout_corr.cpp.o"
+  "CMakeFiles/bench_fig4_ack_timeout_corr.dir/bench_fig4_ack_timeout_corr.cpp.o.d"
+  "bench_fig4_ack_timeout_corr"
+  "bench_fig4_ack_timeout_corr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_ack_timeout_corr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

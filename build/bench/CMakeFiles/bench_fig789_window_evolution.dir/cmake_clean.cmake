@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig789_window_evolution.dir/bench_fig789_window_evolution.cpp.o"
+  "CMakeFiles/bench_fig789_window_evolution.dir/bench_fig789_window_evolution.cpp.o.d"
+  "bench_fig789_window_evolution"
+  "bench_fig789_window_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig789_window_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_delayed_ack.dir/bench_sec5_delayed_ack.cpp.o"
+  "CMakeFiles/bench_sec5_delayed_ack.dir/bench_sec5_delayed_ack.cpp.o.d"
+  "bench_sec5_delayed_ack"
+  "bench_sec5_delayed_ack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_delayed_ack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

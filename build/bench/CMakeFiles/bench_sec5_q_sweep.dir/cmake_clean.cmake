@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_q_sweep.dir/bench_sec5_q_sweep.cpp.o"
+  "CMakeFiles/bench_sec5_q_sweep.dir/bench_sec5_q_sweep.cpp.o.d"
+  "bench_sec5_q_sweep"
+  "bench_sec5_q_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_q_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btr_journey.dir/btr_journey.cpp.o"
+  "CMakeFiles/btr_journey.dir/btr_journey.cpp.o.d"
+  "btr_journey"
+  "btr_journey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btr_journey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for btr_journey.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for btr_journey.
+# This may be replaced when dependencies are built.

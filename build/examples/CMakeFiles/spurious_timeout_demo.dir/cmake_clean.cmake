@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spurious_timeout_demo.dir/spurious_timeout_demo.cpp.o"
+  "CMakeFiles/spurious_timeout_demo.dir/spurious_timeout_demo.cpp.o.d"
+  "spurious_timeout_demo"
+  "spurious_timeout_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spurious_timeout_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

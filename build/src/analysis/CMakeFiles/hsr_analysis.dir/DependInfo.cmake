@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/corpus.cpp" "src/analysis/CMakeFiles/hsr_analysis.dir/corpus.cpp.o" "gcc" "src/analysis/CMakeFiles/hsr_analysis.dir/corpus.cpp.o.d"
+  "/root/repo/src/analysis/flow_analysis.cpp" "src/analysis/CMakeFiles/hsr_analysis.dir/flow_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/hsr_analysis.dir/flow_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/hsr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hsr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hsr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hsr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

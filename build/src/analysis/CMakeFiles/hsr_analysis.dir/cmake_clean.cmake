@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsr_analysis.dir/corpus.cpp.o"
+  "CMakeFiles/hsr_analysis.dir/corpus.cpp.o.d"
+  "CMakeFiles/hsr_analysis.dir/flow_analysis.cpp.o"
+  "CMakeFiles/hsr_analysis.dir/flow_analysis.cpp.o.d"
+  "libhsr_analysis.a"
+  "libhsr_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsr_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

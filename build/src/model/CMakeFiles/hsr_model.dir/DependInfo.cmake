@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/enhanced.cpp" "src/model/CMakeFiles/hsr_model.dir/enhanced.cpp.o" "gcc" "src/model/CMakeFiles/hsr_model.dir/enhanced.cpp.o.d"
+  "/root/repo/src/model/padhye.cpp" "src/model/CMakeFiles/hsr_model.dir/padhye.cpp.o" "gcc" "src/model/CMakeFiles/hsr_model.dir/padhye.cpp.o.d"
+  "/root/repo/src/model/params.cpp" "src/model/CMakeFiles/hsr_model.dir/params.cpp.o" "gcc" "src/model/CMakeFiles/hsr_model.dir/params.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/hsr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hsr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hsr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hsr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hsr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

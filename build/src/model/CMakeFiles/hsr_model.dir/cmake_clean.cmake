@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsr_model.dir/enhanced.cpp.o"
+  "CMakeFiles/hsr_model.dir/enhanced.cpp.o.d"
+  "CMakeFiles/hsr_model.dir/padhye.cpp.o"
+  "CMakeFiles/hsr_model.dir/padhye.cpp.o.d"
+  "CMakeFiles/hsr_model.dir/params.cpp.o"
+  "CMakeFiles/hsr_model.dir/params.cpp.o.d"
+  "libhsr_model.a"
+  "libhsr_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsr_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

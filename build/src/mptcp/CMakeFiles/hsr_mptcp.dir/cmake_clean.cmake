@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsr_mptcp.dir/mptcp.cpp.o"
+  "CMakeFiles/hsr_mptcp.dir/mptcp.cpp.o.d"
+  "libhsr_mptcp.a"
+  "libhsr_mptcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsr_mptcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsr_net.dir/channel.cpp.o"
+  "CMakeFiles/hsr_net.dir/channel.cpp.o.d"
+  "CMakeFiles/hsr_net.dir/link.cpp.o"
+  "CMakeFiles/hsr_net.dir/link.cpp.o.d"
+  "CMakeFiles/hsr_net.dir/packet.cpp.o"
+  "CMakeFiles/hsr_net.dir/packet.cpp.o.d"
+  "libhsr_net.a"
+  "libhsr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

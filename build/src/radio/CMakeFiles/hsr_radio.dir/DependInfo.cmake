@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radio/environment.cpp" "src/radio/CMakeFiles/hsr_radio.dir/environment.cpp.o" "gcc" "src/radio/CMakeFiles/hsr_radio.dir/environment.cpp.o.d"
+  "/root/repo/src/radio/profiles.cpp" "src/radio/CMakeFiles/hsr_radio.dir/profiles.cpp.o" "gcc" "src/radio/CMakeFiles/hsr_radio.dir/profiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hsr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hsr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hsr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsr_radio.dir/environment.cpp.o"
+  "CMakeFiles/hsr_radio.dir/environment.cpp.o.d"
+  "CMakeFiles/hsr_radio.dir/profiles.cpp.o"
+  "CMakeFiles/hsr_radio.dir/profiles.cpp.o.d"
+  "libhsr_radio.a"
+  "libhsr_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsr_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

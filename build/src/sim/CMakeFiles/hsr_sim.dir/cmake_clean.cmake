@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsr_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/hsr_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/hsr_sim.dir/simulator.cpp.o"
+  "CMakeFiles/hsr_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/hsr_sim.dir/timer.cpp.o"
+  "CMakeFiles/hsr_sim.dir/timer.cpp.o.d"
+  "libhsr_sim.a"
+  "libhsr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsr_tcp.dir/connection.cpp.o"
+  "CMakeFiles/hsr_tcp.dir/connection.cpp.o.d"
+  "CMakeFiles/hsr_tcp.dir/receiver.cpp.o"
+  "CMakeFiles/hsr_tcp.dir/receiver.cpp.o.d"
+  "CMakeFiles/hsr_tcp.dir/rto.cpp.o"
+  "CMakeFiles/hsr_tcp.dir/rto.cpp.o.d"
+  "CMakeFiles/hsr_tcp.dir/sender.cpp.o"
+  "CMakeFiles/hsr_tcp.dir/sender.cpp.o.d"
+  "libhsr_tcp.a"
+  "libhsr_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsr_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

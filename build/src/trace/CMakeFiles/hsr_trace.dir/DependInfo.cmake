@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/capture.cpp" "src/trace/CMakeFiles/hsr_trace.dir/capture.cpp.o" "gcc" "src/trace/CMakeFiles/hsr_trace.dir/capture.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/hsr_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/hsr_trace.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hsr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hsr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hsr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsr_trace.dir/capture.cpp.o"
+  "CMakeFiles/hsr_trace.dir/capture.cpp.o.d"
+  "CMakeFiles/hsr_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/hsr_trace.dir/trace_io.cpp.o.d"
+  "libhsr_trace.a"
+  "libhsr_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsr_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsr_util.dir/csv.cpp.o"
+  "CMakeFiles/hsr_util.dir/csv.cpp.o.d"
+  "CMakeFiles/hsr_util.dir/logging.cpp.o"
+  "CMakeFiles/hsr_util.dir/logging.cpp.o.d"
+  "CMakeFiles/hsr_util.dir/rng.cpp.o"
+  "CMakeFiles/hsr_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hsr_util.dir/stats.cpp.o"
+  "CMakeFiles/hsr_util.dir/stats.cpp.o.d"
+  "CMakeFiles/hsr_util.dir/status.cpp.o"
+  "CMakeFiles/hsr_util.dir/status.cpp.o.d"
+  "libhsr_util.a"
+  "libhsr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

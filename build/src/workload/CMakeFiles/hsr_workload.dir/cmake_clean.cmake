@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsr_workload.dir/dataset.cpp.o"
+  "CMakeFiles/hsr_workload.dir/dataset.cpp.o.d"
+  "CMakeFiles/hsr_workload.dir/scenario.cpp.o"
+  "CMakeFiles/hsr_workload.dir/scenario.cpp.o.d"
+  "libhsr_workload.a"
+  "libhsr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

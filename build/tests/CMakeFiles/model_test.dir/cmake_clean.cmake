@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_test.dir/model/enhanced_test.cpp.o"
+  "CMakeFiles/model_test.dir/model/enhanced_test.cpp.o.d"
+  "CMakeFiles/model_test.dir/model/padhye_test.cpp.o"
+  "CMakeFiles/model_test.dir/model/padhye_test.cpp.o.d"
+  "CMakeFiles/model_test.dir/model/params_test.cpp.o"
+  "CMakeFiles/model_test.dir/model/params_test.cpp.o.d"
+  "model_test"
+  "model_test.pdb"
+  "model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

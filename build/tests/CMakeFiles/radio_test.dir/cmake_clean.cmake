@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radio_test.dir/radio/environment_test.cpp.o"
+  "CMakeFiles/radio_test.dir/radio/environment_test.cpp.o.d"
+  "CMakeFiles/radio_test.dir/radio/profiles_test.cpp.o"
+  "CMakeFiles/radio_test.dir/radio/profiles_test.cpp.o.d"
+  "CMakeFiles/radio_test.dir/radio/speed_profile_test.cpp.o"
+  "CMakeFiles/radio_test.dir/radio/speed_profile_test.cpp.o.d"
+  "radio_test"
+  "radio_test.pdb"
+  "radio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

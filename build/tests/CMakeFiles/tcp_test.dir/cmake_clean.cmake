@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_test.dir/tcp/congestion_control_test.cpp.o"
+  "CMakeFiles/tcp_test.dir/tcp/congestion_control_test.cpp.o.d"
+  "CMakeFiles/tcp_test.dir/tcp/connection_test.cpp.o"
+  "CMakeFiles/tcp_test.dir/tcp/connection_test.cpp.o.d"
+  "CMakeFiles/tcp_test.dir/tcp/frto_test.cpp.o"
+  "CMakeFiles/tcp_test.dir/tcp/frto_test.cpp.o.d"
+  "CMakeFiles/tcp_test.dir/tcp/receiver_test.cpp.o"
+  "CMakeFiles/tcp_test.dir/tcp/receiver_test.cpp.o.d"
+  "CMakeFiles/tcp_test.dir/tcp/rto_test.cpp.o"
+  "CMakeFiles/tcp_test.dir/tcp/rto_test.cpp.o.d"
+  "CMakeFiles/tcp_test.dir/tcp/sack_test.cpp.o"
+  "CMakeFiles/tcp_test.dir/tcp/sack_test.cpp.o.d"
+  "CMakeFiles/tcp_test.dir/tcp/sender_test.cpp.o"
+  "CMakeFiles/tcp_test.dir/tcp/sender_test.cpp.o.d"
+  "tcp_test"
+  "tcp_test.pdb"
+  "tcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

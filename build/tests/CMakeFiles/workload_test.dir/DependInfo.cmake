@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/dataset_test.cpp" "tests/CMakeFiles/workload_test.dir/workload/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/dataset_test.cpp.o.d"
+  "/root/repo/tests/workload/scenario_test.cpp" "tests/CMakeFiles/workload_test.dir/workload/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/scenario_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/hsr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/hsr_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/hsr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/mptcp/CMakeFiles/hsr_mptcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hsr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/hsr_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/hsr_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hsr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hsr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hsr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
