@@ -1,0 +1,51 @@
+# Sanitizer and hardening wiring for every target in the tree.
+#
+# Usage:
+#   cmake -B build -S . -DHSRTCP_SANITIZE=address,undefined   # ASan + UBSan
+#   cmake -B build -S . -DHSRTCP_SANITIZE=thread              # TSan
+#   cmake -B build -S . -DHSRTCP_WERROR=ON                    # warnings are errors
+#
+# Include this module from the top-level CMakeLists.txt BEFORE any
+# add_subdirectory() so the flags reach src/, tests/, bench/, and examples/
+# alike. Sanitized builds also force-enable HSR_DCHECK (see
+# src/util/logging.h) so the runtime invariant layer runs under the
+# sanitizers regardless of build type.
+
+set(HSRTCP_SANITIZE "" CACHE STRING
+    "Comma-separated sanitizers to enable: any of address, undefined, leak, thread (thread excludes the others)")
+option(HSRTCP_WERROR "Treat compiler warnings as errors" OFF)
+
+if(HSRTCP_WERROR)
+  add_compile_options(-Werror)
+endif()
+
+if(NOT HSRTCP_SANITIZE STREQUAL "")
+  string(REPLACE "," ";" _hsr_san_list "${HSRTCP_SANITIZE}")
+
+  set(_hsr_san_flags "")
+  foreach(_san IN LISTS _hsr_san_list)
+    string(STRIP "${_san}" _san)
+    if(_san STREQUAL "address" OR _san STREQUAL "undefined" OR
+       _san STREQUAL "leak" OR _san STREQUAL "thread")
+      list(APPEND _hsr_san_flags "-fsanitize=${_san}")
+    else()
+      message(FATAL_ERROR "HSRTCP_SANITIZE: unknown sanitizer '${_san}' "
+                          "(expected address, undefined, leak, or thread)")
+    endif()
+  endforeach()
+
+  if("-fsanitize=thread" IN_LIST _hsr_san_flags AND
+     ("-fsanitize=address" IN_LIST _hsr_san_flags OR
+      "-fsanitize=leak" IN_LIST _hsr_san_flags))
+    message(FATAL_ERROR "HSRTCP_SANITIZE: thread cannot be combined with address/leak")
+  endif()
+
+  add_compile_options(${_hsr_san_flags} -fno-omit-frame-pointer -fno-sanitize-recover=all)
+  add_link_options(${_hsr_san_flags})
+
+  # Sanitized runs exist to catch bugs: turn the debug-only invariant layer
+  # on even in optimized build types.
+  add_compile_definitions(HSR_FORCE_DCHECKS=1)
+
+  message(STATUS "hsrtcp: sanitizers enabled: ${HSRTCP_SANITIZE}")
+endif()

@@ -42,6 +42,12 @@ double deviation_rate(double model_pps, double trace_pps) {
 EnhancedBreakdown enhanced_model(const EnhancedInputs& in, EnhancedVariant variant) {
   const auto& [rtt, t0, b, w_m] = in.path;
   HSR_CHECK(rtt > 0.0 && t0 > 0.0 && b >= 1.0 && w_m >= 1.0);
+  // Probability inputs must already be in-domain; the clamps below only
+  // guard the open-interval edges (log/division at exactly 0 or 1), not
+  // out-of-range estimates.
+  HSR_DCHECK_MSG(in.p_d >= 0.0 && in.p_d <= 1.0, "data loss rate p_d outside [0,1]");
+  HSR_DCHECK_MSG(in.P_a >= 0.0 && in.P_a <= 1.0, "ACK-burst probability P_a outside [0,1]");
+  HSR_DCHECK_MSG(in.q >= 0.0 && in.q <= 1.0, "recovery loss rate q outside [0,1]");
 
   const double p_d = std::clamp(in.p_d, 0.0, 0.999999);
   const double pa = std::clamp(in.P_a, 0.0, 0.999999);
@@ -106,7 +112,10 @@ EnhancedBreakdown enhanced_model(const EnhancedInputs& in, EnhancedVariant varia
 }
 
 double enhanced_throughput_pps(const EnhancedInputs& in, EnhancedVariant variant) {
-  return enhanced_model(in, variant).throughput_pps;
+  const double pps = enhanced_model(in, variant).throughput_pps;
+  HSR_DCHECK_MSG(std::isfinite(pps) && pps >= 0.0,
+                 "enhanced model produced a non-finite or negative throughput");
+  return pps;
 }
 
 EnhancedInputs solve_self_consistent_pa(double p_a, EnhancedInputs seed,

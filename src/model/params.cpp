@@ -2,7 +2,28 @@
 
 #include <algorithm>
 
+#include "util/logging.h"
+
 namespace hsr::model {
+
+namespace {
+
+// Model inputs estimated from traces must live in their mathematical
+// domains: probabilities in [0,1], windows and path delays positive. A
+// violation here means the analysis layer produced garbage, and every
+// downstream throughput figure would silently inherit it.
+void check_path_domain(const PathParams& path) {
+  HSR_DCHECK_MSG(path.rtt_s > 0.0, "non-positive RTT");
+  HSR_DCHECK_MSG(path.t0_s > 0.0, "non-positive T0");
+  HSR_DCHECK_MSG(path.b >= 1.0, "delayed-ACK factor b below 1");
+  HSR_DCHECK_MSG(path.w_m >= 1.0, "receiver window below one segment");
+}
+
+void check_probability(double p, const char* what) {
+  HSR_DCHECK_MSG(p >= 0.0 && p <= 1.0, what);
+}
+
+}  // namespace
 
 PathParams path_from_analysis(const analysis::FlowAnalysis& a,
                               const EstimationOptions& opt) {
@@ -19,6 +40,7 @@ PathParams path_from_analysis(const analysis::FlowAnalysis& a,
   }
   path.b = opt.b;
   path.w_m = opt.w_m;
+  check_path_domain(path);
   return path;
 }
 
@@ -48,6 +70,7 @@ PadhyeInputs padhye_inputs_from_analysis(const analysis::FlowAnalysis& a,
   PadhyeInputs in;
   in.p = loss_input(a, opt, /*data_only=*/false);
   in.path = path_from_analysis(a, opt);
+  check_probability(in.p, "loss rate p outside [0,1]");
   return in;
 }
 
@@ -74,6 +97,9 @@ EnhancedInputs enhanced_inputs_from_analysis(const analysis::FlowAnalysis& a,
       in = solve_self_consistent_pa(a.ack_loss_rate, in);
       break;
   }
+  check_probability(in.p_d, "data loss rate p_d outside [0,1]");
+  check_probability(in.P_a, "ACK-burst loss probability P_a outside [0,1]");
+  check_probability(in.q, "recovery loss rate q outside [0,1]");
   return in;
 }
 

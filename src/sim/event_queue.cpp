@@ -25,7 +25,9 @@ EventHandle EventQueue::schedule(TimePoint when, std::function<void()> action) {
 
 void EventQueue::prune() const {
   while (!heap_.empty() && heap_.top().rec->cancelled) {
+    HSR_DCHECK_MSG(!heap_.top().rec->fired, "fired event lingering as tombstone");
     heap_.pop();
+    ++pruned_tombstones_;
   }
 }
 
@@ -45,8 +47,18 @@ TimePoint EventQueue::pop_and_run() {
   HSR_CHECK_MSG(!heap_.empty(), "pop_and_run on empty queue");
   Entry e = heap_.top();
   heap_.pop();
+  HSR_DCHECK_MSG(!e.rec->fired, "event fired twice");
   e.rec->fired = true;
+  ++fired_total_;
   const TimePoint when = e.rec->when;
+  // Virtual time never runs backwards: the heap must hand events out in
+  // non-decreasing timestamp order.
+  HSR_DCHECK_MSG(when >= last_fired_, "event queue time went backwards");
+  last_fired_ = when;
+  // Tombstone accounting: every event ever scheduled is in the heap, fired,
+  // or was pruned as a cancelled tombstone — nothing is lost or duplicated.
+  HSR_DCHECK_MSG(heap_.size() + fired_total_ + pruned_tombstones_ == next_seq_,
+                 "event accounting out of balance");
   // Move the action out so captured state is released promptly even if the
   // handle outlives the event.
   auto action = std::move(e.rec->action);

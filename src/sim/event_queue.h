@@ -61,6 +61,14 @@ class EventQueue {
   // Total events scheduled over the queue's lifetime (diagnostics).
   std::uint64_t scheduled_total() const { return next_seq_; }
 
+  // Events executed via pop_and_run (diagnostics / invariant accounting).
+  std::uint64_t fired_total() const { return fired_total_; }
+
+  // Cancelled events dropped by lazy pruning. Together with the heap size
+  // and fired_total() this accounts for every event ever scheduled:
+  //   heap size + fired + pruned tombstones == scheduled_total().
+  std::uint64_t pruned_tombstones_total() const { return pruned_tombstones_; }
+
  private:
   struct Entry {
     std::shared_ptr<EventHandle::Record> rec;
@@ -77,6 +85,9 @@ class EventQueue {
 
   mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t fired_total_ = 0;
+  mutable std::uint64_t pruned_tombstones_ = 0;  // prune() runs in const methods
+  TimePoint last_fired_ = TimePoint::zero();     // for monotonicity invariant
 };
 
 }  // namespace hsr::sim

@@ -18,6 +18,9 @@ std::uint64_t Simulator::run_until(TimePoint deadline) {
   std::uint64_t n = 0;
   stopped_ = false;
   while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
+    // The queue can never owe us an event from before the current clock:
+    // at()/after() reject past schedules, so the head is always >= now.
+    HSR_DCHECK_MSG(queue_.next_time() >= now_, "simulation clock would go backwards");
     now_ = queue_.next_time();
     queue_.pop_and_run();
     ++n;

@@ -1,5 +1,7 @@
 #include "tcp/connection.h"
 
+#include "util/logging.h"
+
 namespace hsr::tcp {
 
 Connection::Connection(sim::Simulator& sim, FlowId flow, ConnectionConfig config,
@@ -14,6 +16,7 @@ Connection::Connection(sim::Simulator& sim, FlowId flow, ConnectionConfig config
                 [this](net::Packet p) { uplink_.send(std::move(p)); }),
       sender_(sim, config.tcp, flow,
               [this](net::Packet p) { downlink_.send(std::move(p)); }) {
+  HSR_CHECK_MSG(cfg_.tcp.delayed_ack_b >= 1, "delayed_ack_b must be >= 1");
   downlink_.set_receiver([this](const net::Packet& p) { receiver_.on_data(p); });
   uplink_.set_receiver([this](const net::Packet& p) { sender_.on_ack(p); });
 }
@@ -21,7 +24,13 @@ Connection::Connection(sim::Simulator& sim, FlowId flow, ConnectionConfig config
 double Connection::goodput_segments_per_s() const {
   const double elapsed = sim_.now().to_seconds();
   if (elapsed <= 0.0) return 0.0;
-  return static_cast<double>(receiver_.stats().unique_segments) / elapsed;
+  const double goodput =
+      static_cast<double>(receiver_.stats().unique_segments) / elapsed;
+  // The receiver cannot deliver more unique data than the sender put on the
+  // wire — a violation means the stats plumbing (every figure's input) broke.
+  HSR_DCHECK_MSG(receiver_.stats().unique_segments <= sender_.stats().segments_sent,
+                 "receiver delivered more unique segments than were sent");
+  return goodput;
 }
 
 double Connection::goodput_bps() const {

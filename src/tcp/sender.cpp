@@ -29,6 +29,10 @@ TcpSender::TcpSender(sim::Simulator& sim, TcpConfig config, FlowId flow,
       rto_timer_(sim, [this] { on_rto_expired(); }) {
   HSR_CHECK(send_data_ != nullptr);
   HSR_CHECK(cfg_.initial_cwnd >= 1.0);
+  HSR_CHECK_MSG(cfg_.initial_ssthresh > 0.0, "non-positive initial ssthresh");
+  HSR_CHECK_MSG(cfg_.mss_bytes > 0, "zero MSS");
+  HSR_CHECK_MSG(cfg_.receiver_window >= 1, "zero receiver window");
+  check_invariants();
 }
 
 void TcpSender::start() {
@@ -41,6 +45,7 @@ double TcpSender::effective_window() const {
 }
 
 void TcpSender::try_send() {
+  check_invariants();
   while (static_cast<double>(in_flight()) < std::floor(effective_window()) &&
          snd_next_ <= cfg_.total_segments) {
     if (cfg_.enable_sack && sacked_.contains(snd_next_)) {
@@ -125,6 +130,7 @@ bool TcpSender::retransmit_next_hole() {
 
 void TcpSender::on_ack(const net::Packet& packet) {
   HSR_CHECK(packet.kind == net::PacketKind::kAck);
+  check_invariants();
   ++stats_.acks_received;
   const SeqNo ack_next = packet.ack_next;
   if (cfg_.enable_sack) absorb_sack(packet);
@@ -268,6 +274,7 @@ void TcpSender::on_ack(const net::Packet& packet) {
     rto_timer_.cancel();
   }
   try_send();
+  check_invariants();
 }
 
 double TcpSender::veno_backlog() const {
@@ -342,6 +349,7 @@ void TcpSender::on_rto_expired() {
     snd_next_ = snd_una_ + 1;
   }
   restart_rto_timer();
+  check_invariants();
   if (timeout_callback_) timeout_callback_(snd_una_);
 }
 

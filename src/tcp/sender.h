@@ -16,6 +16,7 @@
 #include "sim/timer.h"
 #include "tcp/rto.h"
 #include "tcp/types.h"
+#include "util/logging.h"
 
 namespace hsr::tcp {
 
@@ -100,6 +101,22 @@ class TcpSender {
   bool retransmit_next_hole();
   // Feeds Veno's backlog estimator with an RTT sample.
   void observe_rtt(Duration rtt);
+
+  // Sender-state invariants, rechecked on every ACK/timeout in debug and
+  // sanitizer builds (HSR_DCHECK). Inline and empty when DCHECKs are off.
+  void check_invariants() const {
+    HSR_DCHECK_MSG(cwnd_ >= 1.0, "cwnd below one segment");
+    HSR_DCHECK_MSG(ssthresh_ > 0.0, "non-positive ssthresh");
+    HSR_DCHECK_MSG(snd_una_ >= 1, "snd_una before first sequence number");
+    HSR_DCHECK_MSG(snd_una_ <= snd_next_, "send window inverted (una > next)");
+    HSR_DCHECK_MSG(highest_transmitted_ + 1 >= snd_una_,
+                   "acknowledged data that was never transmitted");
+    HSR_DCHECK_MSG(segments_.empty() || segments_.begin()->first >= snd_una_,
+                   "stale scoreboard entry below snd_una");
+    HSR_DCHECK_MSG(sacked_.empty() || *sacked_.begin() >= snd_una_,
+                   "stale SACK entry below snd_una");
+    HSR_DCHECK_MSG(frto_phase_ <= 2, "invalid F-RTO phase");
+  }
 
   // Veno's backlog threshold (beta) distinguishing random from congestive
   // loss, in segments (Fu et al. use 3).

@@ -1,10 +1,11 @@
 #include "util/stats.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numeric>
 #include <sstream>
+
+#include "util/logging.h"
 
 namespace hsr::util {
 
@@ -104,7 +105,10 @@ std::vector<std::pair<double, double>> EmpiricalCdf::curve(std::size_t max_point
 Histogram::Histogram(double lo, double hi, std::size_t buckets)
     : lo_(lo), hi_(hi), bucket_width_((hi - lo) / static_cast<double>(buckets)),
       counts_(buckets, 0) {
-  assert(hi > lo && buckets > 0);
+  // HSR_CHECK (not assert): a zero-bucket or inverted-range histogram would
+  // index out of bounds on the first add(), in release builds too.
+  HSR_CHECK_MSG(hi > lo, "histogram range inverted or empty");
+  HSR_CHECK_MSG(buckets > 0, "histogram needs at least one bucket");
 }
 
 void Histogram::add(double x) {

@@ -5,11 +5,12 @@
 // programming error. Programming errors use HSR_CHECK/assertions instead.
 #pragma once
 
-#include <cassert>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
+
+#include "util/logging.h"
 
 namespace hsr::util {
 
@@ -66,7 +67,7 @@ class StatusOr {
  public:
   StatusOr(T value) : value_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
   StatusOr(Status status) : status_(std::move(status)) {   // NOLINT(google-explicit-constructor)
-    assert(!status_.is_ok() && "OK StatusOr must carry a value");
+    HSR_CHECK_MSG(!status_.is_ok(), "OK StatusOr must carry a value");
   }
 
   bool is_ok() const { return value_.has_value(); }

@@ -108,5 +108,62 @@ TEST(EventQueueDeathTest, PopOnEmptyAborts) {
   EXPECT_DEATH(q.pop_and_run(), "empty");
 }
 
+// --- Tombstone accounting ----------------------------------------------------
+
+TEST(EventQueueTest, EmptyPrunesCancelledTombstones) {
+  EventQueue q;
+  std::vector<EventHandle> handles;
+  handles.reserve(5);
+  for (int i = 0; i < 5; ++i) {
+    handles.push_back(q.schedule(TimePoint::from_ns(i + 1), [] {}));
+  }
+  for (auto& h : handles) EXPECT_TRUE(h.cancel());
+  // empty() must see through the five tombstones and drop them.
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pruned_tombstones_total(), 5u);
+  EXPECT_EQ(q.fired_total(), 0u);
+  EXPECT_EQ(q.scheduled_total(), 5u);
+}
+
+TEST(EventQueueTest, NextTimePrunesCancelledHead) {
+  EventQueue q;
+  EventHandle head = q.schedule(TimePoint::from_ns(10), [] {});
+  q.schedule(TimePoint::from_ns(20), [] {});
+  head.cancel();
+  EXPECT_EQ(q.next_time(), TimePoint::from_ns(20));
+  EXPECT_EQ(q.pruned_tombstones_total(), 1u);
+}
+
+TEST(EventQueueTest, DoubleCancelCountsOneTombstone) {
+  EventQueue q;
+  EventHandle h = q.schedule(TimePoint::from_ns(10), [] {});
+  EXPECT_TRUE(h.cancel());
+  EXPECT_FALSE(h.cancel());  // second cancel is a no-op...
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pruned_tombstones_total(), 1u);  // ...and prunes exactly once
+}
+
+TEST(EventQueueTest, CancelAfterFireLeavesNoTombstone) {
+  EventQueue q;
+  EventHandle h = q.schedule(TimePoint::from_ns(10), [] {});
+  q.pop_and_run();
+  EXPECT_FALSE(h.cancel());  // already fired: nothing to cancel or prune
+  EXPECT_EQ(q.fired_total(), 1u);
+  EXPECT_EQ(q.pruned_tombstones_total(), 0u);
+}
+
+TEST(EventQueueTest, AccountingBalancesAfterMixedDrain) {
+  EventQueue q;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 100; ++i) {
+    handles.push_back(q.schedule(TimePoint::from_ns(i), [] {}));
+  }
+  for (std::size_t i = 0; i < handles.size(); i += 3) handles[i].cancel();
+  while (!q.empty()) q.pop_and_run();
+  // Every scheduled event was either fired or pruned as a tombstone.
+  EXPECT_EQ(q.fired_total() + q.pruned_tombstones_total(), q.scheduled_total());
+  EXPECT_EQ(q.pruned_tombstones_total(), 34u);  // ceil(100 / 3)
+}
+
 }  // namespace
 }  // namespace hsr::sim

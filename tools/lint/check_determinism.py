@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Determinism lint for the hsrtcp simulation core.
+
+Experiments must be bit-reproducible given a seed: every stochastic component
+derives its stream from the experiment seed via hsr::util::Rng::fork()
+(src/util/rng.h), and all time is virtual (hsr::util::TimePoint). This lint
+bans the constructs that silently break that discipline inside the simulation
+core directories:
+
+  * wall-clock time:   std::chrono::{system,steady,high_resolution}_clock,
+                       time(nullptr)/time(0)/std::time, clock(), gettimeofday,
+                       clock_gettime, localtime, gmtime
+  * C randomness:      rand(), srand(), random(), drand48 and friends
+  * ambient entropy:   std::random_device
+  * unseeded engines:  std::mt19937 e;  std::default_random_engine e;  ...
+                       (engines must be obtained through Rng, never built raw)
+
+A line may be exempted with a trailing `// determinism-ok: <reason>` marker —
+grep for the marker to audit every exemption.
+
+Exit status: 0 clean, 1 violations found, 2 usage/self-test failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Directories holding the deterministic simulation core, relative to repo root.
+CHECKED_DIRS = ("src/sim", "src/tcp", "src/net", "src/radio")
+
+SOURCE_SUFFIXES = {".cpp", ".h", ".cc", ".hpp"}
+
+EXEMPT_MARKER = "determinism-ok"
+
+# (rule name, compiled regex, human explanation)
+RULES = [
+    (
+        "wall-clock",
+        re.compile(
+            r"std::chrono::(system_clock|steady_clock|high_resolution_clock)"
+            r"|\bchrono::(system_clock|steady_clock|high_resolution_clock)"
+        ),
+        "wall-clock time breaks reproducibility; use sim::Simulator::now()",
+    ),
+    (
+        "c-time",
+        re.compile(
+            r"(\bstd::time\s*\(|(?<![\w:])time\s*\(\s*(nullptr|NULL|0)\s*\)"
+            r"|\bgettimeofday\s*\(|\bclock_gettime\s*\(|(?<![\w:.])clock\s*\(\s*\)"
+            r"|\blocaltime\s*\(|\bgmtime\s*\()"
+        ),
+        "C wall-clock time breaks reproducibility; use sim::Simulator::now()",
+    ),
+    (
+        "c-rand",
+        re.compile(r"(?<![\w:])(s?rand|random|s?rand48|[dlm]rand48)\s*\("),
+        "C randomness is unseeded global state; fork an hsr::util::Rng instead",
+    ),
+    (
+        "random-device",
+        re.compile(r"\brandom_device\b"),
+        "ambient entropy defeats seeded reproduction; fork an hsr::util::Rng",
+    ),
+    (
+        "unseeded-engine",
+        re.compile(
+            r"\bstd::(mt19937(_64)?|minstd_rand0?|default_random_engine|"
+            r"ranlux(24|48)(_base)?|knuth_b)\s+\w+\s*(;|\{\s*\}|\(\s*\))"
+        ),
+        "raw/unseeded engine construction; obtain engines via Rng::fork()",
+    ),
+]
+
+# Embedded corpus for --self-test: each snippet must trip the named rule.
+SELF_TEST_BAD = [
+    ("wall-clock", "auto t = std::chrono::steady_clock::now();"),
+    ("wall-clock", "using clk = std::chrono::high_resolution_clock;"),
+    ("c-time", "std::time(nullptr);"),
+    ("c-time", "long s = time(0);"),
+    ("c-time", "double el = clock() / CLOCKS_PER_SEC;"),
+    ("c-rand", "int x = rand() % 6;"),
+    ("c-rand", "srand(42);"),
+    ("c-rand", "double d = drand48();"),
+    ("random-device", "std::random_device rd;"),
+    ("unseeded-engine", "std::mt19937_64 engine;"),
+    ("unseeded-engine", "std::mt19937 gen{};"),
+    ("unseeded-engine", "std::default_random_engine eng();"),
+    # Raw engine members are banned in the core too: components hold an Rng,
+    # never a bare engine, so substreams stay fork-derived.
+    ("unseeded-engine", "std::mt19937_64 engine_;"),
+]
+
+# Idioms the lint must NOT flag (the repo's own discipline).
+SELF_TEST_GOOD = [
+    "auto rng = root.fork(\"channel\", flow_id);",
+    "std::mt19937_64& engine() { return engine_; }",
+    "return rng.uniform() < p;",
+    "const TimePoint when = sim_.now();",
+    "double jitter = rng_.exponential(mean);",
+    "retransmission_timer_.arm(rto);",
+    "std::random_device rd;  // determinism-ok: test-only entropy audit",
+]
+
+
+def lint_line(line: str):
+    """Returns (rule, explanation) for the first violated rule, else None."""
+    if EXEMPT_MARKER in line:
+        return None
+    code = line.split("//", 1)[0]  # prose in comments is not a violation
+    for name, rx, why in RULES:
+        if rx.search(code):
+            return name, why
+    return None
+
+
+def iter_source_files(root: Path):
+    for rel in CHECKED_DIRS:
+        base = root / rel
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in SOURCE_SUFFIXES and path.is_file():
+                yield path
+
+
+def run_lint(root: Path) -> int:
+    violations = 0
+    files = 0
+    for path in iter_source_files(root):
+        files += 1
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            hit = lint_line(line)
+            if hit:
+                rule, why = hit
+                print(f"{path.relative_to(root)}:{lineno}: [{rule}] {line.strip()}")
+                print(f"    {why}")
+                violations += 1
+    if files == 0:
+        print(f"determinism lint: no source files found under {CHECKED_DIRS}", file=sys.stderr)
+        return 2
+    if violations:
+        print(f"determinism lint: {violations} violation(s) in {files} file(s)")
+        return 1
+    print(f"determinism lint: OK ({files} files clean)")
+    return 0
+
+
+def run_self_test() -> int:
+    failures = []
+    for expected_rule, snippet in SELF_TEST_BAD:
+        hit = lint_line(snippet)
+        if hit is None:
+            failures.append(f"missed [{expected_rule}]: {snippet}")
+        elif hit[0] != expected_rule:
+            failures.append(f"wrong rule ({hit[0]} != {expected_rule}): {snippet}")
+    for snippet in SELF_TEST_GOOD:
+        hit = lint_line(snippet)
+        if hit is not None:
+            failures.append(f"false positive [{hit[0]}]: {snippet}")
+    if failures:
+        for f in failures:
+            print(f"self-test FAIL: {f}")
+        return 2
+    print(f"self-test OK ({len(SELF_TEST_BAD)} bad + {len(SELF_TEST_GOOD)} good snippets)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=Path, default=None,
+                        help="repo root (default: two levels above this script)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the lint catches its embedded bad-construct corpus")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return run_self_test()
+    root = args.root or Path(__file__).resolve().parents[2]
+    return run_lint(root)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
