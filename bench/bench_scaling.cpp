@@ -1,0 +1,97 @@
+// Parallel-runner scaling bench: wall time of generate_dataset at 1/2/4/8
+// threads. Determinism makes the comparison exact — every thread count
+// produces the identical corpus, so the only thing that varies is time.
+//
+// Emits:
+//   bench_out/scaling.csv       one row per thread count
+//   bench_out/BENCH_parallel.json  machine-readable summary
+//
+// Knobs: HSR_BENCH_SCALE / HSR_BENCH_SEED as everywhere else. Thread counts
+// above the machine's core count are still measured (they must be correct,
+// just not faster); the JSON records hardware_concurrency for context.
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace hsr;
+  bench::header("Parallel corpus sharding: scaling");
+
+  workload::DatasetSpec spec = workload::DatasetSpec::paper_table1(bench::scale());
+  spec.seed = bench::seed();
+
+  struct Row {
+    unsigned threads = 0;
+    double wall_s = 0.0;
+    std::uint64_t events = 0;
+    double events_per_s = 0.0;
+    double tombstone_ratio = 0.0;
+    double speedup = 0.0;
+  };
+  std::vector<Row> rows;
+
+  double base_wall = 0.0;
+  std::uint64_t base_bytes = 0;
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    spec.threads = threads;
+    const auto t0 = std::chrono::steady_clock::now();
+    const workload::DatasetResult ds = workload::generate_dataset(spec);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    Row row;
+    row.threads = threads;
+    row.wall_s = std::chrono::duration<double>(t1 - t0).count();
+    row.events = ds.total_sim_events();
+    row.events_per_s = static_cast<double>(row.events) / row.wall_s;
+    row.tombstone_ratio = static_cast<double>(ds.total_sim_tombstones()) /
+                          static_cast<double>(ds.total_sim_scheduled());
+    if (threads == 1) base_wall = row.wall_s;
+    row.speedup = base_wall / row.wall_s;
+    rows.push_back(row);
+
+    // Cross-check: every run must produce the identical corpus.
+    std::uint64_t bytes = 0;
+    for (const auto& f : ds.flows) bytes += f.bytes_captured;
+    if (threads == 1) {
+      base_bytes = bytes;
+    } else if (bytes != base_bytes) {
+      std::cerr << "DETERMINISM VIOLATION: threads=" << threads << " corpus differs\n";
+      return 1;
+    }
+
+    std::cout << "threads=" << threads << "  wall=" << row.wall_s << " s"
+              << "  events/s=" << row.events_per_s
+              << "  speedup=" << row.speedup
+              << "  tombstone_ratio=" << row.tombstone_ratio << "\n";
+  }
+
+  auto csv = bench::open_csv("scaling.csv");
+  csv << "threads,wall_s,sim_events,events_per_s,speedup,tombstone_ratio\n";
+  for (const auto& r : rows) {
+    csv << r.threads << "," << r.wall_s << "," << r.events << ","
+        << r.events_per_s << "," << r.speedup << "," << r.tombstone_ratio << "\n";
+  }
+
+  std::ofstream json(bench::out_dir() / "BENCH_parallel.json");
+  json << "{\n  \"bench\": \"parallel_corpus_sharding\",\n"
+       << "  \"scale\": " << bench::scale() << ",\n"
+       << "  \"seed\": " << bench::seed() << ",\n"
+       << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+       << ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    json << "    {\"threads\": " << r.threads << ", \"wall_s\": " << r.wall_s
+         << ", \"sim_events\": " << r.events
+         << ", \"events_per_s\": " << r.events_per_s
+         << ", \"speedup\": " << r.speedup
+         << ", \"tombstone_ratio\": " << r.tombstone_ratio << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "[json] summary -> " << (bench::out_dir() / "BENCH_parallel.json").string()
+            << "\n";
+  return 0;
+}

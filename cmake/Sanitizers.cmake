@@ -14,6 +14,13 @@
 set(HSRTCP_SANITIZE "" CACHE STRING
     "Comma-separated sanitizers to enable: any of address, undefined, leak, thread (thread excludes the others)")
 option(HSRTCP_WERROR "Treat compiler warnings as errors" OFF)
+option(HSRTCP_FORCE_DCHECKS
+       "Compile the HSR_DCHECK invariant layer in regardless of build type" OFF)
+
+if(HSRTCP_FORCE_DCHECKS)
+  add_compile_definitions(HSR_FORCE_DCHECKS=1)
+  message(STATUS "hsrtcp: HSR_DCHECK invariants forced on")
+endif()
 
 if(HSRTCP_WERROR)
   add_compile_options(-Werror)

@@ -55,9 +55,11 @@ struct Packet {
   std::string describe() const;
 };
 
-// Process-wide unique packet id source. Ids are only used as join keys when
-// matching capture records (send vs deliver); uniqueness is all that is
-// required, and single-threaded simulation keeps allocation deterministic.
+// Thread-local unique packet id source. Ids are only used as join keys when
+// matching capture records (send vs deliver) within one flow's capture;
+// uniqueness per thread is all that is required, since a simulation run
+// never spans threads. Keeping the counter thread-local lets experiment
+// shards run in parallel without races or cross-shard id coupling.
 std::uint64_t allocate_packet_id();
 
 }  // namespace hsr::net

@@ -1,34 +1,128 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace hsr::sim {
 
 bool EventHandle::pending() const {
-  return rec_ && !rec_->cancelled && !rec_->fired;
+  return queue_ != nullptr && queue_->handle_pending(*this);
 }
 
 bool EventHandle::cancel() {
-  if (!pending()) return false;
-  rec_->cancelled = true;
+  return queue_ != nullptr && queue_->cancel_handle(*this);
+}
+
+bool EventQueue::handle_pending(const EventHandle& h) const {
+  // An inert (default-constructed) or foreign-queue handle must never match:
+  // its slot/generation pair would alias an unrelated event in this queue.
+  if (h.queue_ != this) return false;
+  if (h.slot_ >= slots_.size()) return false;
+  const Slot& s = slots_[h.slot_];
+  return s.generation == h.generation_ && s.live;
+}
+
+bool EventQueue::cancel_handle(const EventHandle& h) {
+  if (!handle_pending(h)) return false;
+  Slot& s = slots_[h.slot_];
+  s.live = false;
+  // Release captured state now rather than when the tombstone surfaces.
+  s.action = nullptr;
+  ++tombstones_in_heap_;
+  maybe_compact();
   return true;
 }
 
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNilSlot) {
+    const std::uint32_t index = free_head_;
+    free_head_ = slots_[index].next_free;
+    slots_[index].next_free = kNilSlot;
+    return index;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t index) const {
+  Slot& s = slots_[index];
+  s.live = false;
+  s.action = nullptr;
+  ++s.generation;  // outstanding handles to this slot become inert
+  s.next_free = free_head_;
+  free_head_ = index;
+}
+
+void EventQueue::push_entry(TimePoint when, std::uint64_t seq,
+                            std::uint32_t slot) const {
+  heap_.push_back(HeapEntry{when, seq, slot});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
 EventHandle EventQueue::schedule(TimePoint when, std::function<void()> action) {
-  auto rec = std::make_shared<EventHandle::Record>();
-  rec->when = when;
-  rec->seq = next_seq_++;
-  rec->action = std::move(action);
-  heap_.push(Entry{rec});
-  return EventHandle(std::move(rec));
+  const std::uint32_t index = acquire_slot();
+  Slot& s = slots_[index];
+  s.when = when;
+  s.seq = next_seq_++;
+  s.action = std::move(action);
+  s.live = true;
+  push_entry(when, s.seq, index);
+  return EventHandle(this, index, s.generation);
+}
+
+bool EventQueue::reschedule(const EventHandle& handle, TimePoint when) {
+  if (!handle_pending(handle)) return false;
+  Slot& s = slots_[handle.slot_];
+  // The slot's current heap entry is orphaned (its seq no longer matches)
+  // and the event continues under a fresh seq, so same-instant FIFO order
+  // treats the move exactly like cancel + schedule.
+  s.when = when;
+  s.seq = next_seq_++;
+  push_entry(when, s.seq, handle.slot_);
+  ++tombstones_in_heap_;
+  ++reschedules_total_;
+  maybe_compact();
+  return true;
+}
+
+void EventQueue::retire_dead_entry(const HeapEntry& e) const {
+  ++pruned_tombstones_;
+  HSR_DCHECK_MSG(tombstones_in_heap_ > 0, "tombstone count underflow");
+  --tombstones_in_heap_;
+  const Slot& s = slots_[e.slot];
+  HSR_DCHECK_MSG(!(s.live && s.seq == e.seq), "retiring a live entry");
+  if (!s.live && s.seq == e.seq) release_slot(e.slot);
 }
 
 void EventQueue::prune() const {
-  while (!heap_.empty() && heap_.top().rec->cancelled) {
-    HSR_DCHECK_MSG(!heap_.top().rec->fired, "fired event lingering as tombstone");
-    heap_.pop();
-    ++pruned_tombstones_;
+  while (!heap_.empty() && !entry_live(heap_.front())) {
+    const HeapEntry dead = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+    retire_dead_entry(dead);
   }
+}
+
+void EventQueue::maybe_compact() {
+  if (heap_.size() >= kCompactMinHeap && tombstones_in_heap_ * 2 > heap_.size()) {
+    compact();
+  }
+}
+
+void EventQueue::compact() {
+  std::size_t kept = 0;
+  for (const HeapEntry& e : heap_) {
+    if (entry_live(e)) {
+      heap_[kept++] = e;
+    } else {
+      retire_dead_entry(e);
+    }
+  }
+  heap_.resize(kept);
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  HSR_DCHECK_MSG(tombstones_in_heap_ == 0, "compaction missed tombstones");
+  ++compactions_total_;
 }
 
 bool EventQueue::empty() const {
@@ -39,29 +133,32 @@ bool EventQueue::empty() const {
 TimePoint EventQueue::next_time() const {
   prune();
   if (heap_.empty()) return TimePoint::max();
-  return heap_.top().rec->when;
+  return heap_.front().when;
 }
 
 TimePoint EventQueue::pop_and_run() {
   prune();
   HSR_CHECK_MSG(!heap_.empty(), "pop_and_run on empty queue");
-  Entry e = heap_.top();
-  heap_.pop();
-  HSR_DCHECK_MSG(!e.rec->fired, "event fired twice");
-  e.rec->fired = true;
+  const HeapEntry e = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
+  Slot& s = slots_[e.slot];
+  HSR_DCHECK_MSG(s.live && s.seq == e.seq, "popped entry is not live");
+  const TimePoint when = e.when;
+  // Move the action out and retire the slot BEFORE running: the action may
+  // schedule new events (reusing the slot) or inspect its own handle, which
+  // must already read as fired.
+  auto action = std::move(s.action);
+  release_slot(e.slot);
   ++fired_total_;
-  const TimePoint when = e.rec->when;
   // Virtual time never runs backwards: the heap must hand events out in
   // non-decreasing timestamp order.
   HSR_DCHECK_MSG(when >= last_fired_, "event queue time went backwards");
   last_fired_ = when;
   // Tombstone accounting: every event ever scheduled is in the heap, fired,
-  // or was pruned as a cancelled tombstone — nothing is lost or duplicated.
+  // or was pruned as a tombstone — nothing is lost or duplicated.
   HSR_DCHECK_MSG(heap_.size() + fired_total_ + pruned_tombstones_ == next_seq_,
                  "event accounting out of balance");
-  // Move the action out so captured state is released promptly even if the
-  // handle outlives the event.
-  auto action = std::move(e.rec->action);
   action();
   return when;
 }

@@ -1,11 +1,11 @@
 // Priority queue of timestamped events with stable FIFO ordering among
-// events scheduled for the same instant, and O(1) lazy cancellation.
+// events scheduled for the same instant, O(1) lazy cancellation, in-place
+// rescheduling, and slab-allocated event records (no per-event heap
+// allocation beyond what the action's captures need).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
 #include "util/time.h"
@@ -15,8 +15,13 @@ namespace hsr::sim {
 using util::Duration;
 using util::TimePoint;
 
-// Handle to a scheduled event; allows cancellation. Default-constructed
-// handles are inert. Handles are cheap to copy (shared control block).
+class EventQueue;
+
+// Handle to a scheduled event; allows cancellation (and, via the queue,
+// rescheduling). Default-constructed handles are inert. Handles are cheap
+// to copy (queue pointer + slot index + generation); a generation counter
+// makes handles to fired, cancelled, or reused slots inert, so stale
+// handles are always safe — but a handle must not outlive its EventQueue.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -28,25 +33,36 @@ class EventHandle {
 
  private:
   friend class EventQueue;
-  struct Record {
-    TimePoint when;
-    std::uint64_t seq = 0;
-    std::function<void()> action;
-    bool cancelled = false;
-    bool fired = false;
-  };
-  explicit EventHandle(std::shared_ptr<Record> rec) : rec_(std::move(rec)) {}
-  std::shared_ptr<Record> rec_;
+  EventHandle(EventQueue* queue, std::uint32_t slot, std::uint32_t generation)
+      : queue_(queue), slot_(slot), generation_(generation) {}
+  EventQueue* queue_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
-// Cancellation is lazy: a cancelled event stays in the heap as a tombstone
-// until it reaches the top, so `empty()`/`next_time()` prune before
-// answering and are exact; they are the queue's source of truth.
+// Cancellation is lazy: a cancelled (or reschedule-superseded) heap entry
+// stays behind as a tombstone until it reaches the top — `empty()` and
+// `next_time()` prune before answering and are exact — or until tombstones
+// outnumber live entries, at which point the whole heap is compacted in one
+// pass so cancel-heavy workloads (ACK-clocked RTO re-arming) cannot let
+// dead entries dominate the heap.
 class EventQueue {
  public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
   // Schedules `action` at absolute time `when`. Events at equal times fire
   // in scheduling order.
   EventHandle schedule(TimePoint when, std::function<void()> action);
+
+  // Moves a still-pending event to a new time, keeping its action: the
+  // re-arm fast path for retransmission timers (no allocation, no action
+  // re-construction). Ordering behaves exactly like cancel + schedule — the
+  // moved event fires after anything already scheduled for the same
+  // instant. Returns false (and changes nothing) when the handle is inert,
+  // cancelled, or already fired.
+  bool reschedule(const EventHandle& handle, TimePoint when);
 
   // True when no live (non-cancelled) events remain.
   bool empty() const;
@@ -58,36 +74,97 @@ class EventQueue {
   // Precondition: !empty().
   TimePoint pop_and_run();
 
-  // Total events scheduled over the queue's lifetime (diagnostics).
+  // Total events scheduled over the queue's lifetime (diagnostics). A
+  // reschedule counts as one more scheduled event: it retires the old heap
+  // entry as a tombstone and files a new one, exactly like cancel + push.
   std::uint64_t scheduled_total() const { return next_seq_; }
 
   // Events executed via pop_and_run (diagnostics / invariant accounting).
   std::uint64_t fired_total() const { return fired_total_; }
 
-  // Cancelled events dropped by lazy pruning. Together with the heap size
-  // and fired_total() this accounts for every event ever scheduled:
-  //   heap size + fired + pruned tombstones == scheduled_total().
+  // Dead heap entries dropped, by head pruning or compaction. Together with
+  // the heap size and fired_total() this accounts for every event ever
+  // scheduled:  heap size + fired + pruned tombstones == scheduled_total().
   std::uint64_t pruned_tombstones_total() const { return pruned_tombstones_; }
 
+  // In-place reschedules served (each supersedes one heap entry).
+  std::uint64_t reschedules_total() const { return reschedules_total_; }
+
+  // Whole-heap compaction passes triggered by tombstone-dominated heaps.
+  std::uint64_t compactions_total() const { return compactions_total_; }
+
+  // Dead entries currently buried in the heap (cancelled or superseded).
+  // Bounded: compaction fires once they exceed half of a non-trivial heap.
+  std::size_t tombstones_in_heap() const { return tombstones_in_heap_; }
+
+  // Heap entries, live and dead (diagnostics).
+  std::size_t heap_size() const { return heap_.size(); }
+
  private:
-  struct Entry {
-    std::shared_ptr<EventHandle::Record> rec;
+  friend class EventHandle;
+
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+  // Compaction threshold: below this heap size a rebuild costs more than
+  // the tombstones it removes; above it, compact when > 1/2 dead.
+  static constexpr std::size_t kCompactMinHeap = 64;
+
+  // One event record in the slab. Freed slots are chained through
+  // `next_free` and reused; `generation` bumps on every retire so handles
+  // into reused slots read as inert.
+  struct Slot {
+    TimePoint when;
+    std::uint64_t seq = 0;  // seq of the slot's CURRENT heap entry
+    std::function<void()> action;
+    std::uint32_t generation = 0;
+    bool live = false;  // scheduled, neither cancelled nor fired
+    std::uint32_t next_free = kNilSlot;
+  };
+  // Heap entries carry their own ordering key: an entry is live iff its
+  // slot is live AND still carries the entry's seq (a reschedule gives the
+  // slot a fresh seq, orphaning the old entry as a tombstone).
+  struct HeapEntry {
+    TimePoint when;
+    std::uint64_t seq = 0;
+    std::uint32_t slot = kNilSlot;
   };
   struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.rec->when != b.rec->when) return a.rec->when > b.rec->when;
-      return a.rec->seq > b.rec->seq;
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
     }
   };
 
-  // Drops cancelled events from the head of the heap.
+  bool handle_pending(const EventHandle& h) const;
+  bool cancel_handle(const EventHandle& h);
+  bool entry_live(const HeapEntry& e) const {
+    const Slot& s = slots_[e.slot];
+    return s.live && s.seq == e.seq;
+  }
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index) const;
+  void push_entry(TimePoint when, std::uint64_t seq, std::uint32_t slot) const;
+  // Retires a dead entry removed from the heap: counts it pruned and, when
+  // it is its slot's current entry (cancelled, not superseded), frees the slot.
+  void retire_dead_entry(const HeapEntry& e) const;
+  // Drops dead entries from the head of the heap.
   void prune() const;
+  // Rebuilds the heap without its dead entries (all counted as pruned).
+  void compact();
+  void maybe_compact();
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // prune() runs in const methods (empty/next_time are the queue's source
+  // of truth), so the storage it rewrites is mutable, as are the counters
+  // it maintains.
+  mutable std::vector<HeapEntry> heap_;  // binary min-heap via std::push_heap
+  mutable std::vector<Slot> slots_;
+  mutable std::uint32_t free_head_ = kNilSlot;
+  mutable std::size_t tombstones_in_heap_ = 0;
+  mutable std::uint64_t pruned_tombstones_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_total_ = 0;
-  mutable std::uint64_t pruned_tombstones_ = 0;  // prune() runs in const methods
-  TimePoint last_fired_ = TimePoint::zero();     // for monotonicity invariant
+  std::uint64_t reschedules_total_ = 0;
+  std::uint64_t compactions_total_ = 0;
+  TimePoint last_fired_ = TimePoint::zero();  // for monotonicity invariant
 };
 
 }  // namespace hsr::sim

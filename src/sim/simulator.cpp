@@ -14,6 +14,11 @@ EventHandle Simulator::after(Duration delay, std::function<void()> action) {
   return queue_.schedule(now_ + delay, std::move(action));
 }
 
+bool Simulator::reschedule(const EventHandle& handle, TimePoint when) {
+  HSR_CHECK_MSG(when >= now_, "rescheduling into the past");
+  return queue_.reschedule(handle, when);
+}
+
 std::uint64_t Simulator::run_until(TimePoint deadline) {
   std::uint64_t n = 0;
   stopped_ = false;

@@ -26,6 +26,10 @@ class Simulator {
   EventHandle at(TimePoint when, std::function<void()> action);
   // Schedules an event `delay` from now (delay must be non-negative).
   EventHandle after(Duration delay, std::function<void()> action);
+  // Moves a still-pending event to a new absolute time (must not be in the
+  // past), keeping its action; returns false when the handle is no longer
+  // pending. The re-arm fast path for timers (see EventQueue::reschedule).
+  bool reschedule(const EventHandle& handle, TimePoint when);
 
   // Runs until the queue drains or `deadline` passes, whichever first.
   // Events exactly at the deadline still run. Returns events executed.
@@ -37,6 +41,9 @@ class Simulator {
   void stop() { stopped_ = true; }
 
   std::uint64_t events_executed() const { return executed_; }
+
+  // Event-queue diagnostics (scheduled/fired/pruned counters, tombstones).
+  const EventQueue& queue() const { return queue_; }
 
  private:
   EventQueue queue_;

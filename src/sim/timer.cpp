@@ -3,9 +3,13 @@
 namespace hsr::sim {
 
 void Timer::arm(Duration delay) {
-  cancel();
   expiry_ = sim_.now() + delay;
-  handle_ = sim_.after(delay, [this] { on_expire_(); });
+  // Re-arm fast path: a still-pending event is moved in place, keeping its
+  // action — no allocation and no callback re-construction on the
+  // ACK-clocked RTO re-arm that dominates the simulator's hot path.
+  if (!sim_.reschedule(handle_, expiry_)) {
+    handle_ = sim_.at(expiry_, [this] { on_expire_(); });
+  }
 }
 
 void Timer::cancel() { handle_.cancel(); }

@@ -151,7 +151,11 @@ void TcpSender::on_ack(const net::Packet& packet) {
     if (ack_next == snd_una_ && in_flight() > 0) {
       ++dup_ack_count_;
       if (in_fast_recovery_) {
-        cwnd_ += 1.0;  // window inflation for each additional dup ACK
+        // Window inflation for each additional dup ACK, capped at the
+        // advertised window: inflation past W_m releases no extra data
+        // (effective_window clamps at W_m regardless), it would only let
+        // the exported cwnd trace exceed W_m during recovery (Figs. 7-9).
+        cwnd_ = std::min(cwnd_ + 1.0, static_cast<double>(cfg_.receiver_window));
         record_cwnd();
         // With SACK, spend the inflation on repairing the next known hole
         // before injecting new data.
@@ -310,7 +314,10 @@ void TcpSender::enter_fast_retransmit() {
   sack_retx_next_ = snd_una_ + 1;
   log_event(SenderEventType::kFastRetransmit, snd_una_);
   transmit(snd_una_);
-  cwnd_ = ssthresh_ + 3.0;
+  // The +3 accounts for the three dup ACKs that left the network; like the
+  // per-dup-ACK inflation it is capped at W_m so recovery-phase cwnd traces
+  // stay within the advertised window.
+  cwnd_ = std::min(ssthresh_ + 3.0, static_cast<double>(cfg_.receiver_window));
   record_cwnd();
   restart_rto_timer();
 }

@@ -69,7 +69,7 @@ class Rng {
   std::mt19937_64& engine() { return engine_; }
 
  private:
-  std::mt19937_64 engine_;
+  std::mt19937_64 engine_;  // determinism-ok: the Rng wrapper itself
   std::uint64_t seed_ = 0;
 };
 

@@ -1,8 +1,10 @@
 #include "workload/dataset.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace hsr::workload {
 
@@ -25,34 +27,58 @@ DatasetSpec DatasetSpec::paper_table1(double scale) {
 
 namespace {
 
-FlowRecord run_and_analyze(const radio::ProviderProfile& profile,
-                           const std::string& campaign, const std::string& phone,
-                           util::Duration duration, std::uint64_t seed) {
+// One planned flow simulation: everything run_and_analyze needs, derived
+// sequentially up front so the parallel phase is pure fan-out.
+struct FlowTask {
+  radio::ProviderProfile profile;
+  std::string campaign;
+  std::string phone;
+  util::Duration duration;
+  std::uint64_t seed = 0;
+};
+
+FlowRecord run_and_analyze(const FlowTask& task) {
   FlowRunConfig cfg;
-  cfg.profile = profile;
-  cfg.duration = duration;
-  cfg.seed = seed;
+  cfg.profile = task.profile;
+  cfg.duration = task.duration;
+  cfg.seed = task.seed;
 
   FlowRunResult run = run_flow(cfg);
 
   FlowRecord rec;
-  rec.provider = radio::provider_name(profile.provider);
-  rec.campaign = campaign;
-  rec.phone = phone;
-  rec.high_speed = profile.mobility == radio::Mobility::kHighSpeed;
+  rec.provider = radio::provider_name(task.profile.provider);
+  rec.campaign = task.campaign;
+  rec.phone = task.phone;
+  rec.high_speed = task.profile.mobility == radio::Mobility::kHighSpeed;
   rec.analysis = analysis::analyze_flow(run.capture);
   rec.goodput_pps = run.goodput_pps;
   rec.bytes_captured = run.bytes_captured;
-  rec.duration = duration;
-  rec.receiver_window = profile.receiver_window_segments;
+  rec.duration = task.duration;
+  rec.receiver_window = task.profile.receiver_window_segments;
   rec.delayed_ack_b = cfg.delayed_ack_b;
+  rec.sim_events = run.sim_events;
+  rec.sim_scheduled = run.sim_scheduled;
+  rec.sim_tombstones = run.sim_tombstones;
   return rec;
+}
+
+unsigned resolve_dataset_threads(unsigned requested) {
+  if (requested == 0) {
+    if (const char* env = std::getenv("HSR_BENCH_THREADS")) {
+      const unsigned long v = std::strtoul(env, nullptr, 10);
+      if (v > 0) return static_cast<unsigned>(v);
+    }
+  }
+  return util::resolve_thread_count(requested);
 }
 
 }  // namespace
 
 DatasetResult generate_dataset(const DatasetSpec& spec) {
-  DatasetResult out;
+  // Plan phase (sequential): derive every flow's profile, duration and seed
+  // exactly as the legacy sequential loop did. Forked streams depend only on
+  // (spec.seed, flow_index), never on execution order.
+  std::vector<FlowTask> tasks;
   util::Rng rng(spec.seed);
 
   std::uint64_t flow_index = 0;
@@ -61,12 +87,10 @@ DatasetResult generate_dataset(const DatasetSpec& spec) {
       util::Rng flow_rng = rng.fork("flow", flow_index);
       const double span_s = flow_rng.uniform(spec.flow_duration_min.to_seconds(),
                                              spec.flow_duration_max.to_seconds());
-      FlowRecord rec = run_and_analyze(
+      tasks.push_back(FlowTask{
           campaign.profile, campaign.campaign, campaign.phone,
           util::Duration::from_seconds(span_s),
-          util::splitmix64(spec.seed ^ (flow_index * 0x9e3779b97f4a7c15ULL)));
-      out.corpus.add(rec.provider, rec.high_speed, rec.analysis);
-      out.flows.push_back(std::move(rec));
+          util::splitmix64(spec.seed ^ (flow_index * 0x9e3779b97f4a7c15ULL))});
     }
   }
 
@@ -84,13 +108,27 @@ DatasetResult generate_dataset(const DatasetSpec& spec) {
       util::Rng flow_rng = rng.fork("stationary-flow", flow_index);
       const double span_s = flow_rng.uniform(spec.flow_duration_min.to_seconds(),
                                              spec.flow_duration_max.to_seconds());
-      FlowRecord rec = run_and_analyze(
+      tasks.push_back(FlowTask{
           stat, "stationary control", "Samsung Galaxy S4",
           util::Duration::from_seconds(span_s),
-          util::splitmix64(spec.seed ^ 0xABCDEF ^ (flow_index * 0x9e3779b97f4a7c15ULL)));
-      out.corpus.add(rec.provider, rec.high_speed, rec.analysis);
-      out.flows.push_back(std::move(rec));
+          util::splitmix64(spec.seed ^ 0xABCDEF ^ (flow_index * 0x9e3779b97f4a7c15ULL))});
     }
+  }
+
+  // Simulate phase (parallel shards): each flow runs its own Simulator with
+  // the planned seed and writes its record into a pre-sized slot by index.
+  // No shared mutable state between shards, so thread count and scheduling
+  // cannot perturb the result; threads == 1 is the plain sequential loop.
+  DatasetResult out;
+  out.flows.resize(tasks.size());
+  util::ThreadPool pool(resolve_dataset_threads(spec.threads));
+  pool.parallel_for(tasks.size(), [&](std::uint64_t i) {
+    out.flows[i] = run_and_analyze(tasks[i]);
+  });
+
+  // Aggregate phase (sequential, in flow order, after the join).
+  for (const auto& rec : out.flows) {
+    out.corpus.add(rec.provider, rec.high_speed, rec.analysis);
   }
   return out;
 }
@@ -106,6 +144,24 @@ unsigned DatasetResult::flow_count(const std::string& provider, bool high_speed)
   for (const auto& f : flows) {
     if (f.provider == provider && f.high_speed == high_speed) ++n;
   }
+  return n;
+}
+
+std::uint64_t DatasetResult::total_sim_events() const {
+  std::uint64_t n = 0;
+  for (const auto& f : flows) n += f.sim_events;
+  return n;
+}
+
+std::uint64_t DatasetResult::total_sim_scheduled() const {
+  std::uint64_t n = 0;
+  for (const auto& f : flows) n += f.sim_scheduled;
+  return n;
+}
+
+std::uint64_t DatasetResult::total_sim_tombstones() const {
+  std::uint64_t n = 0;
+  for (const auto& f : flows) n += f.sim_tombstones;
   return n;
 }
 

@@ -33,6 +33,12 @@ struct DatasetSpec {
   util::Duration flow_duration_min = util::Duration::seconds(180);
   util::Duration flow_duration_max = util::Duration::seconds(300);
   std::uint64_t seed = 2015;
+  // Worker threads for flow simulation. 0 = the HSR_BENCH_THREADS env knob
+  // if set, else std::thread::hardware_concurrency(); 1 = fully sequential
+  // (the legacy single-threaded path). Every flow is an independent,
+  // fork-seeded simulation whose record lands in a pre-sized slot, so the
+  // result is byte-identical for ANY thread count (enforced by tests).
+  unsigned threads = 0;
 
   // Table I of the paper. `scale` in (0, 1] shrinks the flow counts
   // proportionally (floor, at least 1 per campaign) for quick runs.
@@ -50,6 +56,12 @@ struct FlowRecord {
   util::Duration duration;
   unsigned receiver_window = 64;  // W_m used by this flow
   unsigned delayed_ack_b = 2;     // b used by this flow
+
+  // Simulator-core cost accounting for this flow (perf tracking: events/sec
+  // and tombstone ratio reported by bench_scaling).
+  std::uint64_t sim_events = 0;      // events executed
+  std::uint64_t sim_scheduled = 0;   // events ever scheduled
+  std::uint64_t sim_tombstones = 0;  // cancelled/superseded entries pruned
 };
 
 struct DatasetResult {
@@ -58,10 +70,17 @@ struct DatasetResult {
 
   double total_capture_gb() const;
   unsigned flow_count(const std::string& provider, bool high_speed) const;
+  // Sums of the per-flow simulator counters (bench_scaling reporting).
+  std::uint64_t total_sim_events() const;
+  std::uint64_t total_sim_scheduled() const;
+  std::uint64_t total_sim_tombstones() const;
 };
 
 // Runs every flow of the spec (each with its own derived seed) and analyzes
-// the captures. Deterministic for a given spec.
+// the captures. Deterministic for a given spec: flows are sharded across
+// `spec.threads` workers, but each flow's simulation is seeded purely from
+// (spec.seed, flow index), so the output does not depend on thread count or
+// scheduling. Corpus aggregation happens sequentially after the join.
 DatasetResult generate_dataset(const DatasetSpec& spec);
 
 }  // namespace hsr::workload

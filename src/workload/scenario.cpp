@@ -77,6 +77,10 @@ FlowRunResult run_flow(const FlowRunConfig& cfg) {
   out.goodput_pps = conn.goodput_segments_per_s();
   out.goodput_bps = conn.goodput_bps();
   out.handoffs = env.handoff_count(sim.now());
+  out.sim_events = sim.events_executed();
+  out.sim_scheduled = sim.queue().scheduled_total();
+  out.sim_tombstones = sim.queue().pruned_tombstones_total() +
+                       sim.queue().tombstones_in_heap();
   for (const auto& tx : capture.data.transmissions()) {
     out.bytes_captured += tx.packet.size_bytes;
   }

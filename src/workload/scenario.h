@@ -47,6 +47,12 @@ struct FlowRunResult {
   double goodput_bps = 0.0;
   std::uint64_t bytes_captured = 0;  // both directions; Table I trace sizes
   std::uint64_t handoffs = 0;
+
+  // Simulator-core cost counters (events executed / scheduled, tombstoned
+  // entries pruned) for perf reporting.
+  std::uint64_t sim_events = 0;
+  std::uint64_t sim_scheduled = 0;
+  std::uint64_t sim_tombstones = 0;
 };
 
 // TCP configuration used for a profile (exposed so analyses know b and W_m).

@@ -1,0 +1,194 @@
+// Tests for the event-queue hot-path machinery: in-place reschedule
+// (the RTO re-arm fast path) and tombstone compaction under cancel-heavy
+// load. Accounting must balance throughout:
+//   heap size + fired + pruned tombstones == scheduled_total.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace hsr::sim {
+namespace {
+
+void expect_balanced(const EventQueue& q) {
+  EXPECT_EQ(q.heap_size() + q.fired_total() + q.pruned_tombstones_total(),
+            q.scheduled_total());
+}
+
+TEST(EventQueueRescheduleTest, MovesEventToNewTime) {
+  EventQueue q;
+  int fired = 0;
+  EventHandle h = q.schedule(TimePoint::from_ns(100), [&] { ++fired; });
+  EXPECT_TRUE(q.reschedule(h, TimePoint::from_ns(250)));
+  EXPECT_TRUE(h.pending());
+  EXPECT_EQ(q.next_time(), TimePoint::from_ns(250));
+  EXPECT_EQ(q.pop_and_run(), TimePoint::from_ns(250));
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.reschedules_total(), 1u);
+  expect_balanced(q);
+}
+
+TEST(EventQueueRescheduleTest, CanMoveEarlier) {
+  EventQueue q;
+  std::vector<int> order;
+  EventHandle h = q.schedule(TimePoint::from_ns(500), [&] { order.push_back(1); });
+  q.schedule(TimePoint::from_ns(300), [&] { order.push_back(2); });
+  EXPECT_TRUE(q.reschedule(h, TimePoint::from_ns(100)));
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  expect_balanced(q);
+}
+
+TEST(EventQueueRescheduleTest, BehavesLikeCancelPlusSchedule) {
+  // A moved event lands AFTER anything already scheduled for its new
+  // instant — exactly the FIFO position a cancel + fresh schedule would get.
+  EventQueue q;
+  std::vector<int> order;
+  const TimePoint t = TimePoint::from_ns(50);
+  EventHandle moved = q.schedule(TimePoint::from_ns(10), [&] { order.push_back(0); });
+  q.schedule(t, [&] { order.push_back(1); });
+  q.schedule(t, [&] { order.push_back(2); });
+  EXPECT_TRUE(q.reschedule(moved, t));
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 0}));
+}
+
+TEST(EventQueueRescheduleTest, KeepsActionAndHandleValid) {
+  EventQueue q;
+  int fired = 0;
+  EventHandle h = q.schedule(TimePoint::from_ns(10), [&] { ++fired; });
+  for (int i = 1; i <= 5; ++i) {
+    EXPECT_TRUE(q.reschedule(h, TimePoint::from_ns(10 + 10 * i)));
+    EXPECT_TRUE(h.pending());
+  }
+  EXPECT_EQ(q.pop_and_run(), TimePoint::from_ns(60));
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(h.pending());
+  EXPECT_EQ(q.scheduled_total(), 6u);  // one schedule + five reschedules
+  expect_balanced(q);
+}
+
+TEST(EventQueueRescheduleTest, RejectsCancelledFiredAndInertHandles) {
+  EventQueue q;
+  EventHandle cancelled = q.schedule(TimePoint::from_ns(10), [] {});
+  EXPECT_TRUE(cancelled.cancel());
+  EXPECT_FALSE(q.reschedule(cancelled, TimePoint::from_ns(20)));
+
+  EventHandle fired = q.schedule(TimePoint::from_ns(10), [] {});
+  q.pop_and_run();
+  EXPECT_FALSE(q.reschedule(fired, TimePoint::from_ns(20)));
+
+  EventHandle inert;
+  EXPECT_FALSE(q.reschedule(inert, TimePoint::from_ns(20)));
+  expect_balanced(q);
+}
+
+TEST(EventQueueRescheduleTest, InertHandleNeverAliasesSlotZero) {
+  // Regression test: a default-constructed handle carries slot 0 /
+  // generation 0. reschedule() must not let it hijack whatever live event
+  // happens to occupy slot 0 of this queue.
+  EventQueue q;
+  int victim_fired = 0;
+  q.schedule(TimePoint::from_ns(10), [&] { ++victim_fired; });  // slot 0
+  EventHandle inert;
+  EXPECT_FALSE(q.reschedule(inert, TimePoint::from_ns(999)));
+  EXPECT_FALSE(inert.pending());
+  EXPECT_FALSE(inert.cancel());
+  EXPECT_EQ(q.next_time(), TimePoint::from_ns(10));  // victim untouched
+  q.pop_and_run();
+  EXPECT_EQ(victim_fired, 1);
+}
+
+TEST(EventQueueRescheduleTest, ForeignQueueHandleIsRejected) {
+  EventQueue a;
+  EventQueue b;
+  EventHandle ha = a.schedule(TimePoint::from_ns(10), [] {});
+  b.schedule(TimePoint::from_ns(10), [] {});  // occupies b's slot 0
+  EXPECT_FALSE(b.reschedule(ha, TimePoint::from_ns(999)));
+  EXPECT_EQ(b.next_time(), TimePoint::from_ns(10));
+  EXPECT_TRUE(ha.pending());
+}
+
+TEST(EventQueueCompactionTest, CancelHeavyLoadTriggersCompaction) {
+  EventQueue q;
+  int fired = 0;
+  // One survivor far in the future keeps the queue non-empty.
+  q.schedule(TimePoint::from_ns(1'000'000), [&] { ++fired; });
+  // Schedule-and-cancel churn: every cancelled event becomes a tombstone
+  // buried under the survivor; compaction must keep the heap bounded.
+  std::size_t max_heap = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    EventHandle h = q.schedule(TimePoint::from_ns(2'000'000 + i), [] {});
+    EXPECT_TRUE(h.cancel());
+    max_heap = std::max(max_heap, q.heap_size());
+    // Tombstones never dominate a non-trivial heap for long.
+    if (q.heap_size() >= 128) {
+      EXPECT_LE(q.tombstones_in_heap() * 2, q.heap_size() + 1);
+    }
+  }
+  EXPECT_GT(q.compactions_total(), 0u);
+  EXPECT_LT(max_heap, 200u);  // without compaction this would reach ~10000
+  EXPECT_EQ(q.pop_and_run(), TimePoint::from_ns(1'000'000));
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pruned_tombstones_total(), 10'000u);
+  expect_balanced(q);
+}
+
+TEST(EventQueueCompactionTest, CompactionPreservesOrderAndSurvivors) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventHandle> doomed;
+  // Interleave survivors with victims so compaction has to filter a mixed
+  // heap, then verify the survivors still fire in exact (time, FIFO) order.
+  for (int i = 0; i < 200; ++i) {
+    q.schedule(TimePoint::from_ns(10 * (i + 1)), [&order, i] { order.push_back(i); });
+    doomed.push_back(q.schedule(TimePoint::from_ns(10 * (i + 1) + 5), [] {}));
+    doomed.push_back(q.schedule(TimePoint::from_ns(10 * (i + 1) + 6), [] {}));
+  }
+  for (auto& h : doomed) EXPECT_TRUE(h.cancel());
+  EXPECT_GT(q.compactions_total(), 0u);
+  while (!q.empty()) q.pop_and_run();
+  ASSERT_EQ(order.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(order[i], i);
+  expect_balanced(q);
+}
+
+TEST(EventQueueCompactionTest, SmallHeapsNeverCompact) {
+  EventQueue q;
+  for (int i = 0; i < 20; ++i) {
+    EventHandle h = q.schedule(TimePoint::from_ns(100 + i), [] {});
+    h.cancel();
+  }
+  // Below the compaction floor, tombstones are cleaned by head pruning only.
+  EXPECT_EQ(q.compactions_total(), 0u);
+  EXPECT_TRUE(q.empty());  // prunes everything
+  EXPECT_EQ(q.pruned_tombstones_total(), 20u);
+  expect_balanced(q);
+}
+
+TEST(EventQueueCompactionTest, RescheduleChurnIsBounded) {
+  // The RTO re-arm pattern: one timer moved thousands of times while other
+  // traffic flows. Superseded entries are tombstones; the heap must not
+  // grow linearly with the number of reschedules.
+  EventQueue q;
+  int fired = 0;
+  EventHandle timer = q.schedule(TimePoint::from_ns(1'000), [&] { ++fired; });
+  std::size_t max_heap = 0;
+  for (int i = 1; i <= 5'000; ++i) {
+    EXPECT_TRUE(q.reschedule(timer, TimePoint::from_ns(1'000 + i)));
+    max_heap = std::max(max_heap, q.heap_size());
+  }
+  EXPECT_LT(max_heap, 200u);
+  EXPECT_EQ(q.reschedules_total(), 5'000u);
+  EXPECT_EQ(q.pop_and_run(), TimePoint::from_ns(6'000));
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(q.empty());
+  expect_balanced(q);
+}
+
+}  // namespace
+}  // namespace hsr::sim

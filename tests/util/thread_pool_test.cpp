@@ -1,0 +1,98 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace hsr::util {
+namespace {
+
+TEST(ResolveThreadCountTest, ZeroMeansHardwareConcurrency) {
+  EXPECT_GE(resolve_thread_count(0), 1u);
+}
+
+TEST(ResolveThreadCountTest, ExplicitCountPassesThrough) {
+  EXPECT_EQ(resolve_thread_count(1), 1u);
+  EXPECT_EQ(resolve_thread_count(3), 3u);
+  EXPECT_EQ(resolve_thread_count(8), 8u);
+}
+
+TEST(ThreadPoolTest, PoolOfOneSpawnsNoWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPoolTest, EmptyRangeRunsNothing) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::uint64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, EachIndexRunsExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    constexpr std::uint64_t kN = 1000;  // more tasks than threads
+    std::vector<std::atomic<int>> hits(kN);
+    pool.parallel_for(kN, [&](std::uint64_t i) { hits[i].fetch_add(1); });
+    for (std::uint64_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << ", threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ResultsByIndexMatchSequential) {
+  constexpr std::uint64_t kN = 257;
+  std::vector<std::uint64_t> expected(kN);
+  for (std::uint64_t i = 0; i < kN; ++i) expected[i] = i * i + 7;
+
+  ThreadPool pool(4);
+  std::vector<std::uint64_t> got(kN, 0);
+  pool.parallel_for(kN, [&](std::uint64_t i) { got[i] = i * i + 7; });
+  EXPECT_EQ(got, expected);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossJobs) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::uint64_t> sum{0};
+    pool.parallel_for(10, [&](std::uint64_t i) { sum.fetch_add(i + 1); });
+    EXPECT_EQ(sum.load(), 55u) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::uint64_t i) {
+                          if (i == 13) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool survives a failed job and keeps working.
+  std::atomic<int> calls{0};
+  pool.parallel_for(5, [&](std::uint64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 5);
+}
+
+TEST(ThreadPoolTest, ExceptionOnPoolOfOnePropagates) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(
+                   3, [&](std::uint64_t) { throw std::runtime_error("seq"); }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, FreeFunctionParallelFor) {
+  std::vector<std::uint64_t> got(64, 0);
+  parallel_for(4, got.size(), [&](std::uint64_t i) { got[i] = i; });
+  std::vector<std::uint64_t> expected(64);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(got, expected);
+}
+
+}  // namespace
+}  // namespace hsr::util

@@ -1,0 +1,112 @@
+// The parallel-sharding contract: for a fixed seed, generate_dataset must
+// produce BYTE-IDENTICAL results for any thread count. These tests compare
+// the sequential legacy path (threads = 1) against parallel runs bit by bit
+// (doubles included), so any scheduling- or interleaving-dependence in the
+// simulate phase is an immediate failure rather than a statistical drift.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "workload/dataset.h"
+
+namespace hsr::workload {
+namespace {
+
+// Bit pattern of a double: EXPECT_DOUBLE_EQ tolerates last-ulp wobble,
+// the determinism contract does not.
+std::uint64_t bits(double v) {
+  std::uint64_t out = 0;
+  std::memcpy(&out, &v, sizeof(out));
+  return out;
+}
+
+DatasetSpec small_spec() {
+  DatasetSpec spec = DatasetSpec::paper_table1(0.02);
+  spec.stationary_flows_per_provider = 2;
+  spec.flow_duration_min = util::Duration::seconds(10);
+  spec.flow_duration_max = util::Duration::seconds(15);
+  spec.seed = 20160627;
+  return spec;
+}
+
+void expect_identical(const DatasetResult& a, const DatasetResult& b,
+                      unsigned threads) {
+  ASSERT_EQ(a.flows.size(), b.flows.size()) << "threads=" << threads;
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    SCOPED_TRACE("flow " + std::to_string(i) + " threads " +
+                 std::to_string(threads));
+    const FlowRecord& x = a.flows[i];
+    const FlowRecord& y = b.flows[i];
+    EXPECT_EQ(x.provider, y.provider);
+    EXPECT_EQ(x.campaign, y.campaign);
+    EXPECT_EQ(x.high_speed, y.high_speed);
+    EXPECT_EQ(x.duration.ns(), y.duration.ns());
+    EXPECT_EQ(x.bytes_captured, y.bytes_captured);
+    EXPECT_EQ(bits(x.goodput_pps), bits(y.goodput_pps));
+    EXPECT_EQ(x.analysis.unique_segments, y.analysis.unique_segments);
+    EXPECT_EQ(bits(x.analysis.data_loss_rate), bits(y.analysis.data_loss_rate));
+    EXPECT_EQ(bits(x.analysis.ack_loss_rate), bits(y.analysis.ack_loss_rate));
+    EXPECT_EQ(bits(x.analysis.first_tx_loss_rate),
+              bits(y.analysis.first_tx_loss_rate));
+    EXPECT_EQ(bits(x.analysis.timeout_probability),
+              bits(y.analysis.timeout_probability));
+    EXPECT_EQ(x.analysis.mean_rtt.ns(), y.analysis.mean_rtt.ns());
+    EXPECT_EQ(bits(x.analysis.mean_window_segments),
+              bits(y.analysis.mean_window_segments));
+    EXPECT_EQ(x.analysis.timeout_sequences.size(),
+              y.analysis.timeout_sequences.size());
+    // The event-queue cost counters are part of the contract too: a thread
+    // count that changes how many events a flow's simulator runs is a
+    // nondeterminism bug even if the analysis happens to agree.
+    EXPECT_EQ(x.sim_events, y.sim_events);
+    EXPECT_EQ(x.sim_scheduled, y.sim_scheduled);
+    EXPECT_EQ(x.sim_tombstones, y.sim_tombstones);
+  }
+  // Corpus aggregation runs after the join, in flow order, so its headline
+  // statistics must be bit-identical as well.
+  const auto ha = a.corpus.headline();
+  const auto hb = b.corpus.headline();
+  EXPECT_EQ(bits(ha.mean_ack_loss_highspeed), bits(hb.mean_ack_loss_highspeed));
+  EXPECT_EQ(bits(ha.mean_ack_loss_stationary),
+            bits(hb.mean_ack_loss_stationary));
+  EXPECT_EQ(bits(ha.mean_recovery_s_highspeed),
+            bits(hb.mean_recovery_s_highspeed));
+  EXPECT_EQ(bits(ha.mean_recovery_s_stationary),
+            bits(hb.mean_recovery_s_stationary));
+}
+
+TEST(ParallelDeterminismTest, AnyThreadCountMatchesSequential) {
+  DatasetSpec spec = small_spec();
+  spec.threads = 1;  // legacy sequential reference
+  const DatasetResult reference = generate_dataset(spec);
+
+  for (unsigned threads : {2u, 4u, 8u}) {
+    spec.threads = threads;
+    const DatasetResult parallel = generate_dataset(spec);
+    expect_identical(reference, parallel, threads);
+  }
+}
+
+TEST(ParallelDeterminismTest, RepeatedParallelRunsAgree) {
+  DatasetSpec spec = small_spec();
+  spec.threads = 4;
+  const DatasetResult a = generate_dataset(spec);
+  const DatasetResult b = generate_dataset(spec);
+  expect_identical(a, b, 4);
+}
+
+TEST(ParallelDeterminismTest, MoreThreadsThanFlows) {
+  DatasetSpec spec = small_spec();
+  spec.campaigns.resize(1);
+  spec.campaigns[0].flows = 2;
+  spec.stationary_flows_per_provider = 1;
+  spec.threads = 1;
+  const DatasetResult reference = generate_dataset(spec);
+  spec.threads = 16;  // far more workers than tasks
+  const DatasetResult parallel = generate_dataset(spec);
+  expect_identical(reference, parallel, 16);
+}
+
+}  // namespace
+}  // namespace hsr::workload

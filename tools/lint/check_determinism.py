@@ -14,6 +14,12 @@ core directories:
   * ambient entropy:   std::random_device
   * unseeded engines:  std::mt19937 e;  std::default_random_engine e;  ...
                        (engines must be obtained through Rng, never built raw)
+  * sleep-based sync:  std::this_thread::sleep_for/sleep_until, usleep,
+                       nanosleep (parallel shards synchronize with the
+                       ThreadPool's join, never by waiting wall time)
+  * thread identity:   std::this_thread::get_id, pthread_self (seeds and
+                       stream forks must derive from (seed, index), never
+                       from which thread happens to run a shard)
 
 A line may be exempted with a trailing `// determinism-ok: <reason>` marker —
 grep for the marker to audit every exemption.
@@ -29,7 +35,7 @@ import sys
 from pathlib import Path
 
 # Directories holding the deterministic simulation core, relative to repo root.
-CHECKED_DIRS = ("src/sim", "src/tcp", "src/net", "src/radio")
+CHECKED_DIRS = ("src/sim", "src/tcp", "src/net", "src/radio", "src/workload", "src/util")
 
 SOURCE_SUFFIXES = {".cpp", ".h", ".cc", ".hpp"}
 
@@ -72,6 +78,22 @@ RULES = [
         ),
         "raw/unseeded engine construction; obtain engines via Rng::fork()",
     ),
+    (
+        "sleep-sync",
+        re.compile(
+            r"(\bthis_thread::sleep_(for|until)\b"
+            r"|(?<![\w:])(usleep|nanosleep)\s*\("
+            r"|(?<![\w:.])sleep\s*\(\s*\d)"
+        ),
+        "sleeping is not synchronization and adds wall-time dependence; "
+        "join via ThreadPool::parallel_for or block on a condition variable",
+    ),
+    (
+        "thread-id",
+        re.compile(r"(\bthis_thread::get_id\s*\(|\bpthread_self\s*\()"),
+        "thread identity must never feed seeds or control flow; derive "
+        "per-shard streams from (seed, index) via Rng::fork()",
+    ),
 ]
 
 # Embedded corpus for --self-test: each snippet must trip the named rule.
@@ -91,6 +113,13 @@ SELF_TEST_BAD = [
     # Raw engine members are banned in the core too: components hold an Rng,
     # never a bare engine, so substreams stay fork-derived.
     ("unseeded-engine", "std::mt19937_64 engine_;"),
+    ("sleep-sync", "std::this_thread::sleep_for(std::chrono::milliseconds(10));"),
+    ("sleep-sync", "this_thread::sleep_until(deadline);"),
+    ("sleep-sync", "usleep(1000);"),
+    ("sleep-sync", "nanosleep(&ts, nullptr);"),
+    ("sleep-sync", "sleep(1);"),
+    ("thread-id", "auto seed = std::hash<std::thread::id>{}(std::this_thread::get_id());"),
+    ("thread-id", "std::uint64_t tid = pthread_self();"),
 ]
 
 # Idioms the lint must NOT flag (the repo's own discipline).
@@ -102,6 +131,13 @@ SELF_TEST_GOOD = [
     "double jitter = rng_.exponential(mean);",
     "retransmission_timer_.arm(rto);",
     "std::random_device rd;  // determinism-ok: test-only entropy audit",
+    # Blocking primitives and fork-by-index parallelism are the sanctioned
+    # idioms — they must never trip the sleep/thread-id rules.
+    "done_cv_.wait(lock, [&] { return workers_running_ == 0; });",
+    "pool.parallel_for(tasks.size(), [&](std::uint64_t i) {",
+    "util::Rng flow_rng = rng.fork(\"flow\", flow_index);",
+    "std::thread worker([this] { worker_loop(); });",
+    "// threads sleep on the condition variable until a job is published",
 ]
 
 
