@@ -2,23 +2,25 @@
 // a spurious retransmission timeout, and why a single surviving cumulative
 // ACK prevents it (paper Figs. 5 and 11).
 //
-// Builds a tiny deterministic scenario — perfect data path, scripted ACK
-// deaths — and narrates every transport-layer event.
+// Builds a tiny deterministic scenario — perfect data path, a scripted
+// FaultPlan on the ACK path — and narrates every transport-layer event,
+// including the fault audit trail that explains each ACK's death.
 //
 //   $ ./spurious_timeout_demo
 #include <iostream>
 #include <memory>
 
+#include "fault/fault.h"
 #include "net/channel.h"
 #include "sim/simulator.h"
 #include "tcp/connection.h"
-#include "util/rng.h"
+#include "trace/capture.h"
 
 using namespace hsr;
 
 namespace {
 
-void narrate(const char* title, int surviving_ack_index) {
+void narrate(const char* title, fault::FaultPlan plan) {
   std::cout << "=== " << title << " ===\n";
 
   sim::Simulator sim;
@@ -32,25 +34,26 @@ void narrate(const char* title, int surviving_ack_index) {
   cfg.uplink.rate_bps = 10e6;
   cfg.uplink.prop_delay = util::Duration::millis(20);
 
-  // Kill the first round's ACKs, except possibly one survivor.
-  int ack_index = 0;
-  auto uplink_channel = std::make_unique<net::FunctionalChannel>(
-      [&ack_index, surviving_ack_index](const net::Packet&, util::TimePoint) {
-        ++ack_index;
-        if (ack_index > 6) return 0.0;
-        return ack_index == surviving_ack_index ? 0.0 : 1.0;
-      },
-      [](const net::Packet&, util::TimePoint) { return util::Duration::zero(); },
-      util::Rng(1));
+  // Perfect channels everywhere; only the scripted plan kills packets, and
+  // every kill is audited into the capture.
+  trace::FlowCapture capture;
+  capture.flow = 1;
+  auto uplink = std::make_unique<fault::FaultInjector>(
+      std::move(plan), std::make_unique<net::PerfectChannel>());
+  uplink->set_audit(&capture.faults, 'A');
 
   tcp::Connection conn(sim, 1, cfg, std::make_unique<net::PerfectChannel>(),
-                       std::move(uplink_channel));
+                       std::move(uplink));
   conn.start();
   sim.run_until(util::TimePoint::from_seconds(6));
 
   std::cout << "  round of 6 data packets sent; all DELIVERED (data path is perfect)\n";
   std::cout << "  ACKs lost on the uplink: " << conn.uplink().stats().dropped_total()
             << " of " << conn.uplink().stats().sent << "\n";
+  for (const auto& f : capture.faults) {
+    std::cout << "  t=" << f.when.to_seconds() << " s  scripted kill of ACK "
+              << f.seq << "  [" << f.label << "]\n";
+  }
   for (const auto& e : conn.sender().events()) {
     switch (e.type) {
       case tcp::SenderEventType::kTimeout:
@@ -74,10 +77,22 @@ void narrate(const char* title, int surviving_ack_index) {
 
 int main() {
   std::cout << "The paper's §III-B mechanism, step by step.\n\n";
+
+  // Case 1: every ACK of the first round dies. The first round's ACKs reach
+  // the uplink around t = 40 ms; killing everything before 100 ms wipes the
+  // round while sparing the post-RTO recovery ACK.
+  fault::FaultPlan kill_all;
+  kill_all.kill_acks(util::TimePoint::zero(), util::TimePoint::from_seconds(0.1));
   narrate("Case 1 (Fig. 5a): ALL six ACKs of the round are lost",
-          /*surviving_ack_index=*/0);
+          std::move(kill_all));
+
+  // Case 2: ACKs 2..6 die but the round's LAST cumulative ACK (ack_next = 7)
+  // survives — and acknowledges the whole round on its own.
+  fault::FaultPlan kill_most;
+  kill_most.kill_ack_range(2, 6);
   narrate("Case 2 (Fig. 11): the LAST ACK of the round survives",
-          /*surviving_ack_index=*/6);
+          std::move(kill_most));
+
   std::cout
       << "Takeaway: one surviving cumulative ACK acknowledges the whole round\n"
          "(\"ACKs are precious\"); only the loss of EVERY ACK in a round —\n"

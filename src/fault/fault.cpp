@@ -1,0 +1,178 @@
+#include "fault/fault.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace hsr::fault {
+
+char fault_action_code(FaultAction action) {
+  switch (action) {
+    case FaultAction::kDrop: return 'X';
+    case FaultAction::kDelay: return 'L';
+    case FaultAction::kDuplicate: return '2';
+  }
+  return '?';
+}
+
+bool FaultDirective::matches(const Packet& packet, TimePoint now,
+                             std::uint64_t triggers_so_far) const {
+  if (triggers_so_far >= max_triggers) return false;
+  if (kind == KindFilter::kData && packet.kind != net::PacketKind::kData) return false;
+  if (kind == KindFilter::kAck && packet.kind != net::PacketKind::kAck) return false;
+  if (now < window_begin || now >= window_end) return false;
+  // An ACK "is" its cumulative acknowledgement; data is its segment number.
+  const SeqNo key = packet.kind == net::PacketKind::kAck ? packet.ack_next : packet.seq;
+  if (key < seq_min || key > seq_max) return false;
+  if (only_retransmissions && !packet.is_retransmission) return false;
+  return true;
+}
+
+FaultPlan& FaultPlan::blackout(TimePoint from, TimePoint to, std::string label) {
+  FaultDirective d;
+  d.action = FaultAction::kDrop;
+  d.window_begin = from;
+  d.window_end = to;
+  d.label = std::move(label);
+  directives.push_back(std::move(d));
+  return *this;
+}
+
+FaultPlan& FaultPlan::kill_acks(TimePoint from, TimePoint to, std::string label) {
+  FaultDirective d;
+  d.action = FaultAction::kDrop;
+  d.kind = FaultDirective::KindFilter::kAck;
+  d.window_begin = from;
+  d.window_end = to;
+  d.label = std::move(label);
+  directives.push_back(std::move(d));
+  return *this;
+}
+
+FaultPlan& FaultPlan::kill_ack_range(SeqNo lo, SeqNo hi, std::string label) {
+  FaultDirective d;
+  d.action = FaultAction::kDrop;
+  d.kind = FaultDirective::KindFilter::kAck;
+  d.seq_min = lo;
+  d.seq_max = hi;
+  d.label = std::move(label);
+  directives.push_back(std::move(d));
+  return *this;
+}
+
+FaultPlan& FaultPlan::drop_retransmissions(std::uint64_t k, std::string label) {
+  FaultDirective d;
+  d.action = FaultAction::kDrop;
+  d.kind = FaultDirective::KindFilter::kData;
+  d.only_retransmissions = true;
+  d.max_triggers = k;
+  d.label = std::move(label);
+  directives.push_back(std::move(d));
+  return *this;
+}
+
+FaultPlan& FaultPlan::drop_segment_range(SeqNo lo, SeqNo hi, std::uint64_t k,
+                                         std::string label) {
+  FaultDirective d;
+  d.action = FaultAction::kDrop;
+  d.kind = FaultDirective::KindFilter::kData;
+  d.seq_min = lo;
+  d.seq_max = hi;
+  d.max_triggers = k;
+  d.label = std::move(label);
+  directives.push_back(std::move(d));
+  return *this;
+}
+
+FaultPlan& FaultPlan::delay_spike(TimePoint from, TimePoint to, Duration extra,
+                                  std::string label) {
+  FaultDirective d;
+  d.action = FaultAction::kDelay;
+  d.window_begin = from;
+  d.window_end = to;
+  d.delay = extra;
+  d.label = std::move(label);
+  directives.push_back(std::move(d));
+  return *this;
+}
+
+FaultPlan& FaultPlan::duplicate_next(std::uint64_t k, unsigned copies,
+                                     std::string label) {
+  FaultDirective d;
+  d.action = FaultAction::kDuplicate;
+  d.max_triggers = k;
+  d.copies = copies;
+  d.label = std::move(label);
+  directives.push_back(std::move(d));
+  return *this;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::unique_ptr<net::ChannelModel> inner)
+    : plan_(std::move(plan)),
+      trigger_counts_(plan_.directives.size(), 0),
+      inner_(std::move(inner)) {
+  HSR_CHECK(inner_ != nullptr);
+  for (const FaultDirective& d : plan_.directives) {
+    HSR_CHECK_MSG(d.window_begin <= d.window_end, "inverted fault window");
+    HSR_CHECK_MSG(d.seq_min <= d.seq_max, "inverted fault sequence range");
+    HSR_CHECK_MSG(d.delay >= Duration::zero(), "negative fault delay");
+  }
+}
+
+void FaultInjector::record(std::size_t directive_index, const Packet& packet,
+                           TimePoint now, Duration delay) {
+  ++trigger_counts_[directive_index];
+  ++total_triggers_;
+  if (audit_ == nullptr) return;
+  const FaultDirective& d = plan_.directives[directive_index];
+  trace::FaultRecord rec;
+  rec.when = now;
+  rec.direction = direction_;
+  rec.packet_id = packet.id;
+  rec.seq = packet.kind == net::PacketKind::kAck ? packet.ack_next : packet.seq;
+  rec.kind = packet.kind;
+  rec.directive = static_cast<std::uint32_t>(directive_index);
+  rec.action = fault_action_code(d.action);
+  rec.delay = delay;
+  rec.label = d.label;
+  audit_->push_back(std::move(rec));
+}
+
+bool FaultInjector::should_drop(const Packet& packet, TimePoint now) {
+  for (std::size_t i = 0; i < plan_.directives.size(); ++i) {
+    const FaultDirective& d = plan_.directives[i];
+    if (d.action != FaultAction::kDrop) continue;
+    if (!d.matches(packet, now, trigger_counts_[i])) continue;
+    record(i, packet, now, Duration::zero());
+    return true;
+  }
+  // Spared by the script: the organic channel still gets its say (and its
+  // stateful/stochastic evolution stays consistent packet for packet).
+  return inner_->should_drop(packet, now);
+}
+
+Duration FaultInjector::extra_delay(const Packet& packet, TimePoint now) {
+  Duration extra = Duration::zero();
+  for (std::size_t i = 0; i < plan_.directives.size(); ++i) {
+    const FaultDirective& d = plan_.directives[i];
+    if (d.action != FaultAction::kDelay) continue;
+    if (!d.matches(packet, now, trigger_counts_[i])) continue;
+    record(i, packet, now, d.delay);
+    extra += d.delay;
+  }
+  return extra + inner_->extra_delay(packet, now);
+}
+
+unsigned FaultInjector::duplicate_copies(const Packet& packet, TimePoint now) {
+  unsigned copies = 0;
+  for (std::size_t i = 0; i < plan_.directives.size(); ++i) {
+    const FaultDirective& d = plan_.directives[i];
+    if (d.action != FaultAction::kDuplicate) continue;
+    if (!d.matches(packet, now, trigger_counts_[i])) continue;
+    record(i, packet, now, Duration::zero());
+    copies += d.copies;
+  }
+  return copies + inner_->duplicate_copies(packet, now);
+}
+
+}  // namespace hsr::fault

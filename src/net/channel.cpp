@@ -87,6 +87,12 @@ Duration CompositeChannel::extra_delay(const Packet& p, TimePoint now) {
   return total;
 }
 
+unsigned CompositeChannel::duplicate_copies(const Packet& p, TimePoint now) {
+  unsigned copies = 0;
+  for (auto& part : parts_) copies += part->duplicate_copies(p, now);
+  return copies;
+}
+
 FunctionalChannel::FunctionalChannel(DropProbFn drop_prob, DelayFn delay, util::Rng rng)
     : drop_prob_(std::move(drop_prob)), delay_(std::move(delay)), rng_(rng) {
   HSR_CHECK(drop_prob_ != nullptr && delay_ != nullptr);

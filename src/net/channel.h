@@ -23,6 +23,11 @@ class ChannelModel {
 
   // Extra propagation delay (jitter, fading-induced) for this packet.
   virtual Duration extra_delay(const Packet& packet, TimePoint now) = 0;
+
+  // Number of EXTRA copies of this packet the channel injects (duplication
+  // faults). Queried by Link for delivered packets only; each copy arrives
+  // at the same instant as the original. Organic channels never duplicate.
+  virtual unsigned duplicate_copies(const Packet&, TimePoint) { return 0; }
 };
 
 // Never drops, never delays. The wired (server-side) segment.
@@ -87,6 +92,9 @@ class JitterChannel final : public ChannelModel {
 
   bool should_drop(const Packet& p, TimePoint now) override;
   Duration extra_delay(const Packet& p, TimePoint now) override;
+  unsigned duplicate_copies(const Packet& p, TimePoint now) override {
+    return inner_->duplicate_copies(p, now);
+  }
 
  private:
   std::unique_ptr<ChannelModel> inner_;
@@ -104,6 +112,7 @@ class CompositeChannel final : public ChannelModel {
 
   bool should_drop(const Packet& p, TimePoint now) override;
   Duration extra_delay(const Packet& p, TimePoint now) override;
+  unsigned duplicate_copies(const Packet& p, TimePoint now) override;
 
  private:
   std::vector<std::unique_ptr<ChannelModel>> parts_;

@@ -59,12 +59,19 @@ void Link::send(Packet packet) {
 
   const TimePoint arrival =
       departure + config_.prop_delay + channel_->extra_delay(packet, start);
-  sim_.at(arrival, [this, packet, arrival] {
-    ++stats_.delivered;
-    stats_.bytes_delivered += packet.size_bytes;
-    if (tap_ != nullptr) tap_->on_deliver(packet, packet.sent_at, arrival);
-    if (receiver_) receiver_(packet);
-  });
+  // Duplication faults: the channel may inject extra copies of a delivered
+  // packet (same id — it is the SAME packet arriving more than once, as on a
+  // real path with a duplicating middlebox). Copies share the arrival time.
+  const unsigned copies = 1 + channel_->duplicate_copies(packet, start);
+  stats_.injected_duplicates += copies - 1;
+  for (unsigned c = 0; c < copies; ++c) {
+    sim_.at(arrival, [this, packet, arrival] {
+      ++stats_.delivered;
+      stats_.bytes_delivered += packet.size_bytes;
+      if (tap_ != nullptr) tap_->on_deliver(packet, packet.sent_at, arrival);
+      if (receiver_) receiver_(packet);
+    });
+  }
 }
 
 }  // namespace hsr::net

@@ -48,6 +48,9 @@ struct LinkStats {
   std::uint64_t dropped_queue = 0;
   std::uint64_t dropped_channel = 0;
   std::uint64_t bytes_delivered = 0;
+  // Extra copies injected by the channel (duplication faults). Each copy is
+  // also counted in `delivered`, so delivered can exceed sent.
+  std::uint64_t injected_duplicates = 0;
 
   std::uint64_t dropped_total() const { return dropped_queue + dropped_channel; }
   double loss_rate() const {

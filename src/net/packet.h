@@ -62,4 +62,10 @@ struct Packet {
 // shards run in parallel without races or cross-shard id coupling.
 std::uint64_t allocate_packet_id();
 
+// Rewinds this thread's counter to 1. Call at the start of each independent
+// simulation so ids — and therefore serialized captures — depend only on the
+// flow's own history, not on which flows this thread ran before (the
+// byte-identical-capture contract across thread counts and repeat runs).
+void reset_packet_ids();
+
 }  // namespace hsr::net

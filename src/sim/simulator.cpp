@@ -23,6 +23,12 @@ std::uint64_t Simulator::run_until(TimePoint deadline) {
   std::uint64_t n = 0;
   stopped_ = false;
   while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
+    if (event_budget_ != 0 && executed_ >= event_budget_) {
+      // Watchdog trip: leave the remaining events pending so callers can
+      // inspect the wedged state; the clock stays at the last executed event.
+      budget_exhausted_ = true;
+      return n;
+    }
     // The queue can never owe us an event from before the current clock:
     // at()/after() reject past schedules, so the head is always >= now.
     HSR_DCHECK_MSG(queue_.next_time() >= now_, "simulation clock would go backwards");

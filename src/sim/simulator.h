@@ -40,6 +40,14 @@ class Simulator {
   // Requests the run loop to exit after the current event.
   void stop() { stopped_ = true; }
 
+  // Watchdog: caps the LIFETIME number of events this simulator may execute
+  // (0 = unlimited). A run loop that reaches the budget stops before the
+  // next event and latches budget_exhausted(), so a wedged or runaway flow
+  // terminates with a diagnosable state instead of spinning forever.
+  void set_event_budget(std::uint64_t max_events) { event_budget_ = max_events; }
+  std::uint64_t event_budget() const { return event_budget_; }
+  bool budget_exhausted() const { return budget_exhausted_; }
+
   std::uint64_t events_executed() const { return executed_; }
 
   // Event-queue diagnostics (scheduled/fired/pruned counters, tombstones).
@@ -49,6 +57,8 @@ class Simulator {
   EventQueue queue_;
   TimePoint now_ = TimePoint::zero();
   std::uint64_t executed_ = 0;
+  std::uint64_t event_budget_ = 0;  // 0 = unlimited
+  bool budget_exhausted_ = false;
   bool stopped_ = false;
 };
 

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -24,6 +25,22 @@ using net::Packet;
 using net::SeqNo;
 using util::Duration;
 using util::TimePoint;
+
+// One scripted fault that fired on a packet (fault::FaultInjector audit
+// trail). Stored alongside the transmissions so an archived trace explains
+// WHY a packet died or stalled — a channel-loss drop caused by a scripted
+// blackout is distinguishable from organic radio loss during re-analysis.
+struct FaultRecord {
+  TimePoint when;
+  char direction = '?';          // 'D' data link, 'A' ACK link
+  std::uint64_t packet_id = 0;
+  SeqNo seq = 0;                 // seq for data packets, ack_next for ACKs
+  net::PacketKind kind = net::PacketKind::kData;
+  std::uint32_t directive = 0;   // index of the directive in the FaultPlan
+  char action = 'X';             // 'X' drop, 'L' delay, '2' duplicate
+  Duration delay;                // extra latency (delay actions only)
+  std::string label;             // directive label (no whitespace)
+};
 
 // One packet put on the wire, with its observed fate.
 struct Transmission {
@@ -65,6 +82,8 @@ struct FlowCapture {
   net::FlowId flow = 0;
   DirectionCapture data;  // downlink: data segments
   DirectionCapture acks;  // uplink: acknowledgements
+  // Scripted-fault audit trail, in trigger order (empty for organic runs).
+  std::vector<FaultRecord> faults;
 
   double data_loss_rate() const { return data.loss_rate(); }
   double ack_loss_rate() const { return acks.loss_rate(); }

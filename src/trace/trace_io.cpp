@@ -1,7 +1,10 @@
 #include "trace/trace_io.h"
 
+#include <charconv>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 namespace hsr::trace {
 
@@ -16,6 +19,16 @@ char drop_code(const Transmission& tx) {
   return *tx.drop_reason == DropReason::kQueueOverflow ? 'Q' : 'C';
 }
 
+// Audit labels are single tokens on the wire; whitespace would shift every
+// following field, so it is replaced at serialization time.
+std::string sanitize_label(const std::string& label) {
+  std::string out = label.empty() ? "fault" : label;
+  for (char& c : out) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') c = '_';
+  }
+  return out;
+}
+
 void write_direction(std::ostream& os, char dir, const DirectionCapture& cap) {
   for (const auto& tx : cap.transmissions()) {
     os << dir << ' ' << tx.packet.id << ' ' << tx.packet.seq << ' '
@@ -25,62 +38,216 @@ void write_direction(std::ostream& os, char dir, const DirectionCapture& cap) {
   }
 }
 
+// --- Tokenized line parsing with positional diagnostics ----------------------
+
+std::vector<std::string> split_tokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream ls(line);
+  std::string tok;
+  while (ls >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+// Parses a full-token integer; false on any trailing garbage ("12x") or
+// overflow, so bit-flips inside numeric fields are caught, not truncated.
+template <typename Int>
+bool parse_int(const std::string& token, Int& out) {
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc() && ptr == last;
+}
+
+util::Status line_error(std::size_t line_number, const std::string& token,
+                        const std::string& why) {
+  return util::Status::invalid_argument(
+      "trace line " + std::to_string(line_number) + ": " + why + " (token '" +
+      token + "')");
+}
+
+// Parses one `D`/`A` transmission line (tokens past the direction marker).
+util::Status parse_transmission(const std::vector<std::string>& tokens,
+                                std::size_t line_number, FlowCapture& cap) {
+  if (tokens.size() != 9) {
+    return line_error(line_number, tokens.empty() ? "" : tokens.back(),
+                      "expected 9 fields, got " + std::to_string(tokens.size()));
+  }
+  Packet p;
+  std::int64_t sent_ns = 0;
+  std::int64_t arrived_ns = 0;
+  std::uint32_t retx = 0;
+  if (!parse_int(tokens[1], p.id)) return line_error(line_number, tokens[1], "bad packet id");
+  if (!parse_int(tokens[2], p.seq)) return line_error(line_number, tokens[2], "bad seq");
+  if (!parse_int(tokens[3], p.ack_next)) {
+    return line_error(line_number, tokens[3], "bad ack_next");
+  }
+  if (!parse_int(tokens[4], p.size_bytes)) {
+    return line_error(line_number, tokens[4], "bad size");
+  }
+  if (!parse_int(tokens[5], sent_ns)) {
+    return line_error(line_number, tokens[5], "bad sent time");
+  }
+  if (!parse_int(tokens[6], arrived_ns)) {
+    return line_error(line_number, tokens[6], "bad arrival time");
+  }
+  const std::string& drop_tok = tokens[7];
+  if (drop_tok.size() != 1 ||
+      (drop_tok[0] != '-' && drop_tok[0] != 'Q' && drop_tok[0] != 'C')) {
+    return line_error(line_number, drop_tok, "bad drop code");
+  }
+  if (!parse_int(tokens[8], retx)) {
+    return line_error(line_number, tokens[8], "bad retx count");
+  }
+
+  const char dir = tokens[0][0];
+  p.flow = cap.flow;
+  p.kind = (dir == 'D') ? net::PacketKind::kData : net::PacketKind::kAck;
+  p.retx_count = retx;
+  p.is_retransmission = retx > 0;
+
+  DirectionCapture& target = (dir == 'D') ? cap.data : cap.acks;
+  target.on_send(p, TimePoint::from_ns(sent_ns));
+  if (arrived_ns >= 0) {
+    target.on_deliver(p, TimePoint::from_ns(sent_ns), TimePoint::from_ns(arrived_ns));
+  } else if (drop_tok[0] != '-') {
+    target.on_drop(p, TimePoint::from_ns(sent_ns),
+                   drop_tok[0] == 'Q' ? DropReason::kQueueOverflow
+                                      : DropReason::kChannelLoss);
+  }
+  // drop == '-' with no arrival: the packet was still in flight when the
+  // capture ended; it is neither delivered nor lost.
+  return util::Status::ok();
+}
+
+// Parses one `F` fault-audit line.
+util::Status parse_fault(const std::vector<std::string>& tokens,
+                         std::size_t line_number, FlowCapture& cap) {
+  if (tokens.size() != 10) {
+    return line_error(line_number, tokens.empty() ? "" : tokens.back(),
+                      "expected 10 fields, got " + std::to_string(tokens.size()));
+  }
+  FaultRecord rec;
+  std::int64_t when_ns = 0;
+  std::int64_t delay_ns = 0;
+  if (tokens[1].size() != 1 || (tokens[1][0] != 'D' && tokens[1][0] != 'A')) {
+    return line_error(line_number, tokens[1], "bad fault direction");
+  }
+  rec.direction = tokens[1][0];
+  if (!parse_int(tokens[2], when_ns)) return line_error(line_number, tokens[2], "bad time");
+  if (!parse_int(tokens[3], rec.packet_id)) {
+    return line_error(line_number, tokens[3], "bad packet id");
+  }
+  if (!parse_int(tokens[4], rec.seq)) return line_error(line_number, tokens[4], "bad seq");
+  if (tokens[5].size() != 1 || (tokens[5][0] != 'D' && tokens[5][0] != 'A')) {
+    return line_error(line_number, tokens[5], "bad packet kind");
+  }
+  rec.kind = tokens[5][0] == 'D' ? net::PacketKind::kData : net::PacketKind::kAck;
+  if (!parse_int(tokens[6], rec.directive)) {
+    return line_error(line_number, tokens[6], "bad directive index");
+  }
+  if (tokens[7].size() != 1 ||
+      (tokens[7][0] != 'X' && tokens[7][0] != 'L' && tokens[7][0] != '2')) {
+    return line_error(line_number, tokens[7], "bad fault action");
+  }
+  rec.action = tokens[7][0];
+  if (!parse_int(tokens[8], delay_ns)) {
+    return line_error(line_number, tokens[8], "bad fault delay");
+  }
+  rec.label = tokens[9];
+  rec.when = TimePoint::from_ns(when_ns);
+  rec.delay = Duration::nanos(delay_ns);
+  cap.faults.push_back(std::move(rec));
+  return util::Status::ok();
+}
+
 }  // namespace
 
 void write_flow_capture(std::ostream& os, const FlowCapture& capture) {
   os << kMagic << " flow=" << capture.flow << '\n';
   write_direction(os, 'D', capture.data);
   write_direction(os, 'A', capture.acks);
+  // Fault audit trail, after the transmissions:
+  //   F <link-dir> <when_ns> <pkt_id> <seq> <kind> <directive> <action> <delay_ns> <label>
+  // where action is 'X' (drop), 'L' (delay) or '2' (duplicate).
+  for (const auto& f : capture.faults) {
+    os << "F " << f.direction << ' ' << f.when.ns() << ' ' << f.packet_id << ' '
+       << f.seq << ' ' << (f.kind == net::PacketKind::kData ? 'D' : 'A') << ' '
+       << f.directive << ' ' << f.action << ' ' << f.delay.ns() << ' '
+       << sanitize_label(f.label) << '\n';
+  }
 }
 
 util::StatusOr<FlowCapture> read_flow_capture(std::istream& is) {
-  std::string magic;
-  std::string flow_field;
-  if (!(is >> magic >> flow_field) || magic != kMagic ||
-      flow_field.rfind("flow=", 0) != 0) {
-    return util::Status::invalid_argument("bad trace header");
-  }
-  FlowCapture cap;
-  cap.flow = static_cast<net::FlowId>(std::stoul(flow_field.substr(5)));
-
   std::string line;
-  std::getline(is, line);  // consume header remainder
-  while (std::getline(is, line)) {
-    if (line.empty()) continue;
-    std::istringstream ls(line);
-    char dir = 0;
-    char drop = 0;
-    std::int64_t sent_ns = 0;
-    std::int64_t arrived_ns = 0;
-    Packet p;
-    std::uint32_t retx = 0;
-    if (!(ls >> dir >> p.id >> p.seq >> p.ack_next >> p.size_bytes >> sent_ns >>
-          arrived_ns >> drop >> retx)) {
-      return util::Status::invalid_argument("bad trace line: " + line);
-    }
-    p.flow = cap.flow;
-    p.kind = (dir == 'D') ? net::PacketKind::kData : net::PacketKind::kAck;
-    p.retx_count = retx;
-    p.is_retransmission = retx > 0;
-
-    DirectionCapture& target = (dir == 'D') ? cap.data : cap.acks;
-    target.on_send(p, TimePoint::from_ns(sent_ns));
-    if (arrived_ns >= 0) {
-      target.on_deliver(p, TimePoint::from_ns(sent_ns), TimePoint::from_ns(arrived_ns));
-    } else if (drop != '-') {
-      target.on_drop(p, TimePoint::from_ns(sent_ns),
-                     drop == 'Q' ? DropReason::kQueueOverflow : DropReason::kChannelLoss);
-    }
-    // drop == '-' with no arrival: the packet was still in flight when the
-    // capture ended; it is neither delivered nor lost.
+  std::size_t line_number = 1;
+  if (!std::getline(is, line)) {
+    return util::Status::invalid_argument("trace line 1: empty stream, no header");
   }
-  return cap;
+  {
+    std::istringstream hs(line);
+    std::string magic;
+    std::string flow_field;
+    if (!(hs >> magic >> flow_field) || magic != kMagic ||
+        flow_field.rfind("flow=", 0) != 0) {
+      return line_error(1, line, "bad trace header");
+    }
+    net::FlowId flow = 0;
+    if (!parse_int(flow_field.substr(5), flow)) {
+      return line_error(1, flow_field, "bad flow id");
+    }
+    FlowCapture cap;
+    cap.flow = flow;
+
+    while (std::getline(is, line)) {
+      ++line_number;
+      // A line that hit EOF before its newline is an unterminated tail —
+      // the signature of a truncated archive (killed writer, torn copy).
+      const bool unterminated = is.eof();
+      if (line.empty()) continue;
+
+      const std::vector<std::string> tokens = split_tokens(line);
+      util::Status status = util::Status::ok();
+      if (tokens[0] == "D" || tokens[0] == "A") {
+        status = parse_transmission(tokens, line_number, cap);
+      } else if (tokens[0] == "F") {
+        status = parse_fault(tokens, line_number, cap);
+      } else {
+        status = line_error(line_number, tokens[0], "unknown record type");
+      }
+      if (!status.is_ok()) {
+        if (unterminated) {
+          // Truncation-tolerant read: drop the torn final line and return
+          // the records parsed so far, so a partial archive stays analyzable
+          // instead of poisoning re-analysis of the whole corpus.
+          break;
+        }
+        return status;
+      }
+    }
+    return cap;
+  }
 }
 
 util::Status save_flow_capture(const std::string& path, const FlowCapture& capture) {
-  std::ofstream f(path);
-  if (!f) return util::Status::internal("cannot open for write: " + path);
-  write_flow_capture(f, capture);
+  // Write-then-rename: the capture lands under a temporary name and is moved
+  // into place atomically, so a killed run leaves either the old archive or
+  // the complete new one — never a half-written file under the real name.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::trunc);
+    if (!f) return util::Status::internal("cannot open for write: " + tmp);
+    write_flow_capture(f, capture);
+    f.flush();
+    if (!f.good()) {
+      f.close();
+      std::remove(tmp.c_str());
+      return util::Status::internal("short write: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return util::Status::internal("cannot rename " + tmp + " -> " + path);
+  }
   return util::Status::ok();
 }
 

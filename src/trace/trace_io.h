@@ -5,7 +5,8 @@
 //   <dir> <pkt_id> <seq> <ack_next> <size> <sent_ns> <arrived_ns|-1> <drop> <retx>
 // where dir is D (data) or A (ack) and drop is '-', 'Q' (queue) or 'C'
 // (channel); lost packets have arrived_ns = -1 (exactly the convention of
-// the paper's Fig. 1).
+// the paper's Fig. 1). Scripted-fault audit records follow as `F` lines:
+//   F <link-dir> <when_ns> <pkt_id> <seq> <kind> <directive> <action> <delay_ns> <label>
 #pragma once
 
 #include <iosfwd>
@@ -17,9 +18,16 @@
 namespace hsr::trace {
 
 void write_flow_capture(std::ostream& os, const FlowCapture& capture);
+
+// Parses a capture. Corrupt records fail with the line number and the
+// offending token in the Status message. A torn FINAL line (EOF before its
+// newline — the signature of a truncated archive) is tolerated: the partial
+// record is dropped and the capture parsed so far is returned.
 util::StatusOr<FlowCapture> read_flow_capture(std::istream& is);
 
-// Convenience file wrappers.
+// Convenience file wrappers. Saving is atomic (write to `<path>.tmp`, then
+// rename into place), so a killed run never leaves a half-written archive
+// under the real name.
 util::Status save_flow_capture(const std::string& path, const FlowCapture& capture);
 util::StatusOr<FlowCapture> load_flow_capture(const std::string& path);
 

@@ -10,6 +10,7 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }

@@ -21,6 +21,7 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kInternal,
+  kResourceExhausted,  // a budget (events, time, retries) was used up
 };
 
 // Returns a stable human-readable name for a status code.
@@ -47,6 +48,9 @@ class Status {
   }
   static Status internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status resource_exhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
   }
 
   bool is_ok() const { return code_ == StatusCode::kOk; }

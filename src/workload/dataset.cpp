@@ -1,7 +1,10 @@
 #include "workload/dataset.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdlib>
+#include <exception>
+#include <string>
 
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -37,36 +40,84 @@ struct FlowTask {
   std::uint64_t seed = 0;
 };
 
-FlowRecord run_and_analyze(const FlowTask& task) {
-  FlowRunConfig cfg;
-  cfg.profile = task.profile;
-  cfg.duration = task.duration;
-  cfg.seed = task.seed;
-
-  FlowRunResult run = run_flow(cfg);
-
+// Runs one planned flow and reduces it to a record. Returns the flow's
+// Status in `*status` (never throws past here): exceptions and watchdog
+// aborts become per-flow diagnostics for the quarantine list.
+FlowRecord run_and_analyze(const DatasetSpec& spec, std::uint64_t flow_index,
+                           const FlowTask& task, util::Status* status) {
   FlowRecord rec;
-  rec.provider = radio::provider_name(task.profile.provider);
-  rec.campaign = task.campaign;
-  rec.phone = task.phone;
-  rec.high_speed = task.profile.mobility == radio::Mobility::kHighSpeed;
-  rec.analysis = analysis::analyze_flow(run.capture);
-  rec.goodput_pps = run.goodput_pps;
-  rec.bytes_captured = run.bytes_captured;
-  rec.duration = task.duration;
-  rec.receiver_window = task.profile.receiver_window_segments;
-  rec.delayed_ack_b = cfg.delayed_ack_b;
-  rec.sim_events = run.sim_events;
-  rec.sim_scheduled = run.sim_scheduled;
-  rec.sim_tombstones = run.sim_tombstones;
+  try {
+    FlowRunConfig cfg;
+    cfg.profile = task.profile;
+    cfg.duration = task.duration;
+    cfg.seed = task.seed;
+    cfg.max_sim_events = spec.max_sim_events_per_flow;
+    if (spec.configure_flow) spec.configure_flow(flow_index, cfg);
+
+    FlowRunResult run = run_flow(cfg);
+    if (!run.status.is_ok()) {
+      *status = run.status;
+      return rec;
+    }
+    if (spec.observe_flow) spec.observe_flow(flow_index, run);
+
+    rec.provider = radio::provider_name(cfg.profile.provider);
+    rec.campaign = task.campaign;
+    rec.phone = task.phone;
+    rec.high_speed = cfg.profile.mobility == radio::Mobility::kHighSpeed;
+    rec.analysis = analysis::analyze_flow(run.capture);
+    rec.goodput_pps = run.goodput_pps;
+    rec.bytes_captured = run.bytes_captured;
+    rec.duration = cfg.duration;
+    rec.receiver_window = cfg.profile.receiver_window_segments;
+    rec.delayed_ack_b = cfg.delayed_ack_b;
+    rec.sim_events = run.sim_events;
+    rec.sim_scheduled = run.sim_scheduled;
+    rec.sim_tombstones = run.sim_tombstones;
+    *status = util::Status::ok();
+  } catch (const std::exception& e) {
+    *status = util::Status::internal(std::string("flow simulation threw: ") + e.what());
+  } catch (...) {
+    *status = util::Status::internal("flow simulation threw a non-std exception");
+  }
   return rec;
 }
 
-unsigned resolve_dataset_threads(unsigned requested) {
+}  // namespace
+
+util::StatusOr<unsigned> parse_bench_threads(const char* text) {
+  const std::string value = text == nullptr ? "" : text;
+  unsigned parsed = 0;
+  const char* first = value.data();
+  const char* last = value.data() + value.size();
+  const auto [ptr, ec] = std::from_chars(first, last, parsed);
+  if (value.empty() || ec != std::errc() || ptr != last) {
+    return util::Status::invalid_argument(
+        "HSR_BENCH_THREADS='" + value + "' is not a plain decimal thread count");
+  }
+  if (parsed == 0) {
+    return util::Status::invalid_argument(
+        "HSR_BENCH_THREADS=0 is meaningless (use 1 for sequential, unset for "
+        "hardware concurrency)");
+  }
+  if (parsed > kMaxBenchThreads) {
+    return util::Status::invalid_argument(
+        "HSR_BENCH_THREADS=" + value + " is absurd (max " +
+        std::to_string(kMaxBenchThreads) + ")");
+  }
+  return parsed;
+}
+
+namespace {
+
+// Resolves the worker count, or an error when HSR_BENCH_THREADS is set but
+// malformed (the run is rejected rather than silently falling back).
+util::StatusOr<unsigned> resolve_dataset_threads(unsigned requested) {
   if (requested == 0) {
     if (const char* env = std::getenv("HSR_BENCH_THREADS")) {
-      const unsigned long v = std::strtoul(env, nullptr, 10);
-      if (v > 0) return static_cast<unsigned>(v);
+      auto parsed = parse_bench_threads(env);
+      if (!parsed.is_ok()) return parsed.status();
+      return parsed.value();
     }
   }
   return util::resolve_thread_count(requested);
@@ -115,20 +166,39 @@ DatasetResult generate_dataset(const DatasetSpec& spec) {
     }
   }
 
+  DatasetResult out;
+  auto threads = resolve_dataset_threads(spec.threads);
+  if (!threads.is_ok()) {
+    out.config_status = threads.status();
+    return out;
+  }
+
   // Simulate phase (parallel shards): each flow runs its own Simulator with
   // the planned seed and writes its record into a pre-sized slot by index.
   // No shared mutable state between shards, so thread count and scheduling
   // cannot perturb the result; threads == 1 is the plain sequential loop.
-  DatasetResult out;
-  out.flows.resize(tasks.size());
-  util::ThreadPool pool(resolve_dataset_threads(spec.threads));
+  // Workers never throw (run_and_analyze absorbs failures into per-index
+  // statuses), so one sick flow cannot abort its siblings mid-flight.
+  std::vector<FlowRecord> records(tasks.size());
+  std::vector<util::Status> statuses(tasks.size());
+  util::ThreadPool pool(threads.value());
   pool.parallel_for(tasks.size(), [&](std::uint64_t i) {
-    out.flows[i] = run_and_analyze(tasks[i]);
+    records[i] = run_and_analyze(spec, i, tasks[i], &statuses[i]);
   });
 
-  // Aggregate phase (sequential, in flow order, after the join).
-  for (const auto& rec : out.flows) {
-    out.corpus.add(rec.provider, rec.high_speed, rec.analysis);
+  // Aggregate phase (sequential, in flow order, after the join): compact the
+  // healthy flows into the corpus and quarantine the casualties with their
+  // diagnostics. Index order makes the result independent of thread count.
+  out.flows.reserve(tasks.size());
+  for (std::uint64_t i = 0; i < tasks.size(); ++i) {
+    if (statuses[i].is_ok()) {
+      out.corpus.add(records[i].provider, records[i].high_speed, records[i].analysis);
+      out.flows.push_back(std::move(records[i]));
+    } else {
+      out.quarantined.push_back(QuarantinedFlow{
+          i, radio::provider_name(tasks[i].profile.provider), tasks[i].campaign,
+          std::move(statuses[i])});
+    }
   }
   return out;
 }

@@ -5,11 +5,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "analysis/corpus.h"
 #include "radio/profiles.h"
+#include "util/status.h"
 #include "workload/scenario.h"
 
 namespace hsr::workload {
@@ -38,12 +40,39 @@ struct DatasetSpec {
   // (the legacy single-threaded path). Every flow is an independent,
   // fork-seeded simulation whose record lands in a pre-sized slot, so the
   // result is byte-identical for ANY thread count (enforced by tests).
+  // A malformed HSR_BENCH_THREADS value REJECTS the run: generate_dataset
+  // returns immediately with config_status set and zero flows.
   unsigned threads = 0;
+
+  // Per-flow watchdog: a flow whose simulator executes more events than this
+  // is aborted with a diagnostic Status and quarantined instead of spinning
+  // the whole campaign forever. 0 = unlimited. The default is ~2 orders of
+  // magnitude above what a paper-scale flow needs (see ROADMAP tunables).
+  std::uint64_t max_sim_events_per_flow = kDefaultFlowEventBudget;
+  static constexpr std::uint64_t kDefaultFlowEventBudget = 200'000'000;
+
+  // Test/experiment hook: invoked in the worker before each flow runs, with
+  // the flow's planned index and its fully derived config — mutate it to
+  // inject fault plans, swap profiles, or shrink budgets per flow. MUST be
+  // safe to call concurrently for distinct indices and deterministic in
+  // (index, cfg) for the byte-identical-corpus contract to hold.
+  std::function<void(std::uint64_t flow_index, FlowRunConfig& cfg)> configure_flow;
+  // Observation hook: invoked in the worker with each SUCCESSFUL flow's full
+  // result (captures included) before it is reduced to a FlowRecord. Same
+  // concurrency/determinism contract as configure_flow.
+  std::function<void(std::uint64_t flow_index, const FlowRunResult& run)> observe_flow;
 
   // Table I of the paper. `scale` in (0, 1] shrinks the flow counts
   // proportionally (floor, at least 1 per campaign) for quick runs.
   static DatasetSpec paper_table1(double scale = 1.0);
 };
+
+// Strict parser for the HSR_BENCH_THREADS environment knob: accepts only a
+// plain decimal in [1, kMaxBenchThreads]; anything else (empty, non-numeric,
+// trailing garbage, zero, absurd counts) is an InvalidArgument naming the
+// offending text. Exposed for tests and bench binaries.
+inline constexpr unsigned kMaxBenchThreads = 512;
+util::StatusOr<unsigned> parse_bench_threads(const char* text);
 
 struct FlowRecord {
   std::string provider;   // short provider name ("China Mobile", ...)
@@ -64,9 +93,28 @@ struct FlowRecord {
   std::uint64_t sim_tombstones = 0;  // cancelled/superseded entries pruned
 };
 
+// A flow that failed in the simulate phase (exception, watchdog abort) and
+// was excluded from the corpus instead of killing the whole campaign.
+struct QuarantinedFlow {
+  std::uint64_t flow_index = 0;  // planned index within the spec
+  std::string provider;
+  std::string campaign;
+  util::Status status;  // why the flow was quarantined (never OK)
+};
+
 struct DatasetResult {
   std::vector<FlowRecord> flows;
   analysis::Corpus corpus;  // built from `flows`
+
+  // Partial-corpus semantics: `flows`/`corpus` hold every flow that
+  // completed; failures are quarantined here with their diagnostics. An
+  // empty list means the campaign was complete.
+  std::vector<QuarantinedFlow> quarantined;
+  // Spec/environment rejection (e.g. malformed HSR_BENCH_THREADS). When not
+  // OK the simulate phase never ran and `flows` is empty.
+  util::Status config_status;
+
+  bool complete() const { return config_status.is_ok() && quarantined.empty(); }
 
   double total_capture_gb() const;
   unsigned flow_count(const std::string& provider, bool high_speed) const;
@@ -81,6 +129,10 @@ struct DatasetResult {
 // `spec.threads` workers, but each flow's simulation is seeded purely from
 // (spec.seed, flow index), so the output does not depend on thread count or
 // scheduling. Corpus aggregation happens sequentially after the join.
+//
+// Degrades gracefully instead of dying: a flow that throws or trips the
+// event-budget watchdog is captured as a per-flow Status and quarantined in
+// the result; every other flow still completes and aggregates.
 DatasetResult generate_dataset(const DatasetSpec& spec);
 
 }  // namespace hsr::workload

@@ -44,7 +44,11 @@ tcp::TcpConfig tcp_config_for(const FlowRunConfig& cfg) {
 }
 
 FlowRunResult run_flow(const FlowRunConfig& cfg) {
+  // Fresh ids per flow: serialized captures must depend only on the flow's
+  // own seed and config, not on which flows this worker thread ran before.
+  net::reset_packet_ids();
   sim::Simulator sim;
+  sim.set_event_budget(cfg.max_sim_events);
   util::Rng rng(cfg.seed);
 
   radio::RadioEnvironment env(cfg.profile.radio, rng.fork("radio"));
@@ -54,13 +58,32 @@ FlowRunResult run_flow(const FlowRunConfig& cfg) {
   conn_cfg.downlink = downlink_config(cfg.profile);
   conn_cfg.uplink = uplink_config(cfg.profile);
 
-  tcp::Connection conn(
-      sim, /*flow=*/1, conn_cfg,
-      env.make_channel(radio::Direction::kDownlink, rng.fork("chan-down")),
-      env.make_channel(radio::Direction::kUplink, rng.fork("chan-up")));
-
+  // Organic channels, optionally decorated with the scripted fault plans.
+  // The injectors audit into the capture, so archived traces show why each
+  // scripted casualty died.
   trace::FlowCapture capture;
   capture.flow = 1;
+
+  std::unique_ptr<net::ChannelModel> down_channel =
+      env.make_channel(radio::Direction::kDownlink, rng.fork("chan-down"));
+  std::unique_ptr<net::ChannelModel> up_channel =
+      env.make_channel(radio::Direction::kUplink, rng.fork("chan-up"));
+  if (!cfg.downlink_faults.empty()) {
+    auto injector = std::make_unique<fault::FaultInjector>(cfg.downlink_faults,
+                                                           std::move(down_channel));
+    injector->set_audit(&capture.faults, 'D');
+    down_channel = std::move(injector);
+  }
+  if (!cfg.uplink_faults.empty()) {
+    auto injector = std::make_unique<fault::FaultInjector>(cfg.uplink_faults,
+                                                           std::move(up_channel));
+    injector->set_audit(&capture.faults, 'A');
+    up_channel = std::move(injector);
+  }
+
+  tcp::Connection conn(sim, /*flow=*/1, conn_cfg, std::move(down_channel),
+                       std::move(up_channel));
+
   conn.set_downlink_tap(&capture.data);
   conn.set_uplink_tap(&capture.acks);
 
@@ -68,6 +91,13 @@ FlowRunResult run_flow(const FlowRunConfig& cfg) {
   sim.run_until(TimePoint::zero() + cfg.duration);
 
   FlowRunResult out;
+  if (sim.budget_exhausted()) {
+    out.status = util::Status::resource_exhausted(
+        "flow watchdog: event budget of " + std::to_string(cfg.max_sim_events) +
+        " exhausted at t=" + std::to_string(sim.now().to_seconds()) +
+        " s (of " + std::to_string(cfg.duration.to_seconds()) +
+        " s); flow aborted");
+  }
   out.sender_stats = conn.sender().stats();
   out.receiver_stats = conn.receiver().stats();
   out.events = conn.sender().events();
@@ -77,6 +107,7 @@ FlowRunResult run_flow(const FlowRunConfig& cfg) {
   out.goodput_pps = conn.goodput_segments_per_s();
   out.goodput_bps = conn.goodput_bps();
   out.handoffs = env.handoff_count(sim.now());
+  out.faults_injected = capture.faults.size();
   out.sim_events = sim.events_executed();
   out.sim_scheduled = sim.queue().scheduled_total();
   out.sim_tombstones = sim.queue().pruned_tombstones_total() +

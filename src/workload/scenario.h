@@ -8,10 +8,12 @@
 #include <utility>
 #include <vector>
 
+#include "fault/fault.h"
 #include "mptcp/mptcp.h"
 #include "radio/profiles.h"
 #include "tcp/connection.h"
 #include "trace/capture.h"
+#include "util/status.h"
 #include "util/time.h"
 
 namespace hsr::workload {
@@ -31,9 +33,23 @@ struct FlowRunConfig {
   unsigned delayed_ack_b = 2;
   Duration min_rto = Duration::millis(200);
   std::uint32_t mss_bytes = 1400;
+
+  // Scripted fault plans, one per direction, layered as decorators over the
+  // provider's organic channels (empty plans add no wrapper). Triggered
+  // faults land in the capture's audit trail.
+  fault::FaultPlan downlink_faults;  // data direction
+  fault::FaultPlan uplink_faults;    // ACK direction
+  // Watchdog: abort the run (Status in FlowRunResult::status) once the
+  // simulator has executed this many events; 0 = unlimited. `duration` is
+  // the sim-time budget; this bounds runaway event churn within it.
+  std::uint64_t max_sim_events = 0;
 };
 
 struct FlowRunResult {
+  // OK for a completed run. A watchdog abort yields kResourceExhausted with
+  // a diagnostic; the partial capture/stats below are still populated so the
+  // wedged state can be inspected.
+  util::Status status;
   trace::FlowCapture capture;  // the wireshark-equivalent record
   // Ground truth from the stack, used to validate the analysis pipeline.
   tcp::SenderStats sender_stats;
@@ -47,6 +63,8 @@ struct FlowRunResult {
   double goodput_bps = 0.0;
   std::uint64_t bytes_captured = 0;  // both directions; Table I trace sizes
   std::uint64_t handoffs = 0;
+  // Scripted faults that fired (== capture.faults.size(); 0 organic runs).
+  std::uint64_t faults_injected = 0;
 
   // Simulator-core cost counters (events executed / scheduled, tombstoned
   // entries pruned) for perf reporting.

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
+#include <string>
 
 namespace hsr::trace {
 namespace {
@@ -113,6 +116,148 @@ TEST(TraceIoTest, MissingFileIsNotFound) {
   auto loaded = load_flow_capture("/nonexistent/dir/trace.txt");
   EXPECT_FALSE(loaded.is_ok());
   EXPECT_EQ(loaded.status().code(), util::StatusCode::kNotFound);
+}
+
+// --- Fault audit records ------------------------------------------------------
+
+FlowCapture faulted_capture() {
+  FlowCapture cap = sample_capture();
+  FaultRecord f1;
+  f1.when = TimePoint::from_ns(35000);
+  f1.direction = 'A';
+  f1.packet_id = 3;
+  f1.seq = 2;
+  f1.kind = net::PacketKind::kAck;
+  f1.directive = 0;
+  f1.action = 'X';
+  f1.label = "ack-burst";
+  cap.faults.push_back(f1);
+
+  FaultRecord f2;
+  f2.when = TimePoint::from_ns(40000);
+  f2.direction = 'D';
+  f2.packet_id = 1;
+  f2.seq = 1;
+  f2.kind = net::PacketKind::kData;
+  f2.directive = 2;
+  f2.action = 'L';
+  f2.delay = Duration::millis(40);
+  f2.label = "delay spike";  // whitespace must be sanitized on the wire
+  cap.faults.push_back(f2);
+  return cap;
+}
+
+TEST(TraceIoTest, FaultRecordsRoundTrip) {
+  std::stringstream ss;
+  write_flow_capture(ss, faulted_capture());
+  auto loaded = read_flow_capture(ss);
+  ASSERT_TRUE(loaded.is_ok());
+  const auto& faults = loaded.value().faults;
+  ASSERT_EQ(faults.size(), 2u);
+  EXPECT_EQ(faults[0].direction, 'A');
+  EXPECT_EQ(faults[0].action, 'X');
+  EXPECT_EQ(faults[0].seq, 2u);
+  EXPECT_EQ(faults[0].kind, net::PacketKind::kAck);
+  EXPECT_EQ(faults[0].label, "ack-burst");
+  EXPECT_EQ(faults[1].when, TimePoint::from_ns(40000));
+  EXPECT_EQ(faults[1].delay, Duration::millis(40));
+  EXPECT_EQ(faults[1].directive, 2u);
+  EXPECT_EQ(faults[1].label, "delay_spike");  // sanitized, still one token
+}
+
+// --- Corruption diagnostics ---------------------------------------------------
+
+TEST(TraceIoTest, BitFlippedFieldReportsLineAndToken) {
+  std::stringstream ss;
+  write_flow_capture(ss, sample_capture());
+  std::string text = ss.str();
+  // Corrupt the seq field of the second data record (line 3): "2" -> "2}".
+  const auto pos = text.find("D 2 2");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 5, "D 2 2}");
+
+  std::stringstream corrupted(text);
+  auto loaded = read_flow_capture(corrupted);
+  ASSERT_FALSE(loaded.is_ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("line 3"), std::string::npos)
+      << loaded.status().message();
+  EXPECT_NE(loaded.status().message().find("'2}'"), std::string::npos)
+      << loaded.status().message();
+}
+
+TEST(TraceIoTest, UnknownRecordTypeIsAnError) {
+  std::stringstream ss("hsrtrace-v1 flow=1\nZ 1 2 3\n");
+  auto loaded = read_flow_capture(ss);
+  ASSERT_FALSE(loaded.is_ok());
+  EXPECT_NE(loaded.status().message().find("unknown record type"), std::string::npos);
+}
+
+TEST(TraceIoTest, WrongFieldCountNamesTheLine) {
+  std::stringstream ss("hsrtrace-v1 flow=1\nD 1 2 3\n");
+  auto loaded = read_flow_capture(ss);
+  ASSERT_FALSE(loaded.is_ok());
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(loaded.status().message().find("expected 9 fields"), std::string::npos);
+}
+
+// --- Truncation tolerance -----------------------------------------------------
+
+TEST(TraceIoTest, TruncatedFinalLineIsTolerated) {
+  std::stringstream ss;
+  write_flow_capture(ss, sample_capture());
+  std::string text = ss.str();
+  // Chop the archive mid-record: drop the trailing newline plus a few bytes,
+  // as if the writer was killed or the copy was torn.
+  text.resize(text.size() - 5);
+
+  std::stringstream truncated(text);
+  auto loaded = read_flow_capture(truncated);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().message();
+  // The torn record (the single ACK line) is dropped; the rest survives.
+  EXPECT_EQ(loaded.value().data.sent_count(), 2u);
+  EXPECT_EQ(loaded.value().acks.sent_count(), 0u);
+}
+
+TEST(TraceIoTest, CorruptLineBeforeEofStillFails) {
+  // Same corruption NOT on the final line must still be an error: tolerance
+  // is for torn tails only, not for silent mid-file damage.
+  std::stringstream ss("hsrtrace-v1 flow=1\nD garbage\nA 3 0 2 52 35000 -1 Q 0\n");
+  auto loaded = read_flow_capture(ss);
+  EXPECT_FALSE(loaded.is_ok());
+}
+
+// --- Atomic save --------------------------------------------------------------
+
+TEST(TraceIoTest, SaveLeavesNoTempFile) {
+  const std::string path = testing::TempDir() + "/hsr_trace_atomic.txt";
+  std::remove(path.c_str());
+  ASSERT_TRUE(save_flow_capture(path, faulted_capture()).is_ok());
+  // The temporary never survives a successful save.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  auto loaded = load_flow_capture(path);
+  ASSERT_TRUE(loaded.is_ok());
+  EXPECT_EQ(loaded.value().faults.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, SaveOverwritesExistingArchive) {
+  const std::string path = testing::TempDir() + "/hsr_trace_overwrite.txt";
+  ASSERT_TRUE(save_flow_capture(path, sample_capture()).is_ok());
+  FlowCapture cap;
+  cap.flow = 77;
+  ASSERT_TRUE(save_flow_capture(path, cap).is_ok());
+  auto loaded = load_flow_capture(path);
+  ASSERT_TRUE(loaded.is_ok());
+  EXPECT_EQ(loaded.value().flow, 77u);
+  EXPECT_EQ(loaded.value().data.sent_count(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, SaveToUnwritableDirectoryFailsCleanly) {
+  auto status = save_flow_capture("/nonexistent/dir/trace.txt", sample_capture());
+  EXPECT_FALSE(status.is_ok());
 }
 
 }  // namespace

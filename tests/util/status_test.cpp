@@ -25,12 +25,14 @@ TEST(StatusTest, AllFactoryCodes) {
   EXPECT_EQ(Status::out_of_range("x").code(), StatusCode::kOutOfRange);
   EXPECT_EQ(Status::failed_precondition("x").code(), StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::resource_exhausted("x").code(), StatusCode::kResourceExhausted);
 }
 
 TEST(StatusCodeNameTest, AllNames) {
   EXPECT_STREQ(status_code_name(StatusCode::kOk), "OK");
   EXPECT_STREQ(status_code_name(StatusCode::kNotFound), "NOT_FOUND");
   EXPECT_STREQ(status_code_name(StatusCode::kInternal), "INTERNAL");
+  EXPECT_STREQ(status_code_name(StatusCode::kResourceExhausted), "RESOURCE_EXHAUSTED");
 }
 
 TEST(StatusOrTest, HoldsValue) {

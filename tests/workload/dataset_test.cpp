@@ -2,6 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "fault/fault.h"
+#include "trace/trace_io.h"
+
 namespace hsr::workload {
 namespace {
 
@@ -76,6 +84,151 @@ TEST(GenerateDatasetTest, HighSpeedWorseThanStationary) {
   const auto h = ds.corpus.headline();
   EXPECT_GT(h.mean_ack_loss_highspeed, h.mean_ack_loss_stationary);
   EXPECT_GT(h.mean_recovery_s_highspeed, h.mean_recovery_s_stationary);
+}
+
+// --- HSR_BENCH_THREADS parsing ------------------------------------------------
+
+TEST(ParseBenchThreadsTest, AcceptsPlainDecimal) {
+  auto one = parse_bench_threads("1");
+  ASSERT_TRUE(one.is_ok());
+  EXPECT_EQ(one.value(), 1u);
+  auto many = parse_bench_threads("12");
+  ASSERT_TRUE(many.is_ok());
+  EXPECT_EQ(many.value(), 12u);
+  auto cap = parse_bench_threads("512");
+  ASSERT_TRUE(cap.is_ok());
+  EXPECT_EQ(cap.value(), kMaxBenchThreads);
+}
+
+TEST(ParseBenchThreadsTest, RejectsGarbageZeroAndAbsurd) {
+  for (const char* bad : {"", "abc", "12abc", " 12", "-3", "0", "513", "1e3", "0x10"}) {
+    auto parsed = parse_bench_threads(bad);
+    EXPECT_FALSE(parsed.is_ok()) << "'" << bad << "' should be rejected";
+    EXPECT_EQ(parsed.status().code(), util::StatusCode::kInvalidArgument);
+    // The diagnostic names the knob so the failure is actionable.
+    EXPECT_NE(parsed.status().message().find("HSR_BENCH_THREADS"), std::string::npos);
+  }
+  auto null_text = parse_bench_threads(nullptr);
+  EXPECT_FALSE(null_text.is_ok());
+}
+
+TEST(GenerateDatasetTest, RejectsMalformedBenchThreadsEnv) {
+  ASSERT_EQ(setenv("HSR_BENCH_THREADS", "lots", 1), 0);
+  DatasetSpec spec = DatasetSpec::paper_table1(0.02);
+  spec.threads = 0;  // defer to the env knob
+  const DatasetResult ds = generate_dataset(spec);
+  unsetenv("HSR_BENCH_THREADS");
+
+  // A true reject: no silent fallback, no flows simulated.
+  EXPECT_FALSE(ds.config_status.is_ok());
+  EXPECT_EQ(ds.config_status.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_TRUE(ds.flows.empty());
+  EXPECT_FALSE(ds.complete());
+}
+
+TEST(GenerateDatasetTest, ExplicitThreadCountIgnoresBrokenEnv) {
+  ASSERT_EQ(setenv("HSR_BENCH_THREADS", "lots", 1), 0);
+  DatasetSpec spec = DatasetSpec::paper_table1(0.02);
+  spec.campaigns.resize(1);
+  spec.stationary_flows_per_provider = 1;
+  spec.flow_duration_min = util::Duration::seconds(5);
+  spec.flow_duration_max = util::Duration::seconds(8);
+  spec.threads = 2;  // explicit request: env not consulted
+  const DatasetResult ds = generate_dataset(spec);
+  unsetenv("HSR_BENCH_THREADS");
+  EXPECT_TRUE(ds.config_status.is_ok());
+  EXPECT_FALSE(ds.flows.empty());
+}
+
+// --- Graceful degradation -----------------------------------------------------
+
+DatasetSpec degradation_spec() {
+  DatasetSpec spec = DatasetSpec::paper_table1(0.02);
+  spec.stationary_flows_per_provider = 1;
+  spec.flow_duration_min = util::Duration::seconds(5);
+  spec.flow_duration_max = util::Duration::seconds(8);
+  spec.threads = 2;
+  return spec;
+}
+
+TEST(GenerateDatasetTest, QuarantinesThrowingFlowAndCompletesRest) {
+  DatasetSpec spec = degradation_spec();
+  spec.configure_flow = [](std::uint64_t flow_index, FlowRunConfig&) {
+    if (flow_index == 1) throw std::runtime_error("injected per-flow crash");
+  };
+  const DatasetResult ds = generate_dataset(spec);
+
+  ASSERT_EQ(ds.quarantined.size(), 1u);
+  EXPECT_EQ(ds.quarantined[0].flow_index, 1u);
+  EXPECT_EQ(ds.quarantined[0].status.code(), util::StatusCode::kInternal);
+  EXPECT_NE(ds.quarantined[0].status.message().find("injected per-flow crash"),
+            std::string::npos);
+  EXPECT_FALSE(ds.quarantined[0].provider.empty());
+  EXPECT_FALSE(ds.complete());
+
+  // Every OTHER flow completed and aggregated normally.
+  const DatasetResult healthy = generate_dataset(degradation_spec());
+  EXPECT_EQ(ds.flows.size(), healthy.flows.size() - 1);
+  EXPECT_EQ(ds.corpus.size(), ds.flows.size());
+  for (const auto& f : ds.flows) EXPECT_GT(f.analysis.unique_segments, 0u);
+}
+
+TEST(GenerateDatasetTest, WatchdogQuarantinesStalledFlow) {
+  DatasetSpec spec = degradation_spec();
+  spec.configure_flow = [](std::uint64_t flow_index, FlowRunConfig& cfg) {
+    // Flow 0 gets an event budget far below what its duration needs: the
+    // watchdog must abort it with a diagnostic instead of letting it run.
+    if (flow_index == 0) cfg.max_sim_events = 50;
+  };
+  const DatasetResult ds = generate_dataset(spec);
+
+  ASSERT_EQ(ds.quarantined.size(), 1u);
+  EXPECT_EQ(ds.quarantined[0].flow_index, 0u);
+  EXPECT_EQ(ds.quarantined[0].status.code(), util::StatusCode::kResourceExhausted);
+  EXPECT_NE(ds.quarantined[0].status.message().find("watchdog"), std::string::npos);
+  EXPECT_FALSE(ds.complete());
+  EXPECT_FALSE(ds.flows.empty());
+}
+
+TEST(GenerateDatasetTest, HealthyRunIsComplete) {
+  const DatasetResult ds = generate_dataset(degradation_spec());
+  EXPECT_TRUE(ds.complete());
+  EXPECT_TRUE(ds.quarantined.empty());
+  EXPECT_TRUE(ds.config_status.is_ok());
+}
+
+// --- Scripted faults through the campaign pipeline ----------------------------
+
+// Serializes flow 0's capture for a faulted run at the given thread count.
+std::string faulted_flow0_capture(unsigned threads) {
+  DatasetSpec spec = degradation_spec();
+  spec.threads = threads;
+  spec.configure_flow = [](std::uint64_t flow_index, FlowRunConfig& cfg) {
+    if (flow_index != 0) return;
+    cfg.uplink_faults.kill_acks(util::TimePoint::from_seconds(0.5),
+                                util::TimePoint::from_seconds(2.5));
+    cfg.downlink_faults.drop_retransmissions(2);
+  };
+  std::string serialized;
+  spec.observe_flow = [&serialized](std::uint64_t flow_index, const FlowRunResult& run) {
+    if (flow_index != 0) return;
+    std::ostringstream ss;
+    trace::write_flow_capture(ss, run.capture);
+    serialized = ss.str();
+  };
+  const DatasetResult ds = generate_dataset(spec);
+  EXPECT_TRUE(ds.complete());
+  return serialized;
+}
+
+TEST(GenerateDatasetTest, FaultedCaptureByteIdenticalAcrossThreadCounts) {
+  const std::string reference = faulted_flow0_capture(1);
+  ASSERT_FALSE(reference.empty());
+  // The scripted ACK kill actually fired and was audited into the capture.
+  EXPECT_NE(reference.find("\nF A "), std::string::npos);
+  for (unsigned threads : {2u, 4u, 8u}) {
+    EXPECT_EQ(faulted_flow0_capture(threads), reference) << "threads=" << threads;
+  }
 }
 
 }  // namespace

@@ -35,7 +35,15 @@ import sys
 from pathlib import Path
 
 # Directories holding the deterministic simulation core, relative to repo root.
-CHECKED_DIRS = ("src/sim", "src/tcp", "src/net", "src/radio", "src/workload", "src/util")
+CHECKED_DIRS = (
+    "src/sim",
+    "src/tcp",
+    "src/net",
+    "src/radio",
+    "src/workload",
+    "src/util",
+    "src/fault",
+)
 
 SOURCE_SUFFIXES = {".cpp", ".h", ".cc", ".hpp"}
 
