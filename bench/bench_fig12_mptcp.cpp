@@ -35,9 +35,17 @@ int main() {
   const auto profiles = radio::all_highspeed_profiles();
   for (std::size_t i = 0; i < profiles.size(); ++i) {
     util::RunningStats tcp, mptcp;
+    // Repetitions shard across the thread pool; results are byte-identical
+    // to the sequential run_fixed_transfer_comparison loop for any pool size.
+    workload::FixedTransferSweepSpec spec;
+    spec.profile = profiles[i];
+    spec.total_segments = paper[i].transfer_segments;
+    spec.base_seed = bench::seed();
+    spec.seed_stride = 101;
+    spec.runs = runs;
+    const auto sweep = workload::run_fixed_transfer_sweep(spec);
     for (unsigned r = 0; r < runs; ++r) {
-      const auto cmp = workload::run_fixed_transfer_comparison(
-          profiles[i], paper[i].transfer_segments, bench::seed() + r * 101);
+      const auto& cmp = sweep[r];
       tcp.add(cmp.tcp_pps);
       mptcp.add(cmp.mptcp_pps);
       w.row(paper[i].name, bench::seed() + r * 101, cmp.tcp_pps, cmp.mptcp_pps);

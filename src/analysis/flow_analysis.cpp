@@ -128,6 +128,31 @@ double estimate_ack_burst_loss(const trace::FlowCapture& capture, Duration rtt) 
                         : static_cast<double>(all_lost) / static_cast<double>(with_acks);
 }
 
+LossBreakdown loss_breakdown(const trace::FlowCapture& capture) {
+  LossBreakdown out;
+  auto tally = [](const trace::DirectionCapture& dir, std::uint64_t& sent,
+                  std::uint64_t& lost,
+                  std::array<std::uint64_t, net::kDropCategoryCount>& by_category,
+                  std::uint64_t& unattributed, std::uint64_t& scripted) {
+    for (const auto& tx : dir.transmissions()) {
+      ++sent;
+      if (!tx.lost()) continue;
+      ++lost;
+      if (!tx.drop_cause) {
+        ++unattributed;
+        continue;
+      }
+      ++by_category[static_cast<std::size_t>(tx.drop_cause->category)];
+      if (tx.drop_cause->is_scripted()) ++scripted;
+    }
+  };
+  tally(capture.data, out.data_sent, out.data_lost, out.data_by_category,
+        out.data_unattributed, out.scripted_drops);
+  tally(capture.acks, out.ack_sent, out.ack_lost, out.ack_by_category,
+        out.ack_unattributed, out.scripted_drops);
+  return out;
+}
+
 FlowAnalysis analyze_flow(const trace::FlowCapture& capture, AnalysisConfig config) {
   FlowAnalysis out;
   const auto& data_txs = capture.data.transmissions();

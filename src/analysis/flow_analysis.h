@@ -13,6 +13,7 @@
 //      burst loss (P̂_a), the loss-indication mix (Q̂) and goodput.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -113,6 +114,34 @@ struct FlowAnalysis {
 
   bool has_timeouts() const { return !timeout_sequences.empty(); }
 };
+
+// Per-cause loss accounting over one captured flow, split by direction
+// (data vs ACK). Works from Transmission::drop_cause alone, so it applies
+// to archived captures with no live simulator state. `*_unattributed`
+// counts transmissions that never arrived but carry no cause — packets
+// still in flight at capture end, plus lost records from pre-cause-code
+// archives whose drop column was '-'.
+struct LossBreakdown {
+  std::uint64_t data_sent = 0;
+  std::uint64_t data_lost = 0;       // no arrival (attributed or not)
+  std::uint64_t ack_sent = 0;
+  std::uint64_t ack_lost = 0;
+  std::array<std::uint64_t, net::kDropCategoryCount> data_by_category{};
+  std::array<std::uint64_t, net::kDropCategoryCount> ack_by_category{};
+  std::uint64_t data_unattributed = 0;
+  std::uint64_t ack_unattributed = 0;
+  std::uint64_t scripted_drops = 0;  // both directions, kScriptedFault
+
+  std::uint64_t data_dropped_by(net::DropCategory c) const {
+    return data_by_category[static_cast<std::size_t>(c)];
+  }
+  std::uint64_t ack_dropped_by(net::DropCategory c) const {
+    return ack_by_category[static_cast<std::size_t>(c)];
+  }
+};
+
+// Tallies every transmission's fate by drop cause.
+LossBreakdown loss_breakdown(const trace::FlowCapture& capture);
 
 // Runs the full §III methodology over one captured flow.
 FlowAnalysis analyze_flow(const trace::FlowCapture& capture, AnalysisConfig config = {});

@@ -138,41 +138,41 @@ void FaultInjector::record(std::size_t directive_index, const Packet& packet,
   audit_->push_back(std::move(rec));
 }
 
-bool FaultInjector::should_drop(const Packet& packet, TimePoint now) {
+net::ChannelVerdict FaultInjector::decide(const Packet& packet, TimePoint now) {
+  // Scripted drops short-circuit: a packet the script kills never reaches
+  // the inner channel, so the inner model's stochastic state evolves exactly
+  // as if the packet had been absorbed before the air interface.
   for (std::size_t i = 0; i < plan_.directives.size(); ++i) {
     const FaultDirective& d = plan_.directives[i];
     if (d.action != FaultAction::kDrop) continue;
     if (!d.matches(packet, now, trigger_counts_[i])) continue;
     record(i, packet, now, Duration::zero());
-    return true;
+    return net::ChannelVerdict::drop(
+        net::DropCause::scripted(static_cast<std::int32_t>(i)));
   }
+
   // Spared by the script: the organic channel still gets its say (and its
   // stateful/stochastic evolution stays consistent packet for packet).
-  return inner_->should_drop(packet, now);
-}
+  net::ChannelVerdict verdict = inner_->decide(packet, now);
+  if (verdict.dropped) return verdict;
 
-Duration FaultInjector::extra_delay(const Packet& packet, TimePoint now) {
-  Duration extra = Duration::zero();
+  // Delay and duplication directives apply only to delivered packets (a
+  // delayed dead packet is meaningless), delay records before duplicates.
   for (std::size_t i = 0; i < plan_.directives.size(); ++i) {
     const FaultDirective& d = plan_.directives[i];
     if (d.action != FaultAction::kDelay) continue;
     if (!d.matches(packet, now, trigger_counts_[i])) continue;
     record(i, packet, now, d.delay);
-    extra += d.delay;
+    verdict.extra_delay += d.delay;
   }
-  return extra + inner_->extra_delay(packet, now);
-}
-
-unsigned FaultInjector::duplicate_copies(const Packet& packet, TimePoint now) {
-  unsigned copies = 0;
   for (std::size_t i = 0; i < plan_.directives.size(); ++i) {
     const FaultDirective& d = plan_.directives[i];
     if (d.action != FaultAction::kDuplicate) continue;
     if (!d.matches(packet, now, trigger_counts_[i])) continue;
     record(i, packet, now, Duration::zero());
-    copies += d.copies;
+    verdict.duplicate_copies += d.copies;
   }
-  return copies + inner_->duplicate_copies(packet, now);
+  return verdict;
 }
 
 }  // namespace hsr::fault

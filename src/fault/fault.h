@@ -12,6 +12,11 @@
 // GilbertElliott / JitterChannel, and it records an audit trail of every
 // triggered fault so traces show WHY a packet died.
 //
+// Plans are also portable artifacts: FaultPlan::to_text() serializes a plan
+// to a line-oriented text format ("hsrfaultplan-v1", see fault/plan_io.h)
+// and FaultPlan::parse() reads it back, so an archived experiment can be
+// re-run bit-identically from its plan file alone.
+//
 // Everything here is deterministic by construction: no RNG, only packet
 // metadata and the virtual clock.
 #pragma once
@@ -25,6 +30,7 @@
 #include "net/channel.h"
 #include "net/packet.h"
 #include "trace/capture.h"
+#include "util/status.h"
 #include "util/time.h"
 
 namespace hsr::fault {
@@ -70,11 +76,14 @@ struct FaultDirective {
   Duration delay = Duration::zero();  // kDelay: extra latency per trigger
   unsigned copies = 1;                // kDuplicate: extra copies injected
 
-  // Audit tag (serialized into traces; keep it whitespace-free).
+  // Audit tag (serialized into traces and plan files; keep it
+  // whitespace-free).
   std::string label = "fault";
 
   bool matches(const Packet& packet, TimePoint now,
                std::uint64_t triggers_so_far) const;
+
+  friend bool operator==(const FaultDirective&, const FaultDirective&) = default;
 };
 
 // An ordered fault script for ONE link direction. Builder methods cover the
@@ -84,6 +93,13 @@ struct FaultPlan {
   std::vector<FaultDirective> directives;
 
   bool empty() const { return directives.empty(); }
+
+  // Portable text serialization ("hsrfaultplan-v1"). parse(to_text(p)) == p
+  // for every plan; see fault/plan_io.h for the grammar and file helpers.
+  std::string to_text() const;
+  static util::StatusOr<FaultPlan> parse(const std::string& text);
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
 
   // Drops every packet (data and ACK alike) in [from, to): a coverage-gap /
   // handoff blackout for the direction this plan is installed on.
@@ -116,17 +132,18 @@ struct FaultPlan {
 };
 
 // ChannelModel decorator executing a FaultPlan in front of an inner channel.
-// Scripted faults are evaluated first (deterministically); packets they
-// spare are passed to the inner channel, so organic and scripted behaviour
-// compose. Thread-compatible like every ChannelModel: owned by one Link in
-// one single-threaded simulation.
+// Scripted drop directives are evaluated first (deterministically) and
+// short-circuit the inner channel; packets they spare are passed through, so
+// organic and scripted behaviour compose. Delay/duplicate directives apply
+// only to delivered packets. Thread-compatible like every ChannelModel:
+// owned by one Link in one single-threaded simulation.
 class FaultInjector final : public net::ChannelModel {
  public:
   FaultInjector(FaultPlan plan, std::unique_ptr<net::ChannelModel> inner);
 
-  bool should_drop(const Packet& packet, TimePoint now) override;
-  Duration extra_delay(const Packet& packet, TimePoint now) override;
-  unsigned duplicate_copies(const Packet& packet, TimePoint now) override;
+  // Scripted drops carry DropCause::scripted(directive_index); drops decided
+  // by the inner channel keep the inner channel's cause.
+  net::ChannelVerdict decide(const Packet& packet, TimePoint now) override;
 
   // Routes the audit trail into a capture ('D' for the data link, 'A' for
   // the ACK link). The sink must outlive every event the injector sees.

@@ -1,0 +1,253 @@
+#include "fault/plan_io.h"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace hsr::fault {
+
+namespace {
+
+constexpr const char* kMagic = "hsrfaultplan-v1";
+
+constexpr std::uint64_t kNoTriggerLimit = std::numeric_limits<std::uint64_t>::max();
+constexpr SeqNo kNoSeqLimit = std::numeric_limits<SeqNo>::max();
+
+char kind_code(FaultDirective::KindFilter kind) {
+  switch (kind) {
+    case FaultDirective::KindFilter::kAny: return '*';
+    case FaultDirective::KindFilter::kData: return 'D';
+    case FaultDirective::KindFilter::kAck: return 'A';
+  }
+  return '?';
+}
+
+// Labels are single tokens on the wire (same rule as trace_io audit labels).
+std::string sanitize_label(const std::string& label) {
+  std::string out = label.empty() ? "fault" : label;
+  for (char& c : out) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') c = '_';
+  }
+  return out;
+}
+
+std::vector<std::string> split_tokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream ls(line);
+  std::string tok;
+  while (ls >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+template <typename Int>
+bool parse_int(const std::string& token, Int& out) {
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc() && ptr == last;
+}
+
+util::Status line_error(std::size_t line_number, const std::string& token,
+                        const std::string& why) {
+  return util::Status::invalid_argument(
+      "plan line " + std::to_string(line_number) + ": " + why + " (token '" +
+      token + "')");
+}
+
+util::Status parse_directive(const std::vector<std::string>& tokens,
+                             std::size_t line_number, FaultDirective& d) {
+  if (tokens.size() != 11) {
+    return line_error(line_number, tokens.empty() ? "" : tokens.back(),
+                      "expected 11 fields, got " + std::to_string(tokens.size()));
+  }
+
+  if (tokens[0] == "X") {
+    d.action = FaultAction::kDrop;
+  } else if (tokens[0] == "L") {
+    d.action = FaultAction::kDelay;
+  } else if (tokens[0] == "2") {
+    d.action = FaultAction::kDuplicate;
+  } else {
+    return line_error(line_number, tokens[0], "bad action code");
+  }
+
+  if (tokens[1] == "*") {
+    d.kind = FaultDirective::KindFilter::kAny;
+  } else if (tokens[1] == "D") {
+    d.kind = FaultDirective::KindFilter::kData;
+  } else if (tokens[1] == "A") {
+    d.kind = FaultDirective::KindFilter::kAck;
+  } else {
+    return line_error(line_number, tokens[1], "bad kind filter");
+  }
+
+  std::int64_t begin_ns = 0;
+  if (!parse_int(tokens[2], begin_ns)) {
+    return line_error(line_number, tokens[2], "bad window begin");
+  }
+  d.window_begin = TimePoint::from_ns(begin_ns);
+
+  if (tokens[3] == "*") {
+    d.window_end = TimePoint::max();
+  } else {
+    std::int64_t end_ns = 0;
+    if (!parse_int(tokens[3], end_ns)) {
+      return line_error(line_number, tokens[3], "bad window end");
+    }
+    d.window_end = TimePoint::from_ns(end_ns);
+  }
+
+  if (!parse_int(tokens[4], d.seq_min)) {
+    return line_error(line_number, tokens[4], "bad seq min");
+  }
+  if (tokens[5] == "*") {
+    d.seq_max = kNoSeqLimit;
+  } else if (!parse_int(tokens[5], d.seq_max)) {
+    return line_error(line_number, tokens[5], "bad seq max");
+  }
+
+  if (tokens[6] == "0") {
+    d.only_retransmissions = false;
+  } else if (tokens[6] == "1") {
+    d.only_retransmissions = true;
+  } else {
+    return line_error(line_number, tokens[6], "bad retransmission flag");
+  }
+
+  if (tokens[7] == "*") {
+    d.max_triggers = kNoTriggerLimit;
+  } else if (!parse_int(tokens[7], d.max_triggers)) {
+    return line_error(line_number, tokens[7], "bad trigger limit");
+  }
+
+  std::int64_t delay_ns = 0;
+  if (!parse_int(tokens[8], delay_ns) || delay_ns < 0) {
+    return line_error(line_number, tokens[8], "bad delay");
+  }
+  d.delay = Duration::nanos(delay_ns);
+
+  if (!parse_int(tokens[9], d.copies)) {
+    return line_error(line_number, tokens[9], "bad copy count");
+  }
+
+  d.label = tokens[10];
+  if (d.window_begin > d.window_end) {
+    return line_error(line_number, tokens[3], "inverted window");
+  }
+  if (d.seq_min > d.seq_max) {
+    return line_error(line_number, tokens[5], "inverted sequence range");
+  }
+  return util::Status::ok();
+}
+
+}  // namespace
+
+void write_fault_plan(std::ostream& os, const FaultPlan& plan) {
+  os << kMagic << " directives=" << plan.directives.size() << '\n';
+  for (const FaultDirective& d : plan.directives) {
+    os << fault_action_code(d.action) << ' ' << kind_code(d.kind) << ' '
+       << d.window_begin.ns() << ' ';
+    if (d.window_end == TimePoint::max()) {
+      os << '*';
+    } else {
+      os << d.window_end.ns();
+    }
+    os << ' ' << d.seq_min << ' ';
+    if (d.seq_max == kNoSeqLimit) {
+      os << '*';
+    } else {
+      os << d.seq_max;
+    }
+    os << ' ' << (d.only_retransmissions ? 1 : 0) << ' ';
+    if (d.max_triggers == kNoTriggerLimit) {
+      os << '*';
+    } else {
+      os << d.max_triggers;
+    }
+    os << ' ' << d.delay.ns() << ' ' << d.copies << ' '
+       << sanitize_label(d.label) << '\n';
+  }
+}
+
+util::StatusOr<FaultPlan> read_fault_plan(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    return util::Status::invalid_argument("plan line 1: empty stream, no header");
+  }
+  std::size_t declared = 0;
+  {
+    std::istringstream hs(line);
+    std::string magic;
+    std::string count_field;
+    if (!(hs >> magic >> count_field) || magic != kMagic ||
+        count_field.rfind("directives=", 0) != 0) {
+      return line_error(1, line, "bad plan header");
+    }
+    if (!parse_int(count_field.substr(11), declared)) {
+      return line_error(1, count_field, "bad directive count");
+    }
+  }
+
+  FaultPlan plan;
+  std::size_t line_number = 1;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    FaultDirective d;
+    const std::vector<std::string> tokens = split_tokens(line);
+    util::Status status = parse_directive(tokens, line_number, d);
+    if (!status.is_ok()) return status;
+    plan.directives.push_back(std::move(d));
+  }
+  if (plan.directives.size() != declared) {
+    // The header count is an integrity check: a truncated plan file silently
+    // dropping directives would change the experiment it claims to describe.
+    return util::Status::invalid_argument(
+        "plan: header declares " + std::to_string(declared) + " directives, found " +
+        std::to_string(plan.directives.size()));
+  }
+  return plan;
+}
+
+util::Status save_fault_plan(const std::string& path, const FaultPlan& plan) {
+  // Write-then-rename, same contract as trace_io::save_flow_capture.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::trunc);
+    if (!f) return util::Status::internal("cannot open for write: " + tmp);
+    write_fault_plan(f, plan);
+    f.flush();
+    if (!f.good()) {
+      f.close();
+      std::remove(tmp.c_str());
+      return util::Status::internal("short write: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return util::Status::internal("cannot rename " + tmp + " -> " + path);
+  }
+  return util::Status::ok();
+}
+
+util::StatusOr<FaultPlan> load_fault_plan(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return util::Status::not_found("cannot open: " + path);
+  return read_fault_plan(f);
+}
+
+std::string FaultPlan::to_text() const {
+  std::ostringstream os;
+  write_fault_plan(os, *this);
+  return os.str();
+}
+
+util::StatusOr<FaultPlan> FaultPlan::parse(const std::string& text) {
+  std::istringstream is(text);
+  return read_fault_plan(is);
+}
+
+}  // namespace hsr::fault

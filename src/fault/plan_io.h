@@ -1,0 +1,40 @@
+// Portable text serialization of FaultPlans ("hsrfaultplan-v1").
+//
+// A plan file makes an archived experiment re-runnable: saved alongside a
+// trace archive, it carries the exact scripted faults that shaped the
+// capture, and feeding it back through FaultPlan::parse() reproduces the
+// run bit-identically (scripted faults are deterministic by construction).
+//
+// Grammar — a header line, then ONE positional-token line per directive:
+//   hsrfaultplan-v1 directives=<N>
+//   <action> <kind> <win_begin_ns> <win_end_ns> <seq_min> <seq_max>
+//       <retx> <max_triggers> <delay_ns> <copies> <label>
+// (one line; wrapped here for width) where
+//   action is 'X' (drop), 'L' (delay) or '2' (duplicate) — the same codes
+//     the trace fault-audit lines use;
+//   kind is '*' (any), 'D' (data) or 'A' (ack);
+//   retx is 0 or 1 (only_retransmissions);
+//   '*' stands in for the unbounded sentinel in win_end_ns / seq_max /
+//     max_triggers (TimePoint::max(), SeqNo max, uint64 max respectively);
+//   label is a single whitespace-free token (sanitized on write).
+// Malformed input fails with the line number and offending token in the
+// Status message, mirroring trace_io's positional diagnostics.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fault/fault.h"
+#include "util/status.h"
+
+namespace hsr::fault {
+
+void write_fault_plan(std::ostream& os, const FaultPlan& plan);
+util::StatusOr<FaultPlan> read_fault_plan(std::istream& is);
+
+// Convenience file wrappers. Saving is atomic (write to `<path>.tmp`, then
+// rename into place), matching trace_io::save_flow_capture.
+util::Status save_fault_plan(const std::string& path, const FaultPlan& plan);
+util::StatusOr<FaultPlan> load_fault_plan(const std::string& path);
+
+}  // namespace hsr::fault

@@ -6,13 +6,28 @@
 
 namespace hsr::net {
 
+const char* drop_category_name(DropCategory category) {
+  switch (category) {
+    case DropCategory::kUnknown: return "unknown";
+    case DropCategory::kQueueOverflow: return "queue-overflow";
+    case DropCategory::kChannelUnattributed: return "channel-unattributed";
+    case DropCategory::kBernoulli: return "bernoulli";
+    case DropCategory::kGilbertElliottGood: return "gilbert-elliott-good";
+    case DropCategory::kGilbertElliottBad: return "gilbert-elliott-bad";
+    case DropCategory::kFunctionalRadio: return "functional-radio";
+    case DropCategory::kScriptedFault: return "scripted-fault";
+  }
+  return "invalid";
+}
+
 BernoulliChannel::BernoulliChannel(double loss_probability, util::Rng rng)
     : p_(loss_probability), rng_(rng) {
   HSR_CHECK_MSG(p_ >= 0.0 && p_ <= 1.0, "loss probability out of range");
 }
 
-bool BernoulliChannel::should_drop(const Packet&, TimePoint) {
-  return rng_.bernoulli(p_);
+ChannelVerdict BernoulliChannel::decide(const Packet&, TimePoint) {
+  if (rng_.bernoulli(p_)) return ChannelVerdict::drop(DropCause::bernoulli());
+  return ChannelVerdict::deliver();
 }
 
 GilbertElliottChannel::GilbertElliottChannel(Config config, util::Rng rng)
@@ -35,9 +50,12 @@ void GilbertElliottChannel::advance_to(TimePoint now) {
   }
 }
 
-bool GilbertElliottChannel::should_drop(const Packet&, TimePoint now) {
+ChannelVerdict GilbertElliottChannel::decide(const Packet&, TimePoint now) {
   advance_to(now);
-  return rng_.bernoulli(bad_ ? cfg_.loss_bad : cfg_.loss_good);
+  if (rng_.bernoulli(bad_ ? cfg_.loss_bad : cfg_.loss_good)) {
+    return ChannelVerdict::drop(DropCause::gilbert_elliott(bad_));
+  }
+  return ChannelVerdict::deliver();
 }
 
 bool GilbertElliottChannel::in_bad_state(TimePoint now) {
@@ -59,38 +77,41 @@ JitterChannel::JitterChannel(std::unique_ptr<ChannelModel> inner,
   HSR_CHECK(inner_ != nullptr);
 }
 
-bool JitterChannel::should_drop(const Packet& p, TimePoint now) {
-  return inner_->should_drop(p, now);
-}
-
-Duration JitterChannel::extra_delay(const Packet& p, TimePoint now) {
+ChannelVerdict JitterChannel::decide(const Packet& p, TimePoint now) {
+  ChannelVerdict v = inner_->decide(p, now);
+  if (v.dropped) return v;
   const double jitter = std::min(rng_.lognormal(mu_, sigma_), max_s_);
-  return inner_->extra_delay(p, now) + Duration::from_seconds(jitter);
+  v.extra_delay += Duration::from_seconds(jitter);
+  return v;
 }
 
 CompositeChannel::CompositeChannel(std::vector<std::unique_ptr<ChannelModel>> parts)
     : parts_(std::move(parts)) {}
 
-bool CompositeChannel::should_drop(const Packet& p, TimePoint now) {
+ChannelVerdict CompositeChannel::decide(const Packet& p, TimePoint now) {
   // Every component sees every packet so that stateful components (e.g.
-  // Gilbert–Elliott) evolve consistently regardless of short-circuiting.
-  bool drop = false;
-  for (auto& part : parts_) {
-    if (part->should_drop(p, now)) drop = true;
+  // Gilbert–Elliott) evolve consistently regardless of short-circuiting; the
+  // FIRST component to drop wins the cause attribution.
+  ChannelVerdict out;
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    ChannelVerdict v = parts_[i]->decide(p, now);
+    if (v.dropped && !out.dropped) {
+      out.dropped = true;
+      out.cause = v.cause;
+      if (out.cause.component < 0) {
+        out.cause.component = static_cast<std::int32_t>(i);
+      }
+    }
+    out.extra_delay += v.extra_delay;
+    out.duplicate_copies += v.duplicate_copies;
   }
-  return drop;
-}
-
-Duration CompositeChannel::extra_delay(const Packet& p, TimePoint now) {
-  Duration total = Duration::zero();
-  for (auto& part : parts_) total += part->extra_delay(p, now);
-  return total;
-}
-
-unsigned CompositeChannel::duplicate_copies(const Packet& p, TimePoint now) {
-  unsigned copies = 0;
-  for (auto& part : parts_) copies += part->duplicate_copies(p, now);
-  return copies;
+  if (out.dropped) {
+    // Delay/duplication of a dead packet is meaningless; normalize so the
+    // verdict doesn't leak partial per-component effects.
+    out.extra_delay = Duration::zero();
+    out.duplicate_copies = 0;
+  }
+  return out;
 }
 
 FunctionalChannel::FunctionalChannel(DropProbFn drop_prob, DelayFn delay, util::Rng rng)
@@ -98,12 +119,11 @@ FunctionalChannel::FunctionalChannel(DropProbFn drop_prob, DelayFn delay, util::
   HSR_CHECK(drop_prob_ != nullptr && delay_ != nullptr);
 }
 
-bool FunctionalChannel::should_drop(const Packet& p, TimePoint now) {
-  return rng_.bernoulli(drop_prob_(p, now));
-}
-
-Duration FunctionalChannel::extra_delay(const Packet& p, TimePoint now) {
-  return delay_(p, now);
+ChannelVerdict FunctionalChannel::decide(const Packet& p, TimePoint now) {
+  if (rng_.bernoulli(drop_prob_(p, now))) {
+    return ChannelVerdict::drop(DropCause::functional_radio());
+  }
+  return ChannelVerdict::deliver(delay_(p, now));
 }
 
 }  // namespace hsr::net

@@ -1,9 +1,15 @@
-// Channel models decide per-packet loss and extra (non-queueing) delay.
+// Channel models decide per-packet fate on the air. Each model implements a
+// single virtual — `decide()` — returning a ChannelVerdict: whether the
+// packet is dropped (with a structured, cause-coded attribution), how much
+// extra (non-queueing) delay it picks up, and how many duplicate copies the
+// channel injects.
 //
 // A Link owns exactly one ChannelModel for its direction; composite and
 // time-varying behaviour (the HSR radio) is built from these primitives.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -14,27 +20,107 @@
 
 namespace hsr::net {
 
+// WHY a packet died: the category of the mechanism that killed it. The
+// queue category comes from the Link (DropTail overflow); every other
+// category is produced by a channel class. kChannelUnattributed only
+// appears when re-reading v1 trace archives, whose 'C' drop code predates
+// cause attribution; live simulations always attribute finer than that.
+enum class DropCategory : std::uint8_t {
+  kUnknown = 0,             // no attribution recorded at all
+  kQueueOverflow = 1,       // DropTail queue full at enqueue
+  kChannelUnattributed = 2, // legacy archives: channel loss, cause unrecorded
+  kBernoulli = 3,           // BernoulliChannel i.i.d. loss
+  kGilbertElliottGood = 4,  // Gilbert–Elliott loss drawn in the GOOD state
+  kGilbertElliottBad = 5,   // Gilbert–Elliott loss drawn in the BAD state
+  kFunctionalRadio = 6,     // FunctionalChannel (the radio environment)
+  kScriptedFault = 7,       // fault::FaultInjector directive
+};
+inline constexpr std::size_t kDropCategoryCount = 8;
+
+// Human-readable category name ("queue-overflow", "gilbert-elliott-bad", ...).
+const char* drop_category_name(DropCategory category);
+
+// Structured drop attribution: the category plus enough indices to point at
+// the exact mechanism — which CompositeChannel component dropped, and which
+// FaultPlan directive fired for scripted kills.
+struct DropCause {
+  DropCategory category = DropCategory::kUnknown;
+  // Index of the dropping component within the innermost enclosing
+  // CompositeChannel; -1 when the drop happened outside any composite.
+  std::int32_t component = -1;
+  // Index of the scripted FaultPlan directive that fired; -1 for organic
+  // (non-scripted) drops.
+  std::int32_t directive = -1;
+
+  bool is_queue() const { return category == DropCategory::kQueueOverflow; }
+  bool is_channel() const {
+    return category != DropCategory::kQueueOverflow &&
+           category != DropCategory::kUnknown;
+  }
+  bool is_scripted() const { return category == DropCategory::kScriptedFault; }
+
+  static DropCause queue_overflow() { return {DropCategory::kQueueOverflow, -1, -1}; }
+  static DropCause unattributed_channel() {
+    return {DropCategory::kChannelUnattributed, -1, -1};
+  }
+  static DropCause bernoulli() { return {DropCategory::kBernoulli, -1, -1}; }
+  static DropCause gilbert_elliott(bool bad_state) {
+    return {bad_state ? DropCategory::kGilbertElliottBad
+                      : DropCategory::kGilbertElliottGood,
+            -1, -1};
+  }
+  static DropCause functional_radio() {
+    return {DropCategory::kFunctionalRadio, -1, -1};
+  }
+  static DropCause scripted(std::int32_t directive_index) {
+    return {DropCategory::kScriptedFault, -1, directive_index};
+  }
+
+  friend bool operator==(const DropCause&, const DropCause&) = default;
+};
+
+// The complete fate decision for one packet crossing a channel. When
+// `dropped` is true the packet never arrives and `cause` says why;
+// extra_delay/duplicate_copies are meaningful only for delivered packets
+// (callers must ignore them on a drop).
+struct ChannelVerdict {
+  bool dropped = false;
+  DropCause cause;                           // valid only when dropped
+  Duration extra_delay = Duration::zero();   // valid only when delivered
+  unsigned duplicate_copies = 0;             // EXTRA copies; valid when delivered
+
+  static ChannelVerdict deliver(Duration delay = Duration::zero(),
+                                unsigned copies = 0) {
+    ChannelVerdict v;
+    v.extra_delay = delay;
+    v.duplicate_copies = copies;
+    return v;
+  }
+  static ChannelVerdict drop(DropCause why) {
+    ChannelVerdict v;
+    v.dropped = true;
+    v.cause = why;
+    return v;
+  }
+};
+
 class ChannelModel {
  public:
   virtual ~ChannelModel() = default;
 
-  // True if the channel corrupts/loses this packet at time `now`.
-  virtual bool should_drop(const Packet& packet, TimePoint now) = 0;
-
-  // Extra propagation delay (jitter, fading-induced) for this packet.
-  virtual Duration extra_delay(const Packet& packet, TimePoint now) = 0;
-
-  // Number of EXTRA copies of this packet the channel injects (duplication
-  // faults). Queried by Link for delivered packets only; each copy arrives
-  // at the same instant as the original. Organic channels never duplicate.
-  virtual unsigned duplicate_copies(const Packet&, TimePoint) { return 0; }
+  // Decides this packet's complete fate at time `now` in ONE call: drop
+  // (cause-coded), extra propagation delay, and injected duplicate copies.
+  // Called exactly once per packet offered to the channel, in send order, so
+  // stateful models (Gilbert–Elliott, fade processes) evolve consistently.
+  virtual ChannelVerdict decide(const Packet& packet, TimePoint now) = 0;
 };
 
 // Never drops, never delays. The wired (server-side) segment.
 class PerfectChannel final : public ChannelModel {
  public:
-  bool should_drop(const Packet&, TimePoint) override { return false; }
-  Duration extra_delay(const Packet&, TimePoint) override { return Duration::zero(); }
+  ChannelVerdict decide(const Packet&, TimePoint) override {
+    return ChannelVerdict::deliver();
+  }
 };
 
 // Independent per-packet loss with fixed probability.
@@ -42,8 +128,7 @@ class BernoulliChannel final : public ChannelModel {
  public:
   BernoulliChannel(double loss_probability, util::Rng rng);
 
-  bool should_drop(const Packet&, TimePoint) override;
-  Duration extra_delay(const Packet&, TimePoint) override { return Duration::zero(); }
+  ChannelVerdict decide(const Packet&, TimePoint) override;
 
   double loss_probability() const { return p_; }
 
@@ -54,7 +139,8 @@ class BernoulliChannel final : public ChannelModel {
 
 // Two-state continuous-time Gilbert–Elliott channel. The state (GOOD/BAD)
 // evolves with exponential sojourn times; each state has its own loss
-// probability. Models bursty wireless loss.
+// probability. Models bursty wireless loss. Drops are attributed to the
+// state they were drawn in (kGilbertElliottGood / kGilbertElliottBad).
 class GilbertElliottChannel final : public ChannelModel {
  public:
   struct Config {
@@ -66,8 +152,7 @@ class GilbertElliottChannel final : public ChannelModel {
 
   GilbertElliottChannel(Config config, util::Rng rng);
 
-  bool should_drop(const Packet&, TimePoint now) override;
-  Duration extra_delay(const Packet&, TimePoint) override { return Duration::zero(); }
+  ChannelVerdict decide(const Packet&, TimePoint now) override;
 
   bool in_bad_state(TimePoint now);
   // Expected stationary loss rate = w_bad*loss_bad + w_good*loss_good.
@@ -84,17 +169,16 @@ class GilbertElliottChannel final : public ChannelModel {
 };
 
 // Adds i.i.d. log-normal jitter on top of an inner channel's behaviour.
+// Drops are the inner channel's (cause passed through untouched); the jitter
+// draw is skipped for dropped packets, since delay of a dead packet is
+// meaningless.
 class JitterChannel final : public ChannelModel {
  public:
   // jitter ~ LogNormal with given median (seconds) and sigma; capped.
   JitterChannel(std::unique_ptr<ChannelModel> inner, double median_jitter_s,
                 double sigma, double max_jitter_s, util::Rng rng);
 
-  bool should_drop(const Packet& p, TimePoint now) override;
-  Duration extra_delay(const Packet& p, TimePoint now) override;
-  unsigned duplicate_copies(const Packet& p, TimePoint now) override {
-    return inner_->duplicate_copies(p, now);
-  }
+  ChannelVerdict decide(const Packet& p, TimePoint now) override;
 
  private:
   std::unique_ptr<ChannelModel> inner_;
@@ -105,21 +189,22 @@ class JitterChannel final : public ChannelModel {
 };
 
 // Combines several channels: a packet is dropped if ANY component drops it;
-// extra delays add up.
+// extra delays and duplicate copies add up. The drop cause carries the index
+// of the FIRST component that dropped the packet (and if that component is
+// itself nested, the innermost composite's index wins).
 class CompositeChannel final : public ChannelModel {
  public:
   explicit CompositeChannel(std::vector<std::unique_ptr<ChannelModel>> parts);
 
-  bool should_drop(const Packet& p, TimePoint now) override;
-  Duration extra_delay(const Packet& p, TimePoint now) override;
-  unsigned duplicate_copies(const Packet& p, TimePoint now) override;
+  ChannelVerdict decide(const Packet& p, TimePoint now) override;
 
  private:
   std::vector<std::unique_ptr<ChannelModel>> parts_;
 };
 
 // Adapts a pair of time-varying callables (drop probability, extra delay)
-// into a ChannelModel. The radio module plugs its environment in this way.
+// into a ChannelModel. The radio module plugs its environment in this way;
+// drops are attributed to kFunctionalRadio.
 class FunctionalChannel final : public ChannelModel {
  public:
   using DropProbFn = std::function<double(const Packet&, TimePoint)>;
@@ -127,8 +212,7 @@ class FunctionalChannel final : public ChannelModel {
 
   FunctionalChannel(DropProbFn drop_prob, DelayFn delay, util::Rng rng);
 
-  bool should_drop(const Packet& p, TimePoint now) override;
-  Duration extra_delay(const Packet& p, TimePoint now) override;
+  ChannelVerdict decide(const Packet& p, TimePoint now) override;
 
  private:
   DropProbFn drop_prob_;

@@ -30,6 +30,10 @@ std::size_t Link::queue_depth() const {
   return departures_.size();
 }
 
+void Link::count_drop(const DropCause& cause) {
+  ++stats_.dropped_by_category[static_cast<std::size_t>(cause.category)];
+}
+
 void Link::send(Packet packet) {
   const TimePoint now = sim_.now();
   packet.sent_at = now;
@@ -38,8 +42,9 @@ void Link::send(Packet packet) {
 
   prune_departures();
   if (departures_.size() >= config_.queue_capacity) {
-    ++stats_.dropped_queue;
-    if (tap_ != nullptr) tap_->on_drop(packet, now, DropReason::kQueueOverflow);
+    const DropCause cause = DropCause::queue_overflow();
+    count_drop(cause);
+    if (tap_ != nullptr) tap_->on_drop(packet, now, cause);
     return;
   }
 
@@ -48,21 +53,23 @@ void Link::send(Packet packet) {
   busy_until_ = departure;
   departures_.push_back(departure);
 
-  // Channel loss is evaluated at transmission time: the packet occupies the
+  // Channel fate is evaluated at transmission time: the packet occupies the
   // queue/transmitter either way (it is corrupted on the air, not dropped
   // before entering the NIC).
-  if (channel_->should_drop(packet, start)) {
-    ++stats_.dropped_channel;
-    if (tap_ != nullptr) tap_->on_drop(packet, start, DropReason::kChannelLoss);
+  const ChannelVerdict verdict = channel_->decide(packet, start);
+  if (verdict.dropped) {
+    HSR_DCHECK_MSG(verdict.cause.category != DropCategory::kUnknown,
+                   "channel drop without cause attribution");
+    count_drop(verdict.cause);
+    if (tap_ != nullptr) tap_->on_drop(packet, start, verdict.cause);
     return;
   }
 
-  const TimePoint arrival =
-      departure + config_.prop_delay + channel_->extra_delay(packet, start);
+  const TimePoint arrival = departure + config_.prop_delay + verdict.extra_delay;
   // Duplication faults: the channel may inject extra copies of a delivered
   // packet (same id — it is the SAME packet arriving more than once, as on a
   // real path with a duplicating middlebox). Copies share the arrival time.
-  const unsigned copies = 1 + channel_->duplicate_copies(packet, start);
+  const unsigned copies = 1 + verdict.duplicate_copies;
   stats_.injected_duplicates += copies - 1;
   for (unsigned c = 0; c < copies; ++c) {
     sim_.at(arrival, [this, packet, arrival] {

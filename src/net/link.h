@@ -5,10 +5,12 @@
 // TCP connection runs over.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <numeric>
 #include <string>
 
 #include "net/channel.h"
@@ -17,11 +19,6 @@
 
 namespace hsr::net {
 
-enum class DropReason : std::uint8_t {
-  kQueueOverflow = 0,  // DropTail queue full at enqueue
-  kChannelLoss = 1,    // lost on the air (channel model)
-};
-
 // Observer of everything that happens on a link. The trace module implements
 // this to play the role of a wireshark capture at each endpoint.
 class LinkTap {
@@ -29,8 +26,12 @@ class LinkTap {
   virtual ~LinkTap() = default;
   // Packet handed to the link by the sender (seen at the sender's NIC).
   virtual void on_send(const Packet& packet, TimePoint when) = 0;
-  // Packet dropped (queue or channel); never delivered.
-  virtual void on_drop(const Packet& packet, TimePoint when, DropReason reason) = 0;
+  // Packet dropped (queue or channel); never delivered. `cause` is the
+  // structured attribution — category plus composite-component / scripted-
+  // directive indices — produced by the Link (queue overflow) or the
+  // ChannelVerdict.
+  virtual void on_drop(const Packet& packet, TimePoint when,
+                       const DropCause& cause) = 0;
   // Packet delivered to the receiving endpoint.
   virtual void on_deliver(const Packet& packet, TimePoint sent, TimePoint arrived) = 0;
 };
@@ -45,14 +46,28 @@ struct LinkConfig {
 struct LinkStats {
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
-  std::uint64_t dropped_queue = 0;
-  std::uint64_t dropped_channel = 0;
   std::uint64_t bytes_delivered = 0;
   // Extra copies injected by the channel (duplication faults). Each copy is
   // also counted in `delivered`, so delivered can exceed sent.
   std::uint64_t injected_duplicates = 0;
 
-  std::uint64_t dropped_total() const { return dropped_queue + dropped_channel; }
+  // Per-cause drop counters, indexed by DropCategory. The legacy
+  // queue-vs-channel split is a derived view over this map.
+  std::array<std::uint64_t, kDropCategoryCount> dropped_by_category{};
+
+  std::uint64_t dropped_by(DropCategory category) const {
+    return dropped_by_category[static_cast<std::size_t>(category)];
+  }
+  std::uint64_t dropped_total() const {
+    return std::accumulate(dropped_by_category.begin(), dropped_by_category.end(),
+                           std::uint64_t{0});
+  }
+  // Derived views: the pre-cause-code split.
+  std::uint64_t dropped_queue() const {
+    return dropped_by(DropCategory::kQueueOverflow);
+  }
+  std::uint64_t dropped_channel() const { return dropped_total() - dropped_queue(); }
+
   double loss_rate() const {
     return sent == 0 ? 0.0
                      : static_cast<double>(dropped_total()) / static_cast<double>(sent);
@@ -86,6 +101,7 @@ class Link {
  private:
   Duration serialization_time(std::uint32_t bytes) const;
   void prune_departures() const;
+  void count_drop(const DropCause& cause);
 
   sim::Simulator& sim_;
   LinkConfig config_;

@@ -15,11 +15,12 @@ void DirectionCapture::on_send(const Packet& packet, TimePoint when) {
   txs_.push_back(std::move(tx));
 }
 
-void DirectionCapture::on_drop(const Packet& packet, TimePoint when, DropReason reason) {
+void DirectionCapture::on_drop(const Packet& packet, TimePoint when,
+                               const DropCause& cause) {
   (void)when;
   const auto it = index_by_id_.find(packet.id);
   HSR_CHECK_MSG(it != index_by_id_.end(), "drop for unseen packet");
-  txs_[it->second].drop_reason = reason;
+  txs_[it->second].drop_cause = cause;
   ++lost_;
 }
 

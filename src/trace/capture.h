@@ -20,7 +20,7 @@
 
 namespace hsr::trace {
 
-using net::DropReason;
+using net::DropCause;
 using net::Packet;
 using net::SeqNo;
 using util::Duration;
@@ -47,7 +47,10 @@ struct Transmission {
   Packet packet;                       // header as sent
   TimePoint sent;
   std::optional<TimePoint> arrived;    // nullopt => lost
-  std::optional<DropReason> drop_reason;
+  // Structured attribution for lost packets: WHY the packet died (category
+  // plus composite-component / scripted-directive indices). nullopt for
+  // delivered packets and for packets still in flight at capture end.
+  std::optional<DropCause> drop_cause;
 
   bool lost() const { return !arrived.has_value(); }
   // One-way transit time; only valid when delivered.
@@ -57,7 +60,7 @@ struct Transmission {
 class DirectionCapture final : public net::LinkTap {
  public:
   void on_send(const Packet& packet, TimePoint when) override;
-  void on_drop(const Packet& packet, TimePoint when, DropReason reason) override;
+  void on_drop(const Packet& packet, TimePoint when, const DropCause& cause) override;
   void on_deliver(const Packet& packet, TimePoint sent, TimePoint arrived) override;
 
   const std::vector<Transmission>& transmissions() const { return txs_; }

@@ -10,13 +10,52 @@ namespace hsr::trace {
 
 namespace {
 
-constexpr const char* kMagic = "hsrtrace-v1";
+constexpr const char* kMagicV2 = "hsrtrace-v2";
+constexpr const char* kMagicV1 = "hsrtrace-v1";
 
-// Fate codes: '-' = no fate recorded (still in flight at capture end),
-// 'Q' = queue drop, 'C' = channel loss.
-char drop_code(const Transmission& tx) {
-  if (!tx.drop_reason) return '-';
-  return *tx.drop_reason == DropReason::kQueueOverflow ? 'Q' : 'C';
+using net::DropCategory;
+
+// Single-character cause codes for the drop column (see trace_io.h).
+char category_code(DropCategory category) {
+  switch (category) {
+    case DropCategory::kUnknown: return '-';
+    case DropCategory::kQueueOverflow: return 'Q';
+    case DropCategory::kChannelUnattributed: return 'C';
+    case DropCategory::kBernoulli: return 'B';
+    case DropCategory::kGilbertElliottGood: return 'g';
+    case DropCategory::kGilbertElliottBad: return 'G';
+    case DropCategory::kFunctionalRadio: return 'R';
+    case DropCategory::kScriptedFault: return 'X';
+  }
+  return '-';
+}
+
+bool category_from_code(char code, DropCategory& out) {
+  switch (code) {
+    case 'Q': out = DropCategory::kQueueOverflow; return true;
+    case 'C': out = DropCategory::kChannelUnattributed; return true;
+    case 'B': out = DropCategory::kBernoulli; return true;
+    case 'g': out = DropCategory::kGilbertElliottGood; return true;
+    case 'G': out = DropCategory::kGilbertElliottBad; return true;
+    case 'R': out = DropCategory::kFunctionalRadio; return true;
+    case 'X': out = DropCategory::kScriptedFault; return true;
+    default: return false;
+  }
+}
+
+// Serializes the structured cause:  <code>[@<component>][#<directive>]
+std::string drop_token(const Transmission& tx) {
+  if (!tx.drop_cause) return "-";
+  std::string out(1, category_code(tx.drop_cause->category));
+  if (tx.drop_cause->component >= 0) {
+    out += '@';
+    out += std::to_string(tx.drop_cause->component);
+  }
+  if (tx.drop_cause->directive >= 0) {
+    out += '#';
+    out += std::to_string(tx.drop_cause->directive);
+  }
+  return out;
 }
 
 // Audit labels are single tokens on the wire; whitespace would shift every
@@ -34,7 +73,7 @@ void write_direction(std::ostream& os, char dir, const DirectionCapture& cap) {
     os << dir << ' ' << tx.packet.id << ' ' << tx.packet.seq << ' '
        << tx.packet.ack_next << ' ' << tx.packet.size_bytes << ' '
        << tx.sent.ns() << ' ' << (tx.arrived ? tx.arrived->ns() : -1) << ' '
-       << drop_code(tx) << ' ' << tx.packet.retx_count << '\n';
+       << drop_token(tx) << ' ' << tx.packet.retx_count << '\n';
   }
 }
 
@@ -65,6 +104,38 @@ util::Status line_error(std::size_t line_number, const std::string& token,
       token + "')");
 }
 
+// Parses a v2 drop token into an optional cause. v1 archives use the same
+// single-character subset ('-', 'Q', 'C'), so one parser serves both: the
+// version only gates which codes a WRITER may emit, and 'C' simply decodes
+// to the legacy unattributed category.
+bool parse_drop_token(const std::string& token, std::optional<net::DropCause>& out) {
+  if (token.empty()) return false;
+  if (token == "-") {
+    out.reset();
+    return true;
+  }
+  net::DropCause cause;
+  if (!category_from_code(token[0], cause.category)) return false;
+  std::size_t pos = 1;
+  if (pos < token.size() && token[pos] == '@') {
+    const std::size_t end = token.find('#', pos + 1);
+    const std::string field =
+        token.substr(pos + 1, end == std::string::npos ? std::string::npos
+                                                       : end - pos - 1);
+    if (!parse_int(field, cause.component) || cause.component < 0) return false;
+    pos = (end == std::string::npos) ? token.size() : end;
+  }
+  if (pos < token.size() && token[pos] == '#') {
+    if (!parse_int(token.substr(pos + 1), cause.directive) || cause.directive < 0) {
+      return false;
+    }
+    pos = token.size();
+  }
+  if (pos != token.size()) return false;
+  out = cause;
+  return true;
+}
+
 // Parses one `D`/`A` transmission line (tokens past the direction marker).
 util::Status parse_transmission(const std::vector<std::string>& tokens,
                                 std::size_t line_number, FlowCapture& cap) {
@@ -90,10 +161,9 @@ util::Status parse_transmission(const std::vector<std::string>& tokens,
   if (!parse_int(tokens[6], arrived_ns)) {
     return line_error(line_number, tokens[6], "bad arrival time");
   }
-  const std::string& drop_tok = tokens[7];
-  if (drop_tok.size() != 1 ||
-      (drop_tok[0] != '-' && drop_tok[0] != 'Q' && drop_tok[0] != 'C')) {
-    return line_error(line_number, drop_tok, "bad drop code");
+  std::optional<net::DropCause> cause;
+  if (!parse_drop_token(tokens[7], cause)) {
+    return line_error(line_number, tokens[7], "bad drop token");
   }
   if (!parse_int(tokens[8], retx)) {
     return line_error(line_number, tokens[8], "bad retx count");
@@ -109,10 +179,8 @@ util::Status parse_transmission(const std::vector<std::string>& tokens,
   target.on_send(p, TimePoint::from_ns(sent_ns));
   if (arrived_ns >= 0) {
     target.on_deliver(p, TimePoint::from_ns(sent_ns), TimePoint::from_ns(arrived_ns));
-  } else if (drop_tok[0] != '-') {
-    target.on_drop(p, TimePoint::from_ns(sent_ns),
-                   drop_tok[0] == 'Q' ? DropReason::kQueueOverflow
-                                      : DropReason::kChannelLoss);
+  } else if (cause) {
+    target.on_drop(p, TimePoint::from_ns(sent_ns), *cause);
   }
   // drop == '-' with no arrival: the packet was still in flight when the
   // capture ended; it is neither delivered nor lost.
@@ -163,7 +231,7 @@ util::Status parse_fault(const std::vector<std::string>& tokens,
 }  // namespace
 
 void write_flow_capture(std::ostream& os, const FlowCapture& capture) {
-  os << kMagic << " flow=" << capture.flow << '\n';
+  os << kMagicV2 << " flow=" << capture.flow << '\n';
   write_direction(os, 'D', capture.data);
   write_direction(os, 'A', capture.acks);
   // Fault audit trail, after the transmissions:
@@ -187,7 +255,7 @@ util::StatusOr<FlowCapture> read_flow_capture(std::istream& is) {
     std::istringstream hs(line);
     std::string magic;
     std::string flow_field;
-    if (!(hs >> magic >> flow_field) || magic != kMagic ||
+    if (!(hs >> magic >> flow_field) || (magic != kMagicV2 && magic != kMagicV1) ||
         flow_field.rfind("flow=", 0) != 0) {
       return line_error(1, line, "bad trace header");
     }

@@ -1,12 +1,26 @@
 // Text serialization of flow captures, so traces can be archived, diffed and
 // re-analyzed offline (the role pcap files played in the paper's workflow).
 //
-// Format: a header line, then one line per transmission:
+// Format v2 ("hsrtrace-v2"): a header line, then one line per transmission:
 //   <dir> <pkt_id> <seq> <ack_next> <size> <sent_ns> <arrived_ns|-1> <drop> <retx>
-// where dir is D (data) or A (ack) and drop is '-', 'Q' (queue) or 'C'
-// (channel); lost packets have arrived_ns = -1 (exactly the convention of
-// the paper's Fig. 1). Scripted-fault audit records follow as `F` lines:
+// where dir is D (data) or A (ack) and drop is a structured cause token:
+//   '-'                          no fate recorded (in flight at capture end)
+//   <code>[@<component>][#<directive>]   a cause-coded drop
+// with code one of
+//   'Q' queue overflow,          'C' channel loss, cause unattributed (v1),
+//   'B' Bernoulli loss,          'g' Gilbert–Elliott loss in GOOD state,
+//   'G' Gilbert–Elliott loss in BAD state,
+//   'R' functional radio loss,   'X' scripted fault,
+// `@<component>` the index of the dropping CompositeChannel component and
+// `#<directive>` the index of the scripted FaultPlan directive, each present
+// only when recorded (>= 0). Lost packets have arrived_ns = -1 (exactly the
+// convention of the paper's Fig. 1). Scripted-fault audit records follow as
+// `F` lines:
 //   F <link-dir> <when_ns> <pkt_id> <seq> <kind> <directive> <action> <delay_ns> <label>
+//
+// Readers also accept v1 archives ("hsrtrace-v1"), whose drop column only
+// distinguished 'Q' (queue) from 'C' (channel): 'C' maps to the
+// kChannelUnattributed legacy category.
 #pragma once
 
 #include <iosfwd>
@@ -19,10 +33,11 @@ namespace hsr::trace {
 
 void write_flow_capture(std::ostream& os, const FlowCapture& capture);
 
-// Parses a capture. Corrupt records fail with the line number and the
-// offending token in the Status message. A torn FINAL line (EOF before its
-// newline — the signature of a truncated archive) is tolerated: the partial
-// record is dropped and the capture parsed so far is returned.
+// Parses a capture (v2 or legacy v1). Corrupt records fail with the line
+// number and the offending token in the Status message. A torn FINAL line
+// (EOF before its newline — the signature of a truncated archive) is
+// tolerated: the partial record is dropped and the capture parsed so far is
+// returned.
 util::StatusOr<FlowCapture> read_flow_capture(std::istream& is);
 
 // Convenience file wrappers. Saving is atomic (write to `<path>.tmp`, then

@@ -40,12 +40,22 @@ struct FlowTask {
   std::uint64_t seed = 0;
 };
 
+// Per-flow outcome beyond the record itself: the Status and, for flows with
+// scripted faults, the portable plan text snapshotted after configure_flow
+// (so a quarantined casualty can be re-run from its plans alone).
+struct FlowOutcome {
+  util::Status status;
+  std::string downlink_plan;
+  std::string uplink_plan;
+};
+
 // Runs one planned flow and reduces it to a record. Returns the flow's
-// Status in `*status` (never throws past here): exceptions and watchdog
+// Status in `*outcome` (never throws past here): exceptions and watchdog
 // aborts become per-flow diagnostics for the quarantine list.
 FlowRecord run_and_analyze(const DatasetSpec& spec, std::uint64_t flow_index,
-                           const FlowTask& task, util::Status* status) {
+                           const FlowTask& task, FlowOutcome* outcome) {
   FlowRecord rec;
+  util::Status* status = &outcome->status;
   try {
     FlowRunConfig cfg;
     cfg.profile = task.profile;
@@ -53,6 +63,12 @@ FlowRecord run_and_analyze(const DatasetSpec& spec, std::uint64_t flow_index,
     cfg.seed = task.seed;
     cfg.max_sim_events = spec.max_sim_events_per_flow;
     if (spec.configure_flow) spec.configure_flow(flow_index, cfg);
+    if (!cfg.downlink_faults.empty()) {
+      outcome->downlink_plan = cfg.downlink_faults.to_text();
+    }
+    if (!cfg.uplink_faults.empty()) {
+      outcome->uplink_plan = cfg.uplink_faults.to_text();
+    }
 
     FlowRunResult run = run_flow(cfg);
     if (!run.status.is_ok()) {
@@ -180,10 +196,10 @@ DatasetResult generate_dataset(const DatasetSpec& spec) {
   // Workers never throw (run_and_analyze absorbs failures into per-index
   // statuses), so one sick flow cannot abort its siblings mid-flight.
   std::vector<FlowRecord> records(tasks.size());
-  std::vector<util::Status> statuses(tasks.size());
+  std::vector<FlowOutcome> outcomes(tasks.size());
   util::ThreadPool pool(threads.value());
   pool.parallel_for(tasks.size(), [&](std::uint64_t i) {
-    records[i] = run_and_analyze(spec, i, tasks[i], &statuses[i]);
+    records[i] = run_and_analyze(spec, i, tasks[i], &outcomes[i]);
   });
 
   // Aggregate phase (sequential, in flow order, after the join): compact the
@@ -191,13 +207,14 @@ DatasetResult generate_dataset(const DatasetSpec& spec) {
   // diagnostics. Index order makes the result independent of thread count.
   out.flows.reserve(tasks.size());
   for (std::uint64_t i = 0; i < tasks.size(); ++i) {
-    if (statuses[i].is_ok()) {
+    if (outcomes[i].status.is_ok()) {
       out.corpus.add(records[i].provider, records[i].high_speed, records[i].analysis);
       out.flows.push_back(std::move(records[i]));
     } else {
       out.quarantined.push_back(QuarantinedFlow{
           i, radio::provider_name(tasks[i].profile.provider), tasks[i].campaign,
-          std::move(statuses[i])});
+          std::move(outcomes[i].status), std::move(outcomes[i].downlink_plan),
+          std::move(outcomes[i].uplink_plan)});
     }
   }
   return out;

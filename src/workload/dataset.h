@@ -100,6 +100,12 @@ struct QuarantinedFlow {
   std::string provider;
   std::string campaign;
   util::Status status;  // why the flow was quarantined (never OK)
+  // Portable fault-plan text ("hsrfaultplan-v1") for each direction, as
+  // derived by configure_flow for THIS flow — empty when the direction had
+  // no scripted faults. Feeding these back through fault::FaultPlan::parse()
+  // re-runs the casualty bit-identically for post-mortem debugging.
+  std::string downlink_plan;
+  std::string uplink_plan;
 };
 
 struct DatasetResult {

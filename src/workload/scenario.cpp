@@ -5,6 +5,7 @@
 
 #include "sim/simulator.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace hsr::workload {
 
@@ -197,66 +198,92 @@ double run_until_done(sim::Simulator& sim, const std::function<bool()>& done) {
   return t;
 }
 
+// One fixed-size transfer over a fresh environment: `segments` segments at
+// `rng_seed`, returning segments/completion-time. The building block of both
+// the single comparison and the sharded sweep — entirely self-contained, so
+// any worker thread can run it for any (profile, segments, seed) triple.
+double fixed_transfer_rate(const radio::ProviderProfile& profile,
+                           std::uint64_t segments, std::uint64_t rng_seed) {
+  net::reset_packet_ids();
+  FlowRunConfig fc;
+  fc.profile = profile;
+
+  sim::Simulator sim;
+  util::Rng rng(rng_seed);
+  radio::RadioEnvironment env(profile.radio, rng.fork("radio"));
+  tcp::ConnectionConfig cfg;
+  cfg.tcp = tcp_config_for(fc);
+  cfg.tcp.total_segments = segments;
+  cfg.downlink = downlink_config(profile);
+  cfg.uplink = uplink_config(profile);
+  tcp::Connection conn(sim, 1, cfg,
+                       env.make_channel(radio::Direction::kDownlink, rng.fork("d")),
+                       env.make_channel(radio::Direction::kUplink, rng.fork("u")));
+  conn.start();
+  const double t = run_until_done(
+      sim, [&] { return conn.receiver().stats().unique_segments >= segments; });
+  return static_cast<double>(segments) / t;
+}
+
+// Seed of the i-th small flow (i in {0, 1}) of a comparison at `seed`.
+std::uint64_t small_flow_seed(std::uint64_t seed, int i) {
+  return util::splitmix64(seed + 31 * static_cast<std::uint64_t>(i + 1)) ^
+         0x32464c4f57ULL;
+}
+
+MptcpComparison combine_fixed_transfer(double large_rate, double small0_rate,
+                                       double small1_rate) {
+  MptcpComparison out;
+  out.tcp_pps = large_rate;
+  // The combined throughput is the SUM of the two small flows' rates —
+  // exactly the paper's "total throughput getting by these two flows".
+  out.mptcp_pps = small0_rate + small1_rate;
+  out.improvement =
+      out.tcp_pps > 0.0 ? (out.mptcp_pps - out.tcp_pps) / out.tcp_pps : 0.0;
+  return out;
+}
+
 }  // namespace
 
 MptcpComparison run_fixed_transfer_comparison(const radio::ProviderProfile& profile,
                                               std::uint64_t total_segments,
                                               std::uint64_t seed) {
-  MptcpComparison out;
-  FlowRunConfig fc;
-  fc.profile = profile;
-  const tcp::TcpConfig base_tcp = tcp_config_for(fc);
+  // One large flow of `total_segments` vs two small flows of total/2 each,
+  // over the same radio environment class (the paper's pairs come from
+  // different points of its dataset). Short transfers often dodge the long
+  // dead zones a large transfer cannot avoid, which is where China Telecom's
+  // outsized gain comes from.
+  const double large = fixed_transfer_rate(profile, total_segments, seed);
+  const double small0 =
+      fixed_transfer_rate(profile, total_segments / 2, small_flow_seed(seed, 0));
+  const double small1 =
+      fixed_transfer_rate(profile, total_segments / 2, small_flow_seed(seed, 1));
+  return combine_fixed_transfer(large, small0, small1);
+}
 
-  // One large flow of `total_segments`.
-  {
-    sim::Simulator sim;
-    util::Rng rng(seed);
-    radio::RadioEnvironment env(profile.radio, rng.fork("radio"));
-    tcp::ConnectionConfig cfg;
-    cfg.tcp = base_tcp;
-    cfg.tcp.total_segments = total_segments;
-    cfg.downlink = downlink_config(profile);
-    cfg.uplink = uplink_config(profile);
-    tcp::Connection conn(sim, 1, cfg,
-                         env.make_channel(radio::Direction::kDownlink, rng.fork("d")),
-                         env.make_channel(radio::Direction::kUplink, rng.fork("u")));
-    conn.start();
-    const double t = run_until_done(
-        sim, [&] { return conn.receiver().stats().unique_segments >= total_segments; });
-    out.tcp_pps = static_cast<double>(total_segments) / t;
+std::vector<MptcpComparison> run_fixed_transfer_sweep(const FixedTransferSweepSpec& spec) {
+  // Shard at (repetition, flow) granularity: each repetition contributes
+  // three independent simulations (the large flow and the two small flows),
+  // every one fully determined by the spec and its index. Results land in
+  // pre-sized slots, so claiming order — and therefore thread count — cannot
+  // perturb the output.
+  std::vector<double> rates(spec.runs * 3, 0.0);
+  util::parallel_for(spec.threads, spec.runs * 3, [&](std::uint64_t idx) {
+    const std::uint64_t r = idx / 3;
+    const int part = static_cast<int>(idx % 3);
+    const std::uint64_t seed = spec.base_seed + r * spec.seed_stride;
+    rates[idx] = part == 0
+                     ? fixed_transfer_rate(spec.profile, spec.total_segments, seed)
+                     : fixed_transfer_rate(spec.profile, spec.total_segments / 2,
+                                           small_flow_seed(seed, part - 1));
+  });
+
+  std::vector<MptcpComparison> out;
+  out.reserve(spec.runs);
+  for (std::uint64_t r = 0; r < spec.runs; ++r) {
+    out.push_back(combine_fixed_transfer(rates[r * 3], rates[r * 3 + 1],
+                                         rates[r * 3 + 2]));
   }
-
-  // Two small flows of total/2 each, run back-to-back over the same radio
-  // environment class (the paper's pairs come from different points of its
-  // dataset). The combined throughput is the SUM of the two flows' rates —
-  // exactly the paper's "total throughput getting by these two flows".
-  // Short transfers often dodge the long dead zones a large transfer cannot
-  // avoid, which is where China Telecom's outsized gain comes from.
-  {
-    double rate_sum = 0.0;
-    for (int i = 0; i < 2; ++i) {
-      sim::Simulator sim;
-      util::Rng rng(util::splitmix64(seed + 31 * (i + 1)) ^ 0x32464c4f57ULL);
-      radio::RadioEnvironment env(profile.radio, rng.fork("radio"));
-      tcp::ConnectionConfig cfg;
-      cfg.tcp = base_tcp;
-      cfg.tcp.total_segments = total_segments / 2;
-      cfg.downlink = downlink_config(profile);
-      cfg.uplink = uplink_config(profile);
-      tcp::Connection conn(sim, 1, cfg,
-                           env.make_channel(radio::Direction::kDownlink, rng.fork("d")),
-                           env.make_channel(radio::Direction::kUplink, rng.fork("u")));
-      conn.start();
-      const double t = run_until_done(sim, [&] {
-        return conn.receiver().stats().unique_segments >= total_segments / 2;
-      });
-      rate_sum += static_cast<double>(total_segments / 2) / t;
-    }
-    out.mptcp_pps = rate_sum;
-  }
-
-  out.improvement =
-      out.tcp_pps > 0.0 ? (out.mptcp_pps - out.tcp_pps) / out.tcp_pps : 0.0;
   return out;
 }
 

@@ -107,4 +107,25 @@ MptcpComparison run_fixed_transfer_comparison(const radio::ProviderProfile& prof
                                               std::uint64_t total_segments,
                                               std::uint64_t seed);
 
+// A multi-run fixed-transfer sweep (Fig. 12 error bars): `runs` repetitions
+// of run_fixed_transfer_comparison at seeds base_seed, base_seed+stride, ...
+struct FixedTransferSweepSpec {
+  radio::ProviderProfile profile;
+  std::uint64_t total_segments = 2000;
+  std::uint64_t base_seed = 1;
+  std::uint64_t seed_stride = 101;
+  std::uint64_t runs = 1;
+  // Worker threads for sharding (0 = all hardware threads). Results are
+  // byte-identical for ANY thread count: every constituent simulation is
+  // independently seeded from the spec and lands in a pre-sized slot.
+  unsigned threads = 0;
+};
+
+// Runs the sweep sharded across a util::ThreadPool. Each repetition's three
+// simulations (one large flow, two small flows) are independent tasks, so
+// the pool keeps all cores busy even when runs < threads. Entry r of the
+// result equals run_fixed_transfer_comparison(profile, total_segments,
+// base_seed + r * seed_stride) exactly.
+std::vector<MptcpComparison> run_fixed_transfer_sweep(const FixedTransferSweepSpec& spec);
+
 }  // namespace hsr::workload

@@ -33,7 +33,7 @@ class CaptureBuilder {
     if (arrived_ms >= 0) {
       cap_.data.on_deliver(p, sent, at(arrived_ms));
     } else {
-      cap_.data.on_drop(p, sent, net::DropReason::kChannelLoss);
+      cap_.data.on_drop(p, sent, net::DropCause::bernoulli());
     }
     return *this;
   }
@@ -50,7 +50,7 @@ class CaptureBuilder {
     if (arrived_ms >= 0) {
       cap_.acks.on_deliver(p, sent, at(arrived_ms));
     } else {
-      cap_.acks.on_drop(p, sent, net::DropReason::kChannelLoss);
+      cap_.acks.on_drop(p, sent, net::DropCause::bernoulli());
     }
     return *this;
   }

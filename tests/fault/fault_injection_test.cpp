@@ -99,10 +99,12 @@ TEST(FaultInjectorTest, DropsMatchingPacketsAndAudits) {
   std::vector<trace::FaultRecord> audit;
   inj.set_audit(&audit, 'A');
 
-  EXPECT_TRUE(inj.should_drop(ack_packet(2), TimePoint::from_seconds(1)));
-  EXPECT_TRUE(inj.should_drop(ack_packet(3), TimePoint::from_seconds(2)));
-  EXPECT_FALSE(inj.should_drop(ack_packet(4), TimePoint::from_seconds(3)));
-  EXPECT_FALSE(inj.should_drop(data_packet(2), TimePoint::from_seconds(4)));
+  const net::ChannelVerdict first = inj.decide(ack_packet(2), TimePoint::from_seconds(1));
+  EXPECT_TRUE(first.dropped);
+  EXPECT_EQ(first.cause, net::DropCause::scripted(0));
+  EXPECT_TRUE(inj.decide(ack_packet(3), TimePoint::from_seconds(2)).dropped);
+  EXPECT_FALSE(inj.decide(ack_packet(4), TimePoint::from_seconds(3)).dropped);
+  EXPECT_FALSE(inj.decide(data_packet(2), TimePoint::from_seconds(4)).dropped);
 
   EXPECT_EQ(inj.faults_triggered(), 2u);
   EXPECT_EQ(inj.triggers(0), 2u);
@@ -119,10 +121,10 @@ TEST(FaultInjectorTest, DropBudgetStopsFiring) {
   plan.drop_retransmissions(2);
   FaultInjector inj(plan, std::make_unique<PerfectChannel>());
 
-  EXPECT_TRUE(inj.should_drop(data_packet(5, true), TimePoint::zero()));
-  EXPECT_TRUE(inj.should_drop(data_packet(5, true), TimePoint::zero()));
+  EXPECT_TRUE(inj.decide(data_packet(5, true), TimePoint::zero()).dropped);
+  EXPECT_TRUE(inj.decide(data_packet(5, true), TimePoint::zero()).dropped);
   // Third retransmission is spared: max_triggers reached.
-  EXPECT_FALSE(inj.should_drop(data_packet(5, true), TimePoint::zero()));
+  EXPECT_FALSE(inj.decide(data_packet(5, true), TimePoint::zero()).dropped);
   EXPECT_EQ(inj.faults_triggered(), 2u);
 }
 
@@ -134,9 +136,9 @@ TEST(FaultInjectorTest, DelaysAccumulateAcrossDirectives) {
   std::vector<trace::FaultRecord> audit;
   inj.set_audit(&audit, 'D');
 
-  EXPECT_EQ(inj.extra_delay(data_packet(1), TimePoint::from_seconds(1)),
+  EXPECT_EQ(inj.decide(data_packet(1), TimePoint::from_seconds(1)).extra_delay,
             Duration::millis(100));
-  EXPECT_EQ(inj.extra_delay(data_packet(2), TimePoint::from_seconds(20)),
+  EXPECT_EQ(inj.decide(data_packet(2), TimePoint::from_seconds(20)).extra_delay,
             Duration::zero());
   ASSERT_EQ(audit.size(), 2u);
   EXPECT_EQ(audit[0].action, 'L');
@@ -178,9 +180,14 @@ TEST(FaultInjectorTest, SparedPacketsStillSeeInnerChannel) {
   std::vector<trace::FaultRecord> audit;
   inj.set_audit(&audit, 'A');
 
-  EXPECT_TRUE(inj.should_drop(data_packet(1), TimePoint::zero()));
+  const net::ChannelVerdict organic = inj.decide(data_packet(1), TimePoint::zero());
+  EXPECT_TRUE(organic.dropped);
+  EXPECT_FALSE(organic.cause.is_scripted());  // inner cause passes through
+  EXPECT_EQ(organic.cause.category, net::DropCategory::kFunctionalRadio);
   EXPECT_TRUE(audit.empty());  // organic loss, not a scripted fault
-  EXPECT_TRUE(inj.should_drop(ack_packet(1), TimePoint::zero()));
+  const net::ChannelVerdict scripted = inj.decide(ack_packet(1), TimePoint::zero());
+  EXPECT_TRUE(scripted.dropped);
+  EXPECT_TRUE(scripted.cause.is_scripted());
   EXPECT_EQ(audit.size(), 1u);
 }
 

@@ -100,7 +100,7 @@ TEST(FailureInjectionTest, SurvivesTinyQueue) {
                        std::make_unique<PerfectChannel>());
   conn.start();
   sim.run_until(TimePoint::from_seconds(30));
-  EXPECT_GT(conn.downlink().stats().dropped_queue, 0u);
+  EXPECT_GT(conn.downlink().stats().dropped_queue(), 0u);
   EXPECT_GT(conn.receiver().stats().unique_segments, 50u);
 }
 

@@ -22,11 +22,11 @@ class RecordingTap : public LinkTap {
  public:
   struct Drop {
     std::uint64_t id;
-    DropReason reason;
+    DropCause cause;
   };
   void on_send(const Packet& p, TimePoint) override { sends.push_back(p.id); }
-  void on_drop(const Packet& p, TimePoint, DropReason r) override {
-    drops.push_back({p.id, r});
+  void on_drop(const Packet& p, TimePoint, const DropCause& c) override {
+    drops.push_back({p.id, c});
   }
   void on_deliver(const Packet& p, TimePoint sent, TimePoint arrived) override {
     delivers.push_back(p.id);
@@ -103,10 +103,11 @@ TEST(LinkTest, DropTailOnQueueOverflow) {
   for (int i = 0; i < 5; ++i) link.send(data_packet(100));
   sim.run();
   EXPECT_EQ(link.stats().sent, 5u);
-  EXPECT_EQ(link.stats().dropped_queue, 2u);
+  EXPECT_EQ(link.stats().dropped_queue(), 2u);
   EXPECT_EQ(link.stats().delivered, 3u);
   ASSERT_EQ(tap.drops.size(), 2u);
-  EXPECT_EQ(tap.drops[0].reason, DropReason::kQueueOverflow);
+  EXPECT_EQ(tap.drops[0].cause.category, DropCategory::kQueueOverflow);
+  EXPECT_TRUE(tap.drops[0].cause.is_queue());
 }
 
 TEST(LinkTest, QueueDrainsOverTime) {
@@ -125,7 +126,7 @@ TEST(LinkTest, QueueDrainsOverTime) {
   // Capacity is available again.
   link.send(data_packet(1000));
   sim.run();
-  EXPECT_EQ(link.stats().dropped_queue, 0u);
+  EXPECT_EQ(link.stats().dropped_queue(), 0u);
   EXPECT_EQ(link.stats().delivered, 3u);
 }
 
@@ -141,9 +142,11 @@ TEST(LinkTest, ChannelLossCountsAndReportsToTap) {
   link.send(data_packet());
   sim.run();
   EXPECT_EQ(received, 0);
-  EXPECT_EQ(link.stats().dropped_channel, 1u);
+  EXPECT_EQ(link.stats().dropped_channel(), 1u);
+  EXPECT_EQ(link.stats().dropped_by(DropCategory::kBernoulli), 1u);
   ASSERT_EQ(tap.drops.size(), 1u);
-  EXPECT_EQ(tap.drops[0].reason, DropReason::kChannelLoss);
+  EXPECT_EQ(tap.drops[0].cause.category, DropCategory::kBernoulli);
+  EXPECT_TRUE(tap.drops[0].cause.is_channel());
   EXPECT_DOUBLE_EQ(link.stats().loss_rate(), 1.0);
 }
 
@@ -161,7 +164,8 @@ TEST(LinkTest, StatsLossRateMixed) {
   }
   EXPECT_EQ(link.stats().sent, static_cast<std::uint64_t>(n));
   EXPECT_NEAR(link.stats().loss_rate(), 0.2, 0.02);
-  EXPECT_EQ(link.stats().dropped_queue, 0u);
+  EXPECT_EQ(link.stats().dropped_queue(), 0u);
+  EXPECT_EQ(link.stats().dropped_total(), link.stats().dropped_channel());
 }
 
 TEST(LinkTest, TapSeesEverySend) {

@@ -180,10 +180,12 @@ TEST(MakeChannelTest, ChannelReflectsEnvironment) {
   RadioEnvironment env(cfg, util::Rng(1));
   auto down = env.make_channel(Direction::kDownlink, util::Rng(2));
   net::Packet p;
-  // During the outage at t=10.2 every packet drops.
-  EXPECT_TRUE(down->should_drop(p, TimePoint::from_seconds(10.2)));
+  // During the outage at t=10.2 every packet drops, attributed to the radio.
+  const net::ChannelVerdict outage = down->decide(p, TimePoint::from_seconds(10.2));
+  EXPECT_TRUE(outage.dropped);
+  EXPECT_EQ(outage.cause.category, net::DropCategory::kFunctionalRadio);
   // Under the tower with zero losses nothing drops.
-  EXPECT_FALSE(down->should_drop(p, TimePoint::from_seconds(14.9)));
+  EXPECT_FALSE(down->decide(p, TimePoint::from_seconds(14.9)).dropped);
 }
 
 }  // namespace

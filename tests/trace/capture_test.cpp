@@ -28,7 +28,7 @@ TEST(DirectionCaptureTest, RecordsFates) {
   cap.on_send(data(1, 1), TimePoint::from_ns(100));
   cap.on_deliver(data(1, 1), TimePoint::from_ns(100), TimePoint::from_ns(400));
   cap.on_send(data(2, 2), TimePoint::from_ns(200));
-  cap.on_drop(data(2, 2), TimePoint::from_ns(200), DropReason::kChannelLoss);
+  cap.on_drop(data(2, 2), TimePoint::from_ns(200), DropCause::bernoulli());
 
   ASSERT_EQ(cap.sent_count(), 2u);
   EXPECT_EQ(cap.lost_count(), 1u);
@@ -38,7 +38,7 @@ TEST(DirectionCaptureTest, RecordsFates) {
   EXPECT_FALSE(txs[0].lost());
   EXPECT_EQ(txs[0].transit(), util::Duration::nanos(300));
   EXPECT_TRUE(txs[1].lost());
-  EXPECT_EQ(*txs[1].drop_reason, DropReason::kChannelLoss);
+  EXPECT_EQ(*txs[1].drop_cause, DropCause::bernoulli());
 }
 
 TEST(DirectionCaptureTest, MeanTransitOverDeliveredOnly) {
@@ -48,7 +48,7 @@ TEST(DirectionCaptureTest, MeanTransitOverDeliveredOnly) {
   cap.on_send(data(2, 2), TimePoint::from_ns(0));
   cap.on_deliver(data(2, 2), TimePoint::from_ns(0), TimePoint::from_ns(300));
   cap.on_send(data(3, 3), TimePoint::from_ns(0));
-  cap.on_drop(data(3, 3), TimePoint::from_ns(0), DropReason::kQueueOverflow);
+  cap.on_drop(data(3, 3), TimePoint::from_ns(0), DropCause::queue_overflow());
   EXPECT_EQ(cap.mean_transit(), util::Duration::nanos(200));
 }
 
@@ -66,7 +66,7 @@ TEST(FlowCaptureTest, UniqueSegmentsCountsDistinctDeliveries) {
   cap.data.on_send(data(2, 5), TimePoint::from_ns(20));  // duplicate delivery
   cap.data.on_deliver(data(2, 5), TimePoint::from_ns(20), TimePoint::from_ns(30));
   cap.data.on_send(data(3, 6), TimePoint::from_ns(40));
-  cap.data.on_drop(data(3, 6), TimePoint::from_ns(40), DropReason::kChannelLoss);
+  cap.data.on_drop(data(3, 6), TimePoint::from_ns(40), DropCause::bernoulli());
   EXPECT_EQ(cap.unique_segments_delivered(), 1u);
   EXPECT_EQ(cap.highest_delivered_seq(), 5u);
 }
@@ -98,7 +98,7 @@ TEST(FlowCaptureTest, EmptySpanIsZero) {
 
 TEST(DirectionCaptureDeathTest, DropForUnseenPacketAborts) {
   DirectionCapture cap;
-  EXPECT_DEATH(cap.on_drop(data(99, 1), TimePoint::zero(), DropReason::kChannelLoss),
+  EXPECT_DEATH(cap.on_drop(data(99, 1), TimePoint::zero(), DropCause::bernoulli()),
                "unseen");
 }
 

@@ -29,7 +29,9 @@ FlowCapture sample_capture() {
   d2.retx_count = 1;
   d2.is_retransmission = true;
   cap.data.on_send(d2, TimePoint::from_ns(2000));
-  cap.data.on_drop(d2, TimePoint::from_ns(2000), net::DropReason::kChannelLoss);
+  net::DropCause ge_bad = net::DropCause::gilbert_elliott(/*bad_state=*/true);
+  ge_bad.component = 1;  // dropped by the second part of a composite channel
+  cap.data.on_drop(d2, TimePoint::from_ns(2000), ge_bad);
 
   Packet a1;
   a1.id = 3;
@@ -38,7 +40,7 @@ FlowCapture sample_capture() {
   a1.ack_next = 2;
   a1.size_bytes = 52;
   cap.acks.on_send(a1, TimePoint::from_ns(35000));
-  cap.acks.on_drop(a1, TimePoint::from_ns(35000), net::DropReason::kQueueOverflow);
+  cap.acks.on_drop(a1, TimePoint::from_ns(35000), net::DropCause::queue_overflow());
   return cap;
 }
 
@@ -63,13 +65,16 @@ TEST(TraceIoTest, RoundTripPreservesEverything) {
   EXPECT_EQ(d[0].packet.kind, net::PacketKind::kData);
 
   EXPECT_TRUE(d[1].lost());
-  EXPECT_EQ(*d[1].drop_reason, net::DropReason::kChannelLoss);
+  ASSERT_TRUE(d[1].drop_cause.has_value());
+  EXPECT_EQ(d[1].drop_cause->category, net::DropCategory::kGilbertElliottBad);
+  EXPECT_EQ(d[1].drop_cause->component, 1);
+  EXPECT_EQ(d[1].drop_cause->directive, -1);
   EXPECT_EQ(d[1].packet.retx_count, 1u);
   EXPECT_TRUE(d[1].packet.is_retransmission);
 
   const auto& a = cap.acks.transmissions();
   EXPECT_EQ(a[0].packet.ack_next, 2u);
-  EXPECT_EQ(*a[0].drop_reason, net::DropReason::kQueueOverflow);
+  EXPECT_EQ(*a[0].drop_cause, net::DropCause::queue_overflow());
 }
 
 TEST(TraceIoTest, LostPacketsSerializeAsMinusOne) {
@@ -77,7 +82,69 @@ TEST(TraceIoTest, LostPacketsSerializeAsMinusOne) {
   write_flow_capture(ss, sample_capture());
   const std::string text = ss.str();
   EXPECT_NE(text.find(" -1 "), std::string::npos);
-  EXPECT_NE(text.find("hsrtrace-v1 flow=9"), std::string::npos);
+  EXPECT_NE(text.find("hsrtrace-v2 flow=9"), std::string::npos);
+}
+
+TEST(TraceIoTest, DropTokensCarryComponentAndDirective) {
+  std::stringstream ss;
+  write_flow_capture(ss, sample_capture());
+  const std::string text = ss.str();
+  // GE bad-state drop attributed to composite component 1.
+  EXPECT_NE(text.find(" G@1 "), std::string::npos) << text;
+  // Queue overflow carries no component/directive suffix.
+  EXPECT_NE(text.find(" Q "), std::string::npos) << text;
+}
+
+TEST(TraceIoTest, ScriptedCauseRoundTripsDirectiveIndex) {
+  FlowCapture cap;
+  cap.flow = 2;
+  Packet p;
+  p.id = 1;
+  p.flow = 2;
+  p.kind = net::PacketKind::kData;
+  p.seq = 7;
+  p.size_bytes = 1400;
+  cap.data.on_send(p, TimePoint::from_ns(500));
+  cap.data.on_drop(p, TimePoint::from_ns(500), net::DropCause::scripted(4));
+
+  std::stringstream ss;
+  write_flow_capture(ss, cap);
+  EXPECT_NE(ss.str().find(" X#4 "), std::string::npos) << ss.str();
+  auto loaded = read_flow_capture(ss);
+  ASSERT_TRUE(loaded.is_ok());
+  const auto& tx = loaded.value().data.transmissions().at(0);
+  ASSERT_TRUE(tx.drop_cause.has_value());
+  EXPECT_EQ(*tx.drop_cause, net::DropCause::scripted(4));
+  EXPECT_TRUE(tx.drop_cause->is_scripted());
+}
+
+TEST(TraceIoTest, V1ArchivesStillRead) {
+  // A v1 archive only knew codes '-', 'Q' and 'C'; 'C' decodes into the
+  // legacy unattributed-channel category rather than failing the read.
+  std::stringstream ss(
+      "hsrtrace-v1 flow=3\n"
+      "D 1 1 0 1400 1000 -1 C 0\n"
+      "A 2 0 2 52 2000 -1 Q 0\n");
+  auto loaded = read_flow_capture(ss);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().message();
+  const FlowCapture& cap = loaded.value();
+  EXPECT_EQ(cap.flow, 3u);
+  ASSERT_EQ(cap.data.sent_count(), 1u);
+  EXPECT_EQ(cap.data.transmissions()[0].drop_cause->category,
+            net::DropCategory::kChannelUnattributed);
+  EXPECT_EQ(cap.acks.transmissions()[0].drop_cause->category,
+            net::DropCategory::kQueueOverflow);
+}
+
+TEST(TraceIoTest, MalformedDropTokenIsAnError) {
+  for (const char* token : {"Z", "B@", "B@-2", "X#", "X#x", "B@1extra"}) {
+    std::stringstream ss("hsrtrace-v2 flow=1\nD 1 1 0 1400 1000 -1 " +
+                         std::string(token) + " 0\nA 2 0 1 52 2000 3000 - 0\n");
+    auto loaded = read_flow_capture(ss);
+    ASSERT_FALSE(loaded.is_ok()) << "token accepted: " << token;
+    EXPECT_NE(loaded.status().message().find("bad drop token"), std::string::npos)
+        << loaded.status().message();
+  }
 }
 
 TEST(TraceIoTest, RejectsBadHeader) {

@@ -231,5 +231,65 @@ TEST(GenerateDatasetTest, FaultedCaptureByteIdenticalAcrossThreadCounts) {
   }
 }
 
+// --- Packet-fate attribution --------------------------------------------------
+
+TEST(GenerateDatasetTest, EveryLostTransmissionCarriesANonUnknownCause) {
+  DatasetSpec spec = degradation_spec();
+  std::uint64_t attributed = 0;
+  spec.observe_flow = [&attributed](std::uint64_t, const FlowRunResult& run) {
+    const util::TimePoint tail =
+        util::TimePoint::zero() + run.duration - util::Duration::seconds(1);
+    for (const auto* dir : {&run.capture.data, &run.capture.acks}) {
+      for (const auto& tx : dir->transmissions()) {
+        if (!tx.lost()) continue;
+        if (tx.drop_cause.has_value()) {
+          EXPECT_NE(tx.drop_cause->category, net::DropCategory::kUnknown);
+          ++attributed;
+        } else {
+          // The only excuse for a cause-less loss is being in flight when
+          // the capture ended; anything sent well before the end must have
+          // been attributed by the queue or the channel.
+          EXPECT_GE(tx.sent, tail) << "unattributed loss mid-flow";
+        }
+      }
+    }
+  };
+  const DatasetResult ds = generate_dataset(spec);
+  EXPECT_TRUE(ds.complete());
+  // High-speed rail profiles lose plenty of packets: the check above ran.
+  EXPECT_GT(attributed, 0u);
+}
+
+TEST(GenerateDatasetTest, QuarantinedFlowsCarryTheirFaultPlans) {
+  DatasetSpec spec = degradation_spec();
+  spec.configure_flow = [](std::uint64_t flow_index, FlowRunConfig& cfg) {
+    if (flow_index != 0) return;
+    cfg.downlink_faults.blackout(util::TimePoint::from_seconds(1.0),
+                                 util::TimePoint::from_seconds(1.5));
+    cfg.uplink_faults.kill_acks(util::TimePoint::from_seconds(2.0),
+                                util::TimePoint::from_seconds(2.2));
+    cfg.max_sim_events = 50;  // watchdog abort -> quarantine
+  };
+  const DatasetResult ds = generate_dataset(spec);
+
+  ASSERT_EQ(ds.quarantined.size(), 1u);
+  const QuarantinedFlow& q = ds.quarantined[0];
+  EXPECT_EQ(q.flow_index, 0u);
+  // The portable plan text rides along, so the failure reproduces from the
+  // quarantine record alone.
+  auto down = fault::FaultPlan::parse(q.downlink_plan);
+  auto up = fault::FaultPlan::parse(q.uplink_plan);
+  ASSERT_TRUE(down.is_ok()) << down.status().message();
+  ASSERT_TRUE(up.is_ok()) << up.status().message();
+  ASSERT_EQ(down.value().directives.size(), 1u);
+  EXPECT_EQ(down.value().directives[0].label, "blackout");
+  EXPECT_EQ(up.value().directives[0].label, "ack-burst");
+
+  // Fault-free quarantined flows would carry empty plan strings; healthy
+  // flows never populate the quarantine list at all.
+  const DatasetResult healthy = generate_dataset(degradation_spec());
+  EXPECT_TRUE(healthy.quarantined.empty());
+}
+
 }  // namespace
 }  // namespace hsr::workload

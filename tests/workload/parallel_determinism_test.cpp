@@ -8,7 +8,9 @@
 #include <cstdint>
 #include <cstring>
 
+#include "radio/profiles.h"
 #include "workload/dataset.h"
+#include "workload/scenario.h"
 
 namespace hsr::workload {
 namespace {
@@ -106,6 +108,53 @@ TEST(ParallelDeterminismTest, MoreThreadsThanFlows) {
   spec.threads = 16;  // far more workers than tasks
   const DatasetResult parallel = generate_dataset(spec);
   expect_identical(reference, parallel, 16);
+}
+
+// --- Fixed-transfer sweep sharding --------------------------------------------
+
+FixedTransferSweepSpec sweep_spec(unsigned threads) {
+  FixedTransferSweepSpec spec;
+  spec.profile = radio::all_highspeed_profiles()[0];
+  spec.total_segments = 300;  // small transfers keep the sweep fast
+  spec.base_seed = 7;
+  spec.seed_stride = 101;
+  spec.runs = 3;
+  spec.threads = threads;
+  return spec;
+}
+
+void expect_identical_sweep(const std::vector<MptcpComparison>& a,
+                            const std::vector<MptcpComparison>& b,
+                            unsigned threads) {
+  ASSERT_EQ(a.size(), b.size()) << "threads=" << threads;
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    SCOPED_TRACE("run " + std::to_string(r) + " threads " +
+                 std::to_string(threads));
+    EXPECT_EQ(bits(a[r].tcp_pps), bits(b[r].tcp_pps));
+    EXPECT_EQ(bits(a[r].mptcp_pps), bits(b[r].mptcp_pps));
+    EXPECT_EQ(bits(a[r].improvement), bits(b[r].improvement));
+  }
+}
+
+TEST(ParallelDeterminismTest, FixedTransferSweepMatchesAnyThreadCount) {
+  const auto reference = run_fixed_transfer_sweep(sweep_spec(1));
+  ASSERT_EQ(reference.size(), 3u);
+  for (unsigned threads : {2u, 4u, 9u}) {
+    expect_identical_sweep(reference, run_fixed_transfer_sweep(sweep_spec(threads)),
+                           threads);
+  }
+}
+
+TEST(ParallelDeterminismTest, SweepEntriesMatchTheSequentialComparison) {
+  const FixedTransferSweepSpec spec = sweep_spec(4);
+  const auto sweep = run_fixed_transfer_sweep(spec);
+  for (std::uint64_t r = 0; r < spec.runs; ++r) {
+    SCOPED_TRACE("run " + std::to_string(r));
+    const MptcpComparison direct = run_fixed_transfer_comparison(
+        spec.profile, spec.total_segments, spec.base_seed + r * spec.seed_stride);
+    EXPECT_EQ(bits(sweep[r].tcp_pps), bits(direct.tcp_pps));
+    EXPECT_EQ(bits(sweep[r].mptcp_pps), bits(direct.mptcp_pps));
+  }
 }
 
 }  // namespace

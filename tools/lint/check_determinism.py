@@ -43,6 +43,8 @@ CHECKED_DIRS = (
     "src/workload",
     "src/util",
     "src/fault",
+    "src/analysis",
+    "tools/trace_query",
 )
 
 SOURCE_SUFFIXES = {".cpp", ".h", ".cc", ".hpp"}

@@ -1,0 +1,426 @@
+// trace_query — packet-fate queries over archived trace files.
+//
+// Answers the questions the paper's workflow answered with wireshark filters,
+// from a capture file alone (no live simulator state):
+//   summary <trace>            counts, loss rates, fault totals
+//   why <trace> <packet-id>    the fate of one packet, cause-coded
+//   losses <trace>             per-cause loss breakdown, data vs ACK
+//   ratios <trace>             headline ratios: q-hat, ACK-burst-loss rounds,
+//                              spurious fraction
+//   replay [options]           re-run an experiment from fault-plan files
+//                              over perfect channels (bit-identical)
+//   selftest                   end-to-end smoke test (ctest hook)
+//
+// replay options:
+//   --down-plan <file>   fault plan for the data direction (optional)
+//   --up-plan <file>     fault plan for the ACK direction (optional)
+//   --duration <s>       simulated seconds (default 65)
+//   --save <file>        write the capture archive ("hsrtrace-v2")
+// The replay path is deliberately RNG-free: perfect organic channels plus
+// deterministic scripted faults, so the same plan files always reproduce the
+// same capture byte for byte.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/flow_analysis.h"
+#include "fault/fault.h"
+#include "fault/plan_io.h"
+#include "net/channel.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "tcp/connection.h"
+#include "trace/capture.h"
+#include "trace/trace_io.h"
+#include "util/time.h"
+
+namespace {
+
+using hsr::net::DropCategory;
+using hsr::util::Duration;
+using hsr::util::TimePoint;
+
+int usage() {
+  std::cerr
+      << "usage: trace_query <command> [args]\n"
+         "  summary <trace>          counts, loss rates, fault totals\n"
+         "  why <trace> <packet-id>  fate of one packet, cause-coded\n"
+         "  losses <trace>           per-cause loss breakdown (data vs ACK)\n"
+         "  ratios <trace>           q-hat, ACK-burst rounds, spurious share\n"
+         "  replay [--down-plan F] [--up-plan F] [--duration S] [--save F]\n"
+         "  selftest                 end-to-end smoke test\n";
+  return 2;
+}
+
+hsr::util::StatusOr<hsr::trace::FlowCapture> load(const std::string& path) {
+  return hsr::trace::load_flow_capture(path);
+}
+
+// --- summary -----------------------------------------------------------------
+
+void print_summary(const hsr::trace::FlowCapture& cap, std::ostream& os) {
+  os << "flow " << cap.flow << '\n'
+     << "  data: sent " << cap.data.sent_count() << ", lost "
+     << cap.data.lost_count() << " (" << cap.data.loss_rate() * 100.0 << " %)\n"
+     << "  acks: sent " << cap.acks.sent_count() << ", lost "
+     << cap.acks.lost_count() << " (" << cap.acks.loss_rate() * 100.0 << " %)\n"
+     << "  span " << cap.span().to_seconds() << " s, est. RTT "
+     << cap.estimated_rtt().to_seconds() * 1e3 << " ms\n"
+     << "  scripted faults fired: " << cap.faults.size() << '\n';
+}
+
+// --- why ---------------------------------------------------------------------
+
+// The fault-audit label for a scripted drop, when the archive carries one.
+std::string scripted_label(const hsr::trace::FlowCapture& cap, char direction,
+                           std::uint64_t packet_id) {
+  for (const auto& f : cap.faults) {
+    if (f.direction == direction && f.packet_id == packet_id && f.action == 'X') {
+      return f.label;
+    }
+  }
+  return "";
+}
+
+void print_fate(const hsr::trace::FlowCapture& cap, char direction,
+                const hsr::trace::Transmission& tx, std::ostream& os) {
+  const char* what = direction == 'D' ? "data" : "ack";
+  os << what << " packet " << tx.packet.id << " (seq " << tx.packet.seq
+     << ", ack_next " << tx.packet.ack_next << ", retx " << tx.packet.retx_count
+     << ") sent at " << tx.sent.to_seconds() << " s: ";
+  if (tx.arrived) {
+    os << "DELIVERED at " << tx.arrived->to_seconds() << " s (transit "
+       << tx.transit().to_seconds() * 1e3 << " ms)\n";
+    return;
+  }
+  if (!tx.drop_cause) {
+    os << "no fate recorded (in flight at capture end)\n";
+    return;
+  }
+  os << "LOST: " << hsr::net::drop_category_name(tx.drop_cause->category);
+  if (tx.drop_cause->component >= 0) {
+    os << ", channel component " << tx.drop_cause->component;
+  }
+  if (tx.drop_cause->directive >= 0) {
+    os << ", fault directive " << tx.drop_cause->directive;
+    const std::string label = scripted_label(cap, direction, tx.packet.id);
+    if (!label.empty()) os << " (" << label << ")";
+  }
+  os << '\n';
+}
+
+int run_why(const hsr::trace::FlowCapture& cap, std::uint64_t packet_id,
+            std::ostream& os) {
+  bool found = false;
+  for (const auto& tx : cap.data.transmissions()) {
+    if (tx.packet.id == packet_id) {
+      print_fate(cap, 'D', tx, os);
+      found = true;
+    }
+  }
+  for (const auto& tx : cap.acks.transmissions()) {
+    if (tx.packet.id == packet_id) {
+      print_fate(cap, 'A', tx, os);
+      found = true;
+    }
+  }
+  if (!found) {
+    os << "packet " << packet_id << " not in capture\n";
+    return 1;
+  }
+  return 0;
+}
+
+// --- losses ------------------------------------------------------------------
+
+void print_losses(const hsr::trace::FlowCapture& cap, std::ostream& os) {
+  const hsr::analysis::LossBreakdown b = hsr::analysis::loss_breakdown(cap);
+  os << "data: " << b.data_lost << " of " << b.data_sent << " lost\n";
+  for (std::size_t c = 0; c < hsr::net::kDropCategoryCount; ++c) {
+    if (b.data_by_category[c] == 0) continue;
+    os << "  " << hsr::net::drop_category_name(static_cast<DropCategory>(c))
+       << ": " << b.data_by_category[c] << '\n';
+  }
+  if (b.data_unattributed > 0) {
+    os << "  unattributed/in-flight: " << b.data_unattributed << '\n';
+  }
+  os << "acks: " << b.ack_lost << " of " << b.ack_sent << " lost\n";
+  for (std::size_t c = 0; c < hsr::net::kDropCategoryCount; ++c) {
+    if (b.ack_by_category[c] == 0) continue;
+    os << "  " << hsr::net::drop_category_name(static_cast<DropCategory>(c))
+       << ": " << b.ack_by_category[c] << '\n';
+  }
+  if (b.ack_unattributed > 0) {
+    os << "  unattributed/in-flight: " << b.ack_unattributed << '\n';
+  }
+  os << "scripted drops (both directions): " << b.scripted_drops << '\n';
+}
+
+// --- ratios ------------------------------------------------------------------
+
+void print_ratios(const hsr::trace::FlowCapture& cap, std::ostream& os) {
+  const hsr::analysis::FlowAnalysis fa = hsr::analysis::analyze_flow(cap);
+  os << "timeout sequences: " << fa.timeout_sequences.size()
+     << ", fast retransmits: " << fa.fast_retransmits << '\n'
+     << "q-hat (in-recovery retransmit loss): " << fa.recovery_retx_loss_rate
+     << '\n'
+     << "P_a-hat (rounds with every ACK lost): " << fa.ack_burst_loss_probability
+     << '\n'
+     << "spurious timeout fraction: " << fa.spurious_fraction << '\n'
+     << "mean recovery duration: " << fa.mean_recovery_duration.to_seconds()
+     << " s\n";
+}
+
+// --- replay ------------------------------------------------------------------
+
+struct ReplayOptions {
+  std::string down_plan_path;
+  std::string up_plan_path;
+  double duration_s = 65.0;
+  std::string save_path;
+};
+
+// Re-runs an archived experiment from its plan files: perfect organic
+// channels decorated with the parsed FaultPlans. No RNG anywhere, so the
+// capture depends only on the plans and the duration.
+hsr::trace::FlowCapture replay(const hsr::fault::FaultPlan& down,
+                               const hsr::fault::FaultPlan& up,
+                               double duration_s) {
+  hsr::net::reset_packet_ids();
+  hsr::sim::Simulator sim;
+  hsr::trace::FlowCapture capture;
+  capture.flow = 1;
+
+  // The EXPERIMENTS.md scripted-fault path: 10 Mbit/s, 20 ms one-way.
+  hsr::tcp::ConnectionConfig cfg;
+  cfg.downlink.rate_bps = 10e6;
+  cfg.downlink.prop_delay = Duration::millis(20);
+  cfg.uplink.rate_bps = 10e6;
+  cfg.uplink.prop_delay = Duration::millis(20);
+
+  std::unique_ptr<hsr::net::ChannelModel> down_channel =
+      std::make_unique<hsr::net::PerfectChannel>();
+  std::unique_ptr<hsr::net::ChannelModel> up_channel =
+      std::make_unique<hsr::net::PerfectChannel>();
+  if (!down.empty()) {
+    auto inj = std::make_unique<hsr::fault::FaultInjector>(down, std::move(down_channel));
+    inj->set_audit(&capture.faults, 'D');
+    down_channel = std::move(inj);
+  }
+  if (!up.empty()) {
+    auto inj = std::make_unique<hsr::fault::FaultInjector>(up, std::move(up_channel));
+    inj->set_audit(&capture.faults, 'A');
+    up_channel = std::move(inj);
+  }
+
+  hsr::tcp::Connection conn(sim, 1, cfg, std::move(down_channel),
+                            std::move(up_channel));
+  conn.set_downlink_tap(&capture.data);
+  conn.set_uplink_tap(&capture.acks);
+  conn.start();
+  sim.run_until(TimePoint::from_seconds(duration_s));
+  return capture;
+}
+
+int run_replay(const ReplayOptions& opts, std::ostream& os) {
+  hsr::fault::FaultPlan down;
+  hsr::fault::FaultPlan up;
+  if (!opts.down_plan_path.empty()) {
+    auto parsed = hsr::fault::load_fault_plan(opts.down_plan_path);
+    if (!parsed.is_ok()) {
+      std::cerr << "down-plan: " << parsed.status().to_string() << '\n';
+      return 1;
+    }
+    down = parsed.value();
+  }
+  if (!opts.up_plan_path.empty()) {
+    auto parsed = hsr::fault::load_fault_plan(opts.up_plan_path);
+    if (!parsed.is_ok()) {
+      std::cerr << "up-plan: " << parsed.status().to_string() << '\n';
+      return 1;
+    }
+    up = parsed.value();
+  }
+  if (down.empty() && up.empty()) {
+    std::cerr << "replay: need --down-plan and/or --up-plan\n";
+    return 2;
+  }
+
+  const hsr::trace::FlowCapture capture = replay(down, up, opts.duration_s);
+  if (!opts.save_path.empty()) {
+    const auto saved = hsr::trace::save_flow_capture(opts.save_path, capture);
+    if (!saved.is_ok()) {
+      std::cerr << saved.to_string() << '\n';
+      return 1;
+    }
+    os << "saved " << opts.save_path << '\n';
+  }
+  print_summary(capture, os);
+  print_ratios(capture, os);
+  return 0;
+}
+
+// --- selftest ----------------------------------------------------------------
+
+// End-to-end smoke: build a scripted plan, round-trip it through the text
+// format, replay it twice (byte-identical captures), round-trip the capture
+// through trace_io, and run every query over the result. Exercises the whole
+// observability surface with no input files.
+int run_selftest() {
+  using hsr::fault::FaultPlan;
+
+  FaultPlan down;
+  down.blackout(TimePoint::from_seconds(2.0), TimePoint::from_seconds(2.25))
+      .drop_retransmissions(1);
+
+  // Plan text round-trip.
+  const std::string text = down.to_text();
+  const auto reparsed = FaultPlan::parse(text);
+  if (!reparsed.is_ok() || !(reparsed.value() == down)) {
+    std::cerr << "selftest: plan text round-trip failed\n";
+    return 1;
+  }
+
+  // Replay determinism: same plans, byte-identical serialized captures.
+  const hsr::trace::FlowCapture a = replay(reparsed.value(), FaultPlan{}, 10.0);
+  const hsr::trace::FlowCapture b = replay(down, FaultPlan{}, 10.0);
+  std::ostringstream sa;
+  std::ostringstream sb;
+  hsr::trace::write_flow_capture(sa, a);
+  hsr::trace::write_flow_capture(sb, b);
+  if (sa.str() != sb.str() || sa.str().empty()) {
+    std::cerr << "selftest: replay is not byte-identical\n";
+    return 1;
+  }
+
+  // Trace round-trip, then the queries over the reloaded capture.
+  std::istringstream in(sa.str());
+  const auto reloaded = hsr::trace::read_flow_capture(in);
+  if (!reloaded.is_ok()) {
+    std::cerr << "selftest: trace round-trip failed: "
+              << reloaded.status().to_string() << '\n';
+    return 1;
+  }
+  const hsr::trace::FlowCapture& cap = reloaded.value();
+
+  // Every lost transmission must carry a non-unknown cause.
+  const hsr::analysis::LossBreakdown lb = hsr::analysis::loss_breakdown(cap);
+  if (lb.data_lost == 0 || lb.scripted_drops == 0) {
+    std::cerr << "selftest: scripted blackout produced no attributed losses\n";
+    return 1;
+  }
+  if (lb.data_by_category[static_cast<std::size_t>(DropCategory::kUnknown)] != 0 ||
+      lb.ack_by_category[static_cast<std::size_t>(DropCategory::kUnknown)] != 0) {
+    std::cerr << "selftest: lost packet with unknown cause\n";
+    return 1;
+  }
+
+  // `why` must answer for a scripted casualty.
+  std::uint64_t casualty = 0;
+  for (const auto& tx : cap.data.transmissions()) {
+    if (tx.lost() && tx.drop_cause && tx.drop_cause->is_scripted()) {
+      casualty = tx.packet.id;
+      break;
+    }
+  }
+  std::ostringstream sink;
+  if (casualty == 0 || run_why(cap, casualty, sink) != 0 ||
+      sink.str().find("scripted-fault") == std::string::npos) {
+    std::cerr << "selftest: 'why' did not attribute the scripted casualty\n";
+    return 1;
+  }
+  print_summary(cap, sink);
+  print_losses(cap, sink);
+  print_ratios(cap, sink);
+  if (sink.str().find("q-hat") == std::string::npos) {
+    std::cerr << "selftest: ratios output incomplete\n";
+    return 1;
+  }
+
+  std::cout << "trace_query selftest ok (" << cap.data.sent_count()
+            << " data transmissions, " << lb.scripted_drops
+            << " scripted drops)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+
+  if (cmd == "selftest") return run_selftest();
+
+  if (cmd == "replay") {
+    ReplayOptions opts;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> const char* {
+        return (i + 1 < argc) ? argv[++i] : nullptr;
+      };
+      if (arg == "--down-plan") {
+        const char* v = next();
+        if (v == nullptr) return usage();
+        opts.down_plan_path = v;
+      } else if (arg == "--up-plan") {
+        const char* v = next();
+        if (v == nullptr) return usage();
+        opts.up_plan_path = v;
+      } else if (arg == "--duration") {
+        const char* v = next();
+        if (v == nullptr) return usage();
+        opts.duration_s = std::atof(v);
+        if (opts.duration_s <= 0.0) {
+          std::cerr << "replay: bad --duration '" << v << "'\n";
+          return 2;
+        }
+      } else if (arg == "--save") {
+        const char* v = next();
+        if (v == nullptr) return usage();
+        opts.save_path = v;
+      } else {
+        std::cerr << "replay: unknown option '" << arg << "'\n";
+        return usage();
+      }
+    }
+    return run_replay(opts, std::cout);
+  }
+
+  if (argc < 3) return usage();
+  const auto cap = load(argv[2]);
+  if (!cap.is_ok()) {
+    std::cerr << cap.status().to_string() << '\n';
+    return 1;
+  }
+
+  if (cmd == "summary") {
+    print_summary(cap.value(), std::cout);
+    return 0;
+  }
+  if (cmd == "why") {
+    if (argc < 4) return usage();
+    char* end = nullptr;
+    const std::uint64_t id = std::strtoull(argv[3], &end, 10);
+    if (end == argv[3] || *end != '\0') {
+      std::cerr << "why: bad packet id '" << argv[3] << "'\n";
+      return 2;
+    }
+    return run_why(cap.value(), id, std::cout);
+  }
+  if (cmd == "losses") {
+    print_losses(cap.value(), std::cout);
+    return 0;
+  }
+  if (cmd == "ratios") {
+    print_ratios(cap.value(), std::cout);
+    return 0;
+  }
+  return usage();
+}
