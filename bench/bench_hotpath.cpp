@@ -1,0 +1,254 @@
+// Canonical hot-path benchmark: the per-PR perf trajectory record.
+//
+// Measures the simulation core's steady-state costs — event schedule/fire,
+// timer reschedule, cancel churn (all in events or ops per second, with
+// allocations per operation counted by the alloc probe), and an end-to-end
+// paper-scale flow (events/sec and flows/sec) — and emits a machine-
+// readable bench_out/BENCH_hotpath.json in a stable schema.
+//
+// Compare two runs with tools/bench_compare.py:
+//   ./bench_hotpath                 # full run, ~seconds
+//   ./bench_hotpath --quick         # CI smoke: small op counts, short flow
+//   python3 tools/bench_compare.py baseline.json current.json
+//
+// JSON schema (schema_version 1): top-level run metadata plus a flat
+// "metrics" object. Keys ending in "_per_s" are throughputs (higher is
+// better); keys containing "allocs_per" are allocation ratios (lower is
+// better). bench_compare.py keys off these suffixes, so additions must
+// follow the same naming convention.
+#define HSRTCP_ALLOC_PROBE_DEFINE_GLOBALS
+#include "util/alloc_probe.h"
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "bench/common.h"
+#include "radio/profiles.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "workload/scenario.h"
+
+namespace {
+
+using hsr::sim::EventQueue;
+using hsr::util::AllocProbe;
+using hsr::util::TimePoint;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+struct SectionResult {
+  double ops_per_s = 0.0;
+  double allocs_per_op = 0.0;
+};
+
+// Best-of-N wrapper: peak throughput is the stable statistic on a shared/
+// noisy box (allocation counts are deterministic — every rep agrees).
+template <class Fn>
+auto best_of(int reps, Fn fn) {
+  auto best = fn();
+  for (int i = 1; i < reps; ++i) {
+    auto r = fn();
+    if (r.ops_per_s > best.ops_per_s) best = r;
+  }
+  return best;
+}
+
+// One pending event at a time: the pure schedule→fire cycle.
+SectionResult bench_schedule_fire(std::uint64_t ops) {
+  EventQueue q;
+  std::uint64_t fired = 0;
+  auto cycle = [&](std::uint64_t i) {
+    q.schedule(TimePoint::from_ns(static_cast<std::int64_t>(i)), [&fired] { ++fired; });
+    q.pop_and_run();
+  };
+  for (std::uint64_t i = 0; i < 1024; ++i) cycle(i);  // warm-up: slab growth
+  AllocProbe::Scope scope;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 1024; i < ops; ++i) cycle(i);
+  const double wall = seconds_since(t0);
+  SectionResult r;
+  r.ops_per_s = static_cast<double>(ops - 1024) / wall;
+  r.allocs_per_op =
+      static_cast<double>(scope.news_delta()) / static_cast<double>(ops - 1024);
+  return r;
+}
+
+// Standing population of in-flight events (a busy link) with FIFO drain:
+// stresses heap sift costs at realistic depths.
+SectionResult bench_burst_fire(std::uint64_t ops) {
+  constexpr std::uint64_t kBatch = 512;
+  EventQueue q;
+  std::uint64_t fired = 0;
+  std::int64_t stamp = 0;
+  auto burst = [&] {
+    for (std::uint64_t i = 0; i < kBatch; ++i) {
+      q.schedule(TimePoint::from_ns(++stamp), [&fired] { ++fired; });
+    }
+    while (!q.empty()) q.pop_and_run();
+  };
+  burst();  // warm-up
+  AllocProbe::Scope scope;
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t bursts = ops / kBatch;
+  for (std::uint64_t b = 0; b < bursts; ++b) burst();
+  const double wall = seconds_since(t0);
+  SectionResult r;
+  r.ops_per_s = static_cast<double>(bursts * kBatch) / wall;
+  r.allocs_per_op =
+      static_cast<double>(scope.news_delta()) / static_cast<double>(bursts * kBatch);
+  return r;
+}
+
+// ACK-clocked RTO re-arm: one live timer moved in place over a background
+// population (the EventQueue::reschedule fast path).
+SectionResult bench_reschedule(std::uint64_t ops) {
+  EventQueue q;
+  for (int i = 0; i < 256; ++i) {
+    q.schedule(TimePoint::from_ns(1'000'000 + i), [] {});
+  }
+  const hsr::sim::EventHandle timer = q.schedule(TimePoint::from_ns(2'000'000), [] {});
+  for (std::uint64_t i = 1; i <= 1024; ++i) {  // warm-up: compaction high-water
+    q.reschedule(timer, TimePoint::from_ns(2'000'000 + static_cast<std::int64_t>(i)));
+  }
+  AllocProbe::Scope scope;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 1025; i <= ops; ++i) {
+    q.reschedule(timer, TimePoint::from_ns(2'000'000 + static_cast<std::int64_t>(i)));
+  }
+  const double wall = seconds_since(t0);
+  SectionResult r;
+  r.ops_per_s = static_cast<double>(ops - 1024) / wall;
+  r.allocs_per_op =
+      static_cast<double>(scope.news_delta()) / static_cast<double>(ops - 1024);
+  return r;
+}
+
+// Schedule + cancel under a long-lived survivor: the tombstone/compaction
+// path.
+SectionResult bench_cancel_churn(std::uint64_t ops) {
+  EventQueue q;
+  q.schedule(TimePoint::from_ns(std::int64_t{1} << 60), [] {});
+  auto churn = [&](std::uint64_t i) {
+    hsr::sim::EventHandle h =
+        q.schedule(TimePoint::from_ns(2'000'000 + static_cast<std::int64_t>(i)), [] {});
+    h.cancel();
+  };
+  for (std::uint64_t i = 0; i < 1024; ++i) churn(i);  // warm-up
+  AllocProbe::Scope scope;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 1024; i < ops; ++i) churn(i);
+  const double wall = seconds_since(t0);
+  SectionResult r;
+  r.ops_per_s = static_cast<double>(ops - 1024) / wall;
+  r.allocs_per_op =
+      static_cast<double>(scope.news_delta()) / static_cast<double>(ops - 1024);
+  return r;
+}
+
+struct FlowResult {
+  double events_per_s = 0.0;   // simulated events per wall second
+  double flows_per_s = 0.0;    // whole flows per wall second
+  double allocs_per_event = 0.0;
+  std::uint64_t sim_events = 0;
+  double sim_duration_s = 0.0;
+};
+
+// End-to-end: one paper-scale bulk-download flow (links, radio channels,
+// capture taps, the full TCP stack).
+FlowResult bench_flow(double sim_seconds, std::uint64_t seed) {
+  hsr::workload::FlowRunConfig cfg;
+  cfg.profile = hsr::radio::mobile_lte_highspeed();
+  cfg.duration = hsr::util::Duration::from_seconds(sim_seconds);
+  cfg.seed = seed;
+  (void)hsr::workload::run_flow(cfg);  // warm-up run
+  AllocProbe::Scope scope;
+  const auto t0 = std::chrono::steady_clock::now();
+  const hsr::workload::FlowRunResult run = hsr::workload::run_flow(cfg);
+  const double wall = seconds_since(t0);
+  FlowResult r;
+  r.sim_events = run.sim_events;
+  r.sim_duration_s = sim_seconds;
+  r.events_per_s = static_cast<double>(run.sim_events) / wall;
+  r.flows_per_s = 1.0 / wall;
+  r.allocs_per_event =
+      static_cast<double>(scope.news_delta()) / static_cast<double>(run.sim_events);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hsr;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::cerr << "usage: bench_hotpath [--quick]\n";
+      return 2;
+    }
+  }
+  bench::header(quick ? "Simulation hot path (quick smoke)"
+                      : "Simulation hot path");
+
+  const std::uint64_t ops = quick ? 200'000 : 4'000'000;
+  const double flow_secs = quick ? 30.0 : 300.0;
+  const int reps = quick ? 1 : 3;
+
+  const SectionResult sf = best_of(reps, [&] { return bench_schedule_fire(ops); });
+  std::cout << "schedule+fire      " << sf.ops_per_s << " events/s  "
+            << sf.allocs_per_op << " allocs/event\n";
+  const SectionResult bf = best_of(reps, [&] { return bench_burst_fire(ops); });
+  std::cout << "burst(512)+drain   " << bf.ops_per_s << " events/s  "
+            << bf.allocs_per_op << " allocs/event\n";
+  const SectionResult rs = best_of(reps, [&] { return bench_reschedule(ops); });
+  std::cout << "reschedule         " << rs.ops_per_s << " ops/s     "
+            << rs.allocs_per_op << " allocs/op\n";
+  const SectionResult cc = best_of(reps, [&] { return bench_cancel_churn(ops); });
+  std::cout << "cancel churn       " << cc.ops_per_s << " ops/s     "
+            << cc.allocs_per_op << " allocs/op\n";
+  FlowResult fl = bench_flow(flow_secs, bench::seed());
+  for (int i = 1; i < reps; ++i) {
+    const FlowResult r = bench_flow(flow_secs, bench::seed());
+    if (r.events_per_s > fl.events_per_s) fl = r;
+  }
+  std::cout << "flow (" << flow_secs << " s sim)  " << fl.events_per_s
+            << " events/s  " << fl.flows_per_s << " flows/s  "
+            << fl.allocs_per_event << " allocs/event ("
+            << fl.sim_events << " events)\n";
+
+  const auto path = bench::out_dir() / "BENCH_hotpath.json";
+  std::ofstream json(path);
+  json.precision(10);
+  json << "{\n"
+       << "  \"bench\": \"hotpath\",\n"
+       << "  \"schema_version\": 1,\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"seed\": " << bench::seed() << ",\n"
+       << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n"
+       << "  \"ops\": " << ops << ",\n"
+       << "  \"flow_sim_duration_s\": " << fl.sim_duration_s << ",\n"
+       << "  \"flow_sim_events\": " << fl.sim_events << ",\n"
+       << "  \"metrics\": {\n"
+       << "    \"schedule_fire_events_per_s\": " << sf.ops_per_s << ",\n"
+       << "    \"schedule_fire_allocs_per_event\": " << sf.allocs_per_op << ",\n"
+       << "    \"burst_fire_events_per_s\": " << bf.ops_per_s << ",\n"
+       << "    \"burst_fire_allocs_per_event\": " << bf.allocs_per_op << ",\n"
+       << "    \"reschedule_ops_per_s\": " << rs.ops_per_s << ",\n"
+       << "    \"reschedule_allocs_per_op\": " << rs.allocs_per_op << ",\n"
+       << "    \"cancel_churn_ops_per_s\": " << cc.ops_per_s << ",\n"
+       << "    \"cancel_churn_allocs_per_op\": " << cc.allocs_per_op << ",\n"
+       << "    \"flow_events_per_s\": " << fl.events_per_s << ",\n"
+       << "    \"flows_per_s\": " << fl.flows_per_s << ",\n"
+       << "    \"flow_allocs_per_event\": " << fl.allocs_per_event << "\n"
+       << "  }\n"
+       << "}\n";
+  std::cout << "[json] summary -> " << path.string() << "\n";
+  return 0;
+}

@@ -75,18 +75,28 @@ int main() {
         << r.events_per_s << "," << r.speedup << "," << r.tombstone_ratio << "\n";
   }
 
+  // Honest hardware context: speedup is bounded by the cores actually
+  // available, so a curve recorded on a small container must say so —
+  // otherwise a future diff on a bigger box reads as a regression (or this
+  // one as a parallelism bug). max_meaningful_speedup makes the bound
+  // explicit and core_limited flags every thread count the host can't back
+  // with real parallelism.
+  const unsigned hw = std::thread::hardware_concurrency();
   std::ofstream json(bench::out_dir() / "BENCH_parallel.json");
   json << "{\n  \"bench\": \"parallel_corpus_sharding\",\n"
+       << "  \"schema_version\": 2,\n"
        << "  \"scale\": " << bench::scale() << ",\n"
        << "  \"seed\": " << bench::seed() << ",\n"
-       << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
-       << ",\n  \"runs\": [\n";
+       << "  \"hardware_concurrency\": " << hw << ",\n"
+       << "  \"max_meaningful_speedup\": " << (hw == 0 ? 1 : hw) << ",\n"
+       << "  \"runs\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     json << "    {\"threads\": " << r.threads << ", \"wall_s\": " << r.wall_s
          << ", \"sim_events\": " << r.events
          << ", \"events_per_s\": " << r.events_per_s
          << ", \"speedup\": " << r.speedup
+         << ", \"core_limited\": " << (r.threads > hw ? "true" : "false")
          << ", \"tombstone_ratio\": " << r.tombstone_ratio << "}"
          << (i + 1 < rows.size() ? "," : "") << "\n";
   }

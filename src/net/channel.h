@@ -47,6 +47,15 @@ struct DropCause {
   DropCategory category = DropCategory::kUnknown;
   // Index of the dropping component within the innermost enclosing
   // CompositeChannel; -1 when the drop happened outside any composite.
+  //
+  // LIMITATION: this is a flat index, so it aliases for nested composite
+  // stacks. A drop at outer index 1 / inner index 0 and a drop by a plain
+  // channel at outer index 0 both report component == 0 — the innermost
+  // composite stamps its index first and outer composites never overwrite
+  // it (see CompositeChannel::decide). Disambiguating deep stacks needs a
+  // path expression ("1.0"), tracked as a ROADMAP follow-up; the current
+  // innermost-wins behavior is pinned by
+  // CompositeChannelTest.NestedCompositeReportsInnermostIndexOnly.
   std::int32_t component = -1;
   // Index of the scripted FaultPlan directive that fired; -1 for organic
   // (non-scripted) drops.
@@ -190,8 +199,13 @@ class JitterChannel final : public ChannelModel {
 
 // Combines several channels: a packet is dropped if ANY component drops it;
 // extra delays and duplicate copies add up. The drop cause carries the index
-// of the FIRST component that dropped the packet (and if that component is
-// itself nested, the innermost composite's index wins).
+// of the FIRST component that dropped the packet.
+//
+// Nesting caveat: composites can contain composites, but DropCause::component
+// is a single flat index — the innermost composite assigns it and every outer
+// composite leaves it untouched, so the outer position of a nested drop is
+// not recoverable from the cause (indices alias across depths). See the
+// DropCause::component comment for the pinned behavior and follow-up.
 class CompositeChannel final : public ChannelModel {
  public:
   explicit CompositeChannel(std::vector<std::unique_ptr<ChannelModel>> parts);

@@ -71,14 +71,26 @@ void Link::send(Packet packet) {
   // real path with a duplicating middlebox). Copies share the arrival time.
   const unsigned copies = 1 + verdict.duplicate_copies;
   stats_.injected_duplicates += copies - 1;
-  for (unsigned c = 0; c < copies; ++c) {
-    sim_.at(arrival, [this, packet, arrival] {
-      ++stats_.delivered;
-      stats_.bytes_delivered += packet.size_bytes;
-      if (tap_ != nullptr) tap_->on_deliver(packet, packet.sent_at, arrival);
-      if (receiver_) receiver_(packet);
-    });
+  for (unsigned c = 0; c + 1 < copies; ++c) {
+    sim_.at(arrival, [this, packet] { deliver(packet); });
   }
+  // Common path (no duplication): the packet moves into the event capture —
+  // the only copy of its metadata between the NIC and the receiving
+  // endpoint. The capture must stay inside the event slab: a change that
+  // pushes it past the inline budget re-introduces a per-packet allocation,
+  // so the fit is asserted at compile time.
+  auto delivery = [this, p = std::move(packet)] { deliver(p); };
+  static_assert(sim::EventAction::holds_inline<decltype(delivery)>(),
+                "Link delivery capture outgrew kEventActionInlineBytes; "
+                "the per-packet zero-allocation guarantee would be lost");
+  sim_.at(arrival, std::move(delivery));
+}
+
+void Link::deliver(const Packet& packet) {
+  ++stats_.delivered;
+  stats_.bytes_delivered += packet.size_bytes;
+  if (tap_ != nullptr) tap_->on_deliver(packet, packet.sent_at, sim_.now());
+  if (receiver_) receiver_(packet);
 }
 
 }  // namespace hsr::net

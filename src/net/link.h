@@ -8,7 +8,6 @@
 #include <array>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <numeric>
 #include <string>
@@ -16,6 +15,7 @@
 #include "net/channel.h"
 #include "net/packet.h"
 #include "sim/simulator.h"
+#include "util/inline_function.h"
 
 namespace hsr::net {
 
@@ -76,15 +76,18 @@ struct LinkStats {
 
 class Link {
  public:
+  // Destination callback type: move-only, SBO. Endpoint receivers capture a
+  // pointer or two; anything larger falls back to one heap allocation at
+  // set_receiver time (never on the per-packet delivery path).
+  using Receiver = util::InlineFunction<void(const Packet&), 48>;
+
   Link(sim::Simulator& sim, LinkConfig config, std::unique_ptr<ChannelModel> channel);
 
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
 
   // Destination callback, invoked at the packet's arrival time.
-  void set_receiver(std::function<void(const Packet&)> receiver) {
-    receiver_ = std::move(receiver);
-  }
+  void set_receiver(Receiver receiver) { receiver_ = std::move(receiver); }
   // Optional capture tap (non-owning; must outlive the link).
   void set_tap(LinkTap* tap) { tap_ = tap; }
 
@@ -102,11 +105,14 @@ class Link {
   Duration serialization_time(std::uint32_t bytes) const;
   void prune_departures() const;
   void count_drop(const DropCause& cause);
+  // Arrival-time bookkeeping + tap + receiver hand-off. Runs at the
+  // packet's arrival instant, so sim.now() IS the arrival time.
+  void deliver(const Packet& packet);
 
   sim::Simulator& sim_;
   LinkConfig config_;
   std::unique_ptr<ChannelModel> channel_;
-  std::function<void(const Packet&)> receiver_;
+  Receiver receiver_;
   LinkTap* tap_ = nullptr;
   LinkStats stats_;
 

@@ -60,7 +60,7 @@ void EventQueue::push_entry(TimePoint when, std::uint64_t seq,
   std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
-EventHandle EventQueue::schedule(TimePoint when, std::function<void()> action) {
+EventHandle EventQueue::schedule(TimePoint when, EventAction action) {
   const std::uint32_t index = acquire_slot();
   Slot& s = slots_[index];
   s.when = when;

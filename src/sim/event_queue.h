@@ -5,15 +5,26 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "util/inline_function.h"
 #include "util/time.h"
 
 namespace hsr::sim {
 
 using util::Duration;
 using util::TimePoint;
+
+// Inline capture budget for event actions, sized so every hot-path capture
+// in the stack — the largest is net::Link's delivery lambda, which carries a
+// full Packet plus the link pointer (link.cpp static_asserts it) — lives in
+// the slab slot and never touches the allocator. Oversized captures still
+// work; they fall back to one heap allocation (see util::InlineFunction).
+inline constexpr std::size_t kEventActionInlineBytes = 160;
+
+// The callable stored per scheduled event: move-only, small-buffer
+// optimized. Anything invocable as void() converts implicitly.
+using EventAction = util::InlineFunction<void(), kEventActionInlineBytes>;
 
 class EventQueue;
 
@@ -53,8 +64,9 @@ class EventQueue {
   EventQueue& operator=(const EventQueue&) = delete;
 
   // Schedules `action` at absolute time `when`. Events at equal times fire
-  // in scheduling order.
-  EventHandle schedule(TimePoint when, std::function<void()> action);
+  // in scheduling order. Inline-sized captures are stored in the slab slot:
+  // no allocation on the schedule path.
+  EventHandle schedule(TimePoint when, EventAction action);
 
   // Moves a still-pending event to a new time, keeping its action: the
   // re-arm fast path for retransmission timers (no allocation, no action
@@ -114,7 +126,7 @@ class EventQueue {
   struct Slot {
     TimePoint when;
     std::uint64_t seq = 0;  // seq of the slot's CURRENT heap entry
-    std::function<void()> action;
+    EventAction action;
     std::uint32_t generation = 0;
     bool live = false;  // scheduled, neither cancelled nor fired
     std::uint32_t next_free = kNilSlot;

@@ -7,7 +7,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "sim/event_queue.h"
 #include "util/time.h"
@@ -23,9 +22,9 @@ class Simulator {
   TimePoint now() const { return now_; }
 
   // Schedules an event at an absolute time (must not be in the past).
-  EventHandle at(TimePoint when, std::function<void()> action);
+  EventHandle at(TimePoint when, EventAction action);
   // Schedules an event `delay` from now (delay must be non-negative).
-  EventHandle after(Duration delay, std::function<void()> action);
+  EventHandle after(Duration delay, EventAction action);
   // Moves a still-pending event to a new absolute time (must not be in the
   // past), keeping its action; returns false when the handle is no longer
   // pending. The re-arm fast path for timers (see EventQueue::reschedule).

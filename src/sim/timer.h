@@ -2,7 +2,6 @@
 // and delayed-ACK timers.
 #pragma once
 
-#include <functional>
 #include <utility>
 
 #include "sim/simulator.h"
@@ -13,7 +12,7 @@ class Timer {
  public:
   // `on_expire` fires when the timer runs out; the timer is then idle and
   // can be re-armed (including from inside the callback).
-  Timer(Simulator& sim, std::function<void()> on_expire)
+  Timer(Simulator& sim, EventAction on_expire)
       : sim_(sim), on_expire_(std::move(on_expire)) {}
 
   Timer(const Timer&) = delete;
@@ -30,7 +29,7 @@ class Timer {
 
  private:
   Simulator& sim_;
-  std::function<void()> on_expire_;
+  EventAction on_expire_;
   EventHandle handle_;
   TimePoint expiry_;
 };

@@ -7,28 +7,59 @@
 
 namespace hsr::trace {
 
+void FlowCapture::reserve_for(Duration duration, double data_rate_bps,
+                              std::uint32_t mss_bytes, unsigned delayed_ack_b) {
+  if (duration <= Duration::zero() || data_rate_bps <= 0.0 || mss_bytes == 0) {
+    return;
+  }
+  const double segments =
+      duration.to_seconds() * data_rate_bps / (8.0 * static_cast<double>(mss_bytes));
+  // Initial tranche: a quarter of the saturated-link estimate, clamped.
+  const double tranche = segments / 4.0;
+  const std::size_t data_reserve = std::clamp(
+      tranche >= static_cast<double>(kMaxReserveTx) ? kMaxReserveTx
+                                                    : static_cast<std::size_t>(tranche),
+      kMinReserveTx, kMaxReserveTx);
+  data.reserve(data_reserve);
+  const unsigned b = delayed_ack_b == 0 ? 1 : delayed_ack_b;
+  acks.reserve(std::max(kMinReserveTx, data_reserve / b));
+}
+
+void DirectionCapture::reserve(std::size_t expected_transmissions) {
+  txs_.reserve(expected_transmissions);
+  // Ids are drawn from one per-flow counter shared by both directions, so
+  // the id index spans roughly twice this direction's own traffic.
+  index_of_id_.reserve(expected_transmissions * 2);
+}
+
 void DirectionCapture::on_send(const Packet& packet, TimePoint when) {
-  Transmission tx;
+  // Record in place: no Transmission temporary on the per-packet path.
+  if (packet.id >= index_of_id_.size()) {
+    index_of_id_.resize(packet.id + 1, 0);
+  }
+  index_of_id_[packet.id] = txs_.size() + 1;
+  Transmission& tx = txs_.emplace_back();
   tx.packet = packet;
   tx.sent = when;
-  index_by_id_[packet.id] = txs_.size();
-  txs_.push_back(std::move(tx));
+}
+
+std::size_t DirectionCapture::index_of(std::uint64_t packet_id) const {
+  const std::size_t slot =
+      packet_id < index_of_id_.size() ? index_of_id_[packet_id] : 0;
+  HSR_CHECK_MSG(slot != 0, "fate report for unseen packet");
+  return slot - 1;
 }
 
 void DirectionCapture::on_drop(const Packet& packet, TimePoint when,
                                const DropCause& cause) {
   (void)when;
-  const auto it = index_by_id_.find(packet.id);
-  HSR_CHECK_MSG(it != index_by_id_.end(), "drop for unseen packet");
-  txs_[it->second].drop_cause = cause;
+  txs_[index_of(packet.id)].drop_cause = cause;
   ++lost_;
 }
 
 void DirectionCapture::on_deliver(const Packet& packet, TimePoint sent, TimePoint arrived) {
   (void)sent;
-  const auto it = index_by_id_.find(packet.id);
-  HSR_CHECK_MSG(it != index_by_id_.end(), "delivery for unseen packet");
-  txs_[it->second].arrived = arrived;
+  txs_[index_of(packet.id)].arrived = arrived;
 }
 
 Duration DirectionCapture::mean_transit() const {

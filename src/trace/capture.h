@@ -11,7 +11,6 @@
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "net/link.h"
@@ -59,6 +58,12 @@ struct Transmission {
 
 class DirectionCapture final : public net::LinkTap {
  public:
+  // Pre-sizes the transmission log and its id index for an expected packet
+  // count, so steady-state recording appends with no reallocation or rehash
+  // churn. Call once before the simulation starts; growth beyond the
+  // reservation falls back to the containers' own geometric resizing.
+  void reserve(std::size_t expected_transmissions);
+
   void on_send(const Packet& packet, TimePoint when) override;
   void on_drop(const Packet& packet, TimePoint when, const DropCause& cause) override;
   void on_deliver(const Packet& packet, TimePoint sent, TimePoint arrived) override;
@@ -75,8 +80,16 @@ class DirectionCapture final : public net::LinkTap {
   Duration mean_transit() const;
 
  private:
+  // Index of the transmission record for `packet_id` (checked).
+  std::size_t index_of(std::uint64_t packet_id) const;
+
+  // Packet id → index into txs_, plus one (0 = id unseen). Ids are assigned
+  // densely from 1 within a simulation (net::reset_packet_ids runs at flow
+  // start), so a flat vector replaces the former node-based hash map: the
+  // per-send lookup structure costs amortized-zero allocations and is
+  // pre-sizable by reserve().
+  std::vector<std::size_t> index_of_id_;
   std::vector<Transmission> txs_;
-  std::unordered_map<std::uint64_t, std::size_t> index_by_id_;
   std::uint64_t lost_ = 0;
 };
 
@@ -87,6 +100,21 @@ struct FlowCapture {
   DirectionCapture acks;  // uplink: acknowledgements
   // Scripted-fault audit trail, in trigger order (empty for organic runs).
   std::vector<FaultRecord> faults;
+
+  // Flow-duration heuristic reserve: pre-sizes both directions for a flow
+  // expected to run `duration` over a data link of `data_rate_bps`, sending
+  // `mss_bytes` segments acknowledged cumulatively every `delayed_ack_b`
+  // segments. The estimate assumes a saturated downlink (the paper's bulk
+  // downloads), so it is an upper bound for loss- or cwnd-limited flows;
+  // the initial tranche is a quarter of it (geometric growth covers the
+  // saturated case in a couple of doublings) and is clamped to
+  // [kMinReserveTx, kMaxReserveTx] so degenerate configs neither skip the
+  // reserve nor overcommit memory.
+  void reserve_for(Duration duration, double data_rate_bps,
+                   std::uint32_t mss_bytes, unsigned delayed_ack_b);
+
+  static constexpr std::size_t kMinReserveTx = 1024;
+  static constexpr std::size_t kMaxReserveTx = std::size_t{1} << 20;
 
   double data_loss_rate() const { return data.loss_rate(); }
   double ack_loss_rate() const { return acks.loss_rate(); }

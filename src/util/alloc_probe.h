@@ -1,0 +1,114 @@
+// Allocation counting for zero-allocation assertions and allocs-per-event
+// benchmarking.
+//
+// The counters are maintained by replacement global operator new/delete.
+// Replacements must be defined in exactly ONE translation unit of a binary,
+// so the definitions are guarded: a binary that wants counting defines
+// HSRTCP_ALLOC_PROBE_DEFINE_GLOBALS before including this header in one TU
+// (see tests/sim/hotpath_alloc_test.cpp and bench/bench_hotpath.cpp).
+// Binaries that never define the macro are untouched — the library itself
+// never replaces the allocator.
+//
+// Counters are thread-local: a probe scope measures only what the current
+// thread allocates, so parallel shards do not pollute each other's counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hsr::util {
+
+struct AllocProbe {
+  // Monotonic per-thread counters, bumped by the replacement operators.
+  static inline thread_local std::uint64_t news = 0;
+  static inline thread_local std::uint64_t deletes = 0;
+  static inline thread_local std::uint64_t bytes_requested = 0;
+
+  // Snapshot-delta helper: Scope s; ...work...; s.news_delta().
+  class Scope {
+   public:
+    Scope() : news0_(news), deletes0_(deletes), bytes0_(bytes_requested) {}
+    std::uint64_t news_delta() const { return news - news0_; }
+    std::uint64_t deletes_delta() const { return deletes - deletes0_; }
+    std::uint64_t bytes_delta() const { return bytes_requested - bytes0_; }
+
+   private:
+    std::uint64_t news0_;
+    std::uint64_t deletes0_;
+    std::uint64_t bytes0_;
+  };
+};
+
+}  // namespace hsr::util
+
+#ifdef HSRTCP_ALLOC_PROBE_DEFINE_GLOBALS
+
+#include <cstdlib>
+#include <new>
+
+namespace hsr::util::alloc_probe_internal {
+
+inline void* counted_alloc(std::size_t size) {
+  ++AllocProbe::news;
+  AllocProbe::bytes_requested += size;
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+inline void* counted_aligned_alloc(std::size_t size, std::size_t alignment) {
+  ++AllocProbe::news;
+  AllocProbe::bytes_requested += size;
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+  void* p = std::aligned_alloc(alignment, rounded == 0 ? alignment : rounded);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+inline void counted_free(void* p) noexcept {
+  if (p != nullptr) ++AllocProbe::deletes;
+  std::free(p);
+}
+
+}  // namespace hsr::util::alloc_probe_internal
+
+void* operator new(std::size_t size) {
+  return hsr::util::alloc_probe_internal::counted_alloc(size);
+}
+void* operator new[](std::size_t size) {
+  return hsr::util::alloc_probe_internal::counted_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return hsr::util::alloc_probe_internal::counted_aligned_alloc(
+      size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return hsr::util::alloc_probe_internal::counted_aligned_alloc(
+      size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { hsr::util::alloc_probe_internal::counted_free(p); }
+void operator delete[](void* p) noexcept {
+  hsr::util::alloc_probe_internal::counted_free(p);
+}
+void operator delete(void* p, std::size_t) noexcept {
+  hsr::util::alloc_probe_internal::counted_free(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  hsr::util::alloc_probe_internal::counted_free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  hsr::util::alloc_probe_internal::counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  hsr::util::alloc_probe_internal::counted_free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  hsr::util::alloc_probe_internal::counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  hsr::util::alloc_probe_internal::counted_free(p);
+}
+
+#endif  // HSRTCP_ALLOC_PROBE_DEFINE_GLOBALS

@@ -1,0 +1,175 @@
+// A small-buffer-optimized, move-only callable — the event-action type of
+// the simulation hot path.
+//
+// std::function heap-allocates whenever a capture outgrows its (tiny,
+// implementation-defined) internal buffer, which put one allocation on
+// every schedule of a non-trivial event action. InlineFunction makes the
+// buffer an explicit template parameter: a capture that fits (and is
+// nothrow-move-constructible, and not over-aligned) is stored in place and
+// never touches the allocator; anything else degrades gracefully to a
+// single heap allocation instead of failing to compile. The inline/heap
+// decision is made entirely at compile time from sizeof/alignof, so the
+// hot-path callers can static_assert that their captures stay inline.
+//
+// Differences from std::function, all deliberate:
+//   * move-only (no copy): event actions own their captures exactly once;
+//   * no target_type()/target() RTTI surface;
+//   * invoking an empty InlineFunction is a checked fatal error, not a
+//     bad_function_call exception (the simulator never runs with
+//     exceptions as control flow).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace hsr::util {
+
+// Default inline capture budget. Callers on hot paths size their own
+// instantiation to their largest capture (see sim::EventAction).
+inline constexpr std::size_t kInlineFunctionDefaultBytes = 64;
+
+template <class Signature, std::size_t InlineBytes = kInlineFunctionDefaultBytes>
+class InlineFunction;  // only the R(Args...) partial specialization exists
+
+template <class R, class... Args, std::size_t InlineBytes>
+class InlineFunction<R(Args...), InlineBytes> {
+ public:
+  static constexpr std::size_t kInlineBytes = InlineBytes;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+  static_assert(InlineBytes >= sizeof(void*),
+                "inline buffer must at least hold the heap-fallback pointer");
+
+  // True when a callable of type F is stored in the inline buffer (no heap):
+  // it fits, is not over-aligned, and can be relocated without throwing
+  // (vector reallocation of event slots must be noexcept).
+  template <class F>
+  static constexpr bool holds_inline() {
+    return sizeof(F) <= InlineBytes && alignof(F) <= kInlineAlign &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <class F, class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                     std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    construct<D>(std::forward<F>(f));
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { take_from(other); }
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take_from(other);
+    }
+    return *this;
+  }
+  InlineFunction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+  template <class F, class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                     std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction& operator=(F&& f) {
+    reset();
+    construct<D>(std::forward<F>(f));
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    HSR_CHECK_MSG(ops_ != nullptr, "invoking an empty InlineFunction");
+    return ops_->invoke(&storage_, std::forward<Args>(args)...);
+  }
+
+  // Releases the stored callable; the function becomes empty.
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(&storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  // Per-type operations table; one static instance per stored callable type
+  // (inline and heap models get distinct tables).
+  struct Ops {
+    R (*invoke)(void* storage, Args&&... args);
+    // Move-construct the callable from `from`'s storage into `to`'s storage
+    // and destroy the one in `from`. Must not throw: slab/vector relocation
+    // of event slots relies on it.
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <class F>
+  static F* inline_ptr(void* storage) {
+    return std::launder(reinterpret_cast<F*>(storage));
+  }
+
+  template <class F>
+  static constexpr Ops kInlineOps = {
+      /*invoke=*/[](void* storage, Args&&... args) -> R {
+        return (*inline_ptr<F>(storage))(std::forward<Args>(args)...);
+      },
+      /*relocate=*/
+      [](void* from, void* to) noexcept {
+        F* src = inline_ptr<F>(from);
+        ::new (to) F(std::move(*src));
+        src->~F();
+      },
+      /*destroy=*/[](void* storage) noexcept { inline_ptr<F>(storage)->~F(); },
+  };
+
+  // Heap model: the buffer holds a single F*. Covers oversized and
+  // over-aligned captures (operator new honors alignof(F) since C++17) and
+  // types with throwing moves.
+  template <class F>
+  static constexpr Ops kHeapOps = {
+      /*invoke=*/[](void* storage, Args&&... args) -> R {
+        return (**inline_ptr<F*>(storage))(std::forward<Args>(args)...);
+      },
+      /*relocate=*/
+      [](void* from, void* to) noexcept {
+        ::new (to) F*(*inline_ptr<F*>(from));
+      },
+      /*destroy=*/[](void* storage) noexcept { delete *inline_ptr<F*>(storage); },
+  };
+
+  template <class D, class F>
+  void construct(F&& f) {
+    if constexpr (holds_inline<D>()) {
+      ::new (static_cast<void*>(&storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(&storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  // Precondition: *this is empty. Leaves `other` empty.
+  void take_from(InlineFunction& other) noexcept {
+    if (other.ops_ == nullptr) return;
+    ops_ = other.ops_;
+    ops_->relocate(&other.storage_, &storage_);
+    other.ops_ = nullptr;
+  }
+
+  alignas(kInlineAlign) std::byte storage_[InlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace hsr::util

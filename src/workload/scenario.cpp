@@ -64,6 +64,10 @@ FlowRunResult run_flow(const FlowRunConfig& cfg) {
   // scripted casualty died.
   trace::FlowCapture capture;
   capture.flow = 1;
+  // Pre-size the capture from the flow-duration heuristic so steady-state
+  // recording never reallocates mid-simulation.
+  capture.reserve_for(cfg.duration, conn_cfg.downlink.rate_bps, cfg.mss_bytes,
+                      cfg.delayed_ack_b);
 
   std::unique_ptr<net::ChannelModel> down_channel =
       env.make_channel(radio::Direction::kDownlink, rng.fork("chan-down"));

@@ -220,6 +220,31 @@ TEST(CompositeChannelTest, FirstDroppingComponentWinsAttribution) {
   EXPECT_EQ(v.cause.component, 0);
 }
 
+TEST(CompositeChannelTest, NestedCompositeReportsInnermostIndexOnly) {
+  // Regression pin for the documented flat-index aliasing (channel.h):
+  // a depth-2 stack where the dropping channel sits at OUTER index 1 /
+  // INNER index 0 must report component == 0 — the innermost composite
+  // stamps the index and the outer one never overwrites it. If this ever
+  // starts reporting a path-aware value ("1.0"-style), the DropCause
+  // schema changed and downstream consumers must be migrated.
+  std::vector<std::unique_ptr<ChannelModel>> inner_parts;
+  inner_parts.push_back(std::make_unique<BernoulliChannel>(1.0, util::Rng(1)));
+  inner_parts.push_back(std::make_unique<PerfectChannel>());
+  auto inner = std::make_unique<CompositeChannel>(std::move(inner_parts));
+
+  std::vector<std::unique_ptr<ChannelModel>> outer_parts;
+  outer_parts.push_back(std::make_unique<PerfectChannel>());
+  outer_parts.push_back(std::move(inner));
+  CompositeChannel outer(std::move(outer_parts));
+
+  const ChannelVerdict v = outer.decide(make_packet(), TimePoint::zero());
+  ASSERT_TRUE(v.dropped);
+  EXPECT_EQ(v.cause.category, DropCategory::kBernoulli);
+  // Innermost index (0), NOT the outer position of the nested composite (1):
+  // the flat index cannot distinguish the two.
+  EXPECT_EQ(v.cause.component, 0);
+}
+
 TEST(CompositeChannelTest, DelaysAddUp) {
   std::vector<std::unique_ptr<ChannelModel>> parts;
   parts.push_back(std::make_unique<JitterChannel>(

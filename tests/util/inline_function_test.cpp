@@ -1,0 +1,169 @@
+#include "util/inline_function.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace hsr::util {
+namespace {
+
+using Fn = InlineFunction<int()>;
+
+TEST(InlineFunctionTest, EmptyAndNullptrStates) {
+  Fn f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  Fn g(nullptr);
+  EXPECT_FALSE(static_cast<bool>(g));
+  g = [] { return 7; };
+  EXPECT_TRUE(static_cast<bool>(g));
+  EXPECT_EQ(g(), 7);
+  g = nullptr;
+  EXPECT_FALSE(static_cast<bool>(g));
+}
+
+TEST(InlineFunctionTest, InvokesWithArgumentsAndReturn) {
+  InlineFunction<int(int, int)> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 3), 5);
+  InlineFunction<void(int&)> bump = [](int& x) { ++x; };
+  int v = 0;
+  bump(v);
+  bump(v);
+  EXPECT_EQ(v, 2);
+}
+
+TEST(InlineFunctionTest, MoveOnlyCaptureWorks) {
+  // std::function cannot hold this at all; InlineFunction must.
+  auto p = std::make_unique<int>(41);
+  Fn f = [p = std::move(p)] { return *p + 1; };
+  EXPECT_EQ(f(), 42);
+  // And it must survive being moved around.
+  Fn g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(g(), 42);
+}
+
+TEST(InlineFunctionTest, CompileTimeInlineDecision) {
+  // A pointer-sized capture is inline; a buffer-busting one is not.
+  struct Small {
+    void* p;
+    int operator()() { return 0; }
+  };
+  struct Big {
+    std::byte blob[Fn::kInlineBytes + 1];
+    int operator()() { return 0; }
+  };
+  static_assert(Fn::holds_inline<Small>());
+  static_assert(!Fn::holds_inline<Big>());
+  // Throwing-move types may not live inline: slab relocation is noexcept.
+  struct ThrowingMove {
+    ThrowingMove() = default;
+    ThrowingMove(ThrowingMove&&) noexcept(false) {}
+    int operator()() { return 0; }
+  };
+  static_assert(!Fn::holds_inline<ThrowingMove>());
+}
+
+TEST(InlineFunctionTest, OversizedCaptureFallsBackToHeapAndStillWorks) {
+  struct Big {
+    std::byte blob[Fn::kInlineBytes * 4] = {};
+    int tag = 9;
+    int operator()() const { return tag; }
+  };
+  static_assert(!Fn::holds_inline<Big>());
+  Fn f = Big{};
+  EXPECT_EQ(f(), 9);
+  Fn g = std::move(f);
+  EXPECT_EQ(g(), 9);
+}
+
+TEST(InlineFunctionTest, OverAlignedCaptureFallsBackToAlignedHeap) {
+  struct alignas(128) OverAligned {
+    int tag = 3;
+    int operator()() const {
+      // The object really must sit on its extended alignment boundary.
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(this) % 128, 0u);
+      return tag;
+    }
+  };
+  static_assert(alignof(OverAligned) > Fn::kInlineAlign);
+  static_assert(!Fn::holds_inline<OverAligned>());
+  Fn f = OverAligned{};
+  EXPECT_EQ(f(), 3);
+  Fn g = std::move(f);
+  EXPECT_EQ(g(), 3);
+}
+
+// Capture that counts its ctor/dtor traffic through external counters.
+struct LifeCounters {
+  int constructed = 0;
+  int destroyed = 0;
+  int alive() const { return constructed - destroyed; }
+};
+
+template <std::size_t Pad>
+struct Tracked {
+  explicit Tracked(LifeCounters* c) : counters(c) { ++counters->constructed; }
+  Tracked(Tracked&& o) noexcept : counters(o.counters) { ++counters->constructed; }
+  Tracked(const Tracked& o) : counters(o.counters) { ++counters->constructed; }
+  ~Tracked() { ++counters->destroyed; }
+  int operator()() const { return 1; }
+  LifeCounters* counters;
+  std::byte pad[Pad] = {};
+};
+
+TEST(InlineFunctionTest, DestructionCountsBalanceInline) {
+  using Small = Tracked<8>;
+  static_assert(Fn::holds_inline<Small>());
+  LifeCounters c;
+  {
+    Fn f = Small(&c);
+    EXPECT_EQ(c.alive(), 1);
+    Fn g = std::move(f);  // relocation constructs one, destroys one
+    EXPECT_EQ(c.alive(), 1);
+    EXPECT_EQ(g(), 1);
+    g = nullptr;  // explicit reset destroys the capture immediately
+    EXPECT_EQ(c.alive(), 0);
+  }
+  EXPECT_EQ(c.constructed, c.destroyed);
+}
+
+TEST(InlineFunctionTest, DestructionCountsBalanceHeap) {
+  using Big = Tracked<Fn::kInlineBytes * 2>;
+  static_assert(!Fn::holds_inline<Big>());
+  LifeCounters c;
+  {
+    Fn f = Big(&c);
+    EXPECT_EQ(c.alive(), 1);
+    Fn g = std::move(f);  // heap relocation moves the pointer, not the object
+    EXPECT_EQ(c.alive(), 1);
+    EXPECT_EQ(g(), 1);
+  }
+  EXPECT_EQ(c.alive(), 0);
+  EXPECT_EQ(c.constructed, c.destroyed);
+}
+
+TEST(InlineFunctionTest, AssignmentReplacesAndDestroysOldTarget) {
+  using Small = Tracked<8>;
+  LifeCounters a;
+  LifeCounters b;
+  Fn f = Small(&a);
+  f = Small(&b);  // old capture destroyed, new one installed
+  EXPECT_EQ(a.alive(), 0);
+  EXPECT_EQ(b.alive(), 1);
+  f = nullptr;
+  EXPECT_EQ(b.alive(), 0);
+}
+
+TEST(InlineFunctionTest, SelfMoveAssignIsSafe) {
+  Fn f = [] { return 5; };
+  Fn& ref = f;
+  f = std::move(ref);
+  EXPECT_TRUE(static_cast<bool>(f));
+  EXPECT_EQ(f(), 5);
+}
+
+}  // namespace
+}  // namespace hsr::util

@@ -21,8 +21,16 @@ core directories:
                        stream forks must derive from (seed, index), never
                        from which thread happens to run a shard)
 
-A line may be exempted with a trailing `// determinism-ok: <reason>` marker —
-grep for the marker to audit every exemption.
+Python tooling that participates in the reproducibility story (listed in
+CHECKED_PYTHON_FILES, e.g. tools/bench_compare.py, which gates perf from
+deterministic BENCH_*.json inputs) is held to the same bar with
+Python-flavored rules: no `random` module, no wall-clock reads
+(time.time/monotonic/perf_counter, datetime.now/utcnow/today), no ambient
+entropy (os.urandom, secrets, uuid1/uuid4), no sleeping.
+
+A line may be exempted with a trailing `// determinism-ok: <reason>` marker
+(`# determinism-ok: <reason>` in Python) — grep for the marker to audit
+every exemption.
 
 Exit status: 0 clean, 1 violations found, 2 usage/self-test failure.
 """
@@ -48,6 +56,13 @@ CHECKED_DIRS = (
 )
 
 SOURCE_SUFFIXES = {".cpp", ".h", ".cc", ".hpp"}
+
+# Python tools that feed the reproducibility pipeline, relative to repo root.
+# These are linted with PYTHON_RULES; directories stay C++-only on purpose —
+# opt Python files in one by one so throwaway scripts aren't conscripted.
+CHECKED_PYTHON_FILES = (
+    "tools/bench_compare.py",
+)
 
 EXEMPT_MARKER = "determinism-ok"
 
@@ -106,6 +121,39 @@ RULES = [
     ),
 ]
 
+# Python-flavored rules for CHECKED_PYTHON_FILES. Same philosophy, different
+# spellings: a tool that gates benches or corpora must be a pure function of
+# its inputs.
+PYTHON_RULES = [
+    (
+        "py-random",
+        re.compile(r"(\bimport\s+random\b|\bfrom\s+random\s+import\b|\brandom\.\w+\s*\()"),
+        "the random module breaks tool reproducibility; thread an explicit "
+        "seed through inputs if randomness is ever needed",
+    ),
+    (
+        "py-wall-clock",
+        re.compile(
+            r"(\btime\.(time|time_ns|monotonic|monotonic_ns|perf_counter|"
+            r"perf_counter_ns|process_time)\s*\("
+            r"|\bdatetime\.(now|utcnow|today)\s*\("
+            r"|\bdate\.today\s*\()"
+        ),
+        "wall-clock reads make tool output time-dependent; timestamps belong "
+        "in the bench JSON inputs, not in the comparator",
+    ),
+    (
+        "py-entropy",
+        re.compile(r"(\bos\.urandom\s*\(|\bimport\s+secrets\b|\buuid\.uuid[14]\s*\()"),
+        "ambient entropy defeats reproduction; derive identifiers from inputs",
+    ),
+    (
+        "py-sleep",
+        re.compile(r"\btime\.sleep\s*\("),
+        "sleeping adds wall-time dependence; tools must not wait on the clock",
+    ),
+]
+
 # Embedded corpus for --self-test: each snippet must trip the named rule.
 SELF_TEST_BAD = [
     ("wall-clock", "auto t = std::chrono::steady_clock::now();"),
@@ -150,13 +198,35 @@ SELF_TEST_GOOD = [
     "// threads sleep on the condition variable until a job is published",
 ]
 
+# Python corpus: bad snippets assembled from halves so this file never
+# contains a matchable banned construct itself.
+SELF_TEST_PY_BAD = [
+    ("py-random", "import " + "random"),
+    ("py-random", "x = " + "random" + ".randint(0, 6)"),
+    ("py-wall-clock", "t0 = " + "time" + ".time()"),
+    ("py-wall-clock", "t0 = " + "time" + ".perf_counter()"),
+    ("py-wall-clock", "stamp = " + "datetime" + ".now().isoformat()"),
+    ("py-entropy", "salt = " + "os" + ".urandom(16)"),
+    ("py-entropy", "run_id = " + "uuid" + ".uuid4()"),
+    ("py-sleep", "time" + ".sleep(0.5)"),
+]
 
-def lint_line(line: str):
+SELF_TEST_PY_GOOD = [
+    "metrics = {k: float(v) for k, v in metrics.items()}",
+    "worse = (cur - base) / abs(base)",
+    "parser.add_argument('--threshold', type=float, default=0.10)",
+    "# comparing time.time() results would be wrong — prose, not code",
+    "elapsed = doc['wall_s']  # wall time read from the JSON input",
+    "seed = int(doc['seed'])",
+]
+
+
+def lint_line(line: str, rules=RULES, comment: str = "//"):
     """Returns (rule, explanation) for the first violated rule, else None."""
     if EXEMPT_MARKER in line:
         return None
-    code = line.split("//", 1)[0]  # prose in comments is not a violation
-    for name, rx, why in RULES:
+    code = line.split(comment, 1)[0]  # prose in comments is not a violation
+    for name, rx, why in rules:
         if rx.search(code):
             return name, why
     return None
@@ -175,15 +245,28 @@ def iter_source_files(root: Path):
 def run_lint(root: Path) -> int:
     violations = 0
     files = 0
-    for path in iter_source_files(root):
-        files += 1
+
+    def lint_file(path: Path, rules, comment: str) -> None:
+        nonlocal violations
         for lineno, line in enumerate(path.read_text().splitlines(), start=1):
-            hit = lint_line(line)
+            hit = lint_line(line, rules, comment)
             if hit:
                 rule, why = hit
                 print(f"{path.relative_to(root)}:{lineno}: [{rule}] {line.strip()}")
                 print(f"    {why}")
                 violations += 1
+
+    for path in iter_source_files(root):
+        files += 1
+        lint_file(path, RULES, "//")
+    for rel in CHECKED_PYTHON_FILES:
+        path = root / rel
+        if not path.is_file():
+            print(f"determinism lint: missing checked Python file {rel}",
+                  file=sys.stderr)
+            return 2
+        files += 1
+        lint_file(path, PYTHON_RULES, "#")
     if files == 0:
         print(f"determinism lint: no source files found under {CHECKED_DIRS}", file=sys.stderr)
         return 2
@@ -206,11 +289,22 @@ def run_self_test() -> int:
         hit = lint_line(snippet)
         if hit is not None:
             failures.append(f"false positive [{hit[0]}]: {snippet}")
+    for expected_rule, snippet in SELF_TEST_PY_BAD:
+        hit = lint_line(snippet, PYTHON_RULES, "#")
+        if hit is None:
+            failures.append(f"missed [{expected_rule}]: {snippet}")
+        elif hit[0] != expected_rule:
+            failures.append(f"wrong rule ({hit[0]} != {expected_rule}): {snippet}")
+    for snippet in SELF_TEST_PY_GOOD:
+        hit = lint_line(snippet, PYTHON_RULES, "#")
+        if hit is not None:
+            failures.append(f"false positive [{hit[0]}]: {snippet}")
     if failures:
         for f in failures:
             print(f"self-test FAIL: {f}")
         return 2
-    print(f"self-test OK ({len(SELF_TEST_BAD)} bad + {len(SELF_TEST_GOOD)} good snippets)")
+    print(f"self-test OK ({len(SELF_TEST_BAD) + len(SELF_TEST_PY_BAD)} bad + "
+          f"{len(SELF_TEST_GOOD) + len(SELF_TEST_PY_GOOD)} good snippets)")
     return 0
 
 
