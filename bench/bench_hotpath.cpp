@@ -11,16 +11,22 @@
 //   ./bench_hotpath --quick         # CI smoke: small op counts, short flow
 //   python3 tools/bench_compare.py baseline.json current.json
 //
-// JSON schema (schema_version 1): top-level run metadata plus a flat
-// "metrics" object. Keys ending in "_per_s" are throughputs (higher is
-// better); keys containing "allocs_per" are allocation ratios (lower is
-// better). bench_compare.py keys off these suffixes, so additions must
-// follow the same naming convention.
+// JSON schema (schema_version 2): top-level run metadata, a flat
+// "metrics" object holding the best-of-N values, and a "spread" object
+// recording min/max/mean/stddev of every throughput metric across the N
+// reps. Keys ending in "_per_s" are throughputs (higher is better); keys
+// containing "allocs_per" are allocation ratios (lower is better; their
+// counts are deterministic, so they carry no spread entry). bench_compare.py
+// keys off these suffixes and widens its regression gate by the recorded
+// relative spread, so additions must follow the same naming convention.
 #define HSRTCP_ALLOC_PROBE_DEFINE_GLOBALS
 #include "util/alloc_probe.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
+#include <vector>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -47,16 +53,55 @@ struct SectionResult {
   double allocs_per_op = 0.0;
 };
 
+// Per-rep dispersion of a throughput metric. Recorded alongside the
+// best-of-N value so bench_compare.py can tell "this box is noisy" from
+// "this change is slow" and widen its gate accordingly.
+struct Spread {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+
+  static Spread of(const std::vector<double>& xs) {
+    Spread s;
+    if (xs.empty()) return s;
+    s.min = s.max = xs[0];
+    double sum = 0.0;
+    for (double x : xs) {
+      s.min = std::min(s.min, x);
+      s.max = std::max(s.max, x);
+      sum += x;
+    }
+    s.mean = sum / static_cast<double>(xs.size());
+    double sq = 0.0;
+    for (double x : xs) sq += (x - s.mean) * (x - s.mean);
+    // Population stddev: the reps ARE the whole sample being described.
+    s.stddev = std::sqrt(sq / static_cast<double>(xs.size()));
+    return s;
+  }
+};
+
 // Best-of-N wrapper: peak throughput is the stable statistic on a shared/
-// noisy box (allocation counts are deterministic — every rep agrees).
+// noisy box (allocation counts are deterministic — every rep agrees), but
+// every rep's throughput is kept so the JSON can record the spread.
+struct SectionRuns {
+  SectionResult best;
+  Spread ops;
+};
+
 template <class Fn>
-auto best_of(int reps, Fn fn) {
-  auto best = fn();
+SectionRuns best_of(int reps, Fn fn) {
+  SectionRuns out;
+  std::vector<double> xs;
+  out.best = fn();
+  xs.push_back(out.best.ops_per_s);
   for (int i = 1; i < reps; ++i) {
     auto r = fn();
-    if (r.ops_per_s > best.ops_per_s) best = r;
+    xs.push_back(r.ops_per_s);
+    if (r.ops_per_s > out.best.ops_per_s) out.best = r;
   }
-  return best;
+  out.ops = Spread::of(xs);
+  return out;
 }
 
 // One pending event at a time: the pure schedule→fire cycle.
@@ -201,23 +246,29 @@ int main(int argc, char** argv) {
   const double flow_secs = quick ? 30.0 : 300.0;
   const int reps = quick ? 1 : 3;
 
-  const SectionResult sf = best_of(reps, [&] { return bench_schedule_fire(ops); });
-  std::cout << "schedule+fire      " << sf.ops_per_s << " events/s  "
-            << sf.allocs_per_op << " allocs/event\n";
-  const SectionResult bf = best_of(reps, [&] { return bench_burst_fire(ops); });
-  std::cout << "burst(512)+drain   " << bf.ops_per_s << " events/s  "
-            << bf.allocs_per_op << " allocs/event\n";
-  const SectionResult rs = best_of(reps, [&] { return bench_reschedule(ops); });
-  std::cout << "reschedule         " << rs.ops_per_s << " ops/s     "
-            << rs.allocs_per_op << " allocs/op\n";
-  const SectionResult cc = best_of(reps, [&] { return bench_cancel_churn(ops); });
-  std::cout << "cancel churn       " << cc.ops_per_s << " ops/s     "
-            << cc.allocs_per_op << " allocs/op\n";
+  const SectionRuns sf = best_of(reps, [&] { return bench_schedule_fire(ops); });
+  std::cout << "schedule+fire      " << sf.best.ops_per_s << " events/s  "
+            << sf.best.allocs_per_op << " allocs/event\n";
+  const SectionRuns bf = best_of(reps, [&] { return bench_burst_fire(ops); });
+  std::cout << "burst(512)+drain   " << bf.best.ops_per_s << " events/s  "
+            << bf.best.allocs_per_op << " allocs/event\n";
+  const SectionRuns rs = best_of(reps, [&] { return bench_reschedule(ops); });
+  std::cout << "reschedule         " << rs.best.ops_per_s << " ops/s     "
+            << rs.best.allocs_per_op << " allocs/op\n";
+  const SectionRuns cc = best_of(reps, [&] { return bench_cancel_churn(ops); });
+  std::cout << "cancel churn       " << cc.best.ops_per_s << " ops/s     "
+            << cc.best.allocs_per_op << " allocs/op\n";
   FlowResult fl = bench_flow(flow_secs, bench::seed());
+  std::vector<double> flow_events_reps{fl.events_per_s};
+  std::vector<double> flow_flows_reps{fl.flows_per_s};
   for (int i = 1; i < reps; ++i) {
     const FlowResult r = bench_flow(flow_secs, bench::seed());
+    flow_events_reps.push_back(r.events_per_s);
+    flow_flows_reps.push_back(r.flows_per_s);
     if (r.events_per_s > fl.events_per_s) fl = r;
   }
+  const Spread flow_events_spread = Spread::of(flow_events_reps);
+  const Spread flow_flows_spread = Spread::of(flow_flows_reps);
   std::cout << "flow (" << flow_secs << " s sim)  " << fl.events_per_s
             << " events/s  " << fl.flows_per_s << " flows/s  "
             << fl.allocs_per_event << " allocs/event ("
@@ -226,28 +277,43 @@ int main(int argc, char** argv) {
   const auto path = bench::out_dir() / "BENCH_hotpath.json";
   std::ofstream json(path);
   json.precision(10);
+  const auto spread_entry = [&json](const char* name, const Spread& s,
+                                    const char* trailer) {
+    json << "    \"" << name << "\": {\"min\": " << s.min
+         << ", \"max\": " << s.max << ", \"mean\": " << s.mean
+         << ", \"stddev\": " << s.stddev << "}" << trailer << "\n";
+  };
   json << "{\n"
        << "  \"bench\": \"hotpath\",\n"
-       << "  \"schema_version\": 1,\n"
+       << "  \"schema_version\": 2,\n"
        << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"reps\": " << reps << ",\n"
        << "  \"seed\": " << bench::seed() << ",\n"
        << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n"
        << "  \"ops\": " << ops << ",\n"
        << "  \"flow_sim_duration_s\": " << fl.sim_duration_s << ",\n"
        << "  \"flow_sim_events\": " << fl.sim_events << ",\n"
        << "  \"metrics\": {\n"
-       << "    \"schedule_fire_events_per_s\": " << sf.ops_per_s << ",\n"
-       << "    \"schedule_fire_allocs_per_event\": " << sf.allocs_per_op << ",\n"
-       << "    \"burst_fire_events_per_s\": " << bf.ops_per_s << ",\n"
-       << "    \"burst_fire_allocs_per_event\": " << bf.allocs_per_op << ",\n"
-       << "    \"reschedule_ops_per_s\": " << rs.ops_per_s << ",\n"
-       << "    \"reschedule_allocs_per_op\": " << rs.allocs_per_op << ",\n"
-       << "    \"cancel_churn_ops_per_s\": " << cc.ops_per_s << ",\n"
-       << "    \"cancel_churn_allocs_per_op\": " << cc.allocs_per_op << ",\n"
+       << "    \"schedule_fire_events_per_s\": " << sf.best.ops_per_s << ",\n"
+       << "    \"schedule_fire_allocs_per_event\": " << sf.best.allocs_per_op << ",\n"
+       << "    \"burst_fire_events_per_s\": " << bf.best.ops_per_s << ",\n"
+       << "    \"burst_fire_allocs_per_event\": " << bf.best.allocs_per_op << ",\n"
+       << "    \"reschedule_ops_per_s\": " << rs.best.ops_per_s << ",\n"
+       << "    \"reschedule_allocs_per_op\": " << rs.best.allocs_per_op << ",\n"
+       << "    \"cancel_churn_ops_per_s\": " << cc.best.ops_per_s << ",\n"
+       << "    \"cancel_churn_allocs_per_op\": " << cc.best.allocs_per_op << ",\n"
        << "    \"flow_events_per_s\": " << fl.events_per_s << ",\n"
        << "    \"flows_per_s\": " << fl.flows_per_s << ",\n"
        << "    \"flow_allocs_per_event\": " << fl.allocs_per_event << "\n"
-       << "  }\n"
+       << "  },\n"
+       << "  \"spread\": {\n";
+  spread_entry("schedule_fire_events_per_s", sf.ops, ",");
+  spread_entry("burst_fire_events_per_s", bf.ops, ",");
+  spread_entry("reschedule_ops_per_s", rs.ops, ",");
+  spread_entry("cancel_churn_ops_per_s", cc.ops, ",");
+  spread_entry("flow_events_per_s", flow_events_spread, ",");
+  spread_entry("flows_per_s", flow_flows_spread, "");
+  json << "  }\n"
        << "}\n";
   std::cout << "[json] summary -> " << path.string() << "\n";
   return 0;

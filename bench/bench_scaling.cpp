@@ -9,7 +9,15 @@
 // Knobs: HSR_BENCH_SCALE / HSR_BENCH_SEED as everywhere else. Thread counts
 // above the machine's core count are still measured (they must be correct,
 // just not faster); the JSON records hardware_concurrency for context.
+//
+// Each thread count runs HSR_BENCH_REPS times (default 3): the row reports the
+// best (minimum) wall time and the JSON carries the per-rep wall-time spread
+// so bench_compare.py can widen its regression gate by the observed run-to-run
+// noise instead of comparing two point samples (schema_version 3).
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstdlib>
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -23,9 +31,16 @@ int main() {
   workload::DatasetSpec spec = workload::DatasetSpec::paper_table1(bench::scale());
   spec.seed = bench::seed();
 
+  int reps = 3;
+  if (const char* e = std::getenv("HSR_BENCH_REPS")) reps = std::max(1, std::atoi(e));
+
   struct Row {
     unsigned threads = 0;
-    double wall_s = 0.0;
+    double wall_s = 0.0;  // best (minimum) across reps
+    double wall_min_s = 0.0;
+    double wall_max_s = 0.0;
+    double wall_mean_s = 0.0;
+    double wall_stddev_s = 0.0;
     std::uint64_t events = 0;
     double events_per_s = 0.0;
     double tombstone_ratio = 0.0;
@@ -37,32 +52,48 @@ int main() {
   std::uint64_t base_bytes = 0;
   for (unsigned threads : {1u, 2u, 4u, 8u}) {
     spec.threads = threads;
-    const auto t0 = std::chrono::steady_clock::now();
-    const workload::DatasetResult ds = workload::generate_dataset(spec);
-    const auto t1 = std::chrono::steady_clock::now();
-
     Row row;
     row.threads = threads;
-    row.wall_s = std::chrono::duration<double>(t1 - t0).count();
-    row.events = ds.total_sim_events();
+    std::vector<double> walls;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const workload::DatasetResult ds = workload::generate_dataset(spec);
+      const auto t1 = std::chrono::steady_clock::now();
+      walls.push_back(std::chrono::duration<double>(t1 - t0).count());
+
+      row.events = ds.total_sim_events();
+      row.tombstone_ratio = static_cast<double>(ds.total_sim_tombstones()) /
+                            static_cast<double>(ds.total_sim_scheduled());
+
+      // Cross-check: every run — any thread count, any rep — must produce the
+      // identical corpus.
+      std::uint64_t bytes = 0;
+      for (const auto& f : ds.flows) bytes += f.bytes_captured;
+      if (base_bytes == 0) {
+        base_bytes = bytes;
+      } else if (bytes != base_bytes) {
+        std::cerr << "DETERMINISM VIOLATION: threads=" << threads
+                  << " rep=" << rep << " corpus differs\n";
+        return 1;
+      }
+    }
+
+    row.wall_min_s = *std::min_element(walls.begin(), walls.end());
+    row.wall_max_s = *std::max_element(walls.begin(), walls.end());
+    double sum = 0.0;
+    for (double w : walls) sum += w;
+    row.wall_mean_s = sum / static_cast<double>(walls.size());
+    double var = 0.0;
+    for (double w : walls) var += (w - row.wall_mean_s) * (w - row.wall_mean_s);
+    row.wall_stddev_s = std::sqrt(var / static_cast<double>(walls.size()));
+    row.wall_s = row.wall_min_s;
     row.events_per_s = static_cast<double>(row.events) / row.wall_s;
-    row.tombstone_ratio = static_cast<double>(ds.total_sim_tombstones()) /
-                          static_cast<double>(ds.total_sim_scheduled());
     if (threads == 1) base_wall = row.wall_s;
     row.speedup = base_wall / row.wall_s;
     rows.push_back(row);
 
-    // Cross-check: every run must produce the identical corpus.
-    std::uint64_t bytes = 0;
-    for (const auto& f : ds.flows) bytes += f.bytes_captured;
-    if (threads == 1) {
-      base_bytes = bytes;
-    } else if (bytes != base_bytes) {
-      std::cerr << "DETERMINISM VIOLATION: threads=" << threads << " corpus differs\n";
-      return 1;
-    }
-
     std::cout << "threads=" << threads << "  wall=" << row.wall_s << " s"
+              << " (spread " << row.wall_min_s << ".." << row.wall_max_s << ")"
               << "  events/s=" << row.events_per_s
               << "  speedup=" << row.speedup
               << "  tombstone_ratio=" << row.tombstone_ratio << "\n";
@@ -84,15 +115,20 @@ int main() {
   const unsigned hw = std::thread::hardware_concurrency();
   std::ofstream json(bench::out_dir() / "BENCH_parallel.json");
   json << "{\n  \"bench\": \"parallel_corpus_sharding\",\n"
-       << "  \"schema_version\": 2,\n"
+       << "  \"schema_version\": 3,\n"
        << "  \"scale\": " << bench::scale() << ",\n"
        << "  \"seed\": " << bench::seed() << ",\n"
+       << "  \"reps\": " << reps << ",\n"
        << "  \"hardware_concurrency\": " << hw << ",\n"
        << "  \"max_meaningful_speedup\": " << (hw == 0 ? 1 : hw) << ",\n"
        << "  \"runs\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     json << "    {\"threads\": " << r.threads << ", \"wall_s\": " << r.wall_s
+         << ", \"wall_spread\": {\"min\": " << r.wall_min_s
+         << ", \"max\": " << r.wall_max_s
+         << ", \"mean\": " << r.wall_mean_s
+         << ", \"stddev\": " << r.wall_stddev_s << "}"
          << ", \"sim_events\": " << r.events
          << ", \"events_per_s\": " << r.events_per_s
          << ", \"speedup\": " << r.speedup

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
-#include <unordered_map>
 
 #include "util/logging.h"
 
@@ -51,7 +50,7 @@ std::vector<TxClass> classify_transmissions(const trace::FlowCapture& capture,
                                             const AnalysisConfig& cfg) {
   const auto& txs = capture.data.transmissions();
   std::vector<TxClass> classes(txs.size(), TxClass::kFirstSend);
-  std::unordered_map<SeqNo, std::size_t> last_send_of;
+  std::map<SeqNo, std::size_t> last_send_of;
 
   for (std::size_t i = 0; i < txs.size(); ++i) {
     const SeqNo s = txs[i].packet.seq;
@@ -163,7 +162,7 @@ FlowAnalysis analyze_flow(const trace::FlowCapture& capture, AnalysisConfig conf
   out.ack_loss_rate = capture.acks.loss_rate();
   {
     // First-transmission loss rate: the first send of each distinct segment.
-    std::unordered_map<SeqNo, bool> seen_first;
+    std::map<SeqNo, bool> seen_first;
     std::uint64_t firsts = 0, firsts_lost = 0;
     for (const auto& tx : data_txs) {
       auto [it2, inserted] = seen_first.emplace(tx.packet.seq, true);
@@ -192,7 +191,7 @@ FlowAnalysis analyze_flow(const trace::FlowCapture& capture, AnalysisConfig conf
   // --- Timeout sequences -----------------------------------------------------
   // Per segment: all transmission indices, in time order (captures are
   // chronological per direction).
-  std::unordered_map<SeqNo, std::vector<std::size_t>> sends_of;
+  std::map<SeqNo, std::vector<std::size_t>> sends_of;
   for (std::size_t i = 0; i < data_txs.size(); ++i) {
     sends_of[data_txs[i].packet.seq].push_back(i);
   }

@@ -80,7 +80,7 @@ struct FaultDirective {
   // whitespace-free).
   std::string label = "fault";
 
-  bool matches(const Packet& packet, TimePoint now,
+  [[nodiscard]] bool matches(const Packet& packet, TimePoint now,
                std::uint64_t triggers_so_far) const;
 
   friend bool operator==(const FaultDirective&, const FaultDirective&) = default;
@@ -92,12 +92,12 @@ struct FaultDirective {
 struct FaultPlan {
   std::vector<FaultDirective> directives;
 
-  bool empty() const { return directives.empty(); }
+  [[nodiscard]] bool empty() const { return directives.empty(); }
 
   // Portable text serialization ("hsrfaultplan-v1"). parse(to_text(p)) == p
   // for every plan; see fault/plan_io.h for the grammar and file helpers.
-  std::string to_text() const;
-  static util::StatusOr<FaultPlan> parse(const std::string& text);
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] static util::StatusOr<FaultPlan> parse(const std::string& text);
 
   friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
 

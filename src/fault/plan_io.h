@@ -30,11 +30,11 @@
 namespace hsr::fault {
 
 void write_fault_plan(std::ostream& os, const FaultPlan& plan);
-util::StatusOr<FaultPlan> read_fault_plan(std::istream& is);
+[[nodiscard]] util::StatusOr<FaultPlan> read_fault_plan(std::istream& is);
 
 // Convenience file wrappers. Saving is atomic (write to `<path>.tmp`, then
 // rename into place), matching trace_io::save_flow_capture.
-util::Status save_fault_plan(const std::string& path, const FaultPlan& plan);
-util::StatusOr<FaultPlan> load_fault_plan(const std::string& path);
+[[nodiscard]] util::Status save_fault_plan(const std::string& path, const FaultPlan& plan);
+[[nodiscard]] util::StatusOr<FaultPlan> load_fault_plan(const std::string& path);
 
 }  // namespace hsr::fault

@@ -19,9 +19,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
+#include <set>
 #include <vector>
 
 #include "net/link.h"
@@ -86,7 +86,7 @@ class MptcpConnection {
     std::unique_ptr<tcp::TcpReceiver> receiver;
     std::unique_ptr<tcp::TcpSender> sender;
     // subflow seq -> meta seq mapping, assigned at first transmission.
-    std::unordered_map<SeqNo, SeqNo> meta_of;
+    std::map<SeqNo, SeqNo> meta_of;
     // Meta segments queued for this subflow ahead of fresh data (rescues).
     std::deque<SeqNo> pending_rescue;
 
@@ -106,7 +106,7 @@ class MptcpConnection {
   std::vector<std::unique_ptr<Subflow>> subflows_;
 
   SeqNo next_meta_ = 1;
-  std::unordered_set<SeqNo> meta_delivered_;
+  std::set<SeqNo> meta_delivered_;
   std::uint64_t rescue_transmissions_ = 0;
   std::uint64_t useful_rescues_ = 0;
 };

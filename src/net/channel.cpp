@@ -20,6 +20,15 @@ const char* drop_category_name(DropCategory category) {
   return "invalid";
 }
 
+std::string DropCause::component_path_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < component_depth; ++i) {
+    if (i > 0) out += '.';
+    out += std::to_string(component_path[i]);
+  }
+  return out;
+}
+
 BernoulliChannel::BernoulliChannel(double loss_probability, util::Rng rng)
     : p_(loss_probability), rng_(rng) {
   HSR_CHECK_MSG(p_ >= 0.0 && p_ <= 1.0, "loss probability out of range");
@@ -98,9 +107,10 @@ ChannelVerdict CompositeChannel::decide(const Packet& p, TimePoint now) {
     if (v.dropped && !out.dropped) {
       out.dropped = true;
       out.cause = v.cause;
-      if (out.cause.component < 0) {
-        out.cause.component = static_cast<std::int32_t>(i);
-      }
+      // Extend the attribution path outward: a nested composite has already
+      // recorded the inner hops, this level contributes its own index as the
+      // new outermost element ("1.0" = our component 1, its component 0).
+      out.cause.prepend_component(static_cast<std::int32_t>(i));
     }
     out.extra_delay += v.extra_delay;
     out.duplicate_copies += v.duplicate_copies;

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "net/packet.h"
@@ -41,25 +42,48 @@ inline constexpr std::size_t kDropCategoryCount = 8;
 const char* drop_category_name(DropCategory category);
 
 // Structured drop attribution: the category plus enough indices to point at
-// the exact mechanism — which CompositeChannel component dropped, and which
-// FaultPlan directive fired for scripted kills.
+// the exact mechanism — WHERE in a (possibly nested) CompositeChannel stack
+// the drop happened, and which FaultPlan directive fired for scripted kills.
 struct DropCause {
+  // Deepest composite nesting a cause can attribute. Real topologies nest
+  // two or three levels (radio = composite(loss, composite(fade, jitter)));
+  // past the cap the INNERMOST hop falls off, keeping the outer context
+  // that disambiguates stacks.
+  static constexpr std::size_t kMaxComponentDepth = 6;
+
   DropCategory category = DropCategory::kUnknown;
-  // Index of the dropping component within the innermost enclosing
-  // CompositeChannel; -1 when the drop happened outside any composite.
-  //
-  // LIMITATION: this is a flat index, so it aliases for nested composite
-  // stacks. A drop at outer index 1 / inner index 0 and a drop by a plain
-  // channel at outer index 0 both report component == 0 — the innermost
-  // composite stamps its index first and outer composites never overwrite
-  // it (see CompositeChannel::decide). Disambiguating deep stacks needs a
-  // path expression ("1.0"), tracked as a ROADMAP follow-up; the current
-  // innermost-wins behavior is pinned by
-  // CompositeChannelTest.NestedCompositeReportsInnermostIndexOnly.
-  std::int32_t component = -1;
+  // Component path, OUTERMOST composite first: element 0 is the dropping
+  // component's index inside the outermost enclosing CompositeChannel,
+  // element depth-1 its index inside the innermost. depth == 0 means the
+  // drop happened outside any composite. A depth-2 stack where the dropping
+  // channel sits at outer index 1 / inner index 0 reports the path "1.0" —
+  // unambiguous where the old flat index aliased ("1.0" vs a plain channel
+  // at index 0 both read 0). Each enclosing composite prepends its own
+  // index as the verdict propagates outward (see CompositeChannel::decide).
+  std::array<std::int16_t, kMaxComponentDepth> component_path{};
+  std::uint8_t component_depth = 0;
   // Index of the scripted FaultPlan directive that fired; -1 for organic
   // (non-scripted) drops.
   std::int32_t directive = -1;
+
+  bool has_component() const { return component_depth > 0; }
+  // Index inside the innermost composite (the last path element); -1 when
+  // no composite attributed the drop. Kept for flat consumers — it is the
+  // exact value the pre-path schema stored.
+  std::int32_t innermost_component() const {
+    return has_component() ? component_path[component_depth - 1] : -1;
+  }
+  // Dotted outermost-first rendering ("1.0"); empty without attribution.
+  std::string component_path_string() const;
+  // Records `index` as the new outermost path element. At capacity the
+  // innermost element is discarded (see kMaxComponentDepth).
+  void prepend_component(std::int32_t index) {
+    const std::size_t keep =
+        component_depth < kMaxComponentDepth ? component_depth : kMaxComponentDepth - 1;
+    for (std::size_t i = keep; i > 0; --i) component_path[i] = component_path[i - 1];
+    component_path[0] = static_cast<std::int16_t>(index);
+    component_depth = static_cast<std::uint8_t>(keep + 1);
+  }
 
   bool is_queue() const { return category == DropCategory::kQueueOverflow; }
   bool is_channel() const {
@@ -68,21 +92,27 @@ struct DropCause {
   }
   bool is_scripted() const { return category == DropCategory::kScriptedFault; }
 
-  static DropCause queue_overflow() { return {DropCategory::kQueueOverflow, -1, -1}; }
-  static DropCause unattributed_channel() {
-    return {DropCategory::kChannelUnattributed, -1, -1};
+  static DropCause of(DropCategory category) {
+    DropCause c;
+    c.category = category;
+    return c;
   }
-  static DropCause bernoulli() { return {DropCategory::kBernoulli, -1, -1}; }
+  static DropCause queue_overflow() { return of(DropCategory::kQueueOverflow); }
+  static DropCause unattributed_channel() {
+    return of(DropCategory::kChannelUnattributed);
+  }
+  static DropCause bernoulli() { return of(DropCategory::kBernoulli); }
   static DropCause gilbert_elliott(bool bad_state) {
-    return {bad_state ? DropCategory::kGilbertElliottBad
-                      : DropCategory::kGilbertElliottGood,
-            -1, -1};
+    return of(bad_state ? DropCategory::kGilbertElliottBad
+                        : DropCategory::kGilbertElliottGood);
   }
   static DropCause functional_radio() {
-    return {DropCategory::kFunctionalRadio, -1, -1};
+    return of(DropCategory::kFunctionalRadio);
   }
   static DropCause scripted(std::int32_t directive_index) {
-    return {DropCategory::kScriptedFault, -1, directive_index};
+    DropCause c = of(DropCategory::kScriptedFault);
+    c.directive = directive_index;
+    return c;
   }
 
   friend bool operator==(const DropCause&, const DropCause&) = default;
@@ -201,11 +231,11 @@ class JitterChannel final : public ChannelModel {
 // extra delays and duplicate copies add up. The drop cause carries the index
 // of the FIRST component that dropped the packet.
 //
-// Nesting caveat: composites can contain composites, but DropCause::component
-// is a single flat index — the innermost composite assigns it and every outer
-// composite leaves it untouched, so the outer position of a nested drop is
-// not recoverable from the cause (indices alias across depths). See the
-// DropCause::component comment for the pinned behavior and follow-up.
+// Nesting: composites can contain composites. Each composite prepends its
+// own dropping-component index to the cause's component path as the verdict
+// propagates outward, so a nested drop reads as an unambiguous outermost-
+// first path ("1.0") — see DropCause::component_path. Pinned by
+// CompositeChannelTest.NestedCompositeReportsFullComponentPath.
 class CompositeChannel final : public ChannelModel {
  public:
   explicit CompositeChannel(std::vector<std::unique_ptr<ChannelModel>> parts);

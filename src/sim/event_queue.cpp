@@ -14,6 +14,10 @@ bool EventHandle::cancel() {
   return queue_ != nullptr && queue_->cancel_handle(*this);
 }
 
+// HSR_HOT_PATH_BEGIN — schedule/reschedule/cancel and the slab bookkeeping
+// they ride on run once per simulated packet/timer; the steady state must
+// not allocate (pinned dynamically by sim.hotpath_alloc, gated statically
+// by hsr-lint's hotpath family).
 bool EventQueue::handle_pending(const EventHandle& h) const {
   // An inert (default-constructed) or foreign-queue handle must never match:
   // its slot/generation pair would alias an unrelated event in this queue.
@@ -41,7 +45,7 @@ std::uint32_t EventQueue::acquire_slot() {
     slots_[index].next_free = kNilSlot;
     return index;
   }
-  slots_.emplace_back();
+  slots_.emplace_back();  // hsr-lint-ok: amortized slab growth; steady state recycles via free_head_
   return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
@@ -56,7 +60,7 @@ void EventQueue::release_slot(std::uint32_t index) const {
 
 void EventQueue::push_entry(TimePoint when, std::uint64_t seq,
                             std::uint32_t slot) const {
-  heap_.push_back(HeapEntry{when, seq, slot});
+  heap_.push_back(HeapEntry{when, seq, slot});  // hsr-lint-ok: amortized heap growth; capacity plateaus at peak depth
   std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
@@ -103,7 +107,11 @@ void EventQueue::prune() const {
     retire_dead_entry(dead);
   }
 }
+// HSR_HOT_PATH_END
 
+// Compaction is amortized maintenance (runs when tombstones outnumber live
+// entries), not steady-state work, so it sits outside the hot region; its
+// resize() only ever shrinks.
 void EventQueue::maybe_compact() {
   if (heap_.size() >= kCompactMinHeap && tombstones_in_heap_ * 2 > heap_.size()) {
     compact();
@@ -125,6 +133,7 @@ void EventQueue::compact() {
   ++compactions_total_;
 }
 
+// HSR_HOT_PATH_BEGIN — the dispatch loop: peek/pop/run once per event.
 bool EventQueue::empty() const {
   prune();
   return heap_.empty();
@@ -162,5 +171,6 @@ TimePoint EventQueue::pop_and_run() {
   action();
   return when;
 }
+// HSR_HOT_PATH_END
 
 }  // namespace hsr::sim

@@ -2,6 +2,7 @@
 
 namespace hsr::sim {
 
+// HSR_HOT_PATH_BEGIN — the ACK-clocked RTO re-arm fires once per ACK.
 void Timer::arm(Duration delay) {
   expiry_ = sim_.now() + delay;
   // Re-arm fast path: a still-pending event is moved in place, keeping its
@@ -13,5 +14,6 @@ void Timer::arm(Duration delay) {
 }
 
 void Timer::cancel() { handle_.cancel(); }
+// HSR_HOT_PATH_END
 
 }  // namespace hsr::sim

@@ -43,13 +43,15 @@ bool category_from_code(char code, DropCategory& out) {
   }
 }
 
-// Serializes the structured cause:  <code>[@<component>][#<directive>]
+// Serializes the structured cause:  <code>[@<component-path>][#<directive>]
+// The component path is dotted outermost-first ("1.0"); an unnested drop
+// writes a single index ("1"), byte-identical to the pre-path flat schema.
 std::string drop_token(const Transmission& tx) {
   if (!tx.drop_cause) return "-";
   std::string out(1, category_code(tx.drop_cause->category));
-  if (tx.drop_cause->component >= 0) {
+  if (tx.drop_cause->has_component()) {
     out += '@';
-    out += std::to_string(tx.drop_cause->component);
+    out += tx.drop_cause->component_path_string();
   }
   if (tx.drop_cause->directive >= 0) {
     out += '#';
@@ -122,7 +124,22 @@ bool parse_drop_token(const std::string& token, std::optional<net::DropCause>& o
     const std::string field =
         token.substr(pos + 1, end == std::string::npos ? std::string::npos
                                                        : end - pos - 1);
-    if (!parse_int(field, cause.component) || cause.component < 0) return false;
+    // Dotted outermost-first component path ("1.0"). Archives written before
+    // nesting support carry a single index — the same spelling as a depth-1
+    // path — so one parser reads both generations.
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t dot = field.find('.', start);
+      const std::string element =
+          field.substr(start, dot == std::string::npos ? std::string::npos
+                                                       : dot - start);
+      std::int16_t index = -1;
+      if (!parse_int(element, index) || index < 0) return false;
+      if (cause.component_depth >= net::DropCause::kMaxComponentDepth) return false;
+      cause.component_path[cause.component_depth++] = index;
+      if (dot == std::string::npos) break;
+      start = dot + 1;
+    }
     pos = (end == std::string::npos) ? token.size() : end;
   }
   if (pos < token.size() && token[pos] == '#') {

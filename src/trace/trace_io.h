@@ -5,15 +5,19 @@
 //   <dir> <pkt_id> <seq> <ack_next> <size> <sent_ns> <arrived_ns|-1> <drop> <retx>
 // where dir is D (data) or A (ack) and drop is a structured cause token:
 //   '-'                          no fate recorded (in flight at capture end)
-//   <code>[@<component>][#<directive>]   a cause-coded drop
+//   <code>[@<component-path>][#<directive>]   a cause-coded drop
 // with code one of
 //   'Q' queue overflow,          'C' channel loss, cause unattributed (v1),
 //   'B' Bernoulli loss,          'g' Gilbert–Elliott loss in GOOD state,
 //   'G' Gilbert–Elliott loss in BAD state,
 //   'R' functional radio loss,   'X' scripted fault,
-// `@<component>` the index of the dropping CompositeChannel component and
-// `#<directive>` the index of the scripted FaultPlan directive, each present
-// only when recorded (>= 0). Lost packets have arrived_ns = -1 (exactly the
+// `@<component-path>` the dotted, outermost-first index path of the dropping
+// component through (possibly nested) CompositeChannels — "1" for a direct
+// child at index 1, "1.0" for component 0 of a nested composite at index 1 —
+// and `#<directive>` the index of the scripted FaultPlan directive, each
+// present only when recorded. Unnested paths are spelled exactly like the
+// pre-path flat index, so archives written before nested attribution parse
+// (and round-trip) unchanged. Lost packets have arrived_ns = -1 (exactly the
 // convention of the paper's Fig. 1). Scripted-fault audit records follow as
 // `F` lines:
 //   F <link-dir> <when_ns> <pkt_id> <seq> <kind> <directive> <action> <delay_ns> <label>
@@ -38,12 +42,12 @@ void write_flow_capture(std::ostream& os, const FlowCapture& capture);
 // (EOF before its newline — the signature of a truncated archive) is
 // tolerated: the partial record is dropped and the capture parsed so far is
 // returned.
-util::StatusOr<FlowCapture> read_flow_capture(std::istream& is);
+[[nodiscard]] util::StatusOr<FlowCapture> read_flow_capture(std::istream& is);
 
 // Convenience file wrappers. Saving is atomic (write to `<path>.tmp`, then
 // rename into place), so a killed run never leaves a half-written archive
 // under the real name.
-util::Status save_flow_capture(const std::string& path, const FlowCapture& capture);
-util::StatusOr<FlowCapture> load_flow_capture(const std::string& path);
+[[nodiscard]] util::Status save_flow_capture(const std::string& path, const FlowCapture& capture);
+[[nodiscard]] util::StatusOr<FlowCapture> load_flow_capture(const std::string& path);
 
 }  // namespace hsr::trace

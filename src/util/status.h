@@ -27,7 +27,7 @@ enum class StatusCode {
 // Returns a stable human-readable name for a status code.
 const char* status_code_name(StatusCode code);
 
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() = default;  // OK
   Status(StatusCode code, std::string message)
@@ -53,7 +53,7 @@ class Status {
     return Status(StatusCode::kResourceExhausted, std::move(m));
   }
 
-  bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
   std::string to_string() const;
@@ -67,14 +67,14 @@ class Status {
 // so callers that cannot handle the failure fail loudly rather than reading
 // indeterminate data.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(T value) : value_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
   StatusOr(Status status) : status_(std::move(status)) {   // NOLINT(google-explicit-constructor)
     HSR_CHECK_MSG(!status_.is_ok(), "OK StatusOr must carry a value");
   }
 
-  bool is_ok() const { return value_.has_value(); }
+  [[nodiscard]] bool is_ok() const { return value_.has_value(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {

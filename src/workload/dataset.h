@@ -72,7 +72,7 @@ struct DatasetSpec {
 // trailing garbage, zero, absurd counts) is an InvalidArgument naming the
 // offending text. Exposed for tests and bench binaries.
 inline constexpr unsigned kMaxBenchThreads = 512;
-util::StatusOr<unsigned> parse_bench_threads(const char* text);
+[[nodiscard]] util::StatusOr<unsigned> parse_bench_threads(const char* text);
 
 struct FlowRecord {
   std::string provider;   // short provider name ("China Mobile", ...)
@@ -120,7 +120,7 @@ struct DatasetResult {
   // OK the simulate phase never ran and `flows` is empty.
   util::Status config_status;
 
-  bool complete() const { return config_status.is_ok() && quarantined.empty(); }
+  [[nodiscard]] bool complete() const { return config_status.is_ok() && quarantined.empty(); }
 
   double total_capture_gb() const;
   unsigned flow_count(const std::string& provider, bool high_speed) const;

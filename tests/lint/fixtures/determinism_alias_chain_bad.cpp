@@ -1,0 +1,27 @@
+// lint-fixture: rules=determinism path=src/sim/alias_chain_fixture.cpp
+// Lexer corner case: multi-level alias chains. The banned clock hides two
+// `using` hops and one typedef away; every definition line and every use
+// must fire.
+#include <chrono>
+
+namespace fixture {
+
+using BaseClock = std::chrono::steady_clock;       // expect: wall-clock
+using LegClock = BaseClock;                        // expect: wall-clock
+using FinishClock = LegClock;                      // expect: wall-clock
+typedef std::chrono::system_clock SysClk;          // expect: wall-clock
+
+inline double lap_seconds() {
+  auto start = FinishClock::now();                 // expect: wall-clock
+  auto wall = SysClk::now();                       // expect: wall-clock
+  return std::chrono::duration<double>(
+             wall.time_since_epoch() - start.time_since_epoch())
+      .count();
+}
+
+// A chain that never reaches a banned type stays clean.
+using Ticks = unsigned long long;
+using SimInstant = Ticks;
+inline SimInstant advance(SimInstant t) { return t + 1; }
+
+}  // namespace fixture

@@ -1,0 +1,44 @@
+// lint-fixture: rules=determinism path=src/sim/det_fixture.cpp
+// Positive fixture: every determinism rule fires exactly where annotated.
+// The `using WallClock = ...` line plus its later use is the acceptance
+// case for alias-awareness.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <thread>
+
+namespace fixture {
+
+using WallClock = std::chrono::system_clock;       // expect: wall-clock
+using Engine = std::mt19937;
+
+inline double bad_now() {
+  auto a = std::chrono::steady_clock::now();       // expect: wall-clock
+  auto b = WallClock::now();                       // expect: wall-clock
+  std::time_t t = std::time(nullptr);              // expect: c-time
+  return static_cast<double>(t) +
+         std::chrono::duration<double>(a - b).count();
+}
+
+inline int bad_random() {
+  std::srand(42);                                  // expect: c-rand
+  std::random_device rd;                           // expect: random-device
+  std::mt19937_64 gen{};                           // expect: unseeded-engine
+  Engine forked_;                                  // expect: unseeded-engine
+  return std::rand() + static_cast<int>(rd()) +    // expect: c-rand
+         static_cast<int>(gen()) + static_cast<int>(forked_());
+}
+
+inline void bad_sync() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));  // expect: sleep-sync
+  auto id = std::this_thread::get_id();            // expect: thread-id
+  (void)id;
+}
+
+// Negative slice inside the positive fixture: referencing the engine TYPE
+// without constructing one (return type, reference binding) is fine.
+std::mt19937_64& shared_engine();
+inline auto& engine_ref() { return shared_engine(); }
+
+}  // namespace fixture

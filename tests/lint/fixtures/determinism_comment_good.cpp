@@ -1,0 +1,29 @@
+// lint-fixture: rules=determinism path=src/sim/comment_fixture.cpp
+// Lexer corner case: banned constructs inside comments and `#if 0` blocks
+// are dead text and must not fire. A naive line lint trips on every one of
+// these; the lexer strips them before any rule runs.
+#include <cstdint>
+
+namespace fixture {
+
+/* Block comment mentioning srand(42), std::random_device rd; and
+   std::this_thread::sleep_for(1s) across
+   multiple lines. */
+inline std::uint64_t virtual_now_us(std::uint64_t ticks) {
+  // A naive port would call std::time(nullptr) here; we use sim ticks.
+  return ticks * 10;
+}
+
+#if 0
+// Disabled draft kept for reference: never compiled, never linted.
+inline double wall_seconds() {
+  auto t = std::chrono::system_clock::now();
+  std::mt19937_64 engine;
+  return std::chrono::duration<double>(t.time_since_epoch()).count() +
+         static_cast<double>(engine());
+}
+#else
+inline double wall_seconds(std::uint64_t ticks) { return ticks * 1e-6; }
+#endif
+
+}  // namespace fixture

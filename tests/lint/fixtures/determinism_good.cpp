@@ -1,0 +1,37 @@
+// lint-fixture: rules=determinism path=src/sim/det_ok_fixture.cpp
+// Negative fixture: the idioms the simulation core actually uses must all
+// stay clean — virtual time, forked Rng streams, chrono durations (which
+// are not clocks), and the one audited engine member behind the exemption
+// marker.
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+using Ticks = std::uint64_t;
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+  Rng fork(std::uint64_t stream) const { return Rng(state_ ^ stream); }
+  std::uint64_t next() { return state_ = state_ * 6364136223846793005ull + 1442695040888963407ull; }
+
+ private:
+  std::uint64_t state_;  // determinism-ok: fixture mirror of util::Rng internals
+};
+
+inline Ticks virtual_now(Ticks events_run) { return events_run * 10; }
+
+inline std::chrono::microseconds as_duration(Ticks t) {
+  return std::chrono::microseconds(t);
+}
+
+inline std::vector<std::uint64_t> per_shard_seeds(const Rng& root, int shards) {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) seeds.push_back(Rng(root).fork(i).next());
+  return seeds;
+}
+
+}  // namespace fixture

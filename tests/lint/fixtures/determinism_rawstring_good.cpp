@@ -1,0 +1,24 @@
+// lint-fixture: rules=determinism path=src/sim/rawstring_fixture.cpp
+// Lexer corner case: banned tokens inside raw strings and ordinary string
+// literals are data, not code, and must not fire.
+#include <string>
+
+namespace fixture {
+
+inline std::string lint_doc() {
+  return R"doc(
+    Banned in real code, inert in data: std::chrono::system_clock::now(),
+    srand(42), std::random_device rd, std::this_thread::sleep_for(1s),
+    std::mt19937_64 engine; and std::this_thread::get_id().
+  )doc";
+}
+
+inline std::string delimited() {
+  return R"lint(calls std::time(nullptr) and clock( ) inside)lint";
+}
+
+inline std::string plain_literal() {
+  return "gettimeofday(&tv, nullptr) in a plain string literal";
+}
+
+}  // namespace fixture

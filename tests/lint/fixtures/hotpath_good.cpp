@@ -1,0 +1,29 @@
+// lint-fixture: rules=hotpath path=src/sim/hot_ok_fixture.cpp
+// Negative fixture: placement new constructs into existing storage (no
+// allocation), an audited amortized-growth line can opt out with the
+// exemption marker, and anything outside the region is free.
+#include <new>
+#include <vector>
+
+namespace fixture {
+
+struct Slot {
+  alignas(8) unsigned char storage[16];
+};
+
+// HSR_HOT_PATH_BEGIN
+inline void construct_in_place(Slot& slot, long v) {
+  new (slot.storage) long(v);
+}
+
+inline void amortized_grow(std::vector<int>& heap, int v) {
+  heap.push_back(v);  // hsr-lint-ok: amortized growth, steady state is zero-alloc
+}
+// HSR_HOT_PATH_END
+
+inline void cold_setup(std::vector<int>& v) {
+  v.reserve(1024);
+  v.push_back(0);
+}
+
+}  // namespace fixture

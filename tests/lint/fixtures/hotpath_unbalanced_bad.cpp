@@ -1,0 +1,15 @@
+// lint-fixture: rules=hotpath path=src/sim/hot_marker_fixture.cpp
+// Marker hygiene: an END without a BEGIN and a BEGIN that is never closed
+// are both reported — a silently unterminated region would lint nothing.
+
+namespace fixture {
+
+// stray HSR_HOT_PATH_END marker with no begin -- expect: hot-marker
+
+inline int noop(int x) { return x; }
+
+// dangling HSR_HOT_PATH_BEGIN never closed -- expect: hot-marker
+
+inline int still_open(int x) { return x + 1; }
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// lint-fixture: rules=layering path=src/sim/layering_fixture.cpp
+// Positive fixture: sim sits below the protocol stack — tcp/ and workload/
+// headers violate the layers.toml DAG, while sim/ (self) and util/ are
+// allowed. System headers are never layer-checked.
+#include <cstdint>
+
+#include "sim/event_queue.h"
+#include "util/time.h"
+
+#include "tcp/tcp.h"                               // expect: layer-violation
+#include "workload/dataset.h"                      // expect: layer-violation
+
+namespace fixture {}

@@ -1,0 +1,15 @@
+// lint-fixture: rules=layering path=src/workload/layering_ok_fixture.cpp
+// Negative fixture: workload is the top of the DAG and may include every
+// module listed for it in layers.toml; local non-module includes (no
+// src/ module prefix) are ignored.
+#include <vector>
+
+#include "analysis/flow_analysis.h"
+#include "mptcp/mptcp.h"
+#include "radio/radio.h"
+#include "tcp/tcp.h"
+#include "trace/trace_io.h"
+#include "util/status.h"
+#include "workload/dataset.h"
+
+namespace fixture {}

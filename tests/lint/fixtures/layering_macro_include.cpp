@@ -1,0 +1,8 @@
+// lint-fixture: rules=layering path=src/net/macro_include_fixture.cpp
+// Lexer corner case: a macro-spelled include cannot be layer-checked, so
+// inside src/ it is rejected outright; the literal util/ include is fine.
+#define HSR_FIXTURE_HEADER "net/link.h"
+#include HSR_FIXTURE_HEADER                        // expect: macro-include
+#include "util/time.h"
+
+namespace fixture {}

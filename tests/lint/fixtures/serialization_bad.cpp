@@ -1,0 +1,17 @@
+// lint-fixture: rules=serialization path=src/trace/unordered_fixture.cpp
+// Positive fixture: unordered containers (direct, via alias, and their
+// includes) in a serialization-sensitive module feed implementation-defined
+// iteration order into archive bytes.
+#include <string>
+#include <unordered_map>                           // expect: unordered-include
+
+namespace fixture {
+
+using DropIndex = std::unordered_map<std::string, int>;  // expect: unordered-container
+
+struct CaptureStats {
+  std::unordered_map<int, int> per_flow;           // expect: unordered-container
+  DropIndex drops;                                 // expect: unordered-container
+};
+
+}  // namespace fixture

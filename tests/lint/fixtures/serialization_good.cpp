@@ -1,0 +1,18 @@
+// lint-fixture: rules=serialization path=src/trace/sorted_fixture.cpp
+// Negative fixture: ordered/sorted structures are the sanctioned idiom in
+// serialization-sensitive modules, and an audited lookup-only unordered map
+// can opt out with an exemption marker.
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>  // hsr-lint-ok: lookup-only scratch index below
+
+namespace fixture {
+
+struct CaptureStats {
+  std::map<int, int> per_flow;
+  std::set<std::string> providers;
+  std::unordered_map<int, int> scratch_lookup;  // hsr-lint-ok: never iterated, keys resolved one at a time
+};
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// lint-fixture: rules=serialization path=src/radio/writer_fixture.cpp
+// Writer-function heuristic: outside the serialization modules the rule
+// still fires inside any function named like a writer (write_*/save_*/
+// serialize*/to_text/dump*/emit*/report*) — and stays quiet elsewhere.
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+inline void write_histogram(std::ostream& os) {
+  std::unordered_map<int, int> counts;             // expect: unordered-container
+  os << counts.size();
+}
+
+inline int lookup_only(int key) {
+  std::unordered_map<int, int> cache;
+  auto it = cache.find(key);
+  return it == cache.end() ? 0 : it->second;
+}
+
+}  // namespace fixture

@@ -204,7 +204,7 @@ TEST(CompositeChannelTest, CausesCarryTheDroppingComponentIndex) {
   const ChannelVerdict v = ch.decide(make_packet(), TimePoint::zero());
   ASSERT_TRUE(v.dropped);
   EXPECT_EQ(v.cause.category, DropCategory::kBernoulli);
-  EXPECT_EQ(v.cause.component, 2);
+  EXPECT_EQ(v.cause.component_path_string(), "2");
   // A drop never carries delay/duplication side effects.
   EXPECT_EQ(v.extra_delay, Duration::zero());
   EXPECT_EQ(v.duplicate_copies, 0u);
@@ -217,16 +217,15 @@ TEST(CompositeChannelTest, FirstDroppingComponentWinsAttribution) {
   CompositeChannel ch(std::move(parts));
   const ChannelVerdict v = ch.decide(make_packet(), TimePoint::zero());
   ASSERT_TRUE(v.dropped);
-  EXPECT_EQ(v.cause.component, 0);
+  EXPECT_EQ(v.cause.component_path_string(), "0");
 }
 
-TEST(CompositeChannelTest, NestedCompositeReportsInnermostIndexOnly) {
-  // Regression pin for the documented flat-index aliasing (channel.h):
-  // a depth-2 stack where the dropping channel sits at OUTER index 1 /
-  // INNER index 0 must report component == 0 — the innermost composite
-  // stamps the index and the outer one never overwrites it. If this ever
-  // starts reporting a path-aware value ("1.0"-style), the DropCause
-  // schema changed and downstream consumers must be migrated.
+TEST(CompositeChannelTest, NestedCompositeReportsFullComponentPath) {
+  // Path-aware attribution (channel.h): a depth-2 stack where the dropping
+  // channel sits at OUTER index 1 / INNER index 0 must report the full
+  // outermost-first path "1.0" — the innermost composite stamps its index
+  // and the outer composite PREPENDS its own, so nested drops no longer
+  // alias with a plain channel at index 0 (the old flat-index limitation).
   std::vector<std::unique_ptr<ChannelModel>> inner_parts;
   inner_parts.push_back(std::make_unique<BernoulliChannel>(1.0, util::Rng(1)));
   inner_parts.push_back(std::make_unique<PerfectChannel>());
@@ -240,9 +239,11 @@ TEST(CompositeChannelTest, NestedCompositeReportsInnermostIndexOnly) {
   const ChannelVerdict v = outer.decide(make_packet(), TimePoint::zero());
   ASSERT_TRUE(v.dropped);
   EXPECT_EQ(v.cause.category, DropCategory::kBernoulli);
-  // Innermost index (0), NOT the outer position of the nested composite (1):
-  // the flat index cannot distinguish the two.
-  EXPECT_EQ(v.cause.component, 0);
+  // Outermost-first: outer position of the nested composite (1), then the
+  // index inside it (0). The flat innermost view is still available.
+  EXPECT_EQ(v.cause.component_path_string(), "1.0");
+  EXPECT_EQ(v.cause.component_depth, 2);
+  EXPECT_EQ(v.cause.innermost_component(), 0);
 }
 
 TEST(CompositeChannelTest, DelaysAddUp) {

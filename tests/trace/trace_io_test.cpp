@@ -30,7 +30,7 @@ FlowCapture sample_capture() {
   d2.is_retransmission = true;
   cap.data.on_send(d2, TimePoint::from_ns(2000));
   net::DropCause ge_bad = net::DropCause::gilbert_elliott(/*bad_state=*/true);
-  ge_bad.component = 1;  // dropped by the second part of a composite channel
+  ge_bad.prepend_component(1);  // dropped by the second part of a composite channel
   cap.data.on_drop(d2, TimePoint::from_ns(2000), ge_bad);
 
   Packet a1;
@@ -67,7 +67,8 @@ TEST(TraceIoTest, RoundTripPreservesEverything) {
   EXPECT_TRUE(d[1].lost());
   ASSERT_TRUE(d[1].drop_cause.has_value());
   EXPECT_EQ(d[1].drop_cause->category, net::DropCategory::kGilbertElliottBad);
-  EXPECT_EQ(d[1].drop_cause->component, 1);
+  EXPECT_EQ(d[1].drop_cause->component_path_string(), "1");
+  EXPECT_EQ(d[1].drop_cause->innermost_component(), 1);
   EXPECT_EQ(d[1].drop_cause->directive, -1);
   EXPECT_EQ(d[1].packet.retx_count, 1u);
   EXPECT_TRUE(d[1].packet.is_retransmission);
@@ -93,6 +94,49 @@ TEST(TraceIoTest, DropTokensCarryComponentAndDirective) {
   EXPECT_NE(text.find(" G@1 "), std::string::npos) << text;
   // Queue overflow carries no component/directive suffix.
   EXPECT_NE(text.find(" Q "), std::string::npos) << text;
+}
+
+TEST(TraceIoTest, NestedComponentPathRoundTripsDotted) {
+  FlowCapture cap;
+  cap.flow = 4;
+  Packet p;
+  p.id = 1;
+  p.flow = 4;
+  p.kind = net::PacketKind::kData;
+  p.seq = 1;
+  p.size_bytes = 1400;
+  cap.data.on_send(p, TimePoint::from_ns(500));
+  // Drop attributed through a depth-2 composite stack: outer index 1,
+  // inner index 0 — serialized as the dotted path token "B@1.0".
+  net::DropCause nested = net::DropCause::bernoulli();
+  nested.prepend_component(0);
+  nested.prepend_component(1);
+  cap.data.on_drop(p, TimePoint::from_ns(500), nested);
+
+  std::stringstream ss;
+  write_flow_capture(ss, cap);
+  EXPECT_NE(ss.str().find(" B@1.0 "), std::string::npos) << ss.str();
+
+  auto loaded = read_flow_capture(ss);
+  ASSERT_TRUE(loaded.is_ok());
+  const auto& d = loaded.value().data.transmissions();
+  ASSERT_EQ(d.size(), 1u);
+  ASSERT_TRUE(d[0].drop_cause.has_value());
+  EXPECT_EQ(*d[0].drop_cause, nested);
+  EXPECT_EQ(d[0].drop_cause->component_path_string(), "1.0");
+  EXPECT_EQ(d[0].drop_cause->innermost_component(), 0);
+}
+
+TEST(TraceIoTest, MalformedComponentPathsAreRejected) {
+  // A dotted path must be all non-negative integers and fit the depth cap.
+  const std::string header = "hsrtrace-v2 flow=4\n";
+  for (const std::string token :
+       {"B@", "B@1.", "B@.0", "B@1..0", "B@1.x", "B@-1.0",
+        "B@1.2.3.4.5.6.7"}) {
+    std::stringstream ss(header + "D 1 1 0 1400 500 -1 " + token + " 0\n");
+    auto loaded = read_flow_capture(ss);
+    EXPECT_FALSE(loaded.is_ok()) << token;
+  }
 }
 
 TEST(TraceIoTest, ScriptedCauseRoundTripsDirectiveIndex) {

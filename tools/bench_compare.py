@@ -18,6 +18,16 @@ Allocation ratios near zero are compared with an absolute tolerance
 (``--alloc-epsilon``): a baseline of exactly 0 allocs/op must stay 0 within
 the epsilon, where a relative threshold would be meaningless.
 
+Schema v2 bench files additionally carry a top-level ``spread`` object with
+per-rep ``{min, max, mean, stddev}`` for the throughput metrics. When both
+files record a spread for a metric, the gate widens to the observed
+run-to-run noise: the effective threshold becomes
+``max(--threshold, rel_spread(base) + rel_spread(cur))`` where
+``rel_spread = (max - min) / max``. Two noisy best-of-N point samples then
+can't fail the gate on noise alone, while a genuine regression larger than
+both machines' jitter still does. Files without a ``spread`` object (schema
+v1) gate on the plain threshold as before.
+
 Usage:
   bench_compare.py baseline.json current.json [--threshold 0.10]
   bench_compare.py --self-check
@@ -47,12 +57,30 @@ def metric_direction(name: str) -> str:
     return "info"
 
 
+def rel_spread(spread: dict | None) -> float:
+    """Relative run-to-run noise of one metric: (max - min) / max, or 0."""
+    if not isinstance(spread, dict):
+        return 0.0
+    try:
+        lo = float(spread["min"])
+        hi = float(spread["max"])
+    except (KeyError, TypeError, ValueError):
+        return 0.0
+    if not (math.isfinite(lo) and math.isfinite(hi)) or hi <= 0 or lo > hi:
+        return 0.0
+    return (hi - lo) / hi
+
+
 def compare_metric(name: str, base: float, cur: float, threshold: float,
-                   alloc_epsilon: float):
+                   alloc_epsilon: float, base_spread: dict | None = None,
+                   cur_spread: dict | None = None):
     """Returns (status, detail); status in {'ok', 'regression', 'info'}."""
     direction = metric_direction(name)
     if direction == "info":
         return "info", f"{name}: {base:g} -> {cur:g} (not gated)"
+    noise = rel_spread(base_spread) + rel_spread(cur_spread)
+    if noise > 0.0:
+        threshold = max(threshold, noise)
     if direction == "down":
         # Ratios hugging zero: relative change is noise, use absolute slack.
         if max(abs(base), abs(cur)) <= alloc_epsilon:
@@ -75,7 +103,8 @@ def compare_metric(name: str, base: float, cur: float, threshold: float,
     return "ok", f"{name}: {base:g} -> {cur:g} ({-drop * 100:+.1f} %)"
 
 
-def load_metrics(path: Path) -> dict:
+def load_metrics(path: Path) -> tuple[dict, dict]:
+    """Returns (metrics, spreads); spreads is {} for schema-v1 files."""
     with path.open() as f:
         doc = json.load(f)
     metrics = doc.get("metrics")
@@ -86,14 +115,17 @@ def load_metrics(path: Path) -> dict:
            or not math.isfinite(float(v))]
     if bad:
         raise ValueError(f"{path}: non-numeric or non-finite metric(s): {', '.join(bad)}")
-    return {k: float(v) for k, v in metrics.items()}
+    spreads = doc.get("spread")
+    if not isinstance(spreads, dict):
+        spreads = {}
+    return {k: float(v) for k, v in metrics.items()}, spreads
 
 
 def run_compare(baseline: Path, current: Path, threshold: float,
                 alloc_epsilon: float) -> int:
     try:
-        base = load_metrics(baseline)
-        cur = load_metrics(current)
+        base, base_spreads = load_metrics(baseline)
+        cur, cur_spreads = load_metrics(current)
     except (OSError, ValueError, json.JSONDecodeError) as e:
         print(f"bench_compare: {e}", file=sys.stderr)
         return 2
@@ -107,7 +139,9 @@ def run_compare(baseline: Path, current: Path, threshold: float,
             regressions += 1
             continue
         status, detail = compare_metric(name, base[name], cur[name], threshold,
-                                        alloc_epsilon)
+                                        alloc_epsilon,
+                                        base_spreads.get(name),
+                                        cur_spreads.get(name))
         tag = {"ok": "  ok  ", "regression": "  FAIL ", "info": "  info "}[status]
         print(tag + detail)
         if status == "regression":
@@ -136,6 +170,25 @@ SELF_CHECK_CASES = [
     ("flow_sim_events", 1000.0, 1.0, "info"),                   # unknown direction
 ]
 
+# (name, baseline, current, base_spread, cur_spread, expected status)
+SPREAD_CASES = [
+    # -15 % drop, but each side is ~10 % noisy -> gate widens to 20 %, passes.
+    ("flow_events_per_s", 100.0, 85.0,
+     {"min": 90.0, "max": 100.0}, {"min": 76.5, "max": 85.0}, "ok"),
+    # -15 % drop with tight spreads -> still a regression.
+    ("flow_events_per_s", 100.0, 85.0,
+     {"min": 99.0, "max": 100.0}, {"min": 84.5, "max": 85.0}, "regression"),
+    # -30 % drop dwarfs the combined ~20 % noise -> regression.
+    ("flow_events_per_s", 100.0, 70.0,
+     {"min": 90.0, "max": 100.0}, {"min": 63.0, "max": 70.0}, "regression"),
+    # Spread only on one side still widens the gate by that side's noise.
+    ("flow_events_per_s", 100.0, 88.0,
+     {"min": 85.0, "max": 100.0}, None, "ok"),
+    # Degenerate spreads never tighten the gate below --threshold.
+    ("flow_events_per_s", 100.0, 95.0,
+     {"min": 100.0, "max": 100.0}, {"max": "nan"}, "ok"),
+]
+
 
 def run_self_check() -> int:
     failures = []
@@ -144,6 +197,11 @@ def run_self_check() -> int:
                                         DEFAULT_ALLOC_EPSILON)
         if status != expected:
             failures.append(f"{detail}: got {status}, expected {expected}")
+    for name, base, cur, bs, cs, expected in SPREAD_CASES:
+        status, detail = compare_metric(name, base, cur, DEFAULT_THRESHOLD,
+                                        DEFAULT_ALLOC_EPSILON, bs, cs)
+        if status != expected:
+            failures.append(f"[spread] {detail}: got {status}, expected {expected}")
     # A file compared against itself can never regress.
     identical = {f"m{i}_per_s": float(i + 1) for i in range(4)}
     for name, value in identical.items():
@@ -155,7 +213,7 @@ def run_self_check() -> int:
         for f in failures:
             print(f"self-check FAIL: {f}")
         return 2
-    print(f"self-check OK ({len(SELF_CHECK_CASES)} cases)")
+    print(f"self-check OK ({len(SELF_CHECK_CASES) + len(SPREAD_CASES)} cases)")
     return 0
 
 

@@ -105,8 +105,8 @@ void print_fate(const hsr::trace::FlowCapture& cap, char direction,
     return;
   }
   os << "LOST: " << hsr::net::drop_category_name(tx.drop_cause->category);
-  if (tx.drop_cause->component >= 0) {
-    os << ", channel component " << tx.drop_cause->component;
+  if (tx.drop_cause->has_component()) {
+    os << ", channel component " << tx.drop_cause->component_path_string();
   }
   if (tx.drop_cause->directive >= 0) {
     os << ", fault directive " << tx.drop_cause->directive;
