@@ -1,0 +1,241 @@
+// Trace-format benchmark: text ("hsrtrace-v2") vs binary columnar
+// ("hsrtrace-b1") serialization throughput and size.
+//
+// At 10^5-10^6-flow campaign scale the corpus I/O — not the simulator — is
+// the wall, so this bench records the numbers that justify the binary
+// format: write and read throughput (flows/s and MB/s of the format's own
+// bytes) and bytes per flow for both formats, over identical captures.
+//
+//   ./bench_trace                 # full run: 16 flows x 60 s sim, best of 3
+//   ./bench_trace --quick         # CI smoke: 4 flows x 10 s sim, 1 rep
+//   python3 tools/bench_compare.py baseline.json current.json
+//
+// Emits bench_out/BENCH_trace.json (schema_version 2: flat best-of-N
+// "metrics", per-metric "spread"; "_per_s" keys are throughputs — see
+// bench_hotpath.cpp for the conventions bench_compare.py keys off).
+//
+// The size ratio is deterministic for a given seed, so the bench FAILS
+// (exit 1) if the binary format is not at least 4x smaller than text —
+// the corpus-scale storage contract, pinned here and in the trace_query
+// selftest.
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "radio/profiles.h"
+#include "trace/trace_binary.h"
+#include "trace/trace_io.h"
+#include "workload/scenario.h"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+struct Spread {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+
+  static Spread of(const std::vector<double>& xs) {
+    Spread s;
+    if (xs.empty()) return s;
+    s.min = s.max = xs[0];
+    double sum = 0.0;
+    for (double x : xs) {
+      s.min = std::min(s.min, x);
+      s.max = std::max(s.max, x);
+      sum += x;
+    }
+    s.mean = sum / static_cast<double>(xs.size());
+    double sq = 0.0;
+    for (double x : xs) sq += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(sq / static_cast<double>(xs.size()));
+    return s;
+  }
+};
+
+// flows/s plus MB/s of the format's own bytes, best of N with spread kept
+// for both throughput readings.
+struct Throughput {
+  double flows_per_s = 0.0;
+  double mb_per_s = 0.0;
+  Spread flows_spread;
+  Spread mb_spread;
+};
+
+template <class Fn>
+Throughput best_of(int reps, std::uint64_t flows, std::uint64_t bytes, Fn fn) {
+  std::vector<double> flows_reps;
+  std::vector<double> mb_reps;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const double wall = seconds_since(t0);
+    flows_reps.push_back(static_cast<double>(flows) / wall);
+    mb_reps.push_back(static_cast<double>(bytes) / wall / 1e6);
+  }
+  Throughput t;
+  t.flows_spread = Spread::of(flows_reps);
+  t.mb_spread = Spread::of(mb_reps);
+  t.flows_per_s = t.flows_spread.max;
+  t.mb_per_s = t.mb_spread.max;
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  hsr::bench::header(quick ? "Trace formats: text vs binary (quick smoke)"
+                           : "Trace formats: text vs binary");
+
+  const std::uint64_t flow_count = quick ? 4 : 16;
+  const double flow_secs = quick ? 10.0 : 60.0;
+  const int reps = quick ? 1 : 3;
+
+  // Identical captures feed both formats: organic high-speed LTE flows,
+  // deterministically seeded off HSR_BENCH_SEED.
+  std::cerr << "[bench] simulating " << flow_count << " flows x " << flow_secs
+            << " s ..." << std::flush;
+  std::vector<hsr::trace::FlowCapture> captures;
+  captures.reserve(flow_count);
+  std::uint64_t transmissions = 0;
+  for (std::uint64_t i = 0; i < flow_count; ++i) {
+    hsr::workload::FlowRunConfig cfg;
+    cfg.profile = hsr::radio::mobile_lte_highspeed();
+    cfg.duration = hsr::util::Duration::from_seconds(flow_secs);
+    cfg.seed = hsr::bench::seed() * 1000 + i;
+    auto run = hsr::workload::run_flow(cfg);
+    run.capture.flow = static_cast<hsr::net::FlowId>(i + 1);
+    transmissions += run.capture.data.transmissions().size() +
+                     run.capture.acks.transmissions().size();
+    captures.push_back(std::move(run.capture));
+  }
+  std::cerr << " done (" << transmissions << " transmissions)\n";
+
+  // --- size: serialize once, measure both formats' bytes --------------------
+  std::vector<std::string> text_archives(flow_count);
+  for (std::uint64_t i = 0; i < flow_count; ++i) {
+    std::ostringstream os;
+    hsr::trace::write_flow_capture(os, captures[i]);
+    text_archives[i] = os.str();
+  }
+  std::uint64_t text_bytes = 0;
+  for (const auto& a : text_archives) text_bytes += a.size();
+
+  std::ostringstream bin_once;
+  hsr::trace::write_binary_trace_header(bin_once, flow_count);
+  for (const auto& cap : captures) hsr::trace::write_flow_frame(bin_once, cap);
+  const std::string binary_corpus = bin_once.str();
+  const std::uint64_t binary_bytes = binary_corpus.size();
+
+  const double size_ratio =
+      static_cast<double>(text_bytes) / static_cast<double>(binary_bytes);
+
+  // --- write throughput ------------------------------------------------------
+  const Throughput text_write = best_of(reps, flow_count, text_bytes, [&] {
+    std::ostringstream os;
+    for (const auto& cap : captures) hsr::trace::write_flow_capture(os, cap);
+    if (os.str().size() != text_bytes) std::abort();
+  });
+  const Throughput bin_write = best_of(reps, flow_count, binary_bytes, [&] {
+    std::ostringstream os;
+    hsr::trace::write_binary_trace_header(os, flow_count);
+    for (const auto& cap : captures) hsr::trace::write_flow_frame(os, cap);
+    if (os.str().size() != binary_bytes) std::abort();
+  });
+
+  // --- read throughput -------------------------------------------------------
+  const Throughput text_read = best_of(reps, flow_count, text_bytes, [&] {
+    std::uint64_t total = 0;
+    for (const auto& a : text_archives) {
+      std::istringstream is(a);
+      const auto cap = hsr::trace::read_flow_capture(is);
+      if (!cap.is_ok()) std::abort();
+      total += cap.value().data.transmissions().size();
+    }
+    if (total == 0) std::abort();
+  });
+  const Throughput bin_read = best_of(reps, flow_count, binary_bytes, [&] {
+    std::istringstream is(binary_corpus);
+    const auto corpus = hsr::trace::read_binary_corpus(is);
+    if (!corpus.is_ok() || corpus.value().flows.size() != flow_count) std::abort();
+  });
+
+  const double text_bpf = static_cast<double>(text_bytes) / static_cast<double>(flow_count);
+  const double bin_bpf = static_cast<double>(binary_bytes) / static_cast<double>(flow_count);
+  std::cout << "size         text " << text_bytes << " B (" << text_bpf
+            << " B/flow)  binary " << binary_bytes << " B (" << bin_bpf
+            << " B/flow)  ratio " << size_ratio << "x\n";
+  std::cout << "write        text " << text_write.flows_per_s << " flows/s ("
+            << text_write.mb_per_s << " MB/s)  binary " << bin_write.flows_per_s
+            << " flows/s (" << bin_write.mb_per_s << " MB/s)\n";
+  std::cout << "read         text " << text_read.flows_per_s << " flows/s ("
+            << text_read.mb_per_s << " MB/s)  binary " << bin_read.flows_per_s
+            << " flows/s (" << bin_read.mb_per_s << " MB/s)\n";
+
+  const auto path = hsr::bench::out_dir() / "BENCH_trace.json";
+  std::ofstream json(path);
+  json.precision(10);
+  const auto spread_entry = [&json](const char* name, const Spread& s,
+                                    const char* trailer) {
+    json << "    \"" << name << "\": {\"min\": " << s.min << ", \"max\": " << s.max
+         << ", \"mean\": " << s.mean << ", \"stddev\": " << s.stddev << "}"
+         << trailer << "\n";
+  };
+  json << "{\n"
+       << "  \"bench\": \"trace\",\n"
+       << "  \"schema_version\": 2,\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"reps\": " << reps << ",\n"
+       << "  \"seed\": " << hsr::bench::seed() << ",\n"
+       << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n"
+       << "  \"flows\": " << flow_count << ",\n"
+       << "  \"transmissions\": " << transmissions << ",\n"
+       << "  \"metrics\": {\n"
+       << "    \"text_write_flows_per_s\": " << text_write.flows_per_s << ",\n"
+       << "    \"text_write_mb_per_s\": " << text_write.mb_per_s << ",\n"
+       << "    \"binary_write_flows_per_s\": " << bin_write.flows_per_s << ",\n"
+       << "    \"binary_write_mb_per_s\": " << bin_write.mb_per_s << ",\n"
+       << "    \"text_read_flows_per_s\": " << text_read.flows_per_s << ",\n"
+       << "    \"text_read_mb_per_s\": " << text_read.mb_per_s << ",\n"
+       << "    \"binary_read_flows_per_s\": " << bin_read.flows_per_s << ",\n"
+       << "    \"binary_read_mb_per_s\": " << bin_read.mb_per_s << ",\n"
+       << "    \"text_bytes_per_flow\": " << text_bpf << ",\n"
+       << "    \"binary_bytes_per_flow\": " << bin_bpf << ",\n"
+       << "    \"text_to_binary_size_ratio\": " << size_ratio << "\n"
+       << "  },\n"
+       << "  \"spread\": {\n";
+  spread_entry("text_write_flows_per_s", text_write.flows_spread, ",");
+  spread_entry("binary_write_flows_per_s", bin_write.flows_spread, ",");
+  spread_entry("text_read_flows_per_s", text_read.flows_spread, ",");
+  spread_entry("binary_read_flows_per_s", bin_read.flows_spread, "");
+  json << "  }\n"
+       << "}\n";
+  std::cout << "[json] summary -> " << path.string() << "\n";
+
+  if (size_ratio < 4.0) {
+    std::cerr << "FAIL: binary format is not 4x smaller than text ("
+              << binary_bytes << " vs " << text_bytes << " bytes)\n";
+    return 1;
+  }
+  if (bin_write.flows_per_s <= text_write.flows_per_s) {
+    std::cerr << "WARNING: binary writes were not faster than text this run ("
+              << bin_write.flows_per_s << " vs " << text_write.flows_per_s
+              << " flows/s)\n";
+  }
+  return 0;
+}

@@ -12,6 +12,7 @@ namespace hsr::fault {
 namespace {
 
 constexpr const char* kMagic = "hsrfaultplan-v1";
+constexpr const char* kMagicV2 = "hsrfaultplan-v2";
 
 constexpr std::uint64_t kNoTriggerLimit = std::numeric_limits<std::uint64_t>::max();
 constexpr SeqNo kNoSeqLimit = std::numeric_limits<SeqNo>::max();
@@ -55,6 +56,65 @@ util::Status line_error(std::size_t line_number, const std::string& token,
   return util::Status::invalid_argument(
       "plan line " + std::to_string(line_number) + ": " + why + " (token '" +
       token + "')");
+}
+
+// Shortest decimal that round-trips the exact double (rates in the P line).
+std::string format_double(double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+bool parse_double(const std::string& token, double& out) {
+  const auto res = std::from_chars(token.data(), token.data() + token.size(), out);
+  return res.ec == std::errc() && res.ptr == token.data() + token.size();
+}
+
+util::Status parse_params_line(const std::vector<std::string>& tokens,
+                               std::size_t line_number, ReplayParams& p) {
+  if (tokens.size() != 13 || tokens[0] != "P") {
+    return line_error(line_number, tokens.empty() ? "" : tokens[0],
+                      "expected P line with 12 parameter fields");
+  }
+  if (!parse_double(tokens[1], p.down_rate_bps) || p.down_rate_bps <= 0) {
+    return line_error(line_number, tokens[1], "bad downlink rate");
+  }
+  if (!parse_int(tokens[2], p.down_delay_ns) || p.down_delay_ns < 0) {
+    return line_error(line_number, tokens[2], "bad downlink delay");
+  }
+  if (!parse_int(tokens[3], p.down_queue) || p.down_queue == 0) {
+    return line_error(line_number, tokens[3], "bad downlink queue capacity");
+  }
+  if (!parse_double(tokens[4], p.up_rate_bps) || p.up_rate_bps <= 0) {
+    return line_error(line_number, tokens[4], "bad uplink rate");
+  }
+  if (!parse_int(tokens[5], p.up_delay_ns) || p.up_delay_ns < 0) {
+    return line_error(line_number, tokens[5], "bad uplink delay");
+  }
+  if (!parse_int(tokens[6], p.up_queue) || p.up_queue == 0) {
+    return line_error(line_number, tokens[6], "bad uplink queue capacity");
+  }
+  if (!parse_int(tokens[7], p.mss_bytes) || p.mss_bytes == 0) {
+    return line_error(line_number, tokens[7], "bad mss");
+  }
+  if (!parse_int(tokens[8], p.delayed_ack_b) || p.delayed_ack_b == 0) {
+    return line_error(line_number, tokens[8], "bad delayed-ack b");
+  }
+  if (!parse_int(tokens[9], p.min_rto_ns) || p.min_rto_ns < 0) {
+    return line_error(line_number, tokens[9], "bad min rto");
+  }
+  if (!parse_int(tokens[10], p.receiver_window) || p.receiver_window == 0) {
+    return line_error(line_number, tokens[10], "bad receiver window");
+  }
+  if (tokens[11] != "0" && tokens[11] != "1") {
+    return line_error(line_number, tokens[11], "bad sack flag");
+  }
+  p.enable_sack = tokens[11] == "1";
+  if (tokens[12] != "0" && tokens[12] != "1") {
+    return line_error(line_number, tokens[12], "bad frto flag");
+  }
+  p.enable_frto = tokens[12] == "1";
+  return util::Status::ok();
 }
 
 util::Status parse_directive(const std::vector<std::string>& tokens,
@@ -145,8 +205,9 @@ util::Status parse_directive(const std::vector<std::string>& tokens,
 
 }  // namespace
 
-void write_fault_plan(std::ostream& os, const FaultPlan& plan) {
-  os << kMagic << " directives=" << plan.directives.size() << '\n';
+namespace {
+
+void write_directives(std::ostream& os, const FaultPlan& plan) {
   for (const FaultDirective& d : plan.directives) {
     os << fault_action_code(d.action) << ' ' << kind_code(d.kind) << ' '
        << d.window_begin.ns() << ' ';
@@ -172,44 +233,96 @@ void write_fault_plan(std::ostream& os, const FaultPlan& plan) {
   }
 }
 
-util::StatusOr<FaultPlan> read_fault_plan(std::istream& is) {
+}  // namespace
+
+void write_fault_plan(std::ostream& os, const FaultPlan& plan) {
+  os << kMagic << " directives=" << plan.directives.size() << '\n';
+  write_directives(os, plan);
+}
+
+void write_plan_file(std::ostream& os, const PlanFile& file) {
+  if (!file.params.has_value()) {
+    // No parameters to carry: stay on v1 so existing archives, golden files
+    // and old readers keep working byte for byte.
+    write_fault_plan(os, file.plan);
+    return;
+  }
+  const ReplayParams& p = *file.params;
+  os << kMagicV2 << " directives=" << file.plan.directives.size() << " params=1\n";
+  os << "P " << format_double(p.down_rate_bps) << ' ' << p.down_delay_ns << ' '
+     << p.down_queue << ' ' << format_double(p.up_rate_bps) << ' '
+     << p.up_delay_ns << ' ' << p.up_queue << ' ' << p.mss_bytes << ' '
+     << p.delayed_ack_b << ' ' << p.min_rto_ns << ' ' << p.receiver_window << ' '
+     << (p.enable_sack ? 1 : 0) << ' ' << (p.enable_frto ? 1 : 0) << '\n';
+  write_directives(os, file.plan);
+}
+
+util::StatusOr<PlanFile> read_plan_file(std::istream& is) {
   std::string line;
   if (!std::getline(is, line)) {
     return util::Status::invalid_argument("plan line 1: empty stream, no header");
   }
   std::size_t declared = 0;
+  bool expect_params = false;
   {
     std::istringstream hs(line);
     std::string magic;
     std::string count_field;
-    if (!(hs >> magic >> count_field) || magic != kMagic ||
+    if (!(hs >> magic >> count_field) || (magic != kMagic && magic != kMagicV2) ||
         count_field.rfind("directives=", 0) != 0) {
       return line_error(1, line, "bad plan header");
     }
     if (!parse_int(count_field.substr(11), declared)) {
       return line_error(1, count_field, "bad directive count");
     }
+    if (magic == kMagicV2) {
+      std::string params_field;
+      if (!(hs >> params_field) ||
+          (params_field != "params=0" && params_field != "params=1")) {
+        return line_error(1, params_field, "bad params flag in v2 header");
+      }
+      expect_params = params_field == "params=1";
+    }
   }
 
-  FaultPlan plan;
+  PlanFile file;
   std::size_t line_number = 1;
   while (std::getline(is, line)) {
     ++line_number;
     if (line.empty()) continue;
-    FaultDirective d;
     const std::vector<std::string> tokens = split_tokens(line);
+    if (expect_params) {
+      // The P line must be the first payload line of a params=1 file.
+      ReplayParams p;
+      util::Status status = parse_params_line(tokens, line_number, p);
+      if (!status.is_ok()) return status;
+      file.params = p;
+      expect_params = false;
+      continue;
+    }
+    FaultDirective d;
     util::Status status = parse_directive(tokens, line_number, d);
     if (!status.is_ok()) return status;
-    plan.directives.push_back(std::move(d));
+    file.plan.directives.push_back(std::move(d));
   }
-  if (plan.directives.size() != declared) {
+  if (expect_params) {
+    return util::Status::invalid_argument(
+        "plan: header declares params=1 but no P line followed");
+  }
+  if (file.plan.directives.size() != declared) {
     // The header count is an integrity check: a truncated plan file silently
     // dropping directives would change the experiment it claims to describe.
     return util::Status::invalid_argument(
         "plan: header declares " + std::to_string(declared) + " directives, found " +
-        std::to_string(plan.directives.size()));
+        std::to_string(file.plan.directives.size()));
   }
-  return plan;
+  return file;
+}
+
+util::StatusOr<FaultPlan> read_fault_plan(std::istream& is) {
+  auto file = read_plan_file(is);
+  if (!file.is_ok()) return file.status();
+  return std::move(file.value().plan);
 }
 
 util::Status save_fault_plan(const std::string& path, const FaultPlan& plan) {
@@ -237,6 +350,32 @@ util::StatusOr<FaultPlan> load_fault_plan(const std::string& path) {
   std::ifstream f(path);
   if (!f) return util::Status::not_found("cannot open: " + path);
   return read_fault_plan(f);
+}
+
+util::Status save_plan_file(const std::string& path, const PlanFile& file) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::trunc);
+    if (!f) return util::Status::internal("cannot open for write: " + tmp);
+    write_plan_file(f, file);
+    f.flush();
+    if (!f.good()) {
+      f.close();
+      std::remove(tmp.c_str());
+      return util::Status::internal("short write: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return util::Status::internal("cannot rename " + tmp + " -> " + path);
+  }
+  return util::Status::ok();
+}
+
+util::StatusOr<PlanFile> load_plan_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return util::Status::not_found("cannot open: " + path);
+  return read_plan_file(f);
 }
 
 std::string FaultPlan::to_text() const {

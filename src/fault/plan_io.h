@@ -1,11 +1,11 @@
-// Portable text serialization of FaultPlans ("hsrfaultplan-v1").
+// Portable text serialization of FaultPlans ("hsrfaultplan-v1" / "-v2").
 //
 // A plan file makes an archived experiment re-runnable: saved alongside a
 // trace archive, it carries the exact scripted faults that shaped the
 // capture, and feeding it back through FaultPlan::parse() reproduces the
 // run bit-identically (scripted faults are deterministic by construction).
 //
-// Grammar — a header line, then ONE positional-token line per directive:
+// v1 grammar — a header line, then ONE positional-token line per directive:
 //   hsrfaultplan-v1 directives=<N>
 //   <action> <kind> <win_begin_ns> <win_end_ns> <seq_min> <seq_max>
 //       <retx> <max_triggers> <delay_ns> <copies> <label>
@@ -17,11 +17,26 @@
 //   '*' stands in for the unbounded sentinel in win_end_ns / seq_max /
 //     max_triggers (TimePoint::max(), SeqNo max, uint64 max respectively);
 //   label is a single whitespace-free token (sanitized on write).
+//
+// v2 adds the experiment's link and TCP parameters so `trace_query replay`
+// can rebuild the exact topology for ARBITRARY archived experiments (v1
+// readers had to assume the fixed scripted-recipe config). Header and one
+// optional parameter line, then the same directive lines as v1:
+//   hsrfaultplan-v2 directives=<N> params=<0|1>
+//   P <down_rate_bps> <down_delay_ns> <down_queue>
+//     <up_rate_bps> <up_delay_ns> <up_queue>
+//     <mss_bytes> <delayed_ack_b> <min_rto_ns> <receiver_window>
+//     <sack> <frto>
+// (one line; rates are shortest-round-trip decimals, flags are 0/1).
+// Writers emit v1 when no params are attached — existing archives and
+// golden files stay byte-identical — and v2 only when they are.
 // Malformed input fails with the line number and offending token in the
 // Status message, mirroring trace_io's positional diagnostics.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "fault/fault.h"
@@ -29,12 +44,49 @@
 
 namespace hsr::fault {
 
+// Everything needed to rebuild a flow's topology for replay: both links and
+// the TCP knobs that shape the packet stream. Plain numbers only — this
+// header stays free of net/tcp dependencies; consumers map the fields onto
+// their config structs.
+struct ReplayParams {
+  double down_rate_bps = 10e6;
+  std::int64_t down_delay_ns = 0;
+  std::uint64_t down_queue = 64;
+  double up_rate_bps = 10e6;
+  std::int64_t up_delay_ns = 0;
+  std::uint64_t up_queue = 64;
+  std::uint32_t mss_bytes = 1400;
+  std::uint32_t delayed_ack_b = 2;
+  std::int64_t min_rto_ns = 0;
+  std::uint32_t receiver_window = 64;
+  bool enable_sack = false;
+  bool enable_frto = false;
+
+  friend bool operator==(const ReplayParams&, const ReplayParams&) = default;
+};
+
+// A parsed plan file: the directives plus, for v2 files that carry them,
+// the replay parameters.
+struct PlanFile {
+  FaultPlan plan;
+  std::optional<ReplayParams> params;
+};
+
+// Writes v1 when `params` is absent (byte-identical to the legacy writer),
+// v2 with a P line when present.
 void write_fault_plan(std::ostream& os, const FaultPlan& plan);
+void write_plan_file(std::ostream& os, const PlanFile& file);
+
+// Reads either version. read_fault_plan is the legacy surface: it accepts
+// v2 input too, discarding the parameter block.
 [[nodiscard]] util::StatusOr<FaultPlan> read_fault_plan(std::istream& is);
+[[nodiscard]] util::StatusOr<PlanFile> read_plan_file(std::istream& is);
 
 // Convenience file wrappers. Saving is atomic (write to `<path>.tmp`, then
 // rename into place), matching trace_io::save_flow_capture.
 [[nodiscard]] util::Status save_fault_plan(const std::string& path, const FaultPlan& plan);
 [[nodiscard]] util::StatusOr<FaultPlan> load_fault_plan(const std::string& path);
+[[nodiscard]] util::Status save_plan_file(const std::string& path, const PlanFile& file);
+[[nodiscard]] util::StatusOr<PlanFile> load_plan_file(const std::string& path);
 
 }  // namespace hsr::fault

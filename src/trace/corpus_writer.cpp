@@ -1,0 +1,201 @@
+#include "trace/corpus_writer.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+
+namespace hsr::trace {
+
+namespace {
+
+void put_u64le(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+bool read_u64le(std::istream& is, std::uint64_t& v) {
+  unsigned char bytes[8];
+  is.read(reinterpret_cast<char*>(bytes), 8);
+  if (is.gcount() != 8) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+  return true;
+}
+
+// One open spill file being merged: holds the current record so the k-way
+// merge can peek at its flow index.
+struct MergeSource {
+  std::ifstream in;
+  std::string path;
+  std::uint64_t index = 0;
+  std::string frame;
+  bool exhausted = false;
+
+  // Loads the next { index, frame } record. Spill files are written and
+  // consumed within one process run, so a short read here is corruption,
+  // not a torn tail to tolerate.
+  util::Status advance() {
+    if (!read_u64le(in, index)) {
+      if (in.gcount() == 0) {
+        exhausted = true;
+        return util::Status::ok();
+      }
+      return util::Status::internal("spill shard truncated: " + path);
+    }
+    char type = 0;
+    if (!in.get(type)) return util::Status::internal("spill shard truncated: " + path);
+    std::uint64_t payload_size = 0;
+    if (!read_u64le(in, payload_size) ||
+        payload_size > std::numeric_limits<std::size_t>::max() / 2) {
+      return util::Status::internal("spill shard corrupt: " + path);
+    }
+    frame.resize(static_cast<std::size_t>(payload_size) + 9);
+    frame[0] = type;
+    std::uint64_t size_copy = payload_size;
+    for (int i = 0; i < 8; ++i) {
+      frame[1 + i] = static_cast<char>((size_copy >> (8 * i)) & 0xFF);
+    }
+    in.read(frame.data() + 9, static_cast<std::streamsize>(payload_size));
+    if (in.gcount() != static_cast<std::streamsize>(payload_size)) {
+      return util::Status::internal("spill shard truncated: " + path);
+    }
+    return util::Status::ok();
+  }
+};
+
+}  // namespace
+
+StreamingCorpusWriter::StreamingCorpusWriter(Options options)
+    : options_(std::move(options)) {
+  if (options_.spill_dir.empty()) options_.spill_dir = options_.corpus_path + ".spill";
+  if (options_.shards == 0) options_.shards = 1;
+}
+
+util::Status StreamingCorpusWriter::open() {
+  if (opened_) return util::Status::failed_precondition("corpus writer already open");
+  std::error_code ec;
+  std::filesystem::create_directories(options_.spill_dir, ec);
+  if (ec) {
+    return util::Status::internal("cannot create spill dir " + options_.spill_dir +
+                                  ": " + ec.message());
+  }
+  shards_.resize(options_.shards);
+  for (unsigned i = 0; i < options_.shards; ++i) {
+    shards_[i].path =
+        options_.spill_dir + "/shard-" + std::to_string(i) + ".hsrspill";
+    shards_[i].out.open(shards_[i].path, std::ios::trunc | std::ios::binary);
+    if (!shards_[i].out) {
+      return util::Status::internal("cannot open spill shard: " + shards_[i].path);
+    }
+  }
+  opened_ = true;
+  return util::Status::ok();
+}
+
+util::Status StreamingCorpusWriter::spill_frame(unsigned shard,
+                                                std::uint64_t flow_index) {
+  Shard& s = shards_[shard];
+  std::string prefix;
+  put_u64le(prefix, flow_index);
+  s.out.write(prefix.data(), static_cast<std::streamsize>(prefix.size()));
+  s.out.write(s.scratch.data(), static_cast<std::streamsize>(s.scratch.size()));
+  if (!s.out.good()) {
+    return util::Status::internal("short write to spill shard: " + s.path);
+  }
+  bytes_.fetch_add(s.scratch.size(), std::memory_order_relaxed);
+  return util::Status::ok();
+}
+
+util::Status StreamingCorpusWriter::spill_flow(unsigned shard,
+                                               std::uint64_t flow_index,
+                                               const FlowCapture& capture) {
+  if (!opened_ || shard >= shards_.size()) {
+    return util::Status::failed_precondition("bad shard or writer not open");
+  }
+  encode_flow_frame(capture, shards_[shard].scratch);
+  util::Status status = spill_frame(shard, flow_index);
+  if (status.is_ok()) flows_.fetch_add(1, std::memory_order_relaxed);
+  return status;
+}
+
+util::Status StreamingCorpusWriter::spill_quarantine(unsigned shard,
+                                                     std::uint64_t flow_index,
+                                                     const QuarantineRecord& record) {
+  if (!opened_ || shard >= shards_.size()) {
+    return util::Status::failed_precondition("bad shard or writer not open");
+  }
+  encode_quarantine_frame(record, shards_[shard].scratch);
+  util::Status status = spill_frame(shard, flow_index);
+  if (status.is_ok()) quarantines_.fetch_add(1, std::memory_order_relaxed);
+  return status;
+}
+
+util::StatusOr<StreamingCorpusWriter::MergeResult> StreamingCorpusWriter::merge() {
+  if (!opened_) return util::Status::failed_precondition("corpus writer not open");
+  if (merged_) return util::Status::failed_precondition("corpus already merged");
+  merged_ = true;
+
+  for (Shard& s : shards_) {
+    s.out.flush();
+    if (!s.out.good()) return util::Status::internal("short write to spill shard: " + s.path);
+    s.out.close();
+  }
+
+  std::vector<MergeSource> sources(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    sources[i].path = shards_[i].path;
+    sources[i].in.open(shards_[i].path, std::ios::binary);
+    if (!sources[i].in) {
+      return util::Status::internal("cannot reopen spill shard: " + sources[i].path);
+    }
+    util::Status status = sources[i].advance();
+    if (!status.is_ok()) return status;
+  }
+
+  const std::string tmp = options_.corpus_path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out) return util::Status::internal("cannot open for write: " + tmp);
+    write_binary_trace_header(out, flows_.load(std::memory_order_relaxed));
+
+    // K-way minimum-index merge. Worker shards claim indices from a shared
+    // atomic counter, so each source is already sorted; picking the global
+    // minimum each round reproduces exact flow-index order regardless of
+    // how flows were distributed across shards.
+    for (;;) {
+      MergeSource* best = nullptr;
+      for (MergeSource& src : sources) {
+        if (src.exhausted) continue;
+        if (best == nullptr || src.index < best->index) best = &src;
+      }
+      if (best == nullptr) break;
+      out.write(best->frame.data(), static_cast<std::streamsize>(best->frame.size()));
+      if (!out.good()) return util::Status::internal("short write: " + tmp);
+      util::Status status = best->advance();
+      if (!status.is_ok()) return status;
+    }
+    out.flush();
+    if (!out.good()) return util::Status::internal("short write: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), options_.corpus_path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return util::Status::internal("cannot rename " + tmp + " -> " +
+                                  options_.corpus_path);
+  }
+
+  for (MergeSource& src : sources) src.in.close();
+  std::error_code ec;
+  for (const Shard& s : shards_) std::filesystem::remove(s.path, ec);
+  std::filesystem::remove(options_.spill_dir, ec);  // only if now empty
+
+  MergeResult result;
+  result.flows = flows_.load(std::memory_order_relaxed);
+  result.quarantines = quarantines_.load(std::memory_order_relaxed);
+  std::error_code size_ec;
+  const auto size = std::filesystem::file_size(options_.corpus_path, size_ec);
+  result.bytes = size_ec ? 0 : static_cast<std::uint64_t>(size);
+  return result;
+}
+
+}  // namespace hsr::trace

@@ -1,0 +1,97 @@
+// Spill-to-disk corpus writer for streaming campaign generation.
+//
+// generate_dataset used to hold every FlowCapture in RAM until the whole
+// campaign finished; at 10^5-10^6 flows that is the scaling wall. With
+// StreamingCorpusWriter each ThreadPool worker owns one spill shard: the
+// moment a flow finishes, its capture is encoded as an hsrtrace-b1 frame,
+// appended to the worker's shard file, and freed. Because workers claim flow
+// indices from a shared atomic counter, the indices landing in any one shard
+// are strictly increasing — so the final merge is a k-way minimum-index merge
+// that copies pre-encoded frame bytes verbatim. The merged corpus is
+// byte-identical for ANY shard/thread count, extending the repo's
+// determinism contract (same seed => same corpus) to the streaming path.
+//
+// Spill shard record layout (transient, deleted after merge):
+//   { u64 LE flow_index, hsrtrace-b1 frame }
+// Final corpus file: hsrtrace-b1 header (exact flow count) + frames in
+// flow-index order, written atomically (<path>.tmp then rename).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/trace_binary.h"
+#include "util/status.h"
+
+namespace hsr::trace {
+
+class StreamingCorpusWriter {
+ public:
+  struct Options {
+    std::string corpus_path;
+    // Scratch directory for per-shard spill files; defaults to
+    // "<corpus_path>.spill". Created on open(), removed after merge().
+    std::string spill_dir;
+    unsigned shards = 1;
+  };
+
+  struct MergeResult {
+    std::uint64_t flows = 0;        // flow frames in the corpus
+    std::uint64_t quarantines = 0;  // quarantine frames in the corpus
+    std::uint64_t bytes = 0;        // final corpus file size
+  };
+
+  explicit StreamingCorpusWriter(Options options);
+
+  // Creates the spill directory and opens one spill file per shard.
+  [[nodiscard]] util::Status open();
+
+  // Appends one finished flow (or quarantine record) to `shard`'s spill
+  // file. Each shard must be driven by exactly one thread at a time
+  // (ThreadPool worker identity); distinct shards never contend.
+  // `flow_index` is the campaign-wide index and must be unique across all
+  // shards — it is the merge key.
+  [[nodiscard]] util::Status spill_flow(unsigned shard, std::uint64_t flow_index,
+                                        const FlowCapture& capture);
+  [[nodiscard]] util::Status spill_quarantine(unsigned shard,
+                                              std::uint64_t flow_index,
+                                              const QuarantineRecord& record);
+
+  // Closes the shards, k-way-merges them into the final corpus file in
+  // flow-index order, and deletes the spill files. Call once, after all
+  // spilling is done.
+  [[nodiscard]] util::StatusOr<MergeResult> merge();
+
+  std::uint64_t flows_spilled() const {
+    return flows_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t quarantines_spilled() const {
+    return quarantines_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_spilled() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  const std::string& corpus_path() const { return options_.corpus_path; }
+
+ private:
+  struct Shard {
+    std::string path;
+    std::ofstream out;
+    std::string scratch;  // reused frame-encoding buffer
+  };
+
+  [[nodiscard]] util::Status spill_frame(unsigned shard, std::uint64_t flow_index);
+
+  Options options_;
+  std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> flows_{0};
+  std::atomic<std::uint64_t> quarantines_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  bool opened_ = false;
+  bool merged_ = false;
+};
+
+}  // namespace hsr::trace

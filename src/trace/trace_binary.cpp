@@ -1,0 +1,594 @@
+#include "trace/trace_binary.h"
+
+#include "trace/trace_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+namespace hsr::trace {
+
+namespace {
+
+using net::DropCategory;
+
+constexpr char kFlowFrame = 'F';
+constexpr char kQuarantineFrame = 'Q';
+// One frame is one flow (or one quarantine record); anything claiming to be
+// larger than this is corruption, not data, and must not drive a giant
+// allocation in the reader.
+constexpr std::uint64_t kMaxFramePayload = std::uint64_t{1} << 36;  // 64 GiB
+// Ids are dense per flow (net::reset_packet_ids runs at flow start), so an
+// id beyond this bound is a decode gone off the rails; rejecting it keeps a
+// corrupt column from resizing the id index into oblivion.
+constexpr std::uint64_t kMaxPlausiblePacketId = std::uint64_t{1} << 40;
+
+// --- little-endian / varint primitives ---------------------------------------
+
+void put_u8(std::string& out, std::uint8_t v) { out.push_back(static_cast<char>(v)); }
+
+void put_u64le(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+// LEB128: 7 value bits per byte, high bit = continuation.
+void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+// ZigZag folds signed deltas into small unsigned varints. Encoding operates
+// on the two's-complement bit pattern, so u64 wrap-around deltas (sequence
+// counters, timestamps) round-trip exactly.
+std::uint64_t zigzag(std::uint64_t bits) {
+  const auto s = static_cast<std::int64_t>(bits);
+  return (static_cast<std::uint64_t>(s) << 1) ^ static_cast<std::uint64_t>(s >> 63);
+}
+
+std::uint64_t unzigzag(std::uint64_t v) {
+  return (v >> 1) ^ (~(v & 1) + 1);
+}
+
+void put_delta(std::string& out, std::uint64_t cur, std::uint64_t& prev) {
+  put_varint(out, zigzag(cur - prev));
+  prev = cur;
+}
+
+// Bounds-checked decode cursor over one frame payload.
+struct Cursor {
+  const unsigned char* p;
+  const unsigned char* end;
+  bool fail = false;
+
+  explicit Cursor(const std::string& buf)
+      : p(reinterpret_cast<const unsigned char*>(buf.data())),
+        end(reinterpret_cast<const unsigned char*>(buf.data()) + buf.size()) {}
+
+  std::uint8_t get_u8() {
+    if (p >= end) {
+      fail = true;
+      return 0;
+    }
+    return *p++;
+  }
+
+  std::uint64_t get_varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (p < end && shift < 64) {
+      const std::uint8_t byte = *p++;
+      v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) return v;
+      shift += 7;
+    }
+    fail = true;
+    return 0;
+  }
+
+  std::uint64_t get_delta(std::uint64_t& prev) {
+    prev += unzigzag(get_varint());
+    return prev;
+  }
+
+  bool get_string(std::string& out) {
+    const std::uint64_t n = get_varint();
+    if (fail || n > static_cast<std::uint64_t>(end - p)) {
+      fail = true;
+      return false;
+    }
+    out.assign(reinterpret_cast<const char*>(p), static_cast<std::size_t>(n));
+    p += n;
+    return true;
+  }
+
+  bool done() const { return !fail && p == end; }
+};
+
+// --- flow frame payload -------------------------------------------------------
+
+// Run-length encodes a column as (count, value) varint pairs. The
+// near-constant columns (packet sizes, retx counts, fate tags) collapse to a
+// handful of bytes per flow this way, where per-entry coding would cost a
+// byte per transmission.
+template <typename Get>
+void put_rle(std::string& out, std::size_t n, Get get) {
+  std::size_t i = 0;
+  while (i < n) {
+    const std::uint64_t value = get(i);
+    std::size_t run = 1;
+    while (i + run < n && get(i + run) == value) ++run;
+    put_varint(out, run);
+    put_varint(out, value);
+    i += run;
+  }
+}
+
+void encode_direction(const DirectionCapture& cap, std::string& out) {
+  const auto& txs = cap.transmissions();
+  put_varint(out, txs.size());
+
+  std::uint64_t prev = 0;
+  for (const auto& tx : txs) put_delta(out, tx.packet.id, prev);
+  prev = 0;
+  for (const auto& tx : txs) put_delta(out, tx.packet.seq, prev);
+  prev = 0;
+  for (const auto& tx : txs) put_delta(out, tx.packet.ack_next, prev);
+  put_rle(out, txs.size(), [&](std::size_t i) -> std::uint64_t {
+    return txs[i].packet.size_bytes;
+  });
+  put_rle(out, txs.size(), [&](std::size_t i) -> std::uint64_t {
+    return txs[i].packet.retx_count;
+  });
+  prev = 0;
+  for (const auto& tx : txs) {
+    put_delta(out, static_cast<std::uint64_t>(tx.sent.ns()), prev);
+  }
+  // Fate tags: 0 = still in flight at capture end, 1 = delivered, 2 = lost.
+  put_rle(out, txs.size(), [&](std::size_t i) -> std::uint64_t {
+    return txs[i].arrived ? 1 : (txs[i].drop_cause ? 2 : 0);
+  });
+  // Delivered column: one-way transit, delta-coded against the previous
+  // delivered transit (transits hover around the path delay, so deltas
+  // stay small even when absolute transit would not).
+  prev = 0;
+  for (const auto& tx : txs) {
+    if (tx.arrived) {
+      put_delta(out, static_cast<std::uint64_t>((*tx.arrived - tx.sent).ns()), prev);
+    }
+  }
+  // Dropped column: the structured DropCause path codes.
+  for (const auto& tx : txs) {
+    if (tx.arrived || !tx.drop_cause) continue;
+    const net::DropCause& cause = *tx.drop_cause;
+    put_u8(out, static_cast<std::uint8_t>(cause.category));
+    put_u8(out, static_cast<std::uint8_t>(cause.component_depth));
+    for (std::size_t i = 0; i < cause.component_depth; ++i) {
+      put_varint(out, static_cast<std::uint16_t>(cause.component_path[i]));
+    }
+    put_varint(out, static_cast<std::uint64_t>(cause.directive) + 1);
+  }
+}
+
+void encode_flow_payload(const FlowCapture& capture, std::string& out) {
+  put_varint(out, capture.flow);
+  encode_direction(capture.data, out);
+  encode_direction(capture.acks, out);
+
+  put_varint(out, capture.faults.size());
+  std::uint64_t prev_when = 0;
+  for (const auto& f : capture.faults) {
+    put_u8(out, static_cast<std::uint8_t>(f.direction));
+    put_u8(out, f.kind == net::PacketKind::kData ? 'D' : 'A');
+    put_u8(out, static_cast<std::uint8_t>(f.action));
+    put_delta(out, static_cast<std::uint64_t>(f.when.ns()), prev_when);
+    put_varint(out, f.packet_id);
+    put_varint(out, f.seq);
+    put_varint(out, f.directive);
+    put_varint(out, static_cast<std::uint64_t>(f.delay.ns()));
+    put_varint(out, f.label.size());
+    out.append(f.label);
+  }
+}
+
+util::Status frame_error(std::uint64_t frame, const std::string& why) {
+  return util::Status::invalid_argument("binary trace frame " + std::to_string(frame) +
+                                        ": " + why);
+}
+
+// Inverse of put_rle: fills `out` from (count, value) pairs. Rejects zero or
+// overshooting run lengths so corrupt input cannot loop or scribble.
+bool get_rle(Cursor& c, std::vector<std::uint64_t>& out) {
+  std::size_t i = 0;
+  while (i < out.size()) {
+    const std::uint64_t run = c.get_varint();
+    const std::uint64_t value = c.get_varint();
+    if (c.fail || run == 0 || run > out.size() - i) return false;
+    for (std::uint64_t k = 0; k < run; ++k) out[i++] = value;
+  }
+  return true;
+}
+
+util::Status decode_direction(Cursor& c, std::uint64_t frame, char dir,
+                              net::FlowId flow, DirectionCapture& cap) {
+  const std::uint64_t n = c.get_varint();
+  if (c.fail || n > kMaxPlausiblePacketId) {
+    return frame_error(frame, "bad transmission count");
+  }
+  const std::size_t count = static_cast<std::size_t>(n);
+
+  // Columns are decoded into flat scratch vectors first, then replayed
+  // through the capture's own on_send/on_deliver/on_drop so every derived
+  // counter (lost totals, id index) is rebuilt exactly as live taps build it.
+  std::vector<std::uint64_t> ids(count);
+  std::vector<std::uint64_t> seqs(count);
+  std::vector<std::uint64_t> acks(count);
+  std::vector<std::uint64_t> sizes(count);
+  std::vector<std::uint64_t> retx(count);
+  std::vector<std::uint64_t> sent(count);
+  std::vector<std::uint64_t> fates(count);
+
+  std::uint64_t prev = 0;
+  for (auto& v : ids) v = c.get_delta(prev);
+  prev = 0;
+  for (auto& v : seqs) v = c.get_delta(prev);
+  prev = 0;
+  for (auto& v : acks) v = c.get_delta(prev);
+  if (!get_rle(c, sizes)) return frame_error(frame, "bad size run");
+  if (!get_rle(c, retx)) return frame_error(frame, "bad retx run");
+  prev = 0;
+  for (auto& v : sent) v = c.get_delta(prev);
+  if (!get_rle(c, fates)) return frame_error(frame, "bad fate run");
+  if (c.fail) return frame_error(frame, "truncated transmission columns");
+
+  cap.reserve(count);
+  std::uint64_t prev_transit = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (ids[i] > kMaxPlausiblePacketId) {
+      return frame_error(frame, "implausible packet id");
+    }
+    Packet p;
+    p.id = ids[i];
+    p.flow = flow;
+    p.kind = dir == 'D' ? net::PacketKind::kData : net::PacketKind::kAck;
+    p.seq = seqs[i];
+    p.ack_next = acks[i];
+    if (sizes[i] > std::numeric_limits<std::uint32_t>::max()) {
+      return frame_error(frame, "implausible packet size");
+    }
+    p.size_bytes = static_cast<std::uint32_t>(sizes[i]);
+    p.retx_count = static_cast<std::uint32_t>(retx[i]);
+    p.is_retransmission = p.retx_count > 0;
+
+    const TimePoint sent_at = TimePoint::from_ns(static_cast<std::int64_t>(sent[i]));
+    cap.on_send(p, sent_at);
+    if (fates[i] == 1) {
+      const std::uint64_t transit = c.get_delta(prev_transit);
+      cap.on_deliver(p, sent_at,
+                     sent_at + util::Duration::nanos(static_cast<std::int64_t>(transit)));
+    } else if (fates[i] > 2) {
+      return frame_error(frame, "bad fate tag");
+    }
+  }
+
+  for (std::size_t i = 0; i < count; ++i) {
+    if (fates[i] != 2) continue;
+    net::DropCause cause;
+    const std::uint8_t category = c.get_u8();
+    if (category >= net::kDropCategoryCount) {
+      return frame_error(frame, "bad drop category");
+    }
+    cause.category = static_cast<DropCategory>(category);
+    const std::uint8_t depth = c.get_u8();
+    if (depth > net::DropCause::kMaxComponentDepth) {
+      return frame_error(frame, "bad component depth");
+    }
+    cause.component_depth = depth;
+    for (std::uint8_t d = 0; d < depth; ++d) {
+      cause.component_path[d] = static_cast<std::int16_t>(c.get_varint());
+    }
+    cause.directive = static_cast<std::int32_t>(c.get_varint()) - 1;
+    if (c.fail) return frame_error(frame, "truncated drop causes");
+
+    Packet p;
+    p.id = ids[i];
+    cap.on_drop(p, TimePoint::from_ns(static_cast<std::int64_t>(sent[i])), cause);
+  }
+  if (c.fail) return frame_error(frame, "truncated direction section");
+  return util::Status::ok();
+}
+
+util::Status decode_flow_payload(const std::string& payload, std::uint64_t frame,
+                                 FlowCapture& cap) {
+  Cursor c(payload);
+  const std::uint64_t flow = c.get_varint();
+  if (c.fail || flow > std::numeric_limits<net::FlowId>::max()) {
+    return frame_error(frame, "bad flow id");
+  }
+  cap.flow = static_cast<net::FlowId>(flow);
+
+  util::Status status = decode_direction(c, frame, 'D', cap.flow, cap.data);
+  if (!status.is_ok()) return status;
+  status = decode_direction(c, frame, 'A', cap.flow, cap.acks);
+  if (!status.is_ok()) return status;
+
+  const std::uint64_t fault_count = c.get_varint();
+  if (c.fail || fault_count > kMaxPlausiblePacketId) {
+    return frame_error(frame, "bad fault count");
+  }
+  cap.faults.reserve(static_cast<std::size_t>(fault_count));
+  std::uint64_t prev_when = 0;
+  for (std::uint64_t i = 0; i < fault_count; ++i) {
+    FaultRecord rec;
+    rec.direction = static_cast<char>(c.get_u8());
+    const std::uint8_t kind = c.get_u8();
+    const std::uint8_t action = c.get_u8();
+    if (c.fail || (rec.direction != 'D' && rec.direction != 'A') ||
+        (kind != 'D' && kind != 'A') ||
+        (action != 'X' && action != 'L' && action != '2')) {
+      return frame_error(frame, "bad fault record tags");
+    }
+    rec.kind = kind == 'D' ? net::PacketKind::kData : net::PacketKind::kAck;
+    rec.action = static_cast<char>(action);
+    rec.when = TimePoint::from_ns(static_cast<std::int64_t>(c.get_delta(prev_when)));
+    rec.packet_id = c.get_varint();
+    rec.seq = c.get_varint();
+    rec.directive = static_cast<std::uint32_t>(c.get_varint());
+    rec.delay = util::Duration::nanos(static_cast<std::int64_t>(c.get_varint()));
+    if (!c.get_string(rec.label)) return frame_error(frame, "truncated fault label");
+    cap.faults.push_back(std::move(rec));
+  }
+  if (!c.done()) return frame_error(frame, "trailing bytes after flow payload");
+  return util::Status::ok();
+}
+
+// --- quarantine frame payload -------------------------------------------------
+
+void encode_quarantine_payload(const QuarantineRecord& rec, std::string& out) {
+  put_varint(out, rec.flow_index);
+  put_varint(out, static_cast<std::uint64_t>(rec.status_code));
+  const auto put_string = [&out](const std::string& s) {
+    put_varint(out, s.size());
+    out.append(s);
+  };
+  put_string(rec.provider);
+  put_string(rec.campaign);
+  put_string(rec.message);
+  put_string(rec.downlink_plan);
+  put_string(rec.uplink_plan);
+}
+
+util::Status decode_quarantine_payload(const std::string& payload, std::uint64_t frame,
+                                       QuarantineRecord& rec) {
+  Cursor c(payload);
+  rec.flow_index = c.get_varint();
+  rec.status_code = static_cast<std::int32_t>(c.get_varint());
+  if (!c.get_string(rec.provider) || !c.get_string(rec.campaign) ||
+      !c.get_string(rec.message) || !c.get_string(rec.downlink_plan) ||
+      !c.get_string(rec.uplink_plan)) {
+    return frame_error(frame, "truncated quarantine record");
+  }
+  if (!c.done()) return frame_error(frame, "trailing bytes after quarantine record");
+  return util::Status::ok();
+}
+
+void append_frame(char type, const std::string& payload, std::string& out) {
+  put_u8(out, static_cast<std::uint8_t>(type));
+  put_u64le(out, payload.size());
+  out.append(payload);
+}
+
+}  // namespace
+
+void write_binary_trace_header(std::ostream& os, std::uint64_t flow_count) {
+  std::string header;
+  header.append(kBinaryTraceMagic, kBinaryTraceMagicSize);
+  put_u64le(header, flow_count);
+  os.write(header.data(), static_cast<std::streamsize>(header.size()));
+}
+
+void encode_flow_frame(const FlowCapture& capture, std::string& out) {
+  out.clear();
+  std::string payload;
+  encode_flow_payload(capture, payload);
+  out.reserve(payload.size() + 9);
+  append_frame(kFlowFrame, payload, out);
+}
+
+void encode_quarantine_frame(const QuarantineRecord& record, std::string& out) {
+  out.clear();
+  std::string payload;
+  encode_quarantine_payload(record, payload);
+  out.reserve(payload.size() + 9);
+  append_frame(kQuarantineFrame, payload, out);
+}
+
+void write_flow_frame(std::ostream& os, const FlowCapture& capture) {
+  std::string frame;
+  encode_flow_frame(capture, frame);
+  os.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+}
+
+void write_quarantine_frame(std::ostream& os, const QuarantineRecord& record) {
+  std::string frame;
+  encode_quarantine_frame(record, frame);
+  os.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+}
+
+util::Status BinaryTraceReader::open() {
+  char magic[kBinaryTraceMagicSize] = {};
+  is_.read(magic, kBinaryTraceMagicSize);
+  if (is_.gcount() != static_cast<std::streamsize>(kBinaryTraceMagicSize) ||
+      std::memcmp(magic, kBinaryTraceMagic, kBinaryTraceMagicSize) != 0) {
+    return util::Status::invalid_argument("not an hsrtrace-b1 stream (bad magic)");
+  }
+  unsigned char count[8] = {};
+  is_.read(reinterpret_cast<char*>(count), 8);
+  if (is_.gcount() != 8) {
+    return util::Status::invalid_argument("hsrtrace-b1 header truncated");
+  }
+  declared_flow_count_ = 0;
+  for (int i = 0; i < 8; ++i) {
+    declared_flow_count_ |= static_cast<std::uint64_t>(count[i]) << (8 * i);
+  }
+  return util::Status::ok();
+}
+
+util::StatusOr<BinaryTraceReader::Frame> BinaryTraceReader::next(
+    FlowCapture* flow, QuarantineRecord* quarantine) {
+  for (;;) {
+    if (torn_) return Frame::kTorn;
+    char type = 0;
+    if (!is_.get(type)) return Frame::kEnd;
+
+    unsigned char size_bytes[8] = {};
+    is_.read(reinterpret_cast<char*>(size_bytes), 8);
+    if (is_.gcount() != 8) {
+      torn_ = true;
+      return Frame::kTorn;
+    }
+    std::uint64_t payload_size = 0;
+    for (int i = 0; i < 8; ++i) {
+      payload_size |= static_cast<std::uint64_t>(size_bytes[i]) << (8 * i);
+    }
+    const std::uint64_t frame_index = frames_read_++;
+    if (payload_size > kMaxFramePayload) {
+      return frame_error(frame_index, "implausible frame size (corrupt archive)");
+    }
+    payload_.resize(static_cast<std::size_t>(payload_size));
+    is_.read(payload_.data(), static_cast<std::streamsize>(payload_size));
+    if (is_.gcount() != static_cast<std::streamsize>(payload_size)) {
+      // The writer died (or the copy was cut) mid-frame: drop the torn tail,
+      // keep everything before it — same contract as the text reader's
+      // torn-final-line tolerance.
+      torn_ = true;
+      return Frame::kTorn;
+    }
+
+    if (type == kFlowFrame) {
+      if (flow == nullptr) return frame_error(frame_index, "unexpected flow frame");
+      *flow = FlowCapture{};
+      util::Status status = decode_flow_payload(payload_, frame_index, *flow);
+      if (!status.is_ok()) return status;
+      ++flows_read_;
+      return Frame::kFlow;
+    }
+    if (type == kQuarantineFrame) {
+      if (quarantine == nullptr) {
+        return frame_error(frame_index, "unexpected quarantine frame");
+      }
+      *quarantine = QuarantineRecord{};
+      util::Status status =
+          decode_quarantine_payload(payload_, frame_index, *quarantine);
+      if (!status.is_ok()) return status;
+      return Frame::kQuarantine;
+    }
+    // Unknown frame type: skip (forward compatibility with future records).
+  }
+}
+
+util::StatusOr<BinaryCorpus> read_binary_corpus(std::istream& is) {
+  BinaryTraceReader reader(is);
+  util::Status status = reader.open();
+  if (!status.is_ok()) return status;
+
+  BinaryCorpus corpus;
+  corpus.declared_flow_count = reader.declared_flow_count();
+  FlowCapture flow;
+  QuarantineRecord quarantine;
+  for (;;) {
+    auto frame = reader.next(&flow, &quarantine);
+    if (!frame.is_ok()) return frame.status();
+    switch (frame.value()) {
+      case BinaryTraceReader::Frame::kFlow:
+        corpus.flows.push_back(std::move(flow));
+        break;
+      case BinaryTraceReader::Frame::kQuarantine:
+        corpus.quarantined.push_back(std::move(quarantine));
+        break;
+      case BinaryTraceReader::Frame::kTorn:
+        corpus.torn_tail = true;
+        return corpus;
+      case BinaryTraceReader::Frame::kEnd:
+        return corpus;
+    }
+  }
+}
+
+util::Status save_flow_capture_binary(const std::string& path,
+                                      const FlowCapture& capture) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::trunc | std::ios::binary);
+    if (!f) return util::Status::internal("cannot open for write: " + tmp);
+    write_binary_trace_header(f, 1);
+    write_flow_frame(f, capture);
+    f.flush();
+    if (!f.good()) {
+      f.close();
+      std::remove(tmp.c_str());
+      return util::Status::internal("short write: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return util::Status::internal("cannot rename " + tmp + " -> " + path);
+  }
+  return util::Status::ok();
+}
+
+util::StatusOr<FlowCapture> load_flow_capture_binary(const std::string& path) {
+  return load_flow_capture_any(path, 0);
+}
+
+bool sniff_binary_trace(std::istream& is) {
+  char magic[kBinaryTraceMagicSize] = {};
+  is.read(magic, kBinaryTraceMagicSize);
+  const bool is_binary =
+      is.gcount() == static_cast<std::streamsize>(kBinaryTraceMagicSize) &&
+      std::memcmp(magic, kBinaryTraceMagic, kBinaryTraceMagicSize) == 0;
+  is.clear();
+  is.seekg(0);
+  return is_binary;
+}
+
+util::StatusOr<FlowCapture> load_flow_capture_any(const std::string& path,
+                                                  std::uint64_t nth) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return util::Status::not_found("cannot open: " + path);
+  if (!sniff_binary_trace(f)) {
+    if (nth > 0) {
+      return util::Status::out_of_range(
+          path + ": text archives hold a single flow (requested flow " +
+          std::to_string(nth) + ")");
+    }
+    return read_flow_capture(f);
+  }
+
+  BinaryTraceReader reader(f);
+  util::Status status = reader.open();
+  if (!status.is_ok()) return status;
+  FlowCapture flow;
+  QuarantineRecord quarantine;
+  for (;;) {
+    auto frame = reader.next(&flow, &quarantine);
+    if (!frame.is_ok()) return frame.status();
+    if (frame.value() == BinaryTraceReader::Frame::kFlow) {
+      if (reader.flows_read() == nth + 1) return flow;
+      continue;
+    }
+    if (frame.value() == BinaryTraceReader::Frame::kQuarantine) continue;
+    return util::Status::out_of_range(
+        path + ": has only " + std::to_string(reader.flows_read()) +
+        " flow(s), requested flow " + std::to_string(nth));
+  }
+}
+
+}  // namespace hsr::trace

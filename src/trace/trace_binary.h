@@ -1,0 +1,129 @@
+// Binary columnar serialization of flow captures ("hsrtrace-b1").
+//
+// The text format (trace_io.h, "hsrtrace-v2") spends ~55 bytes per
+// transmission on human-readable decimal; at the 10^5-10^6-flow campaign
+// scale that text I/O — not the simulator — becomes the wall. hsrtrace-b1
+// stores the same records as per-direction structure-of-arrays columns
+// (ids, seqs, ack_next, sizes, retransmission counts, send times, fate
+// tags, transit times, DropCause path codes), each column delta- and
+// varint-coded — and the near-constant columns (sizes, retransmission
+// counts, fate tags) run-length coded on top — which makes archives several
+// times smaller and much faster to write and read. The two formats are losslessly interconvertible: the
+// binary reader rebuilds the exact FlowCapture the text writer would
+// serialize, byte for byte (pinned by tests and `trace_query convert`).
+//
+// File layout:
+//   header   12-byte magic "hsrtrace-b1\n", then u64 LE flow-frame count
+//            (kUnknownFlowCount while a stream is still being appended to;
+//            the merge step of StreamingCorpusWriter patches the real count)
+//   frames   { u8 type, u64 LE payload size, payload }
+// Frame types:
+//   'F' one flow capture (columnar payload, see trace_binary.cpp)
+//   'Q' one quarantine record: a flow that failed during generation, with
+//       its diagnostic Status and per-direction fault-plan text, so a
+//       partial corpus archive explains its own gaps.
+// Unknown frame types are skipped (forward compatibility). A frame whose
+// header or payload hits EOF is a torn tail — the signature of a truncated
+// archive — and is dropped, with everything before it returned intact;
+// the same tolerance the text reader applies to a torn final line.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/capture.h"
+#include "util/status.h"
+
+namespace hsr::trace {
+
+// 12 bytes on the wire (trailing NUL excluded).
+inline constexpr char kBinaryTraceMagic[] = "hsrtrace-b1\n";
+inline constexpr std::size_t kBinaryTraceMagicSize = 12;
+inline constexpr std::uint64_t kUnknownFlowCount = ~std::uint64_t{0};
+
+// A flow that was planned but never made it into the corpus: generation
+// failed (exception, watchdog) and the campaign quarantined it. Archived in
+// the corpus stream so the file is a complete record of the campaign.
+struct QuarantineRecord {
+  std::uint64_t flow_index = 0;
+  std::string provider;
+  std::string campaign;
+  std::int32_t status_code = 0;  // util::StatusCode as an integer
+  std::string message;
+  // Portable "hsrfaultplan" text per direction (empty = no scripted faults).
+  std::string downlink_plan;
+  std::string uplink_plan;
+};
+
+void write_binary_trace_header(std::ostream& os, std::uint64_t flow_count);
+void write_flow_frame(std::ostream& os, const FlowCapture& capture);
+void write_quarantine_frame(std::ostream& os, const QuarantineRecord& record);
+
+// Encodes one flow frame (type byte + size + payload) into `out`, replacing
+// its contents. Exposed so StreamingCorpusWriter can spill pre-encoded
+// frames and the merge step can copy them verbatim.
+void encode_flow_frame(const FlowCapture& capture, std::string& out);
+void encode_quarantine_frame(const QuarantineRecord& record, std::string& out);
+
+// Streaming reader: frames are decoded one at a time, so a million-flow
+// corpus can be scanned in O(largest single flow) memory.
+class BinaryTraceReader {
+ public:
+  explicit BinaryTraceReader(std::istream& is) : is_(is) {}
+
+  // Validates the magic and reads the declared flow count.
+  [[nodiscard]] util::Status open();
+  std::uint64_t declared_flow_count() const { return declared_flow_count_; }
+
+  enum class Frame {
+    kFlow,        // *flow was filled
+    kQuarantine,  // *quarantine was filled
+    kEnd,         // clean end of stream
+    kTorn,        // truncated trailing frame, dropped (terminal)
+  };
+  // Reads the next frame. Corruption inside a complete frame is an error
+  // with the frame's index in the message; a frame cut short by EOF is
+  // kTorn, after which only kTorn is returned again.
+  [[nodiscard]] util::StatusOr<Frame> next(FlowCapture* flow, QuarantineRecord* quarantine);
+
+  std::uint64_t flows_read() const { return flows_read_; }
+
+ private:
+  std::istream& is_;
+  std::uint64_t declared_flow_count_ = kUnknownFlowCount;
+  std::uint64_t frames_read_ = 0;
+  std::uint64_t flows_read_ = 0;
+  bool torn_ = false;
+  std::string payload_;  // reused frame buffer
+};
+
+// Whole-file convenience result.
+struct BinaryCorpus {
+  std::vector<FlowCapture> flows;
+  std::vector<QuarantineRecord> quarantined;
+  std::uint64_t declared_flow_count = kUnknownFlowCount;
+  bool torn_tail = false;  // a truncated final frame was dropped
+};
+
+[[nodiscard]] util::StatusOr<BinaryCorpus> read_binary_corpus(std::istream& is);
+
+// Single-capture file wrappers (header + one flow frame). Saving is atomic
+// (write to `<path>.tmp`, then rename), matching save_flow_capture.
+[[nodiscard]] util::Status save_flow_capture_binary(const std::string& path,
+                                                    const FlowCapture& capture);
+[[nodiscard]] util::StatusOr<FlowCapture> load_flow_capture_binary(const std::string& path);
+
+// Returns true when the stream starts with the hsrtrace-b1 magic (the
+// stream is rewound either way). Lets tools accept both formats from one
+// code path.
+bool sniff_binary_trace(std::istream& is);
+
+// Loads flow `nth` (0-based, counting flow frames only) from a trace file
+// in EITHER format: binary corpora are scanned frame by frame; text
+// archives hold exactly one flow, so any nth > 0 is out of range there.
+[[nodiscard]] util::StatusOr<FlowCapture> load_flow_capture_any(const std::string& path,
+                                                                std::uint64_t nth = 0);
+
+}  // namespace hsr::trace

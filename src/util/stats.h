@@ -24,6 +24,22 @@ class RunningStats {
   double min() const { return n_ > 0 ? min_ : 0.0; }
   double max() const { return n_ > 0 ? max_ : 0.0; }
   double sum() const { return n_ > 0 ? mean_ * static_cast<double>(n_) : 0.0; }
+  // Raw second central moment (sum of squared deviations); exposed so the
+  // accumulator can be serialized and rebuilt losslessly (corpus_stats).
+  double m2() const { return m2_; }
+
+  // Rebuilds an accumulator from its serialized parts. The inverse of
+  // (count, mean, m2, min, max) — bitwise, provided the doubles round-trip.
+  static RunningStats from_parts(std::size_t n, double mean, double m2, double min,
+                                 double max) {
+    RunningStats s;
+    s.n_ = n;
+    s.mean_ = mean;
+    s.m2_ = m2;
+    s.min_ = min;
+    s.max_ = max;
+    return s;
+  }
 
  private:
   std::size_t n_ = 0;

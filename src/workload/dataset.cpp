@@ -4,8 +4,13 @@
 #include <charconv>
 #include <cstdlib>
 #include <exception>
+#include <map>
+#include <mutex>
 #include <string>
+#include <utility>
 
+#include "trace/corpus_writer.h"
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -28,17 +33,57 @@ DatasetSpec DatasetSpec::paper_table1(double scale) {
   return spec;
 }
 
-namespace {
+DatasetPlan::DatasetPlan(const DatasetSpec& spec)
+    : seed_(spec.seed),
+      duration_min_s_(spec.flow_duration_min.to_seconds()),
+      duration_max_s_(spec.flow_duration_max.to_seconds()) {
+  // Same layout the legacy planning loop produced: campaign blocks in spec
+  // order, then one stationary block per distinct provider.
+  for (const auto& campaign : spec.campaigns) {
+    blocks_.push_back(Block{flow_count_, campaign.flows, campaign.profile,
+                            campaign.campaign, campaign.phone, false});
+    flow_count_ += campaign.flows;
+  }
+  std::vector<radio::ProviderProfile> seen;
+  for (const auto& campaign : spec.campaigns) {
+    const bool dup = std::any_of(seen.begin(), seen.end(), [&](const auto& p) {
+      return p.provider == campaign.profile.provider;
+    });
+    if (dup) continue;
+    seen.push_back(campaign.profile);
+    blocks_.push_back(Block{flow_count_, spec.stationary_flows_per_provider,
+                            radio::stationary_of(campaign.profile),
+                            "stationary control", "Samsung Galaxy S4", true});
+    flow_count_ += spec.stationary_flows_per_provider;
+  }
+}
 
-// One planned flow simulation: everything run_and_analyze needs, derived
-// sequentially up front so the parallel phase is pure fan-out.
-struct FlowTask {
-  radio::ProviderProfile profile;
-  std::string campaign;
-  std::string phone;
-  util::Duration duration;
-  std::uint64_t seed = 0;
-};
+FlowTask DatasetPlan::task(std::uint64_t flow_index) const {
+  const Block* block = nullptr;
+  for (const auto& b : blocks_) {
+    if (flow_index >= b.start && flow_index < b.start + b.count) {
+      block = &b;
+      break;
+    }
+  }
+  HSR_CHECK_MSG(block != nullptr, "flow index out of plan range");
+
+  // Rng::fork is pure in (seed, label, index), so deriving here on demand
+  // yields the exact stream the sequential planning loop drew.
+  const util::Rng rng(seed_);
+  util::Rng flow_rng =
+      rng.fork(block->stationary ? "stationary-flow" : "flow", flow_index);
+  const double span_s = flow_rng.uniform(duration_min_s_, duration_max_s_);
+  const std::uint64_t seed =
+      block->stationary
+          ? util::splitmix64(seed_ ^ 0xABCDEF ^
+                             (flow_index * 0x9e3779b97f4a7c15ULL))
+          : util::splitmix64(seed_ ^ (flow_index * 0x9e3779b97f4a7c15ULL));
+  return FlowTask{block->profile, block->campaign, block->phone,
+                  util::Duration::from_seconds(span_s), seed};
+}
+
+namespace {
 
 // Per-flow outcome beyond the record itself: the Status and, for flows with
 // scripted faults, the portable plan text snapshotted after configure_flow
@@ -51,9 +96,12 @@ struct FlowOutcome {
 
 // Runs one planned flow and reduces it to a record. Returns the flow's
 // Status in `*outcome` (never throws past here): exceptions and watchdog
-// aborts become per-flow diagnostics for the quarantine list.
+// aborts become per-flow diagnostics for the quarantine list. When
+// `capture_out` is non-null, a successful flow's capture is moved there
+// (streaming spill path) instead of being discarded with the run.
 FlowRecord run_and_analyze(const DatasetSpec& spec, std::uint64_t flow_index,
-                           const FlowTask& task, FlowOutcome* outcome) {
+                           const FlowTask& task, FlowOutcome* outcome,
+                           trace::FlowCapture* capture_out = nullptr) {
   FlowRecord rec;
   util::Status* status = &outcome->status;
   try {
@@ -82,6 +130,7 @@ FlowRecord run_and_analyze(const DatasetSpec& spec, std::uint64_t flow_index,
     rec.phone = task.phone;
     rec.high_speed = cfg.profile.mobility == radio::Mobility::kHighSpeed;
     rec.analysis = analysis::analyze_flow(run.capture);
+    rec.breakdown = analysis::loss_breakdown(run.capture);
     rec.goodput_pps = run.goodput_pps;
     rec.bytes_captured = run.bytes_captured;
     rec.duration = cfg.duration;
@@ -90,6 +139,7 @@ FlowRecord run_and_analyze(const DatasetSpec& spec, std::uint64_t flow_index,
     rec.sim_events = run.sim_events;
     rec.sim_scheduled = run.sim_scheduled;
     rec.sim_tombstones = run.sim_tombstones;
+    if (capture_out != nullptr) *capture_out = std::move(run.capture);
     *status = util::Status::ok();
   } catch (const std::exception& e) {
     *status = util::Status::internal(std::string("flow simulation threw: ") + e.what());
@@ -142,45 +192,11 @@ util::StatusOr<unsigned> resolve_dataset_threads(unsigned requested) {
 }  // namespace
 
 DatasetResult generate_dataset(const DatasetSpec& spec) {
-  // Plan phase (sequential): derive every flow's profile, duration and seed
-  // exactly as the legacy sequential loop did. Forked streams depend only on
-  // (spec.seed, flow_index), never on execution order.
-  std::vector<FlowTask> tasks;
-  util::Rng rng(spec.seed);
-
-  std::uint64_t flow_index = 0;
-  for (const auto& campaign : spec.campaigns) {
-    for (unsigned i = 0; i < campaign.flows; ++i, ++flow_index) {
-      util::Rng flow_rng = rng.fork("flow", flow_index);
-      const double span_s = flow_rng.uniform(spec.flow_duration_min.to_seconds(),
-                                             spec.flow_duration_max.to_seconds());
-      tasks.push_back(FlowTask{
-          campaign.profile, campaign.campaign, campaign.phone,
-          util::Duration::from_seconds(span_s),
-          util::splitmix64(spec.seed ^ (flow_index * 0x9e3779b97f4a7c15ULL))});
-    }
-  }
-
-  // Stationary control corpus: one batch per distinct provider profile.
-  std::vector<radio::ProviderProfile> seen;
-  for (const auto& campaign : spec.campaigns) {
-    const bool dup = std::any_of(seen.begin(), seen.end(), [&](const auto& p) {
-      return p.provider == campaign.profile.provider;
-    });
-    if (dup) continue;
-    seen.push_back(campaign.profile);
-
-    const radio::ProviderProfile stat = radio::stationary_of(campaign.profile);
-    for (unsigned i = 0; i < spec.stationary_flows_per_provider; ++i, ++flow_index) {
-      util::Rng flow_rng = rng.fork("stationary-flow", flow_index);
-      const double span_s = flow_rng.uniform(spec.flow_duration_min.to_seconds(),
-                                             spec.flow_duration_max.to_seconds());
-      tasks.push_back(FlowTask{
-          stat, "stationary control", "Samsung Galaxy S4",
-          util::Duration::from_seconds(span_s),
-          util::splitmix64(spec.seed ^ 0xABCDEF ^ (flow_index * 0x9e3779b97f4a7c15ULL))});
-    }
-  }
+  // Plan phase: the campaign layout is a pure function of the spec
+  // (DatasetPlan), so per-flow tasks are derived on demand in the workers —
+  // no O(flows) task vector, and byte-identical to the legacy loop.
+  const DatasetPlan plan(spec);
+  const std::uint64_t n = plan.flow_count();
 
   DatasetResult out;
   auto threads = resolve_dataset_threads(spec.threads);
@@ -195,28 +211,198 @@ DatasetResult generate_dataset(const DatasetSpec& spec) {
   // cannot perturb the result; threads == 1 is the plain sequential loop.
   // Workers never throw (run_and_analyze absorbs failures into per-index
   // statuses), so one sick flow cannot abort its siblings mid-flight.
-  std::vector<FlowRecord> records(tasks.size());
-  std::vector<FlowOutcome> outcomes(tasks.size());
+  std::vector<FlowRecord> records(n);
+  std::vector<FlowOutcome> outcomes(n);
   util::ThreadPool pool(threads.value());
-  pool.parallel_for(tasks.size(), [&](std::uint64_t i) {
-    records[i] = run_and_analyze(spec, i, tasks[i], &outcomes[i]);
+  pool.parallel_for(n, [&](std::uint64_t i) {
+    records[i] = run_and_analyze(spec, i, plan.task(i), &outcomes[i]);
   });
 
   // Aggregate phase (sequential, in flow order, after the join): compact the
   // healthy flows into the corpus and quarantine the casualties with their
-  // diagnostics. Index order makes the result independent of thread count.
-  out.flows.reserve(tasks.size());
-  for (std::uint64_t i = 0; i < tasks.size(); ++i) {
+  // diagnostics. Index order makes the result independent of thread count
+  // and makes `stats` bitwise-reproducible by the streaming path.
+  out.flows.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
     if (outcomes[i].status.is_ok()) {
-      out.corpus.add(records[i].provider, records[i].high_speed, records[i].analysis);
+      const FlowRecord& rec = records[i];
+      out.corpus.add(rec.provider, rec.high_speed, rec.analysis);
+      out.stats.absorb(analysis::FlowStatsSample::from_flow(
+          rec.analysis, rec.breakdown, rec.high_speed, rec.bytes_captured));
       out.flows.push_back(std::move(records[i]));
     } else {
+      const FlowTask task = plan.task(i);
+      out.stats.absorb_quarantine();
       out.quarantined.push_back(QuarantinedFlow{
-          i, radio::provider_name(tasks[i].profile.provider), tasks[i].campaign,
+          i, radio::provider_name(task.profile.provider), task.campaign,
           std::move(outcomes[i].status), std::move(outcomes[i].downlink_plan),
           std::move(outcomes[i].uplink_plan)});
     }
   }
+  return out;
+}
+
+namespace {
+
+// What one streaming worker hands to the in-order absorber. Captures are
+// already on disk by the time this exists; it is a few hundred bytes.
+struct StreamedOutcome {
+  bool ok = false;
+  analysis::FlowStatsSample sample;  // when ok
+  QuarantinedFlow casualty;          // when !ok
+  std::uint64_t sim_events = 0;
+};
+
+// Applies per-flow outcomes to the CorpusStats in strict flow-index order,
+// regardless of completion order. Welford updates are not associative in
+// floating point, so in-order absorption is what buys the cross-thread-count
+// byte-identity of the stats digest. Out-of-order arrivals wait in `pending_`
+// — bounded by scheduling skew (roughly the worker count), not flow count;
+// the high-water mark is reported so tests and campaigns can verify that.
+class OrderedAbsorber {
+ public:
+  explicit OrderedAbsorber(StreamingDatasetResult& out) : out_(out) {}
+
+  void submit(std::uint64_t flow_index, StreamedOutcome outcome) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (flow_index != next_) {
+      pending_.emplace(flow_index, std::move(outcome));
+      peak_ = std::max(peak_, static_cast<std::uint64_t>(pending_.size()));
+      return;
+    }
+    apply(std::move(outcome));
+    ++next_;
+    while (!pending_.empty() && pending_.begin()->first == next_) {
+      apply(std::move(pending_.begin()->second));
+      pending_.erase(pending_.begin());
+      ++next_;
+    }
+  }
+
+  std::uint64_t pending_peak() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return peak_;
+  }
+
+ private:
+  void apply(StreamedOutcome outcome) {
+    if (outcome.ok) {
+      out_.stats.absorb(outcome.sample);
+    } else {
+      out_.stats.absorb_quarantine();
+      out_.quarantined.push_back(std::move(outcome.casualty));
+    }
+    out_.total_sim_events += outcome.sim_events;
+  }
+
+  StreamingDatasetResult& out_;
+  mutable std::mutex mu_;
+  std::uint64_t next_ = 0;
+  std::uint64_t peak_ = 0;
+  std::map<std::uint64_t, StreamedOutcome> pending_;
+};
+
+}  // namespace
+
+StreamingDatasetResult generate_dataset_streaming(
+    const DatasetSpec& spec, const StreamingDatasetOptions& options) {
+  StreamingDatasetResult out;
+  out.corpus_path = options.corpus_path;
+
+  auto threads = resolve_dataset_threads(spec.threads);
+  if (!threads.is_ok()) {
+    out.config_status = threads.status();
+    return out;
+  }
+  if (options.corpus_path.empty()) {
+    out.config_status =
+        util::Status::invalid_argument("streaming dataset needs a corpus_path");
+    return out;
+  }
+
+  const DatasetPlan plan(spec);
+  util::ThreadPool pool(threads.value());
+
+  trace::StreamingCorpusWriter writer(trace::StreamingCorpusWriter::Options{
+      options.corpus_path, options.spill_dir, pool.thread_count()});
+  out.io_status = writer.open();
+  if (!out.io_status.is_ok()) return out;
+
+  OrderedAbsorber absorber(out);
+  std::mutex io_mu;
+  bool io_failed = false;
+  const auto record_io_failure = [&](util::Status status) {
+    const std::lock_guard<std::mutex> lock(io_mu);
+    if (!io_failed) {
+      io_failed = true;
+      out.io_status = std::move(status);
+    }
+  };
+
+  // Worker loop: run flow i, reduce to a stats sample, spill the capture to
+  // this worker's shard, free it, then hand the sample to the absorber.
+  // Peak capture memory is one flow per worker — O(threads), not O(flows).
+  pool.parallel_for_worker(plan.flow_count(), [&](unsigned worker, std::uint64_t i) {
+    const FlowTask task = plan.task(i);
+    FlowOutcome flow_outcome;
+    trace::FlowCapture capture;
+    FlowRecord rec = run_and_analyze(spec, i, task, &flow_outcome, &capture);
+
+    StreamedOutcome streamed;
+    streamed.sim_events = rec.sim_events;
+    if (flow_outcome.status.is_ok()) {
+      streamed.ok = true;
+      streamed.sample = analysis::FlowStatsSample::from_flow(
+          rec.analysis, rec.breakdown, rec.high_speed, rec.bytes_captured);
+      // Archived frames carry the campaign-wide flow index as their FlowId
+      // (run_flow numbers every capture 1, which would be useless in a
+      // 100k-flow corpus).
+      capture.flow = static_cast<net::FlowId>(i);
+      bool skip_io;
+      {
+        const std::lock_guard<std::mutex> lock(io_mu);
+        skip_io = io_failed;
+      }
+      if (!skip_io) {
+        util::Status spilled = writer.spill_flow(worker, i, capture);
+        if (!spilled.is_ok()) record_io_failure(std::move(spilled));
+      }
+      capture = trace::FlowCapture{};  // freed before the next claim
+    } else {
+      streamed.casualty = QuarantinedFlow{
+          i, radio::provider_name(task.profile.provider), task.campaign,
+          flow_outcome.status, flow_outcome.downlink_plan, flow_outcome.uplink_plan};
+      trace::QuarantineRecord qrec;
+      qrec.flow_index = i;
+      qrec.provider = streamed.casualty.provider;
+      qrec.campaign = streamed.casualty.campaign;
+      qrec.status_code = static_cast<std::int32_t>(flow_outcome.status.code());
+      qrec.message = flow_outcome.status.message();
+      qrec.downlink_plan = flow_outcome.downlink_plan;
+      qrec.uplink_plan = flow_outcome.uplink_plan;
+      bool skip_io;
+      {
+        const std::lock_guard<std::mutex> lock(io_mu);
+        skip_io = io_failed;
+      }
+      if (!skip_io) {
+        util::Status spilled = writer.spill_quarantine(worker, i, qrec);
+        if (!spilled.is_ok()) record_io_failure(std::move(spilled));
+      }
+    }
+    absorber.submit(i, std::move(streamed));
+  });
+
+  out.stats_pending_peak = absorber.pending_peak();
+  if (!out.io_status.is_ok()) return out;
+
+  auto merged = writer.merge();
+  if (!merged.is_ok()) {
+    out.io_status = merged.status();
+    return out;
+  }
+  out.flows_completed = merged.value().flows;
+  out.corpus_bytes = merged.value().bytes;
   return out;
 }
 

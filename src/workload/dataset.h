@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "analysis/corpus.h"
+#include "analysis/corpus_stats.h"
 #include "radio/profiles.h"
 #include "util/status.h"
 #include "workload/scenario.h"
@@ -67,6 +68,46 @@ struct DatasetSpec {
   static DatasetSpec paper_table1(double scale = 1.0);
 };
 
+// One planned flow simulation: everything the worker needs to run flow
+// `flow_index`, derived purely from (spec, flow_index).
+struct FlowTask {
+  radio::ProviderProfile profile;
+  std::string campaign;
+  std::string phone;
+  util::Duration duration;
+  std::uint64_t seed = 0;
+};
+
+// The campaign layout as a pure function of the spec: task(i) derives flow
+// i's profile, duration and seed on demand, in O(campaigns + providers)
+// memory — nothing is stored per flow, which is what lets a 10^6-flow
+// campaign plan itself without a 10^6-element task vector. Derivation is
+// identical to the legacy sequential planning loop (same fork labels, same
+// seed mixing), so corpora are byte-for-byte unchanged.
+class DatasetPlan {
+ public:
+  explicit DatasetPlan(const DatasetSpec& spec);
+
+  std::uint64_t flow_count() const { return flow_count_; }
+  // Pure in (spec, flow_index): callable concurrently, any order.
+  FlowTask task(std::uint64_t flow_index) const;
+
+ private:
+  struct Block {
+    std::uint64_t start = 0;
+    std::uint64_t count = 0;
+    radio::ProviderProfile profile;
+    std::string campaign;
+    std::string phone;
+    bool stationary = false;
+  };
+  std::vector<Block> blocks_;
+  std::uint64_t flow_count_ = 0;
+  std::uint64_t seed_ = 0;
+  double duration_min_s_ = 0.0;
+  double duration_max_s_ = 0.0;
+};
+
 // Strict parser for the HSR_BENCH_THREADS environment knob: accepts only a
 // plain decimal in [1, kMaxBenchThreads]; anything else (empty, non-numeric,
 // trailing garbage, zero, absurd counts) is an InvalidArgument naming the
@@ -80,6 +121,9 @@ struct FlowRecord {
   std::string phone;
   bool high_speed = true;
   analysis::FlowAnalysis analysis;
+  // Per-cause loss totals for this flow (integer counters; feeds the
+  // corpus-wide loss breakdown in CorpusStats).
+  analysis::LossBreakdown breakdown;
   double goodput_pps = 0.0;
   std::uint64_t bytes_captured = 0;
   util::Duration duration;
@@ -111,6 +155,10 @@ struct QuarantinedFlow {
 struct DatasetResult {
   std::vector<FlowRecord> flows;
   analysis::Corpus corpus;  // built from `flows`
+  // Online accumulators over the same flows, absorbed in flow order — the
+  // digest (stats.to_text()) the streaming path must reproduce byte for
+  // byte. stats.headline() is bitwise equal to corpus.headline().
+  analysis::CorpusStats stats;
 
   // Partial-corpus semantics: `flows`/`corpus` hold every flow that
   // completed; failures are quarantined here with their diagnostics. An
@@ -140,5 +188,50 @@ struct DatasetResult {
 // event-budget watchdog is captured as a per-flow Status and quarantined in
 // the result; every other flow still completes and aggregates.
 DatasetResult generate_dataset(const DatasetSpec& spec);
+
+// --- Streaming generation (bounded memory) -----------------------------------
+
+struct StreamingDatasetOptions {
+  // Final corpus file (hsrtrace-b1). Written atomically by the merge step.
+  std::string corpus_path;
+  // Scratch directory for per-worker spill files; "" = "<corpus_path>.spill".
+  std::string spill_dir;
+};
+
+// What a streaming campaign returns: online statistics and diagnostics, but
+// NO captures and NO per-flow records — those live in the corpus file.
+struct StreamingDatasetResult {
+  analysis::CorpusStats stats;
+  std::vector<QuarantinedFlow> quarantined;  // flow-index order
+  // Spec/environment rejection (same contract as DatasetResult).
+  util::Status config_status;
+  // First spill/merge I/O failure; when not OK the corpus file was not
+  // produced (stats cover whatever absorbed before the failure).
+  util::Status io_status;
+
+  std::string corpus_path;
+  std::uint64_t flows_completed = 0;  // flow frames in the corpus
+  std::uint64_t corpus_bytes = 0;     // final corpus file size
+  std::uint64_t total_sim_events = 0;
+  // High-water mark of samples buffered waiting for in-order absorption —
+  // the streaming path's only flow-count-correlated buffer, bounded in
+  // practice by scheduling skew (observed: ~thread count), not flow count.
+  std::uint64_t stats_pending_peak = 0;
+
+  [[nodiscard]] bool complete() const {
+    return config_status.is_ok() && io_status.is_ok() && quarantined.empty();
+  }
+};
+
+// generate_dataset with O(threads) instead of O(flows) capture memory: each
+// worker runs a flow, reduces it to a FlowStatsSample, spills the capture to
+// its own shard file (trace::StreamingCorpusWriter) and frees it before
+// claiming the next index. Statistics are absorbed in strict flow-index
+// order, so `stats.to_text()` is byte-identical to the in-memory path's
+// DatasetResult::stats and to any other thread count; the merged corpus file
+// is byte-identical for any thread count too. Flow frames carry their
+// campaign flow index as the FlowId.
+StreamingDatasetResult generate_dataset_streaming(const DatasetSpec& spec,
+                                                  const StreamingDatasetOptions& options);
 
 }  // namespace hsr::workload

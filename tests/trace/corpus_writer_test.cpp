@@ -1,0 +1,147 @@
+// StreamingCorpusWriter: spill-then-merge must produce a corpus that is
+// byte-identical to direct in-order writing, for any shard count, with the
+// spill scratch cleaned up afterwards.
+#include "trace/corpus_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/trace_binary.h"
+#include "trace/trace_io.h"
+
+namespace hsr::trace {
+namespace {
+
+namespace fs = std::filesystem;
+
+FlowCapture make_capture(std::uint64_t index) {
+  FlowCapture cap;
+  cap.flow = static_cast<net::FlowId>(index);
+  for (std::uint64_t i = 0; i < 3 + index % 4; ++i) {
+    Packet p;
+    p.id = i + 1;
+    p.flow = cap.flow;
+    p.kind = net::PacketKind::kData;
+    p.seq = i + 1;
+    p.size_bytes = 1400;
+    const TimePoint sent = TimePoint::from_ns(static_cast<std::int64_t>(1000 * (i + 1)));
+    cap.data.on_send(p, sent);
+    if (i % 3 != 2) {
+      cap.data.on_deliver(p, sent, sent + util::Duration::millis(20));
+    } else {
+      cap.data.on_drop(p, sent, net::DropCause::queue_overflow());
+    }
+  }
+  return cap;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+// The reference: header with the exact counts, frames in flow-index order.
+std::string direct_corpus(const std::vector<FlowCapture>& caps) {
+  std::ostringstream os;
+  write_binary_trace_header(os, caps.size());
+  for (const auto& cap : caps) write_flow_frame(os, cap);
+  return os.str();
+}
+
+TEST(StreamingCorpusWriterTest, MergeIsByteIdenticalForAnyShardCount) {
+  constexpr std::uint64_t kFlows = 13;
+  std::vector<FlowCapture> caps;
+  for (std::uint64_t i = 0; i < kFlows; ++i) caps.push_back(make_capture(i));
+  const std::string want = direct_corpus(caps);
+
+  for (const unsigned shards : {1u, 2u, 4u, 8u}) {
+    StreamingCorpusWriter::Options options;
+    options.corpus_path = "corpus_writer_test_merge.hsrb";
+    options.shards = shards;
+    StreamingCorpusWriter writer(options);
+    ASSERT_TRUE(writer.open().is_ok());
+    // Scatter flows over shards the way atomic index claiming does: any
+    // assignment keeps per-shard indices strictly increasing.
+    for (std::uint64_t i = 0; i < kFlows; ++i) {
+      ASSERT_TRUE(writer.spill_flow(static_cast<unsigned>(i % shards), i, caps[i]).is_ok());
+    }
+    const auto merged = writer.merge();
+    ASSERT_TRUE(merged.is_ok()) << merged.status().to_string();
+    EXPECT_EQ(merged.value().flows, kFlows);
+    EXPECT_EQ(merged.value().quarantines, 0u);
+
+    const std::string got = read_file(options.corpus_path);
+    EXPECT_EQ(got, want) << "shards=" << shards;
+    EXPECT_EQ(merged.value().bytes, want.size());
+
+    // Spill scratch is gone; only the corpus remains.
+    EXPECT_FALSE(fs::exists(options.corpus_path + ".spill"));
+    std::remove(options.corpus_path.c_str());
+  }
+}
+
+TEST(StreamingCorpusWriterTest, QuarantineFramesLandInIndexOrder) {
+  StreamingCorpusWriter::Options options;
+  options.corpus_path = "corpus_writer_test_quarantine.hsrb";
+  options.shards = 2;
+  StreamingCorpusWriter writer(options);
+  ASSERT_TRUE(writer.open().is_ok());
+
+  const FlowCapture cap0 = make_capture(0);
+  const FlowCapture cap2 = make_capture(2);
+  QuarantineRecord rec;
+  rec.flow_index = 1;
+  rec.provider = "China Unicom";
+  rec.campaign = "January 2015";
+  rec.status_code = 8;
+  rec.message = "watchdog";
+
+  ASSERT_TRUE(writer.spill_flow(0, 0, cap0).is_ok());
+  ASSERT_TRUE(writer.spill_quarantine(1, 1, rec).is_ok());
+  ASSERT_TRUE(writer.spill_flow(0, 2, cap2).is_ok());
+  const auto merged = writer.merge();
+  ASSERT_TRUE(merged.is_ok()) << merged.status().to_string();
+  EXPECT_EQ(merged.value().flows, 2u);
+  EXPECT_EQ(merged.value().quarantines, 1u);
+
+  std::ifstream f(options.corpus_path, std::ios::binary);
+  const auto corpus = read_binary_corpus(f);
+  ASSERT_TRUE(corpus.is_ok()) << corpus.status().to_string();
+  EXPECT_EQ(corpus.value().declared_flow_count, 2u);
+  ASSERT_EQ(corpus.value().flows.size(), 2u);
+  EXPECT_EQ(corpus.value().flows[0].flow, 0u);
+  EXPECT_EQ(corpus.value().flows[1].flow, 2u);
+  ASSERT_EQ(corpus.value().quarantined.size(), 1u);
+  EXPECT_EQ(corpus.value().quarantined[0].flow_index, 1u);
+  EXPECT_EQ(corpus.value().quarantined[0].provider, "China Unicom");
+  std::remove(options.corpus_path.c_str());
+}
+
+TEST(StreamingCorpusWriterTest, SpillCountersTrackWhatWasWritten) {
+  StreamingCorpusWriter::Options options;
+  options.corpus_path = "corpus_writer_test_counts.hsrb";
+  options.shards = 1;
+  StreamingCorpusWriter writer(options);
+  ASSERT_TRUE(writer.open().is_ok());
+  ASSERT_TRUE(writer.spill_flow(0, 0, make_capture(0)).is_ok());
+  ASSERT_TRUE(writer.spill_flow(0, 1, make_capture(1)).is_ok());
+  QuarantineRecord rec;
+  rec.flow_index = 2;
+  ASSERT_TRUE(writer.spill_quarantine(0, 2, rec).is_ok());
+  EXPECT_EQ(writer.flows_spilled(), 2u);
+  EXPECT_EQ(writer.quarantines_spilled(), 1u);
+  EXPECT_GT(writer.bytes_spilled(), 0u);
+  ASSERT_TRUE(writer.merge().is_ok());
+  std::remove(options.corpus_path.c_str());
+}
+
+}  // namespace
+}  // namespace hsr::trace

@@ -1,0 +1,171 @@
+// The streaming-campaign contract: generate_dataset_streaming must produce
+// (a) a corpus-stats digest BYTE-IDENTICAL to the in-memory path's
+// DatasetResult::stats for the same spec, (b) a corpus file byte-identical
+// for any thread count, and (c) capture memory bounded by worker count —
+// pending-absorption buffering must track scheduling skew, not flow count.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "trace/trace_binary.h"
+#include "util/status.h"
+#include "workload/dataset.h"
+
+namespace hsr::workload {
+namespace {
+
+namespace fs = std::filesystem;
+
+DatasetSpec small_spec() {
+  DatasetSpec spec = DatasetSpec::paper_table1(0.02);
+  spec.stationary_flows_per_provider = 2;
+  spec.flow_duration_min = util::Duration::seconds(5);
+  spec.flow_duration_max = util::Duration::seconds(8);
+  spec.seed = 20160627;
+  return spec;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+std::string unique_corpus_path(const std::string& tag) {
+  return "streaming_dataset_test_" + tag + ".hsrb";
+}
+
+TEST(StreamingDatasetTest, StatsDigestMatchesInMemoryPathByteForByte) {
+  DatasetSpec spec = small_spec();
+  spec.threads = 1;
+  const DatasetResult in_memory = generate_dataset(spec);
+  ASSERT_TRUE(in_memory.complete());
+
+  const std::string corpus_path = unique_corpus_path("digest");
+  StreamingDatasetOptions options;
+  options.corpus_path = corpus_path;
+  const StreamingDatasetResult streamed = generate_dataset_streaming(spec, options);
+  ASSERT_TRUE(streamed.complete()) << streamed.config_status.to_string() << " / "
+                                   << streamed.io_status.to_string();
+
+  // The whole point of the online accumulators: the digest of a campaign
+  // that never held two captures at once is bitwise what the in-memory
+  // aggregation produced.
+  EXPECT_EQ(streamed.stats.to_text(), in_memory.stats.to_text());
+  EXPECT_EQ(streamed.flows_completed, in_memory.flows.size());
+  EXPECT_EQ(streamed.total_sim_events, in_memory.total_sim_events());
+  std::remove(corpus_path.c_str());
+}
+
+TEST(StreamingDatasetTest, CorpusAndDigestIdenticalAcrossThreadCounts) {
+  DatasetSpec spec = small_spec();
+  spec.threads = 1;
+  const std::string reference_path = unique_corpus_path("t1");
+  StreamingDatasetOptions options;
+  options.corpus_path = reference_path;
+  const StreamingDatasetResult reference = generate_dataset_streaming(spec, options);
+  ASSERT_TRUE(reference.complete());
+  const std::string reference_bytes = read_file(reference_path);
+  const std::string reference_digest = reference.stats.to_text();
+  ASSERT_FALSE(reference_bytes.empty());
+  std::remove(reference_path.c_str());
+
+  for (unsigned threads : {2u, 4u, 8u}) {
+    spec.threads = threads;
+    const std::string path = unique_corpus_path("t" + std::to_string(threads));
+    StreamingDatasetOptions opts;
+    opts.corpus_path = path;
+    const StreamingDatasetResult run = generate_dataset_streaming(spec, opts);
+    ASSERT_TRUE(run.complete()) << "threads=" << threads;
+    EXPECT_EQ(read_file(path), reference_bytes) << "threads=" << threads;
+    EXPECT_EQ(run.stats.to_text(), reference_digest) << "threads=" << threads;
+    // Out-of-order samples wait in a buffer bounded by scheduling skew;
+    // with `threads` workers in flight it cannot exceed the flow count and
+    // should stay near the worker count.
+    EXPECT_LT(run.stats_pending_peak, reference.flows_completed)
+        << "threads=" << threads;
+    EXPECT_FALSE(fs::exists(path + ".spill")) << "threads=" << threads;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(StreamingDatasetTest, CorpusFileHoldsEveryFlowIndexedInOrder) {
+  DatasetSpec spec = small_spec();
+  spec.threads = 4;
+  const std::string path = unique_corpus_path("order");
+  StreamingDatasetOptions options;
+  options.corpus_path = path;
+  const StreamingDatasetResult run = generate_dataset_streaming(spec, options);
+  ASSERT_TRUE(run.complete());
+
+  std::ifstream in(path, std::ios::binary);
+  const auto corpus = trace::read_binary_corpus(in);
+  ASSERT_TRUE(corpus.is_ok()) << corpus.status().to_string();
+  EXPECT_EQ(corpus.value().declared_flow_count, run.flows_completed);
+  ASSERT_EQ(corpus.value().flows.size(), run.flows_completed);
+  EXPECT_FALSE(corpus.value().torn_tail);
+  // Frames carry the campaign flow index as FlowId, in strict index order.
+  for (std::size_t i = 0; i < corpus.value().flows.size(); ++i) {
+    EXPECT_EQ(corpus.value().flows[i].flow, i);
+    EXPECT_GT(corpus.value().flows[i].data.transmissions().size(), 0u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StreamingDatasetTest, QuarantineLandsInStreamAndDigestStillMatches) {
+  DatasetSpec spec = small_spec();
+  spec.configure_flow = [](std::uint64_t flow_index, FlowRunConfig& cfg) {
+    // Flow 1 gets an event budget far below what its duration needs: the
+    // watchdog aborts it and the campaign must quarantine, not die.
+    if (flow_index == 1) cfg.max_sim_events = 50;
+  };
+
+  spec.threads = 1;
+  const DatasetResult in_memory = generate_dataset(spec);
+  ASSERT_EQ(in_memory.quarantined.size(), 1u);
+
+  spec.threads = 4;
+  const std::string path = unique_corpus_path("quarantine");
+  StreamingDatasetOptions options;
+  options.corpus_path = path;
+  const StreamingDatasetResult run = generate_dataset_streaming(spec, options);
+  ASSERT_TRUE(run.config_status.is_ok());
+  ASSERT_TRUE(run.io_status.is_ok());
+  EXPECT_FALSE(run.complete());  // partial-corpus semantics
+
+  // Same casualty, same diagnostics, same digest as the in-memory path.
+  ASSERT_EQ(run.quarantined.size(), 1u);
+  EXPECT_EQ(run.quarantined[0].flow_index, 1u);
+  EXPECT_EQ(run.quarantined[0].status.code(), util::StatusCode::kResourceExhausted);
+  EXPECT_EQ(run.stats.to_text(), in_memory.stats.to_text());
+  EXPECT_EQ(run.stats.quarantined(), 1u);
+
+  // The corpus stream archives the quarantine record, so the file explains
+  // its own gap.
+  std::ifstream in(path, std::ios::binary);
+  const auto corpus = trace::read_binary_corpus(in);
+  ASSERT_TRUE(corpus.is_ok()) << corpus.status().to_string();
+  EXPECT_EQ(corpus.value().flows.size(), run.flows_completed);
+  ASSERT_EQ(corpus.value().quarantined.size(), 1u);
+  EXPECT_EQ(corpus.value().quarantined[0].flow_index, 1u);
+  EXPECT_NE(corpus.value().quarantined[0].message.find("watchdog"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(StreamingDatasetTest, MissingCorpusPathIsRejectedUpFront) {
+  DatasetSpec spec = small_spec();
+  const StreamingDatasetResult run =
+      generate_dataset_streaming(spec, StreamingDatasetOptions{});
+  EXPECT_FALSE(run.config_status.is_ok());
+  EXPECT_EQ(run.flows_completed, 0u);
+}
+
+}  // namespace
+}  // namespace hsr::workload

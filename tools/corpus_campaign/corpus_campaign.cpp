@@ -1,0 +1,170 @@
+// corpus_campaign — run a paper-shaped flow campaign of arbitrary size in
+// bounded memory and archive it as a single hsrtrace-b1 corpus file.
+//
+// The in-memory generate_dataset() keeps every FlowCapture alive until the
+// aggregation pass, which caps campaigns at whatever RAM holds; this tool
+// drives generate_dataset_streaming() instead: each worker spills finished
+// flows to its own shard file and frees them immediately, statistics are
+// absorbed online in flow-index order, and a deterministic merge produces a
+// corpus that is byte-identical for ANY --threads value.
+//
+//   corpus_campaign --flows N [--duration S] [--threads K]
+//                   --out corpus.hsrb [--stats-out stats.txt] [--seed X]
+//
+// Flow counts are distributed over the paper's four Table I campaigns in
+// proportion (52:73:65:65) with ~1/8 of flows reserved for the stationary
+// control corpus, so a scaled campaign keeps the published mix. The exit
+// status is non-zero when the campaign is incomplete (config rejection,
+// spill/merge I/O failure, or any quarantined flow).
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "analysis/corpus_stats.h"
+#include "util/status.h"
+#include "util/time.h"
+#include "workload/dataset.h"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: corpus_campaign --flows N --out FILE\n"
+               "                       [--duration S] [--threads K]\n"
+               "                       [--stats-out FILE] [--seed X]\n";
+  return 2;
+}
+
+bool parse_u64(const char* text, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(text, &end, 10);
+  return end != text && *end == '\0';
+}
+
+bool parse_double(const char* text, double& out) {
+  char* end = nullptr;
+  out = std::strtod(text, &end);
+  return end != text && *end == '\0' && out > 0.0;
+}
+
+// Shapes a DatasetSpec with exactly `flows` planned flows: the stationary
+// control corpus gets ~1/8 (at least one per provider), and the remainder is
+// split over the four Table I campaigns by largest-remainder apportionment
+// of the paper's 52:73:65:65 mix.
+hsr::workload::DatasetSpec shape_spec(std::uint64_t flows) {
+  using hsr::workload::DatasetSpec;
+  DatasetSpec spec = DatasetSpec::paper_table1(1.0);
+  constexpr unsigned kProviders = 3;  // distinct providers -> stationary blocks
+
+  std::uint64_t stationary_pp = flows / (8 * kProviders);
+  if (stationary_pp == 0) stationary_pp = 1;
+  if (flows <= kProviders + spec.campaigns.size()) stationary_pp = 1;
+  std::uint64_t remaining = flows > stationary_pp * kProviders
+                                ? flows - stationary_pp * kProviders
+                                : spec.campaigns.size();
+
+  const std::uint64_t weights[] = {52, 73, 65, 65};
+  const std::uint64_t weight_sum = 255;
+  std::uint64_t assigned = 0;
+  for (std::size_t i = 0; i < spec.campaigns.size(); ++i) {
+    std::uint64_t share = remaining * weights[i] / weight_sum;
+    if (share == 0) share = 1;
+    spec.campaigns[i].flows = static_cast<unsigned>(share);
+    assigned += share;
+  }
+  // Largest campaign absorbs the apportionment remainder (either sign).
+  auto& top = spec.campaigns[1];
+  if (assigned < remaining) {
+    top.flows += static_cast<unsigned>(remaining - assigned);
+  } else if (assigned > remaining && top.flows > assigned - remaining) {
+    top.flows -= static_cast<unsigned>(assigned - remaining);
+  }
+  spec.stationary_flows_per_provider = static_cast<unsigned>(stationary_pp);
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t flows = 0;
+  double duration_s = 0.0;  // 0 = keep the spec's paper-scale default
+  std::uint64_t threads = 0;
+  std::uint64_t seed = 0;
+  bool have_seed = false;
+  std::string out_path;
+  std::string stats_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--flows" && has_value) {
+      if (!parse_u64(argv[++i], flows) || flows == 0) return usage();
+    } else if (arg == "--duration" && has_value) {
+      if (!parse_double(argv[++i], duration_s)) return usage();
+    } else if (arg == "--threads" && has_value) {
+      if (!parse_u64(argv[++i], threads)) return usage();
+    } else if (arg == "--seed" && has_value) {
+      if (!parse_u64(argv[++i], seed)) return usage();
+      have_seed = true;
+    } else if (arg == "--out" && has_value) {
+      out_path = argv[++i];
+    } else if (arg == "--stats-out" && has_value) {
+      stats_path = argv[++i];
+    } else {
+      std::cerr << "corpus_campaign: unknown option '" << arg << "'\n";
+      return usage();
+    }
+  }
+  if (flows == 0 || out_path.empty()) return usage();
+
+  hsr::workload::DatasetSpec spec = shape_spec(flows);
+  if (duration_s > 0.0) {
+    spec.flow_duration_min = hsr::util::Duration::from_seconds(duration_s);
+    spec.flow_duration_max = spec.flow_duration_min;
+  }
+  spec.threads = static_cast<unsigned>(threads);
+  if (have_seed) spec.seed = seed;
+
+  hsr::workload::StreamingDatasetOptions options;
+  options.corpus_path = out_path;
+
+  const auto result = hsr::workload::generate_dataset_streaming(spec, options);
+
+  if (!result.config_status.is_ok()) {
+    std::cerr << "config: " << result.config_status.to_string() << '\n';
+    return 1;
+  }
+  if (!result.io_status.is_ok()) {
+    std::cerr << "io: " << result.io_status.to_string() << '\n';
+    return 1;
+  }
+
+  std::cout << "corpus " << result.corpus_path << '\n'
+            << "flows " << result.flows_completed << " quarantined "
+            << result.quarantined.size() << '\n'
+            << "corpus_bytes " << result.corpus_bytes;
+  if (result.flows_completed > 0) {
+    std::cout << " bytes_per_flow " << result.corpus_bytes / result.flows_completed;
+  }
+  std::cout << '\n'
+            << "sim_events " << result.total_sim_events << '\n'
+            << "stats_pending_peak " << result.stats_pending_peak << '\n';
+
+  const std::string digest = result.stats.to_text();
+  if (!stats_path.empty()) {
+    const auto saved = hsr::analysis::save_corpus_stats(stats_path, result.stats);
+    if (!saved.is_ok()) {
+      std::cerr << "stats-out: " << saved.to_string() << '\n';
+      return 1;
+    }
+    std::cout << "stats " << stats_path << '\n';
+  } else {
+    std::cout << digest;
+  }
+
+  for (const auto& q : result.quarantined) {
+    std::cerr << "quarantined flow " << q.flow_index << " (" << q.provider << ", "
+              << q.campaign << "): " << q.status.to_string() << '\n';
+  }
+  return result.complete() ? 0 : 1;
+}

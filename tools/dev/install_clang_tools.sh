@@ -1,0 +1,85 @@
+#!/bin/sh
+# Installs (or explains how to install) the clang tooling the repo's style
+# and tidy gates use: clang-format (.clang-format) and clang-tidy
+# (.clang-tidy, `cmake --build build --target tidy`).
+#
+# The minimal dev containers this repo builds in ship only the compiler
+# toolchain — no clang-format/clang-tidy — which is why those gates are
+# CI-only (see README "Linting"). This script is the documented fallback
+# for getting them locally; it is deliberately dependency-light, needs to
+# be run once, and is a no-op when both tools are already on PATH.
+#
+# Usage: tools/dev/install_clang_tools.sh [--check]
+#   --check   only report what is present/missing; never install (exit 1
+#             when something is missing). CI-friendly.
+set -eu
+
+check_only=0
+[ "${1:-}" = "--check" ] && check_only=1
+
+have() { command -v "$1" >/dev/null 2>&1; }
+
+missing=""
+for tool in clang-format clang-tidy; do
+  if have "$tool"; then
+    echo "found: $tool ($($tool --version | head -n1))"
+  else
+    missing="$missing $tool"
+  fi
+done
+
+if [ -z "$missing" ]; then
+  echo "clang tooling complete."
+  exit 0
+fi
+
+echo "missing:$missing"
+if [ "$check_only" = 1 ]; then
+  exit 1
+fi
+
+# Try the host's package manager. Each branch installs only the missing
+# tools; sudo is used when we are not root and it exists.
+run_priv() {
+  if [ "$(id -u)" = 0 ]; then
+    "$@"
+  elif have sudo; then
+    sudo "$@"
+  else
+    echo "need root (or sudo) to run: $*" >&2
+    return 1
+  fi
+}
+
+if have apt-get; then
+  run_priv apt-get update
+  # shellcheck disable=SC2086  # word-splitting the tool list is intended
+  run_priv apt-get install -y $missing
+elif have dnf; then
+  run_priv dnf install -y clang-tools-extra
+elif have apk; then
+  run_priv apk add clang-extra-tools
+elif have brew; then
+  brew install llvm
+  echo "note: brew installs the tools under \$(brew --prefix llvm)/bin —"
+  echo "add that to PATH."
+else
+  cat >&2 <<'EOF'
+No supported package manager found. Options:
+  * Debian/Ubuntu:  apt-get install clang-format clang-tidy
+  * Fedora/RHEL:    dnf install clang-tools-extra
+  * Alpine:         apk add clang-extra-tools
+  * Any Linux:      download an LLVM release tarball from
+                    https://github.com/llvm/llvm-project/releases and put
+                    its bin/ on PATH (clang-format and clang-tidy are
+                    self-contained binaries).
+The repo's own gates (hsr-lint, tests, benches) need none of this; the
+clang tools only back the CI style/tidy jobs.
+EOF
+  exit 1
+fi
+
+for tool in clang-format clang-tidy; do
+  have "$tool" || { echo "still missing after install: $tool" >&2; exit 1; }
+done
+echo "clang tooling complete."

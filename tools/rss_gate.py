@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Run a command and fail if its peak RSS exceeds a ceiling.
+
+    python3 tools/rss_gate.py --max-rss-mb 512 -- ./corpus_campaign --flows 10000 ...
+
+The streaming-corpus contract is that campaign memory is bounded by the
+worker/shard count, not the flow count; CI proves it by running a ~10k-flow
+campaign under a ceiling a capture-hoarding implementation could not meet.
+Peak RSS is read portably from resource.getrusage(RUSAGE_CHILDREN) (the same
+number /usr/bin/time -v reports as "Maximum resident set size"), so the gate
+works in containers without the GNU time binary.
+"""
+
+import argparse
+import resource
+import subprocess
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--max-rss-mb", type=float, required=True,
+                        help="fail when the child's peak RSS exceeds this many MB")
+    parser.add_argument("command", nargs=argparse.REMAINDER,
+                        help="command to run (prefix with --)")
+    args = parser.parse_args()
+
+    command = args.command
+    if command and command[0] == "--":
+        command = command[1:]
+    if not command:
+        parser.error("no command given")
+
+    proc = subprocess.run(command)
+    # ru_maxrss is KB on Linux (bytes on macOS; this repo's CI is Linux).
+    peak_mb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss / 1024.0
+    print(f"rss_gate: peak RSS {peak_mb:.1f} MB (ceiling {args.max_rss_mb:.1f} MB)")
+    if proc.returncode != 0:
+        print(f"rss_gate: command failed with exit {proc.returncode}", file=sys.stderr)
+        return proc.returncode
+    if peak_mb > args.max_rss_mb:
+        print(f"rss_gate: FAIL — peak RSS {peak_mb:.1f} MB exceeds ceiling "
+              f"{args.max_rss_mb:.1f} MB", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,15 +1,20 @@
 // trace_query — packet-fate queries over archived trace files.
 //
 // Answers the questions the paper's workflow answered with wireshark filters,
-// from a capture file alone (no live simulator state):
-//   summary <trace>            counts, loss rates, fault totals
-//   why <trace> <packet-id>    the fate of one packet, cause-coded
-//   losses <trace>             per-cause loss breakdown, data vs ACK
-//   ratios <trace>             headline ratios: q-hat, ACK-burst-loss rounds,
-//                              spurious fraction
-//   replay [options]           re-run an experiment from fault-plan files
-//                              over perfect channels (bit-identical)
-//   selftest                   end-to-end smoke test (ctest hook)
+// from a capture file alone (no live simulator state). Trace arguments accept
+// BOTH formats transparently: text archives ("hsrtrace-v2"/"-v1") and binary
+// corpora ("hsrtrace-b1"); multi-flow corpora are addressed with --flow N.
+//   summary <trace> [--flow N]   counts, loss rates, fault totals
+//   why <trace> <packet-id> [--flow N]  the fate of one packet, cause-coded
+//   losses <trace> [--flow N]    per-cause loss breakdown, data vs ACK
+//   ratios <trace> [--flow N]    headline ratios: q-hat, ACK-burst-loss
+//                                rounds, spurious fraction
+//   ls <trace>                   one line per flow / quarantine record
+//   convert <in> <out> --to-binary|--to-text [--flow N]
+//                                lossless format conversion
+//   replay [options]             re-run an experiment from fault-plan files
+//                                (bit-identical)
+//   selftest                     end-to-end smoke test (ctest hook)
 //
 // replay options:
 //   --down-plan <file>   fault plan for the data direction (optional)
@@ -18,7 +23,10 @@
 //   --save <file>        write the capture archive ("hsrtrace-v2")
 // The replay path is deliberately RNG-free: perfect organic channels plus
 // deterministic scripted faults, so the same plan files always reproduce the
-// same capture byte for byte.
+// same capture byte for byte. Plans with an "hsrfaultplan-v2" parameter
+// block replay over THEIR archived link/TCP topology (downlink plan's block
+// wins if both carry one); parameterless v1 plans fall back to the fixed
+// EXPERIMENTS.md recipe config (10 Mbit/s, 20 ms one-way).
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -38,6 +46,7 @@
 #include "sim/simulator.h"
 #include "tcp/connection.h"
 #include "trace/capture.h"
+#include "trace/trace_binary.h"
 #include "trace/trace_io.h"
 #include "util/time.h"
 
@@ -50,17 +59,22 @@ using hsr::util::TimePoint;
 int usage() {
   std::cerr
       << "usage: trace_query <command> [args]\n"
-         "  summary <trace>          counts, loss rates, fault totals\n"
-         "  why <trace> <packet-id>  fate of one packet, cause-coded\n"
-         "  losses <trace>           per-cause loss breakdown (data vs ACK)\n"
-         "  ratios <trace>           q-hat, ACK-burst rounds, spurious share\n"
+         "  summary <trace> [--flow N]  counts, loss rates, fault totals\n"
+         "  why <trace> <packet-id> [--flow N]  fate of one packet\n"
+         "  losses <trace> [--flow N]   per-cause loss breakdown (data vs ACK)\n"
+         "  ratios <trace> [--flow N]   q-hat, ACK-burst rounds, spurious share\n"
+         "  ls <trace>                  list flows / quarantines in a corpus\n"
+         "  convert <in> <out> --to-binary|--to-text [--flow N]\n"
          "  replay [--down-plan F] [--up-plan F] [--duration S] [--save F]\n"
-         "  selftest                 end-to-end smoke test\n";
+         "  selftest                    end-to-end smoke test\n"
+         "trace files may be text (hsrtrace-v2/v1) or binary (hsrtrace-b1).\n";
   return 2;
 }
 
-hsr::util::StatusOr<hsr::trace::FlowCapture> load(const std::string& path) {
-  return hsr::trace::load_flow_capture(path);
+// Reads flow `nth` from a trace in either format (text archives hold one).
+hsr::util::StatusOr<hsr::trace::FlowCapture> load(const std::string& path,
+                                                  std::uint64_t nth = 0) {
+  return hsr::trace::load_flow_capture_any(path, nth);
 }
 
 // --- summary -----------------------------------------------------------------
@@ -178,6 +192,89 @@ void print_ratios(const hsr::trace::FlowCapture& cap, std::ostream& os) {
      << " s\n";
 }
 
+// --- ls ----------------------------------------------------------------------
+
+int run_ls(const std::string& path, std::ostream& os) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    std::cerr << "cannot open: " << path << '\n';
+    return 1;
+  }
+  if (!hsr::trace::sniff_binary_trace(f)) {
+    const auto cap = hsr::trace::load_flow_capture(path);
+    if (!cap.is_ok()) {
+      std::cerr << cap.status().to_string() << '\n';
+      return 1;
+    }
+    os << "text archive, 1 flow\n"
+       << "flow " << cap.value().flow << "  data " << cap.value().data.sent_count()
+       << "  acks " << cap.value().acks.sent_count() << "  faults "
+       << cap.value().faults.size() << '\n';
+    return 0;
+  }
+
+  hsr::trace::BinaryTraceReader reader(f);
+  const auto opened = reader.open();
+  if (!opened.is_ok()) {
+    std::cerr << opened.to_string() << '\n';
+    return 1;
+  }
+  if (reader.declared_flow_count() == hsr::trace::kUnknownFlowCount) {
+    os << "binary corpus, streamed (flow count unknown)\n";
+  } else {
+    os << "binary corpus, " << reader.declared_flow_count() << " flows declared\n";
+  }
+  hsr::trace::FlowCapture flow;
+  hsr::trace::QuarantineRecord quarantine;
+  std::uint64_t quarantines = 0;
+  bool torn = false;
+  for (;;) {
+    const auto frame = reader.next(&flow, &quarantine);
+    if (!frame.is_ok()) {
+      std::cerr << frame.status().to_string() << '\n';
+      return 1;
+    }
+    if (frame.value() == hsr::trace::BinaryTraceReader::Frame::kEnd) break;
+    if (frame.value() == hsr::trace::BinaryTraceReader::Frame::kTorn) {
+      torn = true;
+      break;
+    }
+    if (frame.value() == hsr::trace::BinaryTraceReader::Frame::kQuarantine) {
+      ++quarantines;
+      os << "quarantined flow " << quarantine.flow_index << " ("
+         << quarantine.provider << ", " << quarantine.campaign
+         << "): " << quarantine.message << '\n';
+      continue;
+    }
+    os << "flow " << flow.flow << "  data " << flow.data.sent_count() << "  acks "
+       << flow.acks.sent_count() << "  faults " << flow.faults.size() << '\n';
+  }
+  os << reader.flows_read() << " flow(s), " << quarantines << " quarantined\n";
+  if (torn) os << "WARNING: torn trailing frame dropped (truncated archive)\n";
+  return 0;
+}
+
+// --- convert -------------------------------------------------------------------
+
+int run_convert(const std::string& in_path, const std::string& out_path,
+                bool to_binary, std::uint64_t nth, std::ostream& os) {
+  const auto cap = load(in_path, nth);
+  if (!cap.is_ok()) {
+    std::cerr << cap.status().to_string() << '\n';
+    return 1;
+  }
+  const auto saved = to_binary
+                         ? hsr::trace::save_flow_capture_binary(out_path, cap.value())
+                         : hsr::trace::save_flow_capture(out_path, cap.value());
+  if (!saved.is_ok()) {
+    std::cerr << saved.to_string() << '\n';
+    return 1;
+  }
+  os << "converted " << in_path << " -> " << out_path << " ("
+     << (to_binary ? "hsrtrace-b1" : "hsrtrace-v2") << ")\n";
+  return 0;
+}
+
 // --- replay ------------------------------------------------------------------
 
 struct ReplayOptions {
@@ -189,21 +286,38 @@ struct ReplayOptions {
 
 // Re-runs an archived experiment from its plan files: perfect organic
 // channels decorated with the parsed FaultPlans. No RNG anywhere, so the
-// capture depends only on the plans and the duration.
-hsr::trace::FlowCapture replay(const hsr::fault::FaultPlan& down,
-                               const hsr::fault::FaultPlan& up,
-                               double duration_s) {
+// capture depends only on the plans, the duration, and the parameter block.
+hsr::trace::FlowCapture replay(
+    const hsr::fault::FaultPlan& down, const hsr::fault::FaultPlan& up,
+    double duration_s,
+    const std::optional<hsr::fault::ReplayParams>& params = std::nullopt) {
   hsr::net::reset_packet_ids();
   hsr::sim::Simulator sim;
   hsr::trace::FlowCapture capture;
   capture.flow = 1;
 
-  // The EXPERIMENTS.md scripted-fault path: 10 Mbit/s, 20 ms one-way.
   hsr::tcp::ConnectionConfig cfg;
-  cfg.downlink.rate_bps = 10e6;
-  cfg.downlink.prop_delay = Duration::millis(20);
-  cfg.uplink.rate_bps = 10e6;
-  cfg.uplink.prop_delay = Duration::millis(20);
+  if (params.has_value()) {
+    // v2 plans carry the archived experiment's own topology.
+    cfg.downlink.rate_bps = params->down_rate_bps;
+    cfg.downlink.prop_delay = Duration::nanos(params->down_delay_ns);
+    cfg.downlink.queue_capacity = static_cast<std::size_t>(params->down_queue);
+    cfg.uplink.rate_bps = params->up_rate_bps;
+    cfg.uplink.prop_delay = Duration::nanos(params->up_delay_ns);
+    cfg.uplink.queue_capacity = static_cast<std::size_t>(params->up_queue);
+    cfg.tcp.mss_bytes = params->mss_bytes;
+    cfg.tcp.delayed_ack_b = params->delayed_ack_b;
+    if (params->min_rto_ns > 0) cfg.tcp.rto.min_rto = Duration::nanos(params->min_rto_ns);
+    cfg.tcp.receiver_window = params->receiver_window;
+    cfg.tcp.enable_sack = params->enable_sack;
+    cfg.tcp.enable_frto = params->enable_frto;
+  } else {
+    // The EXPERIMENTS.md scripted-fault path: 10 Mbit/s, 20 ms one-way.
+    cfg.downlink.rate_bps = 10e6;
+    cfg.downlink.prop_delay = Duration::millis(20);
+    cfg.uplink.rate_bps = 10e6;
+    cfg.uplink.prop_delay = Duration::millis(20);
+  }
 
   std::unique_ptr<hsr::net::ChannelModel> down_channel =
       std::make_unique<hsr::net::PerfectChannel>();
@@ -232,28 +346,35 @@ hsr::trace::FlowCapture replay(const hsr::fault::FaultPlan& down,
 int run_replay(const ReplayOptions& opts, std::ostream& os) {
   hsr::fault::FaultPlan down;
   hsr::fault::FaultPlan up;
+  std::optional<hsr::fault::ReplayParams> params;
   if (!opts.down_plan_path.empty()) {
-    auto parsed = hsr::fault::load_fault_plan(opts.down_plan_path);
+    auto parsed = hsr::fault::load_plan_file(opts.down_plan_path);
     if (!parsed.is_ok()) {
       std::cerr << "down-plan: " << parsed.status().to_string() << '\n';
       return 1;
     }
-    down = parsed.value();
+    down = std::move(parsed.value().plan);
+    params = parsed.value().params;
   }
   if (!opts.up_plan_path.empty()) {
-    auto parsed = hsr::fault::load_fault_plan(opts.up_plan_path);
+    auto parsed = hsr::fault::load_plan_file(opts.up_plan_path);
     if (!parsed.is_ok()) {
       std::cerr << "up-plan: " << parsed.status().to_string() << '\n';
       return 1;
     }
-    up = parsed.value();
+    up = std::move(parsed.value().plan);
+    // The downlink plan's parameter block wins when both carry one.
+    if (!params.has_value()) params = parsed.value().params;
   }
   if (down.empty() && up.empty()) {
     std::cerr << "replay: need --down-plan and/or --up-plan\n";
     return 2;
   }
+  if (params.has_value()) {
+    os << "replaying with archived v2 parameters\n";
+  }
 
-  const hsr::trace::FlowCapture capture = replay(down, up, opts.duration_s);
+  const hsr::trace::FlowCapture capture = replay(down, up, opts.duration_s, params);
   if (!opts.save_path.empty()) {
     const auto saved = hsr::trace::save_flow_capture(opts.save_path, capture);
     if (!saved.is_ok()) {
@@ -344,6 +465,79 @@ int run_selftest() {
     return 1;
   }
 
+  // Binary round-trip: the hsrtrace-b1 reader must rebuild a capture whose
+  // text serialization is byte-identical to the original's.
+  std::ostringstream bin;
+  hsr::trace::write_binary_trace_header(bin, 1);
+  hsr::trace::write_flow_frame(bin, cap);
+  {
+    std::istringstream bin_in(bin.str());
+    const auto corpus = hsr::trace::read_binary_corpus(bin_in);
+    if (!corpus.is_ok() || corpus.value().flows.size() != 1 ||
+        corpus.value().torn_tail) {
+      std::cerr << "selftest: binary corpus read failed\n";
+      return 1;
+    }
+    std::ostringstream text_of_binary;
+    hsr::trace::write_flow_capture(text_of_binary, corpus.value().flows[0]);
+    if (text_of_binary.str() != sa.str()) {
+      std::cerr << "selftest: binary->text round-trip not byte-identical\n";
+      return 1;
+    }
+    if (static_cast<double>(sa.str().size()) <
+        4.0 * static_cast<double>(bin.str().size())) {
+      std::cerr << "selftest: binary format is not 4x smaller than text ("
+                << bin.str().size() << " vs " << sa.str().size() << " bytes)\n";
+      return 1;
+    }
+  }
+
+  // Torn-tail tolerance: cutting the final frame short must drop it
+  // gracefully, not error.
+  {
+    const std::string torn_bytes = bin.str().substr(0, bin.str().size() - 7);
+    std::istringstream torn_in(torn_bytes);
+    const auto torn = hsr::trace::read_binary_corpus(torn_in);
+    if (!torn.is_ok() || !torn.value().torn_tail || !torn.value().flows.empty()) {
+      std::cerr << "selftest: torn binary tail not tolerated\n";
+      return 1;
+    }
+  }
+
+  // v2 plan files: the parameter block must round-trip and steer the replay.
+  {
+    hsr::fault::PlanFile file;
+    file.plan = down;
+    hsr::fault::ReplayParams params;
+    params.down_rate_bps = 2e6;
+    params.down_delay_ns = Duration::millis(20).ns();
+    params.up_rate_bps = 2e6;
+    params.up_delay_ns = Duration::millis(20).ns();
+    file.params = params;
+    std::ostringstream plan_os;
+    hsr::fault::write_plan_file(plan_os, file);
+    std::istringstream plan_is(plan_os.str());
+    const auto reread = hsr::fault::read_plan_file(plan_is);
+    if (!reread.is_ok() || !reread.value().params.has_value() ||
+        !(reread.value().params.value() == params) ||
+        !(reread.value().plan == down)) {
+      std::cerr << "selftest: v2 plan round-trip failed\n";
+      return 1;
+    }
+    std::istringstream plan_is2(plan_os.str());
+    if (!hsr::fault::read_fault_plan(plan_is2).is_ok()) {
+      std::cerr << "selftest: legacy reader rejected a v2 plan\n";
+      return 1;
+    }
+    const hsr::trace::FlowCapture slow = replay(down, FaultPlan{}, 10.0, params);
+    std::ostringstream slow_text;
+    hsr::trace::write_flow_capture(slow_text, slow);
+    if (slow_text.str() == sa.str()) {
+      std::cerr << "selftest: v2 parameters did not change the replay\n";
+      return 1;
+    }
+  }
+
   std::cout << "trace_query selftest ok (" << cap.data.sent_count()
             << " data transmissions, " << lb.scripted_drops
             << " scripted drops)\n";
@@ -394,31 +588,85 @@ int main(int argc, char** argv) {
   }
 
   if (argc < 3) return usage();
-  const auto cap = load(argv[2]);
+
+  if (cmd == "ls") return run_ls(argv[2], std::cout);
+
+  if (cmd == "convert") {
+    if (argc < 5) return usage();
+    const std::string in_path = argv[2];
+    const std::string out_path = argv[3];
+    bool to_binary = false;
+    bool have_direction = false;
+    std::uint64_t nth = 0;
+    for (int i = 4; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--to-binary") {
+        to_binary = true;
+        have_direction = true;
+      } else if (arg == "--to-text") {
+        to_binary = false;
+        have_direction = true;
+      } else if (arg == "--flow" && i + 1 < argc) {
+        char* end = nullptr;
+        nth = std::strtoull(argv[++i], &end, 10);
+        if (end == argv[i] || *end != '\0') {
+          std::cerr << "convert: bad --flow '" << argv[i] << "'\n";
+          return 2;
+        }
+      } else {
+        std::cerr << "convert: unknown option '" << arg << "'\n";
+        return usage();
+      }
+    }
+    if (!have_direction) {
+      std::cerr << "convert: need --to-binary or --to-text\n";
+      return 2;
+    }
+    return run_convert(in_path, out_path, to_binary, nth, std::cout);
+  }
+
+  // The query commands share "<trace> [args] [--flow N]" argument handling.
+  std::uint64_t nth = 0;
+  std::vector<std::string> positional;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--flow" && i + 1 < argc) {
+      char* end = nullptr;
+      nth = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') {
+        std::cerr << cmd << ": bad --flow '" << argv[i] << "'\n";
+        return 2;
+      }
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  const auto cap = load(argv[2], nth);
   if (!cap.is_ok()) {
     std::cerr << cap.status().to_string() << '\n';
     return 1;
   }
 
-  if (cmd == "summary") {
+  if (cmd == "summary" && positional.empty()) {
     print_summary(cap.value(), std::cout);
     return 0;
   }
   if (cmd == "why") {
-    if (argc < 4) return usage();
+    if (positional.size() != 1) return usage();
     char* end = nullptr;
-    const std::uint64_t id = std::strtoull(argv[3], &end, 10);
-    if (end == argv[3] || *end != '\0') {
-      std::cerr << "why: bad packet id '" << argv[3] << "'\n";
+    const std::uint64_t id = std::strtoull(positional[0].c_str(), &end, 10);
+    if (end == positional[0].c_str() || *end != '\0') {
+      std::cerr << "why: bad packet id '" << positional[0] << "'\n";
       return 2;
     }
     return run_why(cap.value(), id, std::cout);
   }
-  if (cmd == "losses") {
+  if (cmd == "losses" && positional.empty()) {
     print_losses(cap.value(), std::cout);
     return 0;
   }
-  if (cmd == "ratios") {
+  if (cmd == "ratios" && positional.empty()) {
     print_ratios(cap.value(), std::cout);
     return 0;
   }
