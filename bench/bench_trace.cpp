@@ -138,7 +138,10 @@ int main(int argc, char** argv) {
 
   std::ostringstream bin_once;
   hsr::trace::write_binary_trace_header(bin_once, flow_count);
-  for (const auto& cap : captures) hsr::trace::write_flow_frame(bin_once, cap);
+  {
+    std::uint64_t seq = 0;
+    for (const auto& cap : captures) hsr::trace::write_flow_frame(bin_once, cap, seq++);
+  }
   const std::string binary_corpus = bin_once.str();
   const std::uint64_t binary_bytes = binary_corpus.size();
 
@@ -154,7 +157,8 @@ int main(int argc, char** argv) {
   const Throughput bin_write = best_of(reps, flow_count, binary_bytes, [&] {
     std::ostringstream os;
     hsr::trace::write_binary_trace_header(os, flow_count);
-    for (const auto& cap : captures) hsr::trace::write_flow_frame(os, cap);
+    std::uint64_t seq = 0;
+    for (const auto& cap : captures) hsr::trace::write_flow_frame(os, cap, seq++);
     if (os.str().size() != binary_bytes) std::abort();
   });
 

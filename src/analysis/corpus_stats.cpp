@@ -318,26 +318,15 @@ util::StatusOr<CorpusStats> CorpusStats::parse(const std::string& text) {
   return s;
 }
 
+util::Status save_corpus_stats(util::Fs& fs, const std::string& path,
+                               const CorpusStats& stats) {
+  // Atomic write through the seam, same contract as trace_io::save_flow_capture:
+  // a killed run never leaves a half-written digest under the real name.
+  return util::write_file_atomic(fs, path, stats.to_text());
+}
+
 util::Status save_corpus_stats(const std::string& path, const CorpusStats& stats) {
-  // Write-then-rename, same contract as trace_io::save_flow_capture: a
-  // killed run never leaves a half-written digest under the real name.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream f(tmp, std::ios::trunc);
-    if (!f) return util::Status::internal("cannot open for write: " + tmp);
-    f << stats.to_text();
-    f.flush();
-    if (!f.good()) {
-      f.close();
-      std::remove(tmp.c_str());
-      return util::Status::internal("short write: " + tmp);
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return util::Status::internal("cannot rename " + tmp + " -> " + path);
-  }
-  return util::Status::ok();
+  return save_corpus_stats(util::Fs::real(), path, stats);
 }
 
 util::StatusOr<CorpusStats> load_corpus_stats(const std::string& path) {

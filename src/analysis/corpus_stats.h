@@ -25,6 +25,7 @@
 
 #include "analysis/corpus.h"
 #include "analysis/flow_analysis.h"
+#include "util/fs.h"
 #include "util/stats.h"
 #include "util/status.h"
 
@@ -128,7 +129,10 @@ class CorpusStats {
 };
 
 // File wrappers around to_text()/parse(). Saving is atomic (write to
-// `<path>.tmp`, then rename), matching trace_io::save_flow_capture.
+// `<path>.tmp`, fsync, then rename) through the util::Fs seam, matching
+// trace_io::save_flow_capture; the seamless overload uses util::Fs::real().
+[[nodiscard]] util::Status save_corpus_stats(util::Fs& fs, const std::string& path,
+                                             const CorpusStats& stats);
 [[nodiscard]] util::Status save_corpus_stats(const std::string& path,
                                              const CorpusStats& stats);
 [[nodiscard]] util::StatusOr<CorpusStats> load_corpus_stats(const std::string& path);

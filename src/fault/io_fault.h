@@ -1,0 +1,193 @@
+// Deterministic, scripted fault injection for the storage path.
+//
+// The I/O twin of fault::FaultPlan: where FaultPlan scripts what the radio
+// channel does to packets, an IoFaultPlan scripts what the filesystem does
+// to durable writes — fail the Nth write, run out of disk after K bytes,
+// tear a rename, return a transient EIO that heals on retry. Directives
+// match on the operation kind and a path substring and fire a bounded
+// number of times, and FaultInjectingFs is a util::Fs decorator, so it
+// composes in front of the production backend exactly like FaultInjector
+// composes in front of a ChannelModel. An audit trail records every
+// triggered fault so tests can assert WHY an archive write died.
+//
+// Everything here is deterministic by construction: outcomes depend only on
+// the sequence of filesystem operations the plan observes, never on clocks
+// or RNG. (Under a multi-threaded writer the observed op order is the
+// schedule's; tests that need exact trigger placement pin one thread or
+// scope the path substring to a single file.)
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/fs.h"
+#include "util/status.h"
+
+namespace hsr::fault {
+
+enum class IoOp : std::uint8_t {
+  kAny = 0,
+  kOpen,
+  kWrite,
+  kSync,
+  kRename,
+  kRemove,
+  kTruncate,
+  kMkdir,
+};
+
+// Returns the single-character wire code for an op ('*', 'O', 'W', ...).
+char io_op_code(IoOp op);
+// Stable lowercase name for audit records and error messages.
+const char* io_op_name(IoOp op);
+
+enum class IoOutcome : std::uint8_t {
+  kFail = 0,     // hard error (kInternal): the op did nothing
+  kTransient,    // kUnavailable: the op did nothing; a retry may succeed
+  kEnospc,       // kResourceExhausted once the byte budget is exhausted
+  kShortWrite,   // write ops: half the buffer reaches the file, then error
+  kTornRename,   // rename ops: source tmp is truncated to half and the
+                 //   rename fails; the destination is never touched
+};
+
+// One scripted I/O fault: fires when the op kind and path match, after
+// `skip` matching operations have been let through, at most `max_triggers`
+// times. Directives are evaluated in plan order; the first that fires wins.
+struct IoFaultDirective {
+  IoOp op = IoOp::kAny;
+  IoOutcome outcome = IoOutcome::kFail;
+  // Substring match against the operation's path (either side of a rename).
+  // Empty matches every path.
+  std::string path_substring;
+  // Matching operations to let through before the directive may fire.
+  std::uint64_t skip = 0;
+  // Stop firing after this many triggers.
+  std::uint64_t max_triggers = 1;
+  // kEnospc only: cumulative bytes the matching writes may consume before
+  // the disk is "full"; once exceeded, every further matching write fails.
+  std::uint64_t byte_limit = 0;
+  // Audit tag (whitespace-free on the wire).
+  std::string label = "io-fault";
+
+  friend bool operator==(const IoFaultDirective&, const IoFaultDirective&) = default;
+};
+
+inline constexpr std::uint64_t kNoIoTriggerLimit =
+    std::numeric_limits<std::uint64_t>::max();
+
+// An ordered I/O fault script. Builder methods cover the crash-safety test
+// matrix; arbitrary directives can be appended directly.
+//
+// Portable text serialization ("hsriofaultplan-v1"):
+//   hsriofaultplan-v1 directives=<N>
+//   <op> <outcome> <skip> <max_triggers> <byte_limit> <path> <label>
+// where op is one of * O W S R D T M, outcome one of F U E H N,
+// max_triggers may be '*' (unbounded) and path '*' (any). parse(to_text(p))
+// == p for every plan.
+struct IoFaultPlan {
+  std::vector<IoFaultDirective> directives;
+
+  [[nodiscard]] bool empty() const { return directives.empty(); }
+
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] static util::StatusOr<IoFaultPlan> parse(const std::string& text);
+  [[nodiscard]] static util::StatusOr<IoFaultPlan> load(const std::string& path);
+
+  friend bool operator==(const IoFaultPlan&, const IoFaultPlan&) = default;
+
+  // Fails the `n`th (1-based) write to a path containing `path_substring`.
+  IoFaultPlan& fail_nth_write(std::uint64_t n, std::string path_substring = "",
+                              std::string label = "write-fail");
+  // The disk is full after `bytes` of matching writes.
+  IoFaultPlan& enospc_after(std::uint64_t bytes, std::string path_substring = "",
+                            std::string label = "enospc");
+  // Half of the `n`th matching write reaches the file, then an error.
+  IoFaultPlan& short_write(std::uint64_t n, std::string path_substring = "",
+                           std::string label = "short-write");
+  // Tears the next matching rename: source truncated to half, rename fails,
+  // destination untouched.
+  IoFaultPlan& torn_rename(std::string path_substring = "",
+                           std::string label = "torn-rename");
+  // The next `times` matching ops fail with kUnavailable, then heal.
+  IoFaultPlan& transient(IoOp op, std::uint64_t times,
+                         std::string path_substring = "",
+                         std::string label = "transient-eio");
+  // Hard-fails the next matching op of the given kind.
+  IoFaultPlan& fail_next(IoOp op, std::string path_substring = "",
+                         std::string label = "io-fail");
+};
+
+// One triggered fault, for the audit trail.
+struct IoFaultRecord {
+  std::size_t directive_index = 0;
+  IoOp op = IoOp::kAny;
+  std::string path;
+  std::string label;
+};
+
+// util::Fs decorator executing an IoFaultPlan in front of an inner backend.
+// Operations a directive spares are passed through untouched. Thread-safe:
+// directive counters are guarded, matching the Fs seam's use from pool
+// workers.
+class FaultInjectingFs final : public util::Fs {
+ public:
+  // `inner` must outlive the decorator (and every WritableFile it opens).
+  FaultInjectingFs(IoFaultPlan plan, util::Fs& inner);
+
+  util::StatusOr<std::unique_ptr<util::WritableFile>> open_for_write(
+      const std::string& path) override;
+  util::Status rename_file(const std::string& from, const std::string& to) override;
+  util::Status remove_file(const std::string& path) override;
+  util::Status remove_all(const std::string& path) override;
+  util::Status truncate_file(const std::string& path, std::uint64_t size) override;
+  util::Status create_directories(const std::string& path) override;
+  util::StatusOr<std::uint64_t> file_size(const std::string& path) override;
+  bool exists(const std::string& path) override;
+
+  const IoFaultPlan& plan() const { return plan_; }
+  // Times directive `i` has fired so far.
+  [[nodiscard]] std::uint64_t triggers(std::size_t i) const;
+  // Total scripted faults fired (all directives).
+  [[nodiscard]] std::uint64_t faults_triggered() const;
+  // Snapshot of the audit trail.
+  [[nodiscard]] std::vector<IoFaultRecord> audit() const;
+
+ private:
+  friend class FaultingWritableFile;
+
+  // Entry points for the WritableFile decorator.
+  util::Status faulted_append(const std::string& path, util::WritableFile& inner,
+                              std::string_view data);
+  util::Status faulted_sync(const std::string& path, util::WritableFile& inner);
+
+  struct Decision {
+    bool fire = false;
+    std::size_t directive_index = 0;
+    IoOutcome outcome = IoOutcome::kFail;
+    std::string label;
+  };
+
+  // Decides (and counts) whether a fault fires for this operation.
+  // `bytes` is the payload size for write ops, 0 otherwise. `alt_path` is
+  // the rename destination, matched in addition to `path`.
+  Decision decide(IoOp op, const std::string& path, std::uint64_t bytes,
+                  const std::string* alt_path = nullptr);
+  util::Status fault_status(const Decision& d, IoOp op, const std::string& path);
+
+  IoFaultPlan plan_;
+  util::Fs& inner_;
+
+  mutable std::mutex mu_;
+  struct DirectiveState {
+    std::uint64_t matched = 0;   // matching ops seen (skip accounting)
+    std::uint64_t triggers = 0;  // times fired
+    std::uint64_t bytes = 0;     // kEnospc: budget consumed so far
+  };
+  std::vector<DirectiveState> state_;
+  std::vector<IoFaultRecord> audit_;
+};
+
+}  // namespace hsr::fault

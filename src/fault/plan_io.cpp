@@ -325,25 +325,16 @@ util::StatusOr<FaultPlan> read_fault_plan(std::istream& is) {
   return std::move(file.value().plan);
 }
 
+util::Status save_fault_plan(util::Fs& fs, const std::string& path,
+                             const FaultPlan& plan) {
+  // Atomic write through the seam, same contract as trace_io::save_flow_capture.
+  std::ostringstream content;
+  write_fault_plan(content, plan);
+  return util::write_file_atomic(fs, path, content.str());
+}
+
 util::Status save_fault_plan(const std::string& path, const FaultPlan& plan) {
-  // Write-then-rename, same contract as trace_io::save_flow_capture.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream f(tmp, std::ios::trunc);
-    if (!f) return util::Status::internal("cannot open for write: " + tmp);
-    write_fault_plan(f, plan);
-    f.flush();
-    if (!f.good()) {
-      f.close();
-      std::remove(tmp.c_str());
-      return util::Status::internal("short write: " + tmp);
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return util::Status::internal("cannot rename " + tmp + " -> " + path);
-  }
-  return util::Status::ok();
+  return save_fault_plan(util::Fs::real(), path, plan);
 }
 
 util::StatusOr<FaultPlan> load_fault_plan(const std::string& path) {
@@ -352,24 +343,15 @@ util::StatusOr<FaultPlan> load_fault_plan(const std::string& path) {
   return read_fault_plan(f);
 }
 
+util::Status save_plan_file(util::Fs& fs, const std::string& path,
+                            const PlanFile& file) {
+  std::ostringstream content;
+  write_plan_file(content, file);
+  return util::write_file_atomic(fs, path, content.str());
+}
+
 util::Status save_plan_file(const std::string& path, const PlanFile& file) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream f(tmp, std::ios::trunc);
-    if (!f) return util::Status::internal("cannot open for write: " + tmp);
-    write_plan_file(f, file);
-    f.flush();
-    if (!f.good()) {
-      f.close();
-      std::remove(tmp.c_str());
-      return util::Status::internal("short write: " + tmp);
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return util::Status::internal("cannot rename " + tmp + " -> " + path);
-  }
-  return util::Status::ok();
+  return save_plan_file(util::Fs::real(), path, file);
 }
 
 util::StatusOr<PlanFile> load_plan_file(const std::string& path) {

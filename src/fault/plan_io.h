@@ -40,6 +40,7 @@
 #include <string>
 
 #include "fault/fault.h"
+#include "util/fs.h"
 #include "util/status.h"
 
 namespace hsr::fault {
@@ -82,10 +83,15 @@ void write_plan_file(std::ostream& os, const PlanFile& file);
 [[nodiscard]] util::StatusOr<FaultPlan> read_fault_plan(std::istream& is);
 [[nodiscard]] util::StatusOr<PlanFile> read_plan_file(std::istream& is);
 
-// Convenience file wrappers. Saving is atomic (write to `<path>.tmp`, then
-// rename into place), matching trace_io::save_flow_capture.
+// Convenience file wrappers. Saving is atomic (write to `<path>.tmp`, fsync,
+// then rename into place) through the util::Fs seam, matching
+// trace_io::save_flow_capture; the seamless overloads use util::Fs::real().
+[[nodiscard]] util::Status save_fault_plan(util::Fs& fs, const std::string& path,
+                                           const FaultPlan& plan);
 [[nodiscard]] util::Status save_fault_plan(const std::string& path, const FaultPlan& plan);
 [[nodiscard]] util::StatusOr<FaultPlan> load_fault_plan(const std::string& path);
+[[nodiscard]] util::Status save_plan_file(util::Fs& fs, const std::string& path,
+                                          const PlanFile& file);
 [[nodiscard]] util::Status save_plan_file(const std::string& path, const PlanFile& file);
 [[nodiscard]] util::StatusOr<PlanFile> load_plan_file(const std::string& path);
 

@@ -1,201 +1,201 @@
 #include "trace/corpus_writer.h"
 
-#include <cstdio>
-#include <filesystem>
-#include <limits>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/crc32c.h"
 
 namespace hsr::trace {
 
 namespace {
 
-void put_u64le(std::string& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-  }
+// Header bytes for a b2 stream, as a string (the seam appends strings).
+std::string header_bytes(std::uint64_t flow_count) {
+  std::ostringstream os;
+  write_binary_trace_header(os, flow_count);
+  return os.str();
 }
-
-bool read_u64le(std::istream& is, std::uint64_t& v) {
-  unsigned char bytes[8];
-  is.read(reinterpret_cast<char*>(bytes), 8);
-  if (is.gcount() != 8) return false;
-  v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
-  return true;
-}
-
-// One open spill file being merged: holds the current record so the k-way
-// merge can peek at its flow index.
-struct MergeSource {
-  std::ifstream in;
-  std::string path;
-  std::uint64_t index = 0;
-  std::string frame;
-  bool exhausted = false;
-
-  // Loads the next { index, frame } record. Spill files are written and
-  // consumed within one process run, so a short read here is corruption,
-  // not a torn tail to tolerate.
-  util::Status advance() {
-    if (!read_u64le(in, index)) {
-      if (in.gcount() == 0) {
-        exhausted = true;
-        return util::Status::ok();
-      }
-      return util::Status::internal("spill shard truncated: " + path);
-    }
-    char type = 0;
-    if (!in.get(type)) return util::Status::internal("spill shard truncated: " + path);
-    std::uint64_t payload_size = 0;
-    if (!read_u64le(in, payload_size) ||
-        payload_size > std::numeric_limits<std::size_t>::max() / 2) {
-      return util::Status::internal("spill shard corrupt: " + path);
-    }
-    frame.resize(static_cast<std::size_t>(payload_size) + 9);
-    frame[0] = type;
-    std::uint64_t size_copy = payload_size;
-    for (int i = 0; i < 8; ++i) {
-      frame[1 + i] = static_cast<char>((size_copy >> (8 * i)) & 0xFF);
-    }
-    in.read(frame.data() + 9, static_cast<std::streamsize>(payload_size));
-    if (in.gcount() != static_cast<std::streamsize>(payload_size)) {
-      return util::Status::internal("spill shard truncated: " + path);
-    }
-    return util::Status::ok();
-  }
-};
 
 }  // namespace
 
-StreamingCorpusWriter::StreamingCorpusWriter(Options options)
-    : options_(std::move(options)) {
-  if (options_.spill_dir.empty()) options_.spill_dir = options_.corpus_path + ".spill";
-  if (options_.shards == 0) options_.shards = 1;
+ChunkFileWriter::ChunkFileWriter(util::Fs& fs, std::string path)
+    : fs_(fs), path_(std::move(path)), tmp_(path_ + ".tmp") {}
+
+util::Status ChunkFileWriter::open() {
+  util::Status status = util::retry_transient([&] {
+    auto file = fs_.open_for_write(tmp_);
+    if (!file.is_ok()) return file.status();
+    file_ = std::move(file.value());
+    return util::Status::ok();
+  });
+  if (!status.is_ok()) return status;
+  // Chunk headers declare kUnknownFlowCount: the exact count only exists in
+  // the manifest entry, and the merge writes the real total.
+  return append_frame_bytes(header_bytes(kUnknownFlowCount));
 }
 
-util::Status StreamingCorpusWriter::open() {
-  if (opened_) return util::Status::failed_precondition("corpus writer already open");
-  std::error_code ec;
-  std::filesystem::create_directories(options_.spill_dir, ec);
-  if (ec) {
-    return util::Status::internal("cannot create spill dir " + options_.spill_dir +
-                                  ": " + ec.message());
+util::Status ChunkFileWriter::append_frame_bytes(const std::string& frame) {
+  if (file_ == nullptr) {
+    return util::Status::failed_precondition("chunk writer not open: " + tmp_);
   }
-  shards_.resize(options_.shards);
-  for (unsigned i = 0; i < options_.shards; ++i) {
-    shards_[i].path =
-        options_.spill_dir + "/shard-" + std::to_string(i) + ".hsrspill";
-    shards_[i].out.open(shards_[i].path, std::ios::trunc | std::ios::binary);
-    if (!shards_[i].out) {
-      return util::Status::internal("cannot open spill shard: " + shards_[i].path);
-    }
-  }
-  opened_ = true;
+  util::Status status =
+      util::retry_transient([&] { return file_->append(frame); });
+  if (!status.is_ok()) return status;
+  // Account only bytes that actually landed — the digest must match the
+  // committed file exactly.
+  info_.bytes += frame.size();
+  info_.crc32c = util::crc32c(info_.crc32c, frame.data(), frame.size());
   return util::Status::ok();
 }
 
-util::Status StreamingCorpusWriter::spill_frame(unsigned shard,
-                                                std::uint64_t flow_index) {
-  Shard& s = shards_[shard];
-  std::string prefix;
-  put_u64le(prefix, flow_index);
-  s.out.write(prefix.data(), static_cast<std::streamsize>(prefix.size()));
-  s.out.write(s.scratch.data(), static_cast<std::streamsize>(s.scratch.size()));
-  if (!s.out.good()) {
-    return util::Status::internal("short write to spill shard: " + s.path);
-  }
-  bytes_.fetch_add(s.scratch.size(), std::memory_order_relaxed);
+util::Status ChunkFileWriter::append_flow(const FlowCapture& capture) {
+  encode_flow_frame(capture, next_seq_, scratch_);
+  util::Status status = append_frame_bytes(scratch_);
+  if (!status.is_ok()) return status;
+  ++next_seq_;
+  ++info_.flows;
   return util::Status::ok();
 }
 
-util::Status StreamingCorpusWriter::spill_flow(unsigned shard,
-                                               std::uint64_t flow_index,
-                                               const FlowCapture& capture) {
-  if (!opened_ || shard >= shards_.size()) {
-    return util::Status::failed_precondition("bad shard or writer not open");
-  }
-  encode_flow_frame(capture, shards_[shard].scratch);
-  util::Status status = spill_frame(shard, flow_index);
-  if (status.is_ok()) flows_.fetch_add(1, std::memory_order_relaxed);
-  return status;
+util::Status ChunkFileWriter::append_quarantine(const QuarantineRecord& record) {
+  encode_quarantine_frame(record, next_seq_, scratch_);
+  util::Status status = append_frame_bytes(scratch_);
+  if (!status.is_ok()) return status;
+  ++next_seq_;
+  ++info_.quarantines;
+  return util::Status::ok();
 }
 
-util::Status StreamingCorpusWriter::spill_quarantine(unsigned shard,
-                                                     std::uint64_t flow_index,
-                                                     const QuarantineRecord& record) {
-  if (!opened_ || shard >= shards_.size()) {
-    return util::Status::failed_precondition("bad shard or writer not open");
-  }
-  encode_quarantine_frame(record, shards_[shard].scratch);
-  util::Status status = spill_frame(shard, flow_index);
-  if (status.is_ok()) quarantines_.fetch_add(1, std::memory_order_relaxed);
-  return status;
+util::Status ChunkFileWriter::append_raw(char type, std::string_view payload) {
+  encode_raw_frame(type, payload, next_seq_, scratch_);
+  util::Status status = append_frame_bytes(scratch_);
+  if (!status.is_ok()) return status;
+  ++next_seq_;
+  return util::Status::ok();
 }
 
-util::StatusOr<StreamingCorpusWriter::MergeResult> StreamingCorpusWriter::merge() {
-  if (!opened_) return util::Status::failed_precondition("corpus writer not open");
-  if (merged_) return util::Status::failed_precondition("corpus already merged");
-  merged_ = true;
-
-  for (Shard& s : shards_) {
-    s.out.flush();
-    if (!s.out.good()) return util::Status::internal("short write to spill shard: " + s.path);
-    s.out.close();
+util::StatusOr<ChunkFileWriter::Info> ChunkFileWriter::commit() {
+  if (file_ == nullptr) {
+    return util::Status::failed_precondition("chunk writer not open: " + tmp_);
   }
+  util::Status status = util::retry_transient([&] { return file_->sync(); });
+  if (status.is_ok()) status = file_->close();
+  file_.reset();
+  if (!status.is_ok()) return status;
+  status = util::retry_transient([&] { return fs_.rename_file(tmp_, path_); });
+  if (!status.is_ok()) return status;
+  return info_;
+}
 
-  std::vector<MergeSource> sources(shards_.size());
-  for (std::size_t i = 0; i < shards_.size(); ++i) {
-    sources[i].path = shards_[i].path;
-    sources[i].in.open(shards_[i].path, std::ios::binary);
-    if (!sources[i].in) {
-      return util::Status::internal("cannot reopen spill shard: " + sources[i].path);
+void ChunkFileWriter::abandon() {
+  if (file_ != nullptr) {
+    (void)file_->close();
+    file_.reset();
+  }
+  (void)fs_.remove_file(tmp_);
+}
+
+util::StatusOr<CorpusMergeResult> merge_corpus_chunks(
+    util::Fs& fs, const std::vector<std::string>& chunk_paths,
+    const std::string& corpus_path, std::uint64_t total_flow_frames,
+    const std::function<util::Status(char type, const std::string& payload)>&
+        on_frame) {
+  const std::string tmp = corpus_path + ".tmp";
+  std::unique_ptr<util::WritableFile> out;
+  util::Status status = util::retry_transient([&] {
+    auto file = fs.open_for_write(tmp);
+    if (!file.is_ok()) return file.status();
+    out = std::move(file.value());
+    return util::Status::ok();
+  });
+  if (!status.is_ok()) return status;
+
+  // Every early return removes the half-written tmp: the destination corpus
+  // must never exist in a partial state.
+  const auto fail = [&](util::Status s) -> util::StatusOr<CorpusMergeResult> {
+    if (out != nullptr) (void)out->close();
+    (void)fs.remove_file(tmp);
+    return s;
+  };
+
+  CorpusMergeResult result;
+  const std::string header = header_bytes(total_flow_frames);
+  status = util::retry_transient([&] { return out->append(header); });
+  if (!status.is_ok()) return fail(status);
+  result.bytes = header.size();
+
+  std::uint64_t out_seq = 0;
+  std::string scratch;
+  char type = 0;
+  std::string payload;
+  for (const std::string& chunk_path : chunk_paths) {
+    std::ifstream in(chunk_path, std::ios::binary);
+    if (!in) return fail(util::Status::not_found("cannot open chunk: " + chunk_path));
+    BinaryTraceReader reader(in);
+    status = reader.open();
+    if (!status.is_ok()) {
+      return fail(util::Status::invalid_argument(chunk_path + ": " + status.message()));
     }
-    util::Status status = sources[i].advance();
-    if (!status.is_ok()) return status;
-  }
-
-  const std::string tmp = options_.corpus_path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
-    if (!out) return util::Status::internal("cannot open for write: " + tmp);
-    write_binary_trace_header(out, flows_.load(std::memory_order_relaxed));
-
-    // K-way minimum-index merge. Worker shards claim indices from a shared
-    // atomic counter, so each source is already sorted; picking the global
-    // minimum each round reproduces exact flow-index order regardless of
-    // how flows were distributed across shards.
     for (;;) {
-      MergeSource* best = nullptr;
-      for (MergeSource& src : sources) {
-        if (src.exhausted) continue;
-        if (best == nullptr || src.index < best->index) best = &src;
+      auto frame = reader.next_raw(&type, &payload);
+      if (!frame.is_ok()) {
+        return fail(util::Status::invalid_argument(chunk_path + ": " +
+                                                   frame.status().message()));
       }
-      if (best == nullptr) break;
-      out.write(best->frame.data(), static_cast<std::streamsize>(best->frame.size()));
-      if (!out.good()) return util::Status::internal("short write: " + tmp);
-      util::Status status = best->advance();
-      if (!status.is_ok()) return status;
+      if (frame.value() == BinaryTraceReader::Frame::kEnd) break;
+      if (frame.value() == BinaryTraceReader::Frame::kTorn) {
+        // Chunks are committed atomically and digest-verified before a
+        // merge, so a torn chunk here is corruption, not a crash artifact.
+        return fail(util::Status::invalid_argument(chunk_path + ": torn chunk file"));
+      }
+      status = on_frame(type, payload);
+      if (!status.is_ok()) return fail(status);
+      const bool is_flow = frame.value() == BinaryTraceReader::Frame::kFlow;
+      const bool is_quarantine =
+          frame.value() == BinaryTraceReader::Frame::kQuarantine;
+      if (!is_flow && !is_quarantine) continue;  // sidecar: stripped
+      // Re-stamp with the corpus-wide ordinal (the CRC is recomputed over
+      // the new sequence number).
+      encode_raw_frame(type, payload, out_seq, scratch);
+      status = util::retry_transient([&] { return out->append(scratch); });
+      if (!status.is_ok()) return fail(status);
+      ++out_seq;
+      result.bytes += scratch.size();
+      if (is_flow) ++result.flows;
+      if (is_quarantine) ++result.quarantines;
     }
-    out.flush();
-    if (!out.good()) return util::Status::internal("short write: " + tmp);
-  }
-  if (std::rename(tmp.c_str(), options_.corpus_path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return util::Status::internal("cannot rename " + tmp + " -> " +
-                                  options_.corpus_path);
   }
 
-  for (MergeSource& src : sources) src.in.close();
-  std::error_code ec;
-  for (const Shard& s : shards_) std::filesystem::remove(s.path, ec);
-  std::filesystem::remove(options_.spill_dir, ec);  // only if now empty
-
-  MergeResult result;
-  result.flows = flows_.load(std::memory_order_relaxed);
-  result.quarantines = quarantines_.load(std::memory_order_relaxed);
-  std::error_code size_ec;
-  const auto size = std::filesystem::file_size(options_.corpus_path, size_ec);
-  result.bytes = size_ec ? 0 : static_cast<std::uint64_t>(size);
+  if (result.flows != total_flow_frames) {
+    return fail(util::Status::internal(
+        "merge expected " + std::to_string(total_flow_frames) +
+        " flow frames, chunks held " + std::to_string(result.flows)));
+  }
+  status = util::retry_transient([&] { return out->sync(); });
+  if (status.is_ok()) status = out->close();
+  if (!status.is_ok()) return fail(status);
+  out.reset();
+  status = util::retry_transient([&] { return fs.rename_file(tmp, corpus_path); });
+  if (!status.is_ok()) {
+    (void)fs.remove_file(tmp);
+    return status;
+  }
   return result;
+}
+
+util::StatusOr<std::uint32_t> crc32c_of_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::not_found("cannot open: " + path);
+  char buf[1 << 16];
+  std::uint32_t crc = 0;
+  for (;;) {
+    in.read(buf, sizeof(buf));
+    const std::streamsize got = in.gcount();
+    if (got > 0) crc = util::crc32c(crc, buf, static_cast<std::size_t>(got));
+    if (got < static_cast<std::streamsize>(sizeof(buf))) break;
+  }
+  return crc;
 }
 
 }  // namespace hsr::trace

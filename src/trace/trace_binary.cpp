@@ -1,13 +1,14 @@
 #include "trace/trace_binary.h"
 
 #include "trace/trace_io.h"
+#include "util/crc32c.h"
 
-#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <limits>
 #include <ostream>
+#include <sstream>
 
 namespace hsr::trace {
 
@@ -32,6 +33,12 @@ void put_u8(std::string& out, std::uint8_t v) { out.push_back(static_cast<char>(
 
 void put_u64le(std::string& out, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u32le(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
     out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
   }
 }
@@ -379,60 +386,113 @@ util::Status decode_quarantine_payload(const std::string& payload, std::uint64_t
   return util::Status::ok();
 }
 
-void append_frame(char type, const std::string& payload, std::string& out) {
+void append_frame(char type, std::string_view payload, std::uint64_t seq,
+                  int version, std::string& out) {
   put_u8(out, static_cast<std::uint8_t>(type));
+  if (version == 1) {
+    put_u64le(out, payload.size());
+    out.append(payload);
+    return;
+  }
+  // v2: [type][crc32c][seq][size][payload]; the CRC covers everything after
+  // its own field, so a corrupted length cannot silently misframe the rest
+  // of the file.
+  const std::size_t crc_pos = out.size();
+  put_u32le(out, 0);  // patched below
+  const std::size_t seq_pos = out.size();
+  put_u64le(out, seq);
   put_u64le(out, payload.size());
   out.append(payload);
+  std::uint32_t crc = util::crc32c(0, &out[crc_pos - 1], 1);  // type byte
+  crc = util::crc32c(crc, out.data() + seq_pos, 16);          // seq + size
+  crc = util::crc32c(crc, payload.data(), payload.size());
+  for (int i = 0; i < 4; ++i) {
+    out[crc_pos + static_cast<std::size_t>(i)] =
+        static_cast<char>((crc >> (8 * i)) & 0xFF);
+  }
+}
+
+std::string hex32(std::uint32_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out = "0x";
+  for (int shift = 28; shift >= 0; shift -= 4) {
+    out.push_back(digits[(v >> shift) & 0xF]);
+  }
+  return out;
 }
 
 }  // namespace
 
-void write_binary_trace_header(std::ostream& os, std::uint64_t flow_count) {
+void write_binary_trace_header(std::ostream& os, std::uint64_t flow_count,
+                               int version) {
   std::string header;
-  header.append(kBinaryTraceMagic, kBinaryTraceMagicSize);
+  header.append(version == 1 ? kBinaryTraceMagicB1 : kBinaryTraceMagic,
+                kBinaryTraceMagicSize);
   put_u64le(header, flow_count);
   os.write(header.data(), static_cast<std::streamsize>(header.size()));
 }
 
-void encode_flow_frame(const FlowCapture& capture, std::string& out) {
+void encode_flow_frame(const FlowCapture& capture, std::uint64_t seq,
+                       std::string& out, int version) {
   out.clear();
   std::string payload;
   encode_flow_payload(capture, payload);
-  out.reserve(payload.size() + 9);
-  append_frame(kFlowFrame, payload, out);
+  out.reserve(payload.size() + 21);
+  append_frame(kFlowFrame, payload, seq, version, out);
 }
 
-void encode_quarantine_frame(const QuarantineRecord& record, std::string& out) {
+void encode_quarantine_frame(const QuarantineRecord& record, std::uint64_t seq,
+                             std::string& out, int version) {
   out.clear();
   std::string payload;
   encode_quarantine_payload(record, payload);
-  out.reserve(payload.size() + 9);
-  append_frame(kQuarantineFrame, payload, out);
+  out.reserve(payload.size() + 21);
+  append_frame(kQuarantineFrame, payload, seq, version, out);
 }
 
-void write_flow_frame(std::ostream& os, const FlowCapture& capture) {
+void encode_raw_frame(char type, std::string_view payload, std::uint64_t seq,
+                      std::string& out) {
+  out.clear();
+  out.reserve(payload.size() + 21);
+  append_frame(type, payload, seq, kBinaryTraceVersion, out);
+}
+
+util::Status decode_quarantine_frame_payload(const std::string& payload,
+                                             QuarantineRecord* record) {
+  return decode_quarantine_payload(payload, 0, *record);
+}
+
+void write_flow_frame(std::ostream& os, const FlowCapture& capture,
+                      std::uint64_t seq, int version) {
   std::string frame;
-  encode_flow_frame(capture, frame);
+  encode_flow_frame(capture, seq, frame, version);
   os.write(frame.data(), static_cast<std::streamsize>(frame.size()));
 }
 
-void write_quarantine_frame(std::ostream& os, const QuarantineRecord& record) {
+void write_quarantine_frame(std::ostream& os, const QuarantineRecord& record,
+                            std::uint64_t seq, int version) {
   std::string frame;
-  encode_quarantine_frame(record, frame);
+  encode_quarantine_frame(record, seq, frame, version);
   os.write(frame.data(), static_cast<std::streamsize>(frame.size()));
 }
 
 util::Status BinaryTraceReader::open() {
   char magic[kBinaryTraceMagicSize] = {};
   is_.read(magic, kBinaryTraceMagicSize);
-  if (is_.gcount() != static_cast<std::streamsize>(kBinaryTraceMagicSize) ||
-      std::memcmp(magic, kBinaryTraceMagic, kBinaryTraceMagicSize) != 0) {
-    return util::Status::invalid_argument("not an hsrtrace-b1 stream (bad magic)");
+  if (is_.gcount() != static_cast<std::streamsize>(kBinaryTraceMagicSize)) {
+    return util::Status::invalid_argument("not an hsrtrace stream (bad magic)");
+  }
+  if (std::memcmp(magic, kBinaryTraceMagic, kBinaryTraceMagicSize) == 0) {
+    version_ = 2;
+  } else if (std::memcmp(magic, kBinaryTraceMagicB1, kBinaryTraceMagicSize) == 0) {
+    version_ = 1;
+  } else {
+    return util::Status::invalid_argument("not an hsrtrace stream (bad magic)");
   }
   unsigned char count[8] = {};
   is_.read(reinterpret_cast<char*>(count), 8);
   if (is_.gcount() != 8) {
-    return util::Status::invalid_argument("hsrtrace-b1 header truncated");
+    return util::Status::invalid_argument("hsrtrace header truncated");
   }
   declared_flow_count_ = 0;
   for (int i = 0; i < 8; ++i) {
@@ -441,38 +501,73 @@ util::Status BinaryTraceReader::open() {
   return util::Status::ok();
 }
 
+util::StatusOr<BinaryTraceReader::Frame> BinaryTraceReader::read_frame() {
+  if (torn_) return Frame::kTorn;
+  char type = 0;
+  if (!is_.get(type)) return Frame::kEnd;
+
+  // v1: [size8]; v2: [crc4][seq8][size8]. Short header reads are a torn
+  // tail, exactly like a short payload read.
+  unsigned char head[20] = {};
+  const std::size_t head_size = version_ == 1 ? 8 : 20;
+  is_.read(reinterpret_cast<char*>(head), static_cast<std::streamsize>(head_size));
+  if (is_.gcount() != static_cast<std::streamsize>(head_size)) {
+    torn_ = true;
+    return Frame::kTorn;
+  }
+  std::uint32_t stored_crc = 0;
+  std::uint64_t stored_seq = 0;
+  std::uint64_t payload_size = 0;
+  const unsigned char* p = head;
+  if (version_ != 1) {
+    for (int i = 0; i < 4; ++i) stored_crc |= static_cast<std::uint32_t>(*p++) << (8 * i);
+    for (int i = 0; i < 8; ++i) stored_seq |= static_cast<std::uint64_t>(*p++) << (8 * i);
+  }
+  for (int i = 0; i < 8; ++i) payload_size |= static_cast<std::uint64_t>(*p++) << (8 * i);
+
+  const std::uint64_t frame_index = frames_read_++;
+  if (payload_size > kMaxFramePayload) {
+    return frame_error(frame_index, "implausible frame size (corrupt archive)");
+  }
+  payload_.resize(static_cast<std::size_t>(payload_size));
+  is_.read(payload_.data(), static_cast<std::streamsize>(payload_size));
+  if (is_.gcount() != static_cast<std::streamsize>(payload_size)) {
+    // The writer died (or the copy was cut) mid-frame: drop the torn tail,
+    // keep everything before it — same contract as the text reader's
+    // torn-final-line tolerance.
+    torn_ = true;
+    return Frame::kTorn;
+  }
+
+  if (version_ != 1) {
+    std::uint32_t crc = util::crc32c(0, &type, 1);
+    crc = util::crc32c(crc, head + 4, 16);  // seq + size as read off the wire
+    crc = util::crc32c(crc, payload_.data(), payload_.size());
+    if (crc != stored_crc) {
+      return frame_error(frame_index, "crc32c mismatch (stored " +
+                                          hex32(stored_crc) + ", computed " +
+                                          hex32(crc) + ")");
+    }
+    if (stored_seq != frame_index) {
+      // A valid checksum with the wrong ordinal means frames were spliced,
+      // dropped or reordered — corruption the CRC alone cannot see.
+      return frame_error(frame_index, "sequence mismatch (frame carries seq " +
+                                          std::to_string(stored_seq) + ")");
+    }
+  }
+  type_ = type;
+  return Frame::kOther;  // a complete, verified frame is in type_/payload_
+}
+
 util::StatusOr<BinaryTraceReader::Frame> BinaryTraceReader::next(
     FlowCapture* flow, QuarantineRecord* quarantine) {
   for (;;) {
-    if (torn_) return Frame::kTorn;
-    char type = 0;
-    if (!is_.get(type)) return Frame::kEnd;
+    auto frame = read_frame();
+    if (!frame.is_ok()) return frame.status();
+    if (frame.value() != Frame::kOther) return frame.value();
+    const std::uint64_t frame_index = frames_read_ - 1;
 
-    unsigned char size_bytes[8] = {};
-    is_.read(reinterpret_cast<char*>(size_bytes), 8);
-    if (is_.gcount() != 8) {
-      torn_ = true;
-      return Frame::kTorn;
-    }
-    std::uint64_t payload_size = 0;
-    for (int i = 0; i < 8; ++i) {
-      payload_size |= static_cast<std::uint64_t>(size_bytes[i]) << (8 * i);
-    }
-    const std::uint64_t frame_index = frames_read_++;
-    if (payload_size > kMaxFramePayload) {
-      return frame_error(frame_index, "implausible frame size (corrupt archive)");
-    }
-    payload_.resize(static_cast<std::size_t>(payload_size));
-    is_.read(payload_.data(), static_cast<std::streamsize>(payload_size));
-    if (is_.gcount() != static_cast<std::streamsize>(payload_size)) {
-      // The writer died (or the copy was cut) mid-frame: drop the torn tail,
-      // keep everything before it — same contract as the text reader's
-      // torn-final-line tolerance.
-      torn_ = true;
-      return Frame::kTorn;
-    }
-
-    if (type == kFlowFrame) {
+    if (type_ == kFlowFrame) {
       if (flow == nullptr) return frame_error(frame_index, "unexpected flow frame");
       *flow = FlowCapture{};
       util::Status status = decode_flow_payload(payload_, frame_index, *flow);
@@ -480,7 +575,7 @@ util::StatusOr<BinaryTraceReader::Frame> BinaryTraceReader::next(
       ++flows_read_;
       return Frame::kFlow;
     }
-    if (type == kQuarantineFrame) {
+    if (type_ == kQuarantineFrame) {
       if (quarantine == nullptr) {
         return frame_error(frame_index, "unexpected quarantine frame");
       }
@@ -492,6 +587,21 @@ util::StatusOr<BinaryTraceReader::Frame> BinaryTraceReader::next(
     }
     // Unknown frame type: skip (forward compatibility with future records).
   }
+}
+
+util::StatusOr<BinaryTraceReader::Frame> BinaryTraceReader::next_raw(
+    char* type, std::string* payload) {
+  auto frame = read_frame();
+  if (!frame.is_ok()) return frame.status();
+  if (frame.value() != Frame::kOther) return frame.value();
+  *type = type_;
+  payload->assign(payload_);
+  if (type_ == kFlowFrame) {
+    ++flows_read_;
+    return Frame::kFlow;
+  }
+  if (type_ == kQuarantineFrame) return Frame::kQuarantine;
+  return Frame::kOther;
 }
 
 util::StatusOr<BinaryCorpus> read_binary_corpus(std::istream& is) {
@@ -513,6 +623,8 @@ util::StatusOr<BinaryCorpus> read_binary_corpus(std::istream& is) {
       case BinaryTraceReader::Frame::kQuarantine:
         corpus.quarantined.push_back(std::move(quarantine));
         break;
+      case BinaryTraceReader::Frame::kOther:  // next() skips unknown types
+        break;
       case BinaryTraceReader::Frame::kTorn:
         corpus.torn_tail = true;
         return corpus;
@@ -522,26 +634,83 @@ util::StatusOr<BinaryCorpus> read_binary_corpus(std::istream& is) {
   }
 }
 
+util::Status save_flow_capture_binary(util::Fs& fs, const std::string& path,
+                                      const FlowCapture& capture) {
+  std::ostringstream content;
+  write_binary_trace_header(content, 1);
+  write_flow_frame(content, capture, 0);
+  return util::write_file_atomic(fs, path, content.str());
+}
+
 util::Status save_flow_capture_binary(const std::string& path,
                                       const FlowCapture& capture) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream f(tmp, std::ios::trunc | std::ios::binary);
-    if (!f) return util::Status::internal("cannot open for write: " + tmp);
-    write_binary_trace_header(f, 1);
-    write_flow_frame(f, capture);
-    f.flush();
-    if (!f.good()) {
-      f.close();
-      std::remove(tmp.c_str());
-      return util::Status::internal("short write: " + tmp);
+  return save_flow_capture_binary(util::Fs::real(), path, capture);
+}
+
+util::StatusOr<TraceVerifyReport> verify_trace_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return util::Status::not_found("cannot open: " + path);
+  if (!sniff_binary_trace(f)) {
+    // Text archives have no frames to checksum; a full parse is the
+    // strongest check available.
+    auto capture = read_flow_capture(f);
+    if (!capture.is_ok()) return capture.status();
+    TraceVerifyReport report;
+    report.version = 0;
+    report.flows = 1;
+    report.intact = true;
+    return report;
+  }
+
+  BinaryTraceReader reader(f);
+  util::Status status = reader.open();
+  if (!status.is_ok()) return status;
+
+  TraceVerifyReport report;
+  report.version = reader.version();
+  report.declared_flow_count = reader.declared_flow_count();
+  char type = 0;
+  std::string payload;
+  for (;;) {
+    auto frame = reader.next_raw(&type, &payload);
+    if (!frame.is_ok()) return frame.status();
+    bool done = false;
+    switch (frame.value()) {
+      case BinaryTraceReader::Frame::kFlow: {
+        // Raw integrity passed; decode the columns too, so a corrupt
+        // payload that happens to carry a stale CRC cannot hide (and v1
+        // frames, which have no CRC, get their only deep check here).
+        FlowCapture flow;
+        status = decode_flow_payload(payload, reader.frames_read() - 1, flow);
+        if (!status.is_ok()) return status;
+        ++report.flows;
+        break;
+      }
+      case BinaryTraceReader::Frame::kQuarantine: {
+        QuarantineRecord rec;
+        status = decode_quarantine_payload(payload, reader.frames_read() - 1, rec);
+        if (!status.is_ok()) return status;
+        ++report.quarantines;
+        break;
+      }
+      case BinaryTraceReader::Frame::kOther:
+        ++report.other_frames;
+        break;
+      case BinaryTraceReader::Frame::kTorn:
+        report.torn_tail = true;
+        done = true;
+        break;
+      case BinaryTraceReader::Frame::kEnd:
+        done = true;
+        break;
     }
+    if (done) break;
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return util::Status::internal("cannot rename " + tmp + " -> " + path);
-  }
-  return util::Status::ok();
+  report.frames = report.flows + report.quarantines + report.other_frames;
+  report.intact = !report.torn_tail &&
+                  (report.declared_flow_count == kUnknownFlowCount ||
+                   report.flows == report.declared_flow_count);
+  return report;
 }
 
 util::StatusOr<FlowCapture> load_flow_capture_binary(const std::string& path) {

@@ -1,4 +1,4 @@
-// Binary columnar serialization of flow captures ("hsrtrace-b1").
+// Binary columnar serialization of flow captures ("hsrtrace-b2").
 //
 // The text format (trace_io.h, "hsrtrace-v2") spends ~55 bytes per
 // transmission on human-readable decimal; at the 10^5-10^6-flow campaign
@@ -12,36 +12,48 @@
 // binary reader rebuilds the exact FlowCapture the text writer would
 // serialize, byte for byte (pinned by tests and `trace_query convert`).
 //
-// File layout:
-//   header   12-byte magic "hsrtrace-b1\n", then u64 LE flow-frame count
+// File layout (v2, the current write format):
+//   header   12-byte magic "hsrtrace-b2\n", then u64 LE flow-frame count
 //            (kUnknownFlowCount while a stream is still being appended to;
-//            the merge step of StreamingCorpusWriter patches the real count)
-//   frames   { u8 type, u64 LE payload size, payload }
+//            the merge step of the chunked corpus writer knows the real count)
+//   frames   { u8 type, u32 LE crc32c, u64 LE seq, u64 LE payload size,
+//              payload }
+// where `seq` is the frame's 0-based ordinal in the file (every frame type
+// counts) and the CRC-32C covers everything after the crc field — type,
+// seq, size and payload — so corruption anywhere in a frame, including its
+// length, is detected and NAMED (frame index + reason) instead of silently
+// cascading. v1 files ("hsrtrace-b1\n", frames { u8 type, u64 LE size,
+// payload } with no checksum) remain fully readable.
 // Frame types:
 //   'F' one flow capture (columnar payload, see trace_binary.cpp)
 //   'Q' one quarantine record: a flow that failed during generation, with
 //       its diagnostic Status and per-direction fault-plan text, so a
 //       partial corpus archive explains its own gaps.
-// Unknown frame types are skipped (forward compatibility). A frame whose
-// header or payload hits EOF is a torn tail — the signature of a truncated
-// archive — and is dropped, with everything before it returned intact;
-// the same tolerance the text reader applies to a torn final line.
+// Unknown frame types are integrity-checked, then skipped (forward
+// compatibility; chunk files use 'S' sidecar frames this way). A frame cut
+// short by EOF is a torn tail — the signature of a truncated archive — and
+// is dropped, with everything before it returned intact; the same tolerance
+// the text reader applies to a torn final line.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "trace/capture.h"
+#include "util/fs.h"
 #include "util/status.h"
 
 namespace hsr::trace {
 
 // 12 bytes on the wire (trailing NUL excluded).
-inline constexpr char kBinaryTraceMagic[] = "hsrtrace-b1\n";
+inline constexpr char kBinaryTraceMagic[] = "hsrtrace-b2\n";
+inline constexpr char kBinaryTraceMagicB1[] = "hsrtrace-b1\n";  // read-only legacy
 inline constexpr std::size_t kBinaryTraceMagicSize = 12;
 inline constexpr std::uint64_t kUnknownFlowCount = ~std::uint64_t{0};
+inline constexpr int kBinaryTraceVersion = 2;
 
 // A flow that was planned but never made it into the corpus: generation
 // failed (exception, watchdog) and the campaign quarantined it. Archived in
@@ -57,15 +69,32 @@ struct QuarantineRecord {
   std::string uplink_plan;
 };
 
-void write_binary_trace_header(std::ostream& os, std::uint64_t flow_count);
-void write_flow_frame(std::ostream& os, const FlowCapture& capture);
-void write_quarantine_frame(std::ostream& os, const QuarantineRecord& record);
+// `version` selects the on-disk format; writers emit v2 unless a test or
+// conversion explicitly asks for legacy v1 output.
+void write_binary_trace_header(std::ostream& os, std::uint64_t flow_count,
+                               int version = kBinaryTraceVersion);
+// `seq` is the frame's 0-based ordinal in the destination file (v1 ignores
+// it — the field does not exist on the wire there).
+void write_flow_frame(std::ostream& os, const FlowCapture& capture,
+                      std::uint64_t seq, int version = kBinaryTraceVersion);
+void write_quarantine_frame(std::ostream& os, const QuarantineRecord& record,
+                            std::uint64_t seq, int version = kBinaryTraceVersion);
 
-// Encodes one flow frame (type byte + size + payload) into `out`, replacing
-// its contents. Exposed so StreamingCorpusWriter can spill pre-encoded
-// frames and the merge step can copy them verbatim.
-void encode_flow_frame(const FlowCapture& capture, std::string& out);
-void encode_quarantine_frame(const QuarantineRecord& record, std::string& out);
+// Encodes one frame (header + payload) into `out`, replacing its contents.
+// Exposed so the chunked corpus writer can append pre-encoded frames and
+// the merge step can re-stamp sequence numbers without re-encoding columns.
+void encode_flow_frame(const FlowCapture& capture, std::uint64_t seq,
+                       std::string& out, int version = kBinaryTraceVersion);
+void encode_quarantine_frame(const QuarantineRecord& record, std::uint64_t seq,
+                             std::string& out, int version = kBinaryTraceVersion);
+// v2 frame of an arbitrary type around an opaque payload (sidecar records).
+void encode_raw_frame(char type, std::string_view payload, std::uint64_t seq,
+                      std::string& out);
+
+// Decodes a 'Q' frame's payload (as surfaced undecoded by next_raw or the
+// chunk merge) back into a QuarantineRecord.
+[[nodiscard]] util::Status decode_quarantine_frame_payload(const std::string& payload,
+                                                           QuarantineRecord* record);
 
 // Streaming reader: frames are decoded one at a time, so a million-flow
 // corpus can be scanned in O(largest single flow) memory.
@@ -73,29 +102,45 @@ class BinaryTraceReader {
  public:
   explicit BinaryTraceReader(std::istream& is) : is_(is) {}
 
-  // Validates the magic and reads the declared flow count.
+  // Validates the magic (either version) and reads the declared flow count.
   [[nodiscard]] util::Status open();
   std::uint64_t declared_flow_count() const { return declared_flow_count_; }
+  // 1 or 2 once open() succeeded.
+  int version() const { return version_; }
 
   enum class Frame {
     kFlow,        // *flow was filled
     kQuarantine,  // *quarantine was filled
+    kOther,       // next_raw only: a frame of an unrecognized type
     kEnd,         // clean end of stream
     kTorn,        // truncated trailing frame, dropped (terminal)
   };
-  // Reads the next frame. Corruption inside a complete frame is an error
-  // with the frame's index in the message; a frame cut short by EOF is
-  // kTorn, after which only kTorn is returned again.
+  // Reads the next frame. Corruption inside a complete frame — a bad v2
+  // CRC, an out-of-order sequence number, an implausible length, a payload
+  // that fails to decode — is an error naming the frame's index; a frame
+  // cut short by EOF is kTorn, after which only kTorn is returned again.
   [[nodiscard]] util::StatusOr<Frame> next(FlowCapture* flow, QuarantineRecord* quarantine);
 
+  // Frame-level access for the merge/verify paths: same integrity checks as
+  // next(), but the payload is returned undecoded and unknown frame types
+  // are returned as kOther instead of being skipped.
+  [[nodiscard]] util::StatusOr<Frame> next_raw(char* type, std::string* payload);
+
   std::uint64_t flows_read() const { return flows_read_; }
+  std::uint64_t frames_read() const { return frames_read_; }
 
  private:
+  // Reads one frame header + payload into type_/payload_ with integrity
+  // checks; shares the kEnd/kTorn/error contract of next().
+  util::StatusOr<Frame> read_frame();
+
   std::istream& is_;
   std::uint64_t declared_flow_count_ = kUnknownFlowCount;
+  int version_ = kBinaryTraceVersion;
   std::uint64_t frames_read_ = 0;
   std::uint64_t flows_read_ = 0;
   bool torn_ = false;
+  char type_ = 0;
   std::string payload_;  // reused frame buffer
 };
 
@@ -109,15 +154,38 @@ struct BinaryCorpus {
 
 [[nodiscard]] util::StatusOr<BinaryCorpus> read_binary_corpus(std::istream& is);
 
+// Integrity check of a whole archive without materializing it: every frame
+// header and payload is decoded and, for v2, CRC- and sequence-verified.
+// The first bad frame fails the scan with its index and reason in the
+// Status. A torn tail or a flow count short of the declared header count is
+// NOT an error here — it is reported, so callers can distinguish "cleanly
+// truncated" from "corrupt".
+struct TraceVerifyReport {
+  int version = kBinaryTraceVersion;
+  std::uint64_t frames = 0;  // complete, verified frames (all types)
+  std::uint64_t flows = 0;
+  std::uint64_t quarantines = 0;
+  std::uint64_t other_frames = 0;
+  std::uint64_t declared_flow_count = kUnknownFlowCount;
+  bool torn_tail = false;
+  // True when every check passed, the tail is whole and the flow count
+  // matches the header's declaration (when one was declared).
+  bool intact = false;
+};
+[[nodiscard]] util::StatusOr<TraceVerifyReport> verify_trace_file(const std::string& path);
+
 // Single-capture file wrappers (header + one flow frame). Saving is atomic
-// (write to `<path>.tmp`, then rename), matching save_flow_capture.
+// (write to `<path>.tmp`, fsync, then rename) through the util::Fs seam,
+// matching save_flow_capture.
+[[nodiscard]] util::Status save_flow_capture_binary(util::Fs& fs, const std::string& path,
+                                                    const FlowCapture& capture);
 [[nodiscard]] util::Status save_flow_capture_binary(const std::string& path,
                                                     const FlowCapture& capture);
 [[nodiscard]] util::StatusOr<FlowCapture> load_flow_capture_binary(const std::string& path);
 
-// Returns true when the stream starts with the hsrtrace-b1 magic (the
-// stream is rewound either way). Lets tools accept both formats from one
-// code path.
+// Returns true when the stream starts with an hsrtrace-b1 or -b2 magic (the
+// stream is rewound either way). Lets tools accept binary and text archives
+// from one code path.
 bool sniff_binary_trace(std::istream& is);
 
 // Loads flow `nth` (0-based, counting flow frames only) from a trace file

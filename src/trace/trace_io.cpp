@@ -313,27 +313,19 @@ util::StatusOr<FlowCapture> read_flow_capture(std::istream& is) {
   }
 }
 
+util::Status save_flow_capture(util::Fs& fs, const std::string& path,
+                               const FlowCapture& capture) {
+  // Serialize in memory, then hand the bytes to the atomic-write helper:
+  // tmp + fsync + rename through the seam, so a killed run leaves either the
+  // old archive or the complete new one — never a half-written file under
+  // the real name.
+  std::ostringstream content;
+  write_flow_capture(content, capture);
+  return util::write_file_atomic(fs, path, content.str());
+}
+
 util::Status save_flow_capture(const std::string& path, const FlowCapture& capture) {
-  // Write-then-rename: the capture lands under a temporary name and is moved
-  // into place atomically, so a killed run leaves either the old archive or
-  // the complete new one — never a half-written file under the real name.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream f(tmp, std::ios::trunc);
-    if (!f) return util::Status::internal("cannot open for write: " + tmp);
-    write_flow_capture(f, capture);
-    f.flush();
-    if (!f.good()) {
-      f.close();
-      std::remove(tmp.c_str());
-      return util::Status::internal("short write: " + tmp);
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return util::Status::internal("cannot rename " + tmp + " -> " + path);
-  }
-  return util::Status::ok();
+  return save_flow_capture(util::Fs::real(), path, capture);
 }
 
 util::StatusOr<FlowCapture> load_flow_capture(const std::string& path) {

@@ -31,6 +31,7 @@
 #include <string>
 
 #include "trace/capture.h"
+#include "util/fs.h"
 #include "util/status.h"
 
 namespace hsr::trace {
@@ -44,9 +45,12 @@ void write_flow_capture(std::ostream& os, const FlowCapture& capture);
 // returned.
 [[nodiscard]] util::StatusOr<FlowCapture> read_flow_capture(std::istream& is);
 
-// Convenience file wrappers. Saving is atomic (write to `<path>.tmp`, then
-// rename into place), so a killed run never leaves a half-written archive
-// under the real name.
+// Convenience file wrappers. Saving is atomic (write to `<path>.tmp`, fsync,
+// then rename into place) through the util::Fs seam, so a killed run never
+// leaves a half-written archive under the real name and crash-safety tests
+// can script the I/O. The seamless overload uses util::Fs::real().
+[[nodiscard]] util::Status save_flow_capture(util::Fs& fs, const std::string& path,
+                                             const FlowCapture& capture);
 [[nodiscard]] util::Status save_flow_capture(const std::string& path, const FlowCapture& capture);
 [[nodiscard]] util::StatusOr<FlowCapture> load_flow_capture(const std::string& path);
 

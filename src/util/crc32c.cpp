@@ -1,0 +1,50 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace hsr::util {
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // 0x1EDC6F41 bit-reflected
+
+constexpr std::array<std::array<std::uint32_t, 256>, 4> make_tables() {
+  std::array<std::array<std::uint32_t, 256>, 4> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    t[0][i] = crc;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFFu];
+    t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFFu];
+    t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFFu];
+  }
+  return t;
+}
+
+constexpr auto kTables = make_tables();
+
+}  // namespace
+
+std::uint32_t crc32c(std::uint32_t crc, const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  while (size >= 4) {
+    crc ^= static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+    crc = kTables[3][crc & 0xFFu] ^ kTables[2][(crc >> 8) & 0xFFu] ^
+          kTables[1][(crc >> 16) & 0xFFu] ^ kTables[0][crc >> 24];
+    p += 4;
+    size -= 4;
+  }
+  while (size-- > 0) {
+    crc = (crc >> 8) ^ kTables[0][(crc ^ *p++) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace hsr::util

@@ -1,0 +1,25 @@
+// CRC-32C (Castagnoli, polynomial 0x1EDC6F41) — the checksum used by the
+// hsrtrace-b2 frame format and the campaign manifest chunk digests.
+//
+// Software implementation (slicing-by-4 over constexpr tables): no SSE4.2
+// dependency, byte-order independent, deterministic everywhere. Throughput is
+// far above what the corpus merge path needs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hsr::util {
+
+// Extends a running CRC-32C with `size` bytes. Start a fresh checksum with
+// `crc = 0`; the returned value is the finalized checksum (the customary
+// init/final XOR is handled internally, so values compose as
+// `crc32c(crc32c(0, a), b) == crc32c(0, ab)`).
+std::uint32_t crc32c(std::uint32_t crc, const void* data, std::size_t size);
+
+inline std::uint32_t crc32c(std::string_view bytes) {
+  return crc32c(0, bytes.data(), bytes.size());
+}
+
+}  // namespace hsr::util

@@ -1,0 +1,177 @@
+#include "util/fs.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace hsr::util {
+namespace {
+
+std::string errno_detail(const char* op, const std::string& path) {
+  return std::string(op) + " '" + path + "': " + std::strerror(errno);
+}
+
+class RealWritableFile final : public WritableFile {
+ public:
+  RealWritableFile(std::FILE* f, std::string path)
+      : file_(f), path_(std::move(path)) {}
+
+  ~RealWritableFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status append(std::string_view data) override {
+    if (file_ == nullptr) {
+      return Status::failed_precondition("append on closed file '" + path_ + "'");
+    }
+    if (data.empty()) return Status::ok();
+    const std::size_t n = std::fwrite(data.data(), 1, data.size(), file_);
+    if (n != data.size()) {
+      return Status::internal(errno_detail("write", path_));
+    }
+    return Status::ok();
+  }
+
+  Status sync() override {
+    if (file_ == nullptr) {
+      return Status::failed_precondition("sync on closed file '" + path_ + "'");
+    }
+    if (std::fflush(file_) != 0) {
+      return Status::internal(errno_detail("flush", path_));
+    }
+#ifndef _WIN32
+    if (::fsync(::fileno(file_)) != 0) {
+      return Status::internal(errno_detail("fsync", path_));
+    }
+#endif
+    return Status::ok();
+  }
+
+  Status close() override {
+    if (file_ == nullptr) return Status::ok();
+    std::FILE* f = std::exchange(file_, nullptr);
+    if (std::fclose(f) != 0) {
+      return Status::internal(errno_detail("close", path_));
+    }
+    return Status::ok();
+  }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+};
+
+class RealFs final : public Fs {
+ public:
+  StatusOr<std::unique_ptr<WritableFile>> open_for_write(
+      const std::string& path) override {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      return Status::internal(errno_detail("open for write", path));
+    }
+    return std::unique_ptr<WritableFile>(new RealWritableFile(f, path));
+  }
+
+  Status rename_file(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::internal("rename '" + from + "' -> '" + to +
+                              "': " + std::strerror(errno));
+    }
+    return Status::ok();
+  }
+
+  Status remove_file(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);  // false (missing) is fine
+    if (ec) {
+      return Status::internal("remove '" + path + "': " + ec.message());
+    }
+    return Status::ok();
+  }
+
+  Status remove_all(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+    if (ec) {
+      return Status::internal("remove_all '" + path + "': " + ec.message());
+    }
+    return Status::ok();
+  }
+
+  Status truncate_file(const std::string& path, std::uint64_t size) override {
+    std::error_code ec;
+    std::filesystem::resize_file(path, size, ec);
+    if (ec) {
+      return Status::internal("truncate '" + path + "': " + ec.message());
+    }
+    return Status::ok();
+  }
+
+  Status create_directories(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::create_directories(path, ec);
+    if (ec) {
+      return Status::internal("mkdir '" + path + "': " + ec.message());
+    }
+    return Status::ok();
+  }
+
+  StatusOr<std::uint64_t> file_size(const std::string& path) override {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (ec) {
+      return Status(StatusCode::kNotFound,
+                    "file_size '" + path + "': " + ec.message());
+    }
+    return static_cast<std::uint64_t>(size);
+  }
+
+  bool exists(const std::string& path) override {
+    std::error_code ec;
+    return std::filesystem::exists(path, ec);
+  }
+};
+
+}  // namespace
+
+Fs& Fs::real() {
+  static RealFs fs;
+  return fs;
+}
+
+Status write_file_atomic(Fs& fs, const std::string& path,
+                         std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  Status st = retry_transient([&] {
+    auto file = fs.open_for_write(tmp);
+    if (!file.is_ok()) return file.status();
+    WritableFile& f = *file.value();
+    Status s = f.append(contents);
+    if (s.is_ok()) s = f.sync();
+    if (s.is_ok()) s = f.close();
+    if (!s.is_ok()) {
+      (void)f.close();  // best effort; error already captured
+      (void)fs.remove_file(tmp);
+    }
+    return s;
+  });
+  if (!st.is_ok()) {
+    (void)fs.remove_file(tmp);
+    return st;
+  }
+  st = retry_transient([&] { return fs.rename_file(tmp, path); });
+  if (!st.is_ok()) {
+    (void)fs.remove_file(tmp);
+    return st;
+  }
+  return Status::ok();
+}
+
+}  // namespace hsr::util

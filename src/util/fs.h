@@ -1,0 +1,87 @@
+// Filesystem seam for every durable write the pipeline performs.
+//
+// All archive/plan/corpus/manifest writers route their opens, appends,
+// fsyncs, renames and removals through a `Fs` so that crash-safety tests can
+// substitute `fault::FaultInjectingFs` and script ENOSPC, torn renames,
+// short writes and transient EIO deterministically (the I/O twin of
+// `fault::FaultPlan` on the channel side). Production code uses `Fs::real()`.
+//
+// Error contract: a `kUnavailable` status from any operation means the
+// failure was transient and NO bytes were durably consumed by the attempt,
+// so repeating the same call is safe. `retry_transient` below encodes the
+// bounded deterministic retry policy (attempt counting only — no wall-clock
+// sleeps, so the determinism lint holds).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace hsr::util {
+
+// An open file being written. Obtained from `Fs::open_for_write`; destroying
+// the object without `close()` abandons buffered data (best-effort flush, no
+// error reporting) — writers that care about durability must `sync()` and
+// `close()` explicitly and check both.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status append(std::string_view data) = 0;
+  // Flushes application and kernel buffers to stable storage (fsync).
+  virtual Status sync() = 0;
+  virtual Status close() = 0;
+};
+
+// The I/O seam. Pure-virtual so tests can interpose; `real()` returns the
+// process-wide production backend.
+class Fs {
+ public:
+  virtual ~Fs() = default;
+
+  // Opens `path` for writing, truncating any existing file.
+  virtual StatusOr<std::unique_ptr<WritableFile>> open_for_write(
+      const std::string& path) = 0;
+  virtual Status rename_file(const std::string& from, const std::string& to) = 0;
+  // Removing a file that does not exist is OK (idempotent cleanup).
+  virtual Status remove_file(const std::string& path) = 0;
+  // Recursive removal; a missing path is OK.
+  virtual Status remove_all(const std::string& path) = 0;
+  virtual Status truncate_file(const std::string& path, std::uint64_t size) = 0;
+  virtual Status create_directories(const std::string& path) = 0;
+  virtual StatusOr<std::uint64_t> file_size(const std::string& path) = 0;
+  [[nodiscard]] virtual bool exists(const std::string& path) = 0;
+
+  static Fs& real();
+};
+
+// Bounded retry budget for kUnavailable failures. Attempt-counted, not
+// timed: attempt, and on transient failure immediately attempt again, up to
+// this many total attempts.
+inline constexpr int kTransientRetryAttempts = 4;
+
+// Runs `fn` (returning Status) up to kTransientRetryAttempts times while it
+// keeps failing with kUnavailable; returns the first non-transient status or
+// the last transient one if the budget runs out.
+template <typename Fn>
+Status retry_transient(Fn&& fn) {
+  Status last;
+  for (int attempt = 0; attempt < kTransientRetryAttempts; ++attempt) {
+    last = fn();
+    if (last.code() != StatusCode::kUnavailable) return last;
+  }
+  return last;
+}
+
+// Writes `contents` to `path` atomically: writes `path + ".tmp"`, fsyncs,
+// then renames over `path`. On any failure the tmp file is removed
+// (best-effort) and `path` is left exactly as it was — a pre-existing file
+// at `path` survives every failure mode intact. Whole-attempt transient
+// retry per `retry_transient`.
+Status write_file_atomic(Fs& fs, const std::string& path,
+                         std::string_view contents);
+
+}  // namespace hsr::util

@@ -22,6 +22,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kResourceExhausted,  // a budget (events, time, retries) was used up
+  kUnavailable,        // transient failure; retrying may succeed
 };
 
 // Returns a stable human-readable name for a status code.
@@ -51,6 +52,9 @@ class [[nodiscard]] Status {
   }
   static Status resource_exhausted(std::string m) {
     return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
   }
 
   [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }

@@ -3,16 +3,19 @@
 #include <algorithm>
 #include <charconv>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
-#include <map>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "trace/corpus_writer.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
+#include "workload/manifest.h"
 
 namespace hsr::workload {
 
@@ -244,63 +247,152 @@ DatasetResult generate_dataset(const DatasetSpec& spec) {
 
 namespace {
 
-// What one streaming worker hands to the in-order absorber. Captures are
-// already on disk by the time this exists; it is a few hundred bytes.
-struct StreamedOutcome {
-  bool ok = false;
-  analysis::FlowStatsSample sample;  // when ok
-  QuarantinedFlow casualty;          // when !ok
-  std::uint64_t sim_events = 0;
+// Sidecar frame type carried by chunk files next to each 'F' frame: the
+// flow's FlowStatsSample plus its simulator event count, in raw IEEE-754
+// bit patterns so merge-time absorption reproduces the in-memory stats
+// digest BITWISE. Stripped from the merged corpus.
+constexpr char kSampleFrame = 'S';
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+struct SampleCursor {
+  const std::string& s;
+  std::size_t pos = 0;
+  bool fail = false;
+
+  std::uint64_t get_u64() {
+    if (pos + 8 > s.size()) {
+      fail = true;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(s[pos + i])) << (8 * i);
+    }
+    pos += 8;
+    return v;
+  }
+  double get_f64() {
+    const std::uint64_t bits = get_u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::uint8_t get_u8() {
+    if (pos >= s.size()) {
+      fail = true;
+      return 0;
+    }
+    return static_cast<std::uint8_t>(s[pos++]);
+  }
 };
 
-// Applies per-flow outcomes to the CorpusStats in strict flow-index order,
-// regardless of completion order. Welford updates are not associative in
-// floating point, so in-order absorption is what buys the cross-thread-count
-// byte-identity of the stats digest. Out-of-order arrivals wait in `pending_`
-// — bounded by scheduling skew (roughly the worker count), not flow count;
-// the high-water mark is reported so tests and campaigns can verify that.
-class OrderedAbsorber {
- public:
-  explicit OrderedAbsorber(StreamingDatasetResult& out) : out_(out) {}
-
-  void submit(std::uint64_t flow_index, StreamedOutcome outcome) {
-    const std::lock_guard<std::mutex> lock(mu_);
-    if (flow_index != next_) {
-      pending_.emplace(flow_index, std::move(outcome));
-      peak_ = std::max(peak_, static_cast<std::uint64_t>(pending_.size()));
-      return;
-    }
-    apply(std::move(outcome));
-    ++next_;
-    while (!pending_.empty() && pending_.begin()->first == next_) {
-      apply(std::move(pending_.begin()->second));
-      pending_.erase(pending_.begin());
-      ++next_;
-    }
+void encode_sample_payload(const analysis::FlowStatsSample& sample,
+                           std::uint64_t sim_events, std::string& out) {
+  out.clear();
+  out.push_back(static_cast<char>((sample.high_speed ? 1 : 0) |
+                                  (sample.has_timeouts ? 2 : 0)));
+  put_f64(out, sample.ack_loss_rate);
+  put_f64(out, sample.data_loss_rate);
+  put_f64(out, sample.first_tx_loss_rate);
+  put_f64(out, sample.recovery_retx_loss_rate);
+  put_f64(out, sample.goodput_pps);
+  put_u64(out, sample.bytes_captured);
+  put_u64(out, sim_events);
+  const auto& b = sample.breakdown;
+  put_u64(out, b.data_sent);
+  put_u64(out, b.data_lost);
+  put_u64(out, b.ack_sent);
+  put_u64(out, b.ack_lost);
+  put_u64(out, b.data_unattributed);
+  put_u64(out, b.ack_unattributed);
+  put_u64(out, b.scripted_drops);
+  put_u64(out, net::kDropCategoryCount);
+  for (const std::uint64_t v : b.data_by_category) put_u64(out, v);
+  for (const std::uint64_t v : b.ack_by_category) put_u64(out, v);
+  put_u64(out, sample.sequences.size());
+  for (const auto& seq : sample.sequences) {
+    put_f64(out, seq.duration_s);
+    out.push_back(static_cast<char>((seq.spurious ? 1 : 0) | (seq.recovered ? 2 : 0)));
   }
+}
 
-  std::uint64_t pending_peak() const {
-    const std::lock_guard<std::mutex> lock(mu_);
-    return peak_;
+util::Status decode_sample_payload(const std::string& payload,
+                                   analysis::FlowStatsSample* sample,
+                                   std::uint64_t* sim_events) {
+  SampleCursor c{payload};
+  const std::uint8_t flags = c.get_u8();
+  sample->high_speed = (flags & 1) != 0;
+  sample->has_timeouts = (flags & 2) != 0;
+  sample->ack_loss_rate = c.get_f64();
+  sample->data_loss_rate = c.get_f64();
+  sample->first_tx_loss_rate = c.get_f64();
+  sample->recovery_retx_loss_rate = c.get_f64();
+  sample->goodput_pps = c.get_f64();
+  sample->bytes_captured = c.get_u64();
+  *sim_events = c.get_u64();
+  auto& b = sample->breakdown;
+  b.data_sent = c.get_u64();
+  b.data_lost = c.get_u64();
+  b.ack_sent = c.get_u64();
+  b.ack_lost = c.get_u64();
+  b.data_unattributed = c.get_u64();
+  b.ack_unattributed = c.get_u64();
+  b.scripted_drops = c.get_u64();
+  if (c.get_u64() != net::kDropCategoryCount) {
+    return util::Status::invalid_argument(
+        "stats sample frame has a foreign drop-category count");
   }
-
- private:
-  void apply(StreamedOutcome outcome) {
-    if (outcome.ok) {
-      out_.stats.absorb(outcome.sample);
-    } else {
-      out_.stats.absorb_quarantine();
-      out_.quarantined.push_back(std::move(outcome.casualty));
-    }
-    out_.total_sim_events += outcome.sim_events;
+  for (auto& v : b.data_by_category) v = c.get_u64();
+  for (auto& v : b.ack_by_category) v = c.get_u64();
+  const std::uint64_t sequences = c.get_u64();
+  if (c.fail || sequences > payload.size()) {  // 9 bytes each; cheap sanity bound
+    return util::Status::invalid_argument("truncated stats sample frame");
   }
+  sample->sequences.resize(static_cast<std::size_t>(sequences));
+  for (auto& seq : sample->sequences) {
+    seq.duration_s = c.get_f64();
+    const std::uint8_t sflags = c.get_u8();
+    seq.spurious = (sflags & 1) != 0;
+    seq.recovered = (sflags & 2) != 0;
+  }
+  if (c.fail || c.pos != payload.size()) {
+    return util::Status::invalid_argument("malformed stats sample frame");
+  }
+  return util::Status::ok();
+}
 
-  StreamingDatasetResult& out_;
-  mutable std::mutex mu_;
-  std::uint64_t next_ = 0;
-  std::uint64_t peak_ = 0;
-  std::map<std::uint64_t, StreamedOutcome> pending_;
-};
+// The configuration fingerprint a resume must match: everything that shapes
+// flow content or chunk boundaries. configure_flow/observe_flow hooks are
+// not digestible — the caller owns passing identical ones.
+std::string canonical_spec_text(const DatasetSpec& spec, std::uint64_t flow_count,
+                                std::uint64_t chunk_flows) {
+  std::ostringstream os;
+  os << "seed=" << spec.seed << " flows=" << flow_count
+     << " chunk_flows=" << chunk_flows
+     << " stationary=" << spec.stationary_flows_per_provider
+     << " dur_s=" << spec.flow_duration_min.to_seconds() << ".."
+     << spec.flow_duration_max.to_seconds()
+     << " max_events=" << spec.max_sim_events_per_flow;
+  for (const auto& c : spec.campaigns) {
+    os << " campaign=" << c.campaign << '|' << c.phone << '|'
+       << radio::provider_name(c.profile.provider) << '|' << c.flows << '|'
+       << c.trips;
+  }
+  return os.str();
+}
+
+std::string chunk_file_path(const std::string& work_dir, std::uint64_t index) {
+  return work_dir + "/chunk-" + std::to_string(index) + ".hsrb";
+}
 
 }  // namespace
 
@@ -320,15 +412,76 @@ StreamingDatasetResult generate_dataset_streaming(
     return out;
   }
 
-  const DatasetPlan plan(spec);
-  util::ThreadPool pool(threads.value());
+  util::Fs& fs = options.fs != nullptr ? *options.fs : util::Fs::real();
+  const std::string work_dir =
+      options.work_dir.empty() ? options.corpus_path + ".work" : options.work_dir;
+  const std::uint64_t chunk_flows = options.chunk_flows == 0
+                                        ? StreamingDatasetOptions::kDefaultChunkFlows
+                                        : options.chunk_flows;
+  const std::string manifest_path = work_dir + "/manifest.hsrman";
 
-  trace::StreamingCorpusWriter writer(trace::StreamingCorpusWriter::Options{
-      options.corpus_path, options.spill_dir, pool.thread_count()});
-  out.io_status = writer.open();
+  const DatasetPlan plan(spec);
+  const std::uint64_t n = plan.flow_count();
+  const std::uint64_t chunk_count = (n + chunk_flows - 1) / chunk_flows;
+  out.chunks_total = chunk_count;
+
+  CampaignManifest manifest;
+  manifest.spec_digest = manifest_digest(canonical_spec_text(spec, n, chunk_flows));
+  manifest.total_flows = n;
+  manifest.chunk_flows = chunk_flows;
+
+  if (options.resume) {
+    // Resume: the manifest is the source of truth for what survived. Every
+    // listed chunk is re-verified against its recorded size and CRC before
+    // being trusted; anything missing or damaged is simply re-run.
+    if (fs.exists(manifest_path)) {
+      auto loaded = load_campaign_manifest(manifest_path);
+      if (!loaded.is_ok()) {
+        out.config_status = util::Status::invalid_argument(
+            "resume rejected: " + loaded.status().message());
+        return out;
+      }
+      if (loaded.value().spec_digest != manifest.spec_digest) {
+        out.config_status = util::Status::invalid_argument(
+            "resume rejected: manifest was written under a different spec/seed/"
+            "chunking (digest mismatch)");
+        return out;
+      }
+      for (const ChunkEntry& entry : loaded.value().chunks) {
+        if (entry.index >= chunk_count ||
+            entry.first_flow != entry.index * chunk_flows ||
+            entry.flow_count != std::min(chunk_flows, n - entry.first_flow)) {
+          continue;  // foreign range: re-run it
+        }
+        const std::string path = chunk_file_path(work_dir, entry.index);
+        auto size = fs.file_size(path);
+        if (!size.is_ok() || size.value() != entry.bytes) continue;
+        auto crc = trace::crc32c_of_file(path);
+        if (!crc.is_ok() || crc.value() != entry.crc32c) continue;
+        manifest.chunks.push_back(entry);
+      }
+      out.chunks_reused = manifest.chunks.size();
+    }
+  } else {
+    // Fresh run: any previous work state is stale by definition.
+    util::Status wiped = fs.remove_all(work_dir);
+    if (!wiped.is_ok()) {
+      out.io_status = std::move(wiped);
+      return out;
+    }
+  }
+
+  out.io_status = util::retry_transient([&] { return fs.create_directories(work_dir); });
+  if (!out.io_status.is_ok()) return out;
+  out.io_status = save_campaign_manifest(fs, manifest_path, manifest);
   if (!out.io_status.is_ok()) return out;
 
-  OrderedAbsorber absorber(out);
+  std::vector<std::uint64_t> pending;
+  pending.reserve(static_cast<std::size_t>(chunk_count - manifest.chunks.size()));
+  for (std::uint64_t ci = 0; ci < chunk_count; ++ci) {
+    if (!manifest.has_chunk(ci)) pending.push_back(ci);
+  }
+
   std::mutex io_mu;
   bool io_failed = false;
   const auto record_io_failure = [&](util::Status status) {
@@ -338,71 +491,131 @@ StreamingDatasetResult generate_dataset_streaming(
       out.io_status = std::move(status);
     }
   };
+  std::mutex manifest_mu;
 
-  // Worker loop: run flow i, reduce to a stats sample, spill the capture to
-  // this worker's shard, free it, then hand the sample to the absorber.
-  // Peak capture memory is one flow per worker — O(threads), not O(flows).
-  pool.parallel_for_worker(plan.flow_count(), [&](unsigned worker, std::uint64_t i) {
-    const FlowTask task = plan.task(i);
-    FlowOutcome flow_outcome;
-    trace::FlowCapture capture;
-    FlowRecord rec = run_and_analyze(spec, i, task, &flow_outcome, &capture);
+  // Worker loop: one CLAIM is one chunk. The worker simulates the chunk's
+  // flows in index order, appending each 'F' capture (freed immediately)
+  // plus its 'S' stats sidecar — or a 'Q' record — then commits the chunk
+  // atomically and checkpoints the manifest. A chunk's bytes are a pure
+  // function of (spec, chunk index): thread count only decides who runs it.
+  util::ThreadPool pool(threads.value());
+  pool.parallel_for(pending.size(), [&](std::uint64_t pi) {
+    {
+      const std::lock_guard<std::mutex> lock(io_mu);
+      if (io_failed) return;  // disk is sick; stop claiming work
+    }
+    const std::uint64_t ci = pending[pi];
+    const std::uint64_t first = ci * chunk_flows;
+    const std::uint64_t count = std::min(chunk_flows, n - first);
 
-    StreamedOutcome streamed;
-    streamed.sim_events = rec.sim_events;
-    if (flow_outcome.status.is_ok()) {
-      streamed.ok = true;
-      streamed.sample = analysis::FlowStatsSample::from_flow(
-          rec.analysis, rec.breakdown, rec.high_speed, rec.bytes_captured);
-      // Archived frames carry the campaign-wide flow index as their FlowId
-      // (run_flow numbers every capture 1, which would be useless in a
-      // 100k-flow corpus).
-      capture.flow = static_cast<net::FlowId>(i);
-      bool skip_io;
-      {
-        const std::lock_guard<std::mutex> lock(io_mu);
-        skip_io = io_failed;
-      }
-      if (!skip_io) {
-        util::Status spilled = writer.spill_flow(worker, i, capture);
-        if (!spilled.is_ok()) record_io_failure(std::move(spilled));
-      }
-      capture = trace::FlowCapture{};  // freed before the next claim
-    } else {
-      streamed.casualty = QuarantinedFlow{
-          i, radio::provider_name(task.profile.provider), task.campaign,
-          flow_outcome.status, flow_outcome.downlink_plan, flow_outcome.uplink_plan};
-      trace::QuarantineRecord qrec;
-      qrec.flow_index = i;
-      qrec.provider = streamed.casualty.provider;
-      qrec.campaign = streamed.casualty.campaign;
-      qrec.status_code = static_cast<std::int32_t>(flow_outcome.status.code());
-      qrec.message = flow_outcome.status.message();
-      qrec.downlink_plan = flow_outcome.downlink_plan;
-      qrec.uplink_plan = flow_outcome.uplink_plan;
-      bool skip_io;
-      {
-        const std::lock_guard<std::mutex> lock(io_mu);
-        skip_io = io_failed;
-      }
-      if (!skip_io) {
-        util::Status spilled = writer.spill_quarantine(worker, i, qrec);
-        if (!spilled.is_ok()) record_io_failure(std::move(spilled));
+    trace::ChunkFileWriter writer(fs, chunk_file_path(work_dir, ci));
+    util::Status status = writer.open();
+    std::string sidecar;
+    for (std::uint64_t i = first; status.is_ok() && i < first + count; ++i) {
+      const FlowTask task = plan.task(i);
+      FlowOutcome flow_outcome;
+      trace::FlowCapture capture;
+      FlowRecord rec = run_and_analyze(spec, i, task, &flow_outcome, &capture);
+      if (flow_outcome.status.is_ok()) {
+        // Archived frames carry the campaign-wide flow index as their FlowId
+        // (run_flow numbers every capture 1, which would be useless in a
+        // 100k-flow corpus).
+        capture.flow = static_cast<net::FlowId>(i);
+        status = writer.append_flow(capture);
+        capture = trace::FlowCapture{};  // freed before the next flow
+        if (status.is_ok()) {
+          encode_sample_payload(
+              analysis::FlowStatsSample::from_flow(rec.analysis, rec.breakdown,
+                                                   rec.high_speed,
+                                                   rec.bytes_captured),
+              rec.sim_events, sidecar);
+          status = writer.append_raw(kSampleFrame, sidecar);
+        }
+      } else {
+        trace::QuarantineRecord qrec;
+        qrec.flow_index = i;
+        qrec.provider = radio::provider_name(task.profile.provider);
+        qrec.campaign = task.campaign;
+        qrec.status_code = static_cast<std::int32_t>(flow_outcome.status.code());
+        qrec.message = flow_outcome.status.message();
+        qrec.downlink_plan = flow_outcome.downlink_plan;
+        qrec.uplink_plan = flow_outcome.uplink_plan;
+        status = writer.append_quarantine(qrec);
       }
     }
-    absorber.submit(i, std::move(streamed));
+    if (!status.is_ok()) {
+      writer.abandon();
+      record_io_failure(std::move(status));
+      return;
+    }
+    auto info = writer.commit();
+    if (!info.is_ok()) {
+      writer.abandon();
+      record_io_failure(info.status());
+      return;
+    }
+    // Checkpoint: the committed chunk becomes durable resume state the
+    // moment the manifest rewrite lands.
+    const std::lock_guard<std::mutex> lock(manifest_mu);
+    manifest.chunks.push_back(ChunkEntry{ci, first, count, info.value().flows,
+                                         info.value().quarantines,
+                                         info.value().bytes,
+                                         info.value().crc32c});
+    util::Status saved = save_campaign_manifest(fs, manifest_path, manifest);
+    if (!saved.is_ok()) record_io_failure(std::move(saved));
   });
 
-  out.stats_pending_peak = absorber.pending_peak();
-  if (!out.io_status.is_ok()) return out;
+  if (!out.io_status.is_ok()) return out;  // chunks + manifest left for resume
 
-  auto merged = writer.merge();
+  std::sort(manifest.chunks.begin(), manifest.chunks.end(),
+            [](const ChunkEntry& a, const ChunkEntry& b) { return a.index < b.index; });
+  std::vector<std::string> chunk_paths;
+  chunk_paths.reserve(manifest.chunks.size());
+  std::uint64_t total_flow_frames = 0;
+  for (const ChunkEntry& entry : manifest.chunks) {
+    chunk_paths.push_back(chunk_file_path(work_dir, entry.index));
+    total_flow_frames += entry.flows;
+  }
+
+  // Merge phase: chunks concatenate in index order, so the sidecar/quarantine
+  // frames stream past this hook in strict flow order — exactly the absorb
+  // sequence the in-memory path performs, whichever run produced each chunk.
+  const auto absorb_frame = [&](char type, const std::string& payload) -> util::Status {
+    if (type == kSampleFrame) {
+      analysis::FlowStatsSample sample;
+      std::uint64_t sim_events = 0;
+      util::Status status = decode_sample_payload(payload, &sample, &sim_events);
+      if (!status.is_ok()) return status;
+      out.stats.absorb(sample);
+      out.total_sim_events += sim_events;
+    } else if (type == 'Q') {
+      trace::QuarantineRecord qrec;
+      util::Status status = trace::decode_quarantine_frame_payload(payload, &qrec);
+      if (!status.is_ok()) return status;
+      out.stats.absorb_quarantine();
+      out.quarantined.push_back(QuarantinedFlow{
+          qrec.flow_index, qrec.provider, qrec.campaign,
+          util::Status(static_cast<util::StatusCode>(qrec.status_code), qrec.message),
+          qrec.downlink_plan, qrec.uplink_plan});
+    }
+    return util::Status::ok();
+  };
+
+  auto merged = trace::merge_corpus_chunks(fs, chunk_paths, options.corpus_path,
+                                           total_flow_frames, absorb_frame);
   if (!merged.is_ok()) {
+    // Partial absorption is garbage; the chunks and manifest remain valid
+    // resume state, so a retry redoes only the merge.
+    out.stats = analysis::CorpusStats{};
+    out.quarantined.clear();
+    out.total_sim_events = 0;
     out.io_status = merged.status();
     return out;
   }
   out.flows_completed = merged.value().flows;
   out.corpus_bytes = merged.value().bytes;
+  // The corpus is durable; the work state is now redundant (best-effort).
+  (void)fs.remove_all(work_dir);
   return out;
 }
 

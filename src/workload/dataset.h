@@ -12,6 +12,7 @@
 #include "analysis/corpus.h"
 #include "analysis/corpus_stats.h"
 #include "radio/profiles.h"
+#include "util/fs.h"
 #include "util/status.h"
 #include "workload/scenario.h"
 
@@ -189,13 +190,32 @@ struct DatasetResult {
 // the result; every other flow still completes and aggregates.
 DatasetResult generate_dataset(const DatasetSpec& spec);
 
-// --- Streaming generation (bounded memory) -----------------------------------
+// --- Streaming generation (bounded memory, crash-safe, resumable) ------------
 
 struct StreamingDatasetOptions {
-  // Final corpus file (hsrtrace-b1). Written atomically by the merge step.
+  // Final corpus file (hsrtrace-b2). Written atomically by the merge step.
   std::string corpus_path;
-  // Scratch directory for per-worker spill files; "" = "<corpus_path>.spill".
-  std::string spill_dir;
+  // Work directory holding committed chunk files and the campaign manifest
+  // while the run is in flight; "" = "<corpus_path>.work". A fresh run wipes
+  // it; after an interrupted run it survives as the resume state, and a
+  // successful merge cleans it up.
+  std::string work_dir;
+  // Planned flows per chunk (the unit of durability and of resume). The
+  // final corpus bytes do NOT depend on this — merge re-stamps frame
+  // sequence numbers — but the manifest pins it so a resume re-runs exactly
+  // the missing ranges. 0 = kDefaultChunkFlows.
+  std::uint64_t chunk_flows = 0;
+  static constexpr std::uint64_t kDefaultChunkFlows = 256;
+  // Resume from the work directory's manifest: verify every chunk it lists
+  // (size + CRC-32C), keep the intact ones, re-run only the rest. The
+  // manifest's spec digest must match this run's — a mismatched spec, seed
+  // or chunking rejects the resume via config_status. configure_flow /
+  // observe_flow hooks cannot be digested; callers must pass the same hooks
+  // they ran with originally.
+  bool resume = false;
+  // I/O seam for every durable write (chunks, manifest, merge). nullptr =
+  // util::Fs::real(); tests inject fault::FaultInjectingFs here.
+  util::Fs* fs = nullptr;
 };
 
 // What a streaming campaign returns: online statistics and diagnostics, but
@@ -203,34 +223,37 @@ struct StreamingDatasetOptions {
 struct StreamingDatasetResult {
   analysis::CorpusStats stats;
   std::vector<QuarantinedFlow> quarantined;  // flow-index order
-  // Spec/environment rejection (same contract as DatasetResult).
+  // Spec/environment rejection (same contract as DatasetResult); also a
+  // resume whose manifest was written under a different spec digest.
   util::Status config_status;
-  // First spill/merge I/O failure; when not OK the corpus file was not
-  // produced (stats cover whatever absorbed before the failure).
+  // First chunk/manifest/merge I/O failure. When not OK the corpus file was
+  // not produced — but every chunk committed before the failure is durable
+  // and the manifest describes it, so a `resume` run picks up from there.
   util::Status io_status;
 
   std::string corpus_path;
   std::uint64_t flows_completed = 0;  // flow frames in the corpus
   std::uint64_t corpus_bytes = 0;     // final corpus file size
   std::uint64_t total_sim_events = 0;
-  // High-water mark of samples buffered waiting for in-order absorption —
-  // the streaming path's only flow-count-correlated buffer, bounded in
-  // practice by scheduling skew (observed: ~thread count), not flow count.
-  std::uint64_t stats_pending_peak = 0;
+  std::uint64_t chunks_total = 0;   // chunks the campaign spans
+  std::uint64_t chunks_reused = 0;  // verified and skipped by a resume
 
   [[nodiscard]] bool complete() const {
     return config_status.is_ok() && io_status.is_ok() && quarantined.empty();
   }
 };
 
-// generate_dataset with O(threads) instead of O(flows) capture memory: each
-// worker runs a flow, reduces it to a FlowStatsSample, spills the capture to
-// its own shard file (trace::StreamingCorpusWriter) and frees it before
-// claiming the next index. Statistics are absorbed in strict flow-index
-// order, so `stats.to_text()` is byte-identical to the in-memory path's
-// DatasetResult::stats and to any other thread count; the merged corpus file
-// is byte-identical for any thread count too. Flow frames carry their
-// campaign flow index as the FlowId.
+// generate_dataset with O(threads) instead of O(flows) capture memory, and
+// crash-safe: the flow range is partitioned into chunks, each worker runs a
+// chunk at a time and commits it as its own hsrtrace-b2 file (tmp + fsync +
+// atomic rename) with per-flow 'S' stats-sample sidecar frames, and the
+// manifest is atomically rewritten after every commit. The final merge
+// concatenates chunks in index order, strips the sidecars while absorbing
+// them into `stats` in strict flow order, and re-stamps frame sequence
+// numbers — so corpus bytes AND stats.to_text() are byte-identical for any
+// thread count, any chunk size, and any interruption/resume history, and
+// bitwise equal to the in-memory path's DatasetResult::stats. Flow frames
+// carry their campaign flow index as the FlowId.
 StreamingDatasetResult generate_dataset_streaming(const DatasetSpec& spec,
                                                   const StreamingDatasetOptions& options);
 

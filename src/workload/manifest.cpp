@@ -1,0 +1,188 @@
+#include "workload/manifest.h"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace hsr::workload {
+
+namespace {
+
+util::Status manifest_error(std::size_t line, const std::string& what) {
+  return util::Status::invalid_argument("manifest line " + std::to_string(line) +
+                                        ": " + what);
+}
+
+bool parse_u64(std::string_view text, std::uint64_t* out, int base = 10) {
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, *out, base);
+  return ec == std::errc() && ptr == last && !text.empty();
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  for (int i = 15; i >= 0; --i) {
+    buf[i] = "0123456789abcdef"[v & 0xF];
+    v >>= 4;
+  }
+  buf[16] = '\0';
+  return buf;
+}
+
+std::string hex8(std::uint32_t v) {
+  char buf[9];
+  for (int i = 7; i >= 0; --i) {
+    buf[i] = "0123456789abcdef"[v & 0xF];
+    v >>= 4;
+  }
+  buf[8] = '\0';
+  return buf;
+}
+
+}  // namespace
+
+bool CampaignManifest::has_chunk(std::uint64_t index) const {
+  return std::any_of(chunks.begin(), chunks.end(),
+                     [index](const ChunkEntry& c) { return c.index == index; });
+}
+
+std::string CampaignManifest::to_text() const {
+  std::vector<ChunkEntry> sorted = chunks;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ChunkEntry& a, const ChunkEntry& b) { return a.index < b.index; });
+  std::ostringstream os;
+  os << kManifestMagic << " spec=" << hex16(spec_digest) << " flows=" << total_flows
+     << " chunk_flows=" << chunk_flows << " chunks=" << sorted.size() << "\n";
+  for (const ChunkEntry& c : sorted) {
+    os << "C " << c.index << ' ' << c.first_flow << ' ' << c.flow_count << ' '
+       << c.flows << ' ' << c.quarantines << ' ' << c.bytes << ' '
+       << hex8(c.crc32c) << "\n";
+  }
+  return os.str();
+}
+
+util::StatusOr<CampaignManifest> CampaignManifest::parse(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line)) {
+    return util::Status::invalid_argument("empty manifest");
+  }
+  std::istringstream header(line);
+  std::string magic;
+  header >> magic;
+  if (magic != kManifestMagic) {
+    return util::Status::invalid_argument("not an " + std::string(kManifestMagic) +
+                                          " file (got '" + magic + "')");
+  }
+  CampaignManifest manifest;
+  std::uint64_t declared_chunks = 0;
+  bool saw_spec = false, saw_flows = false, saw_chunk_flows = false, saw_chunks = false;
+  std::string field;
+  while (header >> field) {
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      return manifest_error(1, "malformed header field '" + field + "'");
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    std::uint64_t parsed = 0;
+    const int base = key == "spec" ? 16 : 10;
+    if (!parse_u64(value, &parsed, base)) {
+      return manifest_error(1, "bad value for '" + key + "': '" + value + "'");
+    }
+    if (key == "spec") {
+      manifest.spec_digest = parsed;
+      saw_spec = true;
+    } else if (key == "flows") {
+      manifest.total_flows = parsed;
+      saw_flows = true;
+    } else if (key == "chunk_flows") {
+      manifest.chunk_flows = parsed;
+      saw_chunk_flows = true;
+    } else if (key == "chunks") {
+      declared_chunks = parsed;
+      saw_chunks = true;
+    } else {
+      return manifest_error(1, "unknown header field '" + key + "'");
+    }
+  }
+  if (!saw_spec || !saw_flows || !saw_chunk_flows || !saw_chunks) {
+    return manifest_error(1, "header missing spec=/flows=/chunk_flows=/chunks=");
+  }
+  if (manifest.chunk_flows == 0) {
+    return manifest_error(1, "chunk_flows must be positive");
+  }
+
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag != "C") {
+      return manifest_error(line_no, "expected a 'C' chunk entry, got '" + tag + "'");
+    }
+    ChunkEntry entry;
+    std::string crc_text;
+    if (!(ls >> entry.index >> entry.first_flow >> entry.flow_count >>
+          entry.flows >> entry.quarantines >> entry.bytes >> crc_text)) {
+      return manifest_error(line_no, "truncated chunk entry");
+    }
+    std::string trailing;
+    if (ls >> trailing) {
+      return manifest_error(line_no, "trailing tokens after chunk entry");
+    }
+    std::uint64_t crc = 0;
+    if (!parse_u64(crc_text, &crc, 16) || crc > 0xFFFFFFFFull) {
+      return manifest_error(line_no, "bad crc '" + crc_text + "'");
+    }
+    entry.crc32c = static_cast<std::uint32_t>(crc);
+    if (entry.flow_count == 0) {
+      return manifest_error(line_no, "chunk declares zero flows");
+    }
+    if (entry.flows + entry.quarantines != entry.flow_count) {
+      return manifest_error(line_no, "flows + quarantines != flow_count");
+    }
+    if (manifest.has_chunk(entry.index)) {
+      return manifest_error(line_no, "duplicate chunk index " +
+                                         std::to_string(entry.index));
+    }
+    manifest.chunks.push_back(entry);
+  }
+  if (manifest.chunks.size() != declared_chunks) {
+    return util::Status::invalid_argument(
+        "manifest declared " + std::to_string(declared_chunks) +
+        " chunks but holds " + std::to_string(manifest.chunks.size()));
+  }
+  std::sort(manifest.chunks.begin(), manifest.chunks.end(),
+            [](const ChunkEntry& a, const ChunkEntry& b) { return a.index < b.index; });
+  return manifest;
+}
+
+std::uint64_t manifest_digest(std::string_view canonical_text) {
+  // FNV-1a, 64-bit: deterministic across platforms, no dependencies.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : canonical_text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+util::Status save_campaign_manifest(util::Fs& fs, const std::string& path,
+                                    const CampaignManifest& manifest) {
+  return util::write_file_atomic(fs, path, manifest.to_text());
+}
+
+util::StatusOr<CampaignManifest> load_campaign_manifest(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::not_found("cannot open manifest: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return CampaignManifest::parse(buffer.str());
+}
+
+}  // namespace hsr::workload

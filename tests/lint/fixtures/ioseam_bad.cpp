@@ -1,0 +1,28 @@
+// lint-fixture: rules=ioseam path=src/trace/raw_write_fixture.cpp
+// Positive fixture: raw write-capable streams, C stdio writes and
+// std::filesystem mutations bypass the util::Fs seam — fault injection
+// cannot script ENOSPC or torn renames against them, so the crash-safety
+// tests would no longer cover these bytes. Aliases are seen through.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace fixture {
+
+using Sink = std::ofstream;                        // expect: raw-write-stream
+namespace sfs = std::filesystem;
+
+void spill(const char* path) {
+  std::ofstream os(path);                          // expect: raw-write-stream
+  std::fstream rw(path);                           // expect: raw-write-stream
+  Sink aliased(path);                              // expect: raw-write-stream
+  std::FILE* f = std::fopen(path, "wb");           // expect: raw-cio-write
+  (void)f;
+  std::rename(path, "renamed");                    // expect: raw-cio-write
+  std::remove(path);                               // expect: raw-cio-write
+  std::filesystem::rename(path, "moved");          // expect: raw-filesystem-write
+  std::filesystem::remove_all(path);               // expect: raw-filesystem-write
+  sfs::create_directories(path);                   // expect: raw-filesystem-write
+}
+
+}  // namespace fixture

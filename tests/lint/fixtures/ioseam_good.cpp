@@ -1,0 +1,34 @@
+// lint-fixture: rules=ioseam path=src/trace/seam_write_fixture.cpp
+// Negative fixture: reads carry no durability contract so std::ifstream and
+// std::filesystem queries stay free; member helpers whose names merely
+// contain the banned spellings stay quiet; and an audited exception opts
+// out with a reason. A std::ofstream in a comment is prose, not code.
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace fixture {
+
+struct Seam {
+  int rename_file(const std::string& from, const std::string& to);
+  int remove_file(const std::string& path);
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);  // reads never need the seam
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+bool rotate(Seam& fs, const std::string& name) {
+  if (!std::filesystem::exists(name)) return false;
+  (void)std::filesystem::file_size(name);
+  fs.rename_file(name, name + ".bak");   // seam member, not ::rename
+  return fs.remove_file(name + ".old") == 0;
+}
+
+std::ofstream debug_log();  // hsr-lint-ok: process-lifetime debug sink, not campaign data
+
+}  // namespace fixture

@@ -1,7 +1,8 @@
-// hsrtrace-b1: the binary columnar reader must rebuild the exact
+// hsrtrace-b2: the binary columnar reader must rebuild the exact
 // FlowCapture the text writer serializes (lossless interconversion), keep
 // everything before a torn final frame, refuse corruption with a frame
-// index, and skip unknown frame types.
+// index and a named reason (CRC / sequence / payload), skip unknown frame
+// types, and still read legacy hsrtrace-b1 archives.
 #include "trace/trace_binary.h"
 
 #include <gtest/gtest.h>
@@ -78,7 +79,7 @@ std::string text_of(const FlowCapture& cap) {
 std::string binary_corpus_of(const FlowCapture& cap) {
   std::ostringstream os;
   write_binary_trace_header(os, 1);
-  write_flow_frame(os, cap);
+  write_flow_frame(os, cap, /*seq=*/0);
   return os.str();
 }
 
@@ -117,15 +118,15 @@ TEST(TraceBinaryTest, TornFinalFrameIsDroppedEverythingBeforeKept) {
   const FlowCapture cap = sample_capture();
   std::ostringstream os;
   write_binary_trace_header(os, 2);
-  write_flow_frame(os, cap);
-  write_flow_frame(os, cap);
+  write_flow_frame(os, cap, 0);
+  write_flow_frame(os, cap, 1);
   const std::string full = os.str();
 
   // Cut anywhere inside the second frame: the first flow survives, the torn
   // tail is flagged, and the read still succeeds.
   std::ostringstream probe;
   write_binary_trace_header(probe, 2);
-  write_flow_frame(probe, cap);
+  write_flow_frame(probe, cap, 0);
   const std::size_t second_frame_begins = probe.str().size();
   for (const std::size_t cut :
        {second_frame_begins + 1, second_frame_begins + 5, full.size() - 3}) {
@@ -141,19 +142,84 @@ TEST(TraceBinaryTest, TornFinalFrameIsDroppedEverythingBeforeKept) {
 TEST(TraceBinaryTest, CorruptCompleteFrameIsAnErrorNamingTheFrame) {
   const FlowCapture cap = sample_capture();
   std::string corpus_bytes = binary_corpus_of(cap);
-  // Scribble over the middle of the (complete) frame payload.
+  // Scribble over the middle of the (complete) frame payload: with per-frame
+  // CRC-32C, a v2 read MUST fail — no bit flip can silently decode — and the
+  // diagnostic names both the frame and the reason.
   corpus_bytes[corpus_bytes.size() / 2] ^= 0x5a;
   corpus_bytes[corpus_bytes.size() / 2 + 1] ^= 0xff;
 
   std::istringstream in(corpus_bytes);
   const auto corpus = read_binary_corpus(in);
-  // Either the payload fails validation (expected) or — for bit flips that
-  // happen to decode — the capture changes; it must never crash. When it
-  // fails, the diagnostic names frame 0.
-  if (!corpus.is_ok()) {
-    EXPECT_NE(corpus.status().message().find("frame 0"), std::string::npos)
-        << corpus.status().to_string();
+  ASSERT_FALSE(corpus.is_ok());
+  EXPECT_NE(corpus.status().message().find("frame 0"), std::string::npos)
+      << corpus.status().to_string();
+  EXPECT_NE(corpus.status().message().find("crc32c mismatch"), std::string::npos)
+      << corpus.status().to_string();
+}
+
+TEST(TraceBinaryTest, EverySingleByteFlipIsDetected) {
+  // Exhaustive single-byte corruption across the whole frame region (type,
+  // crc field, seq, size, payload): the CRC covers everything after itself,
+  // and a corrupted CRC field no longer matches the intact rest, so each
+  // position must yield an error or a torn tail — never a silent success.
+  const FlowCapture cap = sample_capture();
+  const std::string clean = binary_corpus_of(cap);
+  const std::size_t frames_begin = kBinaryTraceMagicSize + 8;
+  for (std::size_t pos = frames_begin; pos < clean.size(); ++pos) {
+    std::string bytes = clean;
+    bytes[pos] = static_cast<char>(bytes[pos] ^ 0x41);
+    std::istringstream in(bytes);
+    const auto corpus = read_binary_corpus(in);
+    if (corpus.is_ok()) {
+      // Allowed only when the flipped size field turned the frame into a
+      // torn tail (claimed length now runs past EOF) — and then the flow
+      // must have been dropped, not returned corrupted.
+      EXPECT_TRUE(corpus.value().torn_tail) << "pos=" << pos;
+      EXPECT_TRUE(corpus.value().flows.empty()) << "pos=" << pos;
+    } else {
+      EXPECT_NE(corpus.status().message().find("frame 0"), std::string::npos)
+          << "pos=" << pos << ": " << corpus.status().to_string();
+    }
   }
+}
+
+TEST(TraceBinaryTest, OutOfOrderSequenceNumberIsAnError) {
+  // A frame whose stored seq does not match its position in the file is the
+  // signature of a mis-spliced archive (e.g. frames copied without
+  // re-stamping): named, not tolerated.
+  const FlowCapture cap = sample_capture();
+  std::ostringstream os;
+  write_binary_trace_header(os, 2);
+  write_flow_frame(os, cap, 0);
+  write_flow_frame(os, cap, 7);  // should be seq 1
+  std::istringstream in(os.str());
+  const auto corpus = read_binary_corpus(in);
+  ASSERT_FALSE(corpus.is_ok());
+  EXPECT_NE(corpus.status().message().find("frame 1"), std::string::npos)
+      << corpus.status().to_string();
+  EXPECT_NE(corpus.status().message().find("sequence mismatch"), std::string::npos)
+      << corpus.status().to_string();
+}
+
+TEST(TraceBinaryTest, LegacyB1ArchivesRemainReadable) {
+  const FlowCapture cap = sample_capture();
+  std::ostringstream os;
+  write_binary_trace_header(os, 1, /*version=*/1);
+  write_flow_frame(os, cap, /*seq=*/0, /*version=*/1);
+  const std::string bytes = os.str();
+  EXPECT_EQ(bytes.substr(0, kBinaryTraceMagicSize),
+            std::string(kBinaryTraceMagicB1, kBinaryTraceMagicSize));
+
+  std::istringstream in(bytes);
+  BinaryTraceReader reader(in);
+  ASSERT_TRUE(reader.open().is_ok());
+  EXPECT_EQ(reader.version(), 1);
+  FlowCapture flow;
+  QuarantineRecord quarantine;
+  const auto frame = reader.next(&flow, &quarantine);
+  ASSERT_TRUE(frame.is_ok()) << frame.status().to_string();
+  ASSERT_EQ(frame.value(), BinaryTraceReader::Frame::kFlow);
+  EXPECT_EQ(text_of(flow), text_of(cap));
 }
 
 TEST(TraceBinaryTest, BadMagicIsInvalidArgument) {
@@ -166,15 +232,12 @@ TEST(TraceBinaryTest, UnknownFrameTypesAreSkipped) {
   const FlowCapture cap = sample_capture();
   std::ostringstream os;
   write_binary_trace_header(os, 1);
-  // A future frame type this reader has never heard of.
-  const std::string future = "from-the-future";
-  os.put('Z');
-  std::uint64_t n = future.size();
-  char len[8];
-  for (int i = 0; i < 8; ++i) len[i] = static_cast<char>((n >> (8 * i)) & 0xff);
-  os.write(len, 8);
-  os.write(future.data(), static_cast<std::streamsize>(future.size()));
-  write_flow_frame(os, cap);
+  // A future frame type this reader has never heard of — still CRC-framed,
+  // so it is integrity-checked on the way past.
+  std::string frame;
+  encode_raw_frame('Z', "from-the-future", /*seq=*/0, frame);
+  os.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  write_flow_frame(os, cap, /*seq=*/1);
 
   std::istringstream in(os.str());
   const auto corpus = read_binary_corpus(in);
@@ -195,7 +258,7 @@ TEST(TraceBinaryTest, QuarantineFramesRoundTrip) {
 
   std::ostringstream os;
   write_binary_trace_header(os, 0);
-  write_quarantine_frame(os, rec);
+  write_quarantine_frame(os, rec, /*seq=*/0);
   std::istringstream in(os.str());
   const auto corpus = read_binary_corpus(in);
   ASSERT_TRUE(corpus.is_ok()) << corpus.status().to_string();

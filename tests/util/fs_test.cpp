@@ -1,0 +1,120 @@
+// The util::Fs seam: the production backend must honor the WritableFile
+// contract, write_file_atomic must never leave a destination in a torn
+// state, and retry_transient must be attempt-counted (no clocks involved).
+#include "util/fs.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace hsr::util {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+TEST(FsTest, RealBackendWritesSyncsAndCloses) {
+  Fs& fs = Fs::real();
+  const std::string path = "fs_test_real_write.txt";
+  auto file = fs.open_for_write(path);
+  ASSERT_TRUE(file.is_ok()) << file.status().to_string();
+  ASSERT_TRUE(file.value()->append("hello ").is_ok());
+  ASSERT_TRUE(file.value()->append("seam").is_ok());
+  ASSERT_TRUE(file.value()->sync().is_ok());
+  ASSERT_TRUE(file.value()->close().is_ok());
+
+  EXPECT_TRUE(fs.exists(path));
+  const auto size = fs.file_size(path);
+  ASSERT_TRUE(size.is_ok());
+  EXPECT_EQ(size.value(), 10u);
+  EXPECT_EQ(read_file(path), "hello seam");
+  ASSERT_TRUE(fs.remove_file(path).is_ok());
+  EXPECT_FALSE(fs.exists(path));
+}
+
+TEST(FsTest, RemoveIsIdempotentAndRenameReplaces) {
+  Fs& fs = Fs::real();
+  // Removing what does not exist is OK (cleanup paths are re-runnable).
+  EXPECT_TRUE(fs.remove_file("fs_test_never_existed.txt").is_ok());
+  EXPECT_TRUE(fs.remove_all("fs_test_never_existed_dir").is_ok());
+
+  const std::string a = "fs_test_rename_a.txt";
+  const std::string b = "fs_test_rename_b.txt";
+  ASSERT_TRUE(write_file_atomic(fs, a, "new").is_ok());
+  ASSERT_TRUE(write_file_atomic(fs, b, "old").is_ok());
+  // POSIX rename semantics: the destination is replaced atomically.
+  ASSERT_TRUE(fs.rename_file(a, b).is_ok());
+  EXPECT_FALSE(fs.exists(a));
+  EXPECT_EQ(read_file(b), "new");
+  ASSERT_TRUE(fs.remove_file(b).is_ok());
+}
+
+TEST(FsTest, CreateDirectoriesAndRemoveAll) {
+  Fs& fs = Fs::real();
+  const std::string dir = "fs_test_tree/nested/deep";
+  ASSERT_TRUE(fs.create_directories(dir).is_ok());
+  ASSERT_TRUE(fs.create_directories(dir).is_ok());  // idempotent
+  ASSERT_TRUE(write_file_atomic(fs, dir + "/leaf.txt", "x").is_ok());
+  ASSERT_TRUE(fs.remove_all("fs_test_tree").is_ok());
+  EXPECT_FALSE(fs.exists("fs_test_tree"));
+}
+
+TEST(FsTest, TruncateShortensAFile) {
+  Fs& fs = Fs::real();
+  const std::string path = "fs_test_truncate.txt";
+  ASSERT_TRUE(write_file_atomic(fs, path, "0123456789").is_ok());
+  ASSERT_TRUE(fs.truncate_file(path, 4).is_ok());
+  EXPECT_EQ(read_file(path), "0123");
+  ASSERT_TRUE(fs.remove_file(path).is_ok());
+}
+
+TEST(FsTest, WriteFileAtomicReplacesAndLeavesNoTmp) {
+  Fs& fs = Fs::real();
+  const std::string path = "fs_test_atomic.txt";
+  ASSERT_TRUE(write_file_atomic(fs, path, "first").is_ok());
+  EXPECT_EQ(read_file(path), "first");
+  ASSERT_TRUE(write_file_atomic(fs, path, "second").is_ok());
+  EXPECT_EQ(read_file(path), "second");
+  EXPECT_FALSE(fs.exists(path + ".tmp"));
+  ASSERT_TRUE(fs.remove_file(path).is_ok());
+}
+
+TEST(FsTest, RetryTransientIsAttemptCounted) {
+  // Heals within the budget: total attempts = failures + 1.
+  int calls = 0;
+  Status healed = retry_transient([&calls]() {
+    ++calls;
+    if (calls < 3) return Status::unavailable("transient");
+    return Status();
+  });
+  EXPECT_TRUE(healed.is_ok());
+  EXPECT_EQ(calls, 3);
+
+  // A non-transient failure is returned immediately, not retried.
+  calls = 0;
+  Status hard = retry_transient([&calls]() {
+    ++calls;
+    return Status::internal("broken");
+  });
+  EXPECT_EQ(hard.code(), StatusCode::kInternal);
+  EXPECT_EQ(calls, 1);
+
+  // The budget bounds the attempts; the last transient status comes back.
+  calls = 0;
+  Status exhausted = retry_transient([&calls]() {
+    ++calls;
+    return Status::unavailable("still down");
+  });
+  EXPECT_EQ(exhausted.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, kTransientRetryAttempts);
+}
+
+}  // namespace
+}  // namespace hsr::util

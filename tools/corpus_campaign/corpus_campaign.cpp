@@ -1,27 +1,41 @@
 // corpus_campaign — run a paper-shaped flow campaign of arbitrary size in
-// bounded memory and archive it as a single hsrtrace-b1 corpus file.
+// bounded memory and archive it as a single hsrtrace-b2 corpus file,
+// crash-safely.
 //
 // The in-memory generate_dataset() keeps every FlowCapture alive until the
 // aggregation pass, which caps campaigns at whatever RAM holds; this tool
-// drives generate_dataset_streaming() instead: each worker spills finished
-// flows to its own shard file and frees them immediately, statistics are
-// absorbed online in flow-index order, and a deterministic merge produces a
-// corpus that is byte-identical for ANY --threads value.
+// drives generate_dataset_streaming() instead: workers run fixed chunks of
+// flows, commit each chunk atomically (tmp + fsync + rename) with a manifest
+// checkpoint, and a deterministic merge produces a corpus byte-identical for
+// ANY --threads value. A campaign killed or starved of disk mid-run leaves
+// its committed chunks and manifest behind; re-running with --resume
+// verifies them (size + CRC-32C), re-runs only the missing flows, and yields
+// the same corpus and stats digest an uninterrupted run would have.
 //
 //   corpus_campaign --flows N [--duration S] [--threads K]
 //                   --out corpus.hsrb [--stats-out stats.txt] [--seed X]
+//                   [--chunk-flows C] [--work-dir DIR] [--resume]
+//                   [--io-fault plan.txt]
+//
+// --io-fault loads an hsriofaultplan-v1 script and injects it into every
+// durable write the campaign performs (chunks, manifest, merge, stats) —
+// the deterministic harness the crash-safety CI jobs drive.
 //
 // Flow counts are distributed over the paper's four Table I campaigns in
 // proportion (52:73:65:65) with ~1/8 of flows reserved for the stationary
 // control corpus, so a scaled campaign keeps the published mix. The exit
 // status is non-zero when the campaign is incomplete (config rejection,
-// spill/merge I/O failure, or any quarantined flow).
+// chunk/merge I/O failure, or any quarantined flow); on failure no partial
+// corpus or stats file appears under the output names.
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "analysis/corpus_stats.h"
+#include "fault/io_fault.h"
+#include "util/fs.h"
 #include "util/status.h"
 #include "util/time.h"
 #include "workload/dataset.h"
@@ -31,7 +45,9 @@ namespace {
 int usage() {
   std::cerr << "usage: corpus_campaign --flows N --out FILE\n"
                "                       [--duration S] [--threads K]\n"
-               "                       [--stats-out FILE] [--seed X]\n";
+               "                       [--stats-out FILE] [--seed X]\n"
+               "                       [--chunk-flows C] [--work-dir DIR]\n"
+               "                       [--resume] [--io-fault PLAN]\n";
   return 2;
 }
 
@@ -91,8 +107,12 @@ int main(int argc, char** argv) {
   std::uint64_t threads = 0;
   std::uint64_t seed = 0;
   bool have_seed = false;
+  std::uint64_t chunk_flows = 0;
+  bool resume = false;
   std::string out_path;
   std::string stats_path;
+  std::string work_dir;
+  std::string io_fault_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -110,6 +130,14 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (arg == "--stats-out" && has_value) {
       stats_path = argv[++i];
+    } else if (arg == "--chunk-flows" && has_value) {
+      if (!parse_u64(argv[++i], chunk_flows) || chunk_flows == 0) return usage();
+    } else if (arg == "--work-dir" && has_value) {
+      work_dir = argv[++i];
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--io-fault" && has_value) {
+      io_fault_path = argv[++i];
     } else {
       std::cerr << "corpus_campaign: unknown option '" << arg << "'\n";
       return usage();
@@ -127,6 +155,24 @@ int main(int argc, char** argv) {
 
   hsr::workload::StreamingDatasetOptions options;
   options.corpus_path = out_path;
+  options.work_dir = work_dir;
+  options.chunk_flows = chunk_flows;
+  options.resume = resume;
+
+  // With --io-fault every durable write (chunks, manifest, merge, stats)
+  // goes through the scripted fault backend instead of the real fs.
+  std::unique_ptr<hsr::fault::FaultInjectingFs> faulty_fs;
+  if (!io_fault_path.empty()) {
+    auto plan = hsr::fault::IoFaultPlan::load(io_fault_path);
+    if (!plan.is_ok()) {
+      std::cerr << "io-fault: " << plan.status().to_string() << '\n';
+      return 2;
+    }
+    faulty_fs = std::make_unique<hsr::fault::FaultInjectingFs>(
+        std::move(plan.value()), hsr::util::Fs::real());
+    options.fs = faulty_fs.get();
+  }
+  hsr::util::Fs& fs = options.fs != nullptr ? *options.fs : hsr::util::Fs::real();
 
   const auto result = hsr::workload::generate_dataset_streaming(spec, options);
 
@@ -148,11 +194,12 @@ int main(int argc, char** argv) {
   }
   std::cout << '\n'
             << "sim_events " << result.total_sim_events << '\n'
-            << "stats_pending_peak " << result.stats_pending_peak << '\n';
+            << "chunks " << result.chunks_total << " reused "
+            << result.chunks_reused << '\n';
 
   const std::string digest = result.stats.to_text();
   if (!stats_path.empty()) {
-    const auto saved = hsr::analysis::save_corpus_stats(stats_path, result.stats);
+    const auto saved = hsr::analysis::save_corpus_stats(fs, stats_path, result.stats);
     if (!saved.is_ok()) {
       std::cerr << "stats-out: " << saved.to_string() << '\n';
       return 1;

@@ -6,7 +6,7 @@ thread count — is defended statically by this engine. It replaces the old
 regex/line determinism lint (tools/lint/check_determinism.py) with a real
 C++ lexer (comment / string / raw-string stripping, `#if 0` elision,
 preprocessor awareness), `using`/`typedef`/namespace-alias resolution, and a
-pluggable rule framework. Four rule families ship today:
+pluggable rule framework. Five rule families ship today:
 
   determinism    wall-clock time, C randomness, ambient entropy, unseeded
                  engines, sleep-based sync and thread identity are banned in
@@ -41,6 +41,16 @@ pluggable rule framework. Four rule families ship today:
                  allocation regression fails at lint time, not bench time.
                  Placement new (`new (addr) T`) is allowed: it constructs,
                  it does not allocate.
+
+  ioseam         durable-write APIs — std::ofstream/std::fstream (including
+                 via alias), fopen/freopen, std::rename/std::remove, and
+                 std::filesystem mutations — are banned in src/trace,
+                 src/fault and src/workload: every archive, chunk and
+                 manifest byte must route through the util::Fs seam so
+                 fault::FaultInjectingFs can script ENOSPC, torn renames
+                 and transient EIO against it, and so the crash-safety
+                 tests mean what they claim. Reads (std::ifstream,
+                 std::filesystem queries) stay unrestricted.
 
 A line may be exempted with a trailing `// hsr-lint-ok: <reason>` marker
 (`# hsr-lint-ok: <reason>` in Python); the legacy `determinism-ok` marker is
@@ -103,7 +113,12 @@ EXEMPT_MARKERS = ("hsr-lint-ok", "determinism-ok")
 HOT_BEGIN = "HSR_HOT_PATH_BEGIN"
 HOT_END = "HSR_HOT_PATH_END"
 
-ALL_FAMILIES = ("determinism", "serialization", "layering", "hotpath")
+ALL_FAMILIES = ("determinism", "serialization", "layering", "hotpath", "ioseam")
+
+# Modules whose durable writes must route through util::Fs (ioseam family):
+# these are the crash-safety-tested writers — a raw ofstream/rename here is
+# invisible to fault injection and voids the resume guarantees.
+IOSEAM_DIRS = ("src/trace", "src/fault", "src/workload")
 
 # --- Lexer -------------------------------------------------------------------
 
@@ -801,11 +816,82 @@ class HotPathRule(Rule):
                                   "use util::InlineFunction")
 
 
+# --- ioseam family -----------------------------------------------------------
+
+# Write-capable stream types. std::ifstream is deliberately NOT here: reads
+# carry no durability contract, so the load paths keep their plain streams.
+WRITE_STREAM_RE = re.compile(r"\bstd::(?:basic_)?(?:ofstream|fstream)\b")
+
+# std::filesystem calls that MUTATE the tree. Queries (exists, file_size,
+# status, ...) stay allowed.
+FILESYSTEM_WRITE_RE = re.compile(
+    r"\bstd::filesystem::(?:rename|remove|remove_all|copy|copy_file|"
+    r"create_director(?:y|ies)|create_symlink|create_hard_link|"
+    r"resize_file|permissions|last_write_time)\b")
+
+IOSEAM_HINT = (
+    "; durable writes in src/{trace,fault,workload} must go through the "
+    "util::Fs seam (write_file_atomic / open_writable / rename_file / "
+    "remove_file) so fault injection can script ENOSPC and torn renames "
+    "against them")
+
+# C spellings that aliases cannot disguise. Member calls (`fs.rename_file`,
+# `list.remove`) and identifiers that merely contain the word
+# (`rename_file(`) do not match.
+IOSEAM_LINE_RULES = [
+    ("raw-cio-write",
+     re.compile(r"(?:\bstd::|(?<![\w:.]))(?:fopen|freopen)\s*\("),
+     "C stdio opens a file handle the I/O seam cannot see" + IOSEAM_HINT),
+    ("raw-cio-write",
+     re.compile(r"(?:\bstd::|(?<![\w:.]))(?:rename|remove|unlink)\s*\("),
+     "C rename/remove mutates the filesystem behind the I/O seam"
+     + IOSEAM_HINT + " (for erase-remove on containers use std::remove_if "
+     "or std::erase)"),
+]
+
+
+class IoSeamRule(Rule):
+    family = "ioseam"
+
+    def check(self, ctx: FileContext):
+        if not any(ctx.path.startswith(d + "/") for d in IOSEAM_DIRS):
+            return
+        reported: set[tuple[int, str]] = set()
+
+        def report(line: int, rule: str, message: str):
+            if (line, rule) in reported or ctx.exempt(line):
+                return
+            reported.add((line, rule))
+            yield Diagnostic(ctx.path, line, rule, message)
+
+        for lineno, code in enumerate(ctx.lexed.code_lines, start=1):
+            for rule, rx, why in IOSEAM_LINE_RULES:
+                if rx.search(code):
+                    yield from report(lineno, rule, why)
+
+        # Alias-resolved qualified names: `using Sink = std::ofstream;` and
+        # `namespace sfs = std::filesystem;` are both seen through.
+        for qn in ctx.names:
+            resolved = ctx.aliases.resolve(qn.text)
+            via = "" if resolved == qn.text else f" ('{qn.text}' resolves to '{resolved}')"
+            if WRITE_STREAM_RE.search(resolved):
+                yield from report(
+                    qn.line, "raw-write-stream",
+                    "write-capable stream bypasses the I/O seam"
+                    + IOSEAM_HINT + via)
+            if FILESYSTEM_WRITE_RE.search(resolved):
+                yield from report(
+                    qn.line, "raw-filesystem-write",
+                    "std::filesystem mutation bypasses the I/O seam"
+                    + IOSEAM_HINT + via)
+
+
 RULES: dict[str, Rule] = {
     "determinism": DeterminismRule(),
     "serialization": SerializationRule(),
     "layering": LayeringRule(),
     "hotpath": HotPathRule(),
+    "ioseam": IoSeamRule(),
 }
 
 
@@ -874,6 +960,9 @@ def iter_tree_files(root: Path, families: tuple[str, ...]):
     if "determinism" in families:
         for d in DETERMINISM_DIRS:
             add(d, "determinism")
+    if "ioseam" in families:
+        for d in IOSEAM_DIRS:
+            add(d, "ioseam")
     for d in ("src",):
         for fam in ("serialization", "layering", "hotpath"):
             if fam in families:

@@ -3,13 +3,16 @@
 // Answers the questions the paper's workflow answered with wireshark filters,
 // from a capture file alone (no live simulator state). Trace arguments accept
 // BOTH formats transparently: text archives ("hsrtrace-v2"/"-v1") and binary
-// corpora ("hsrtrace-b1"); multi-flow corpora are addressed with --flow N.
+// corpora ("hsrtrace-b2"/"-b1"); multi-flow corpora are addressed with --flow N.
 //   summary <trace> [--flow N]   counts, loss rates, fault totals
 //   why <trace> <packet-id> [--flow N]  the fate of one packet, cause-coded
 //   losses <trace> [--flow N]    per-cause loss breakdown, data vs ACK
 //   ratios <trace> [--flow N]    headline ratios: q-hat, ACK-burst-loss
 //                                rounds, spurious fraction
 //   ls <trace>                   one line per flow / quarantine record
+//   verify <trace>               integrity scan: every frame decoded and (b2)
+//                                CRC- and sequence-checked; the first bad
+//                                frame is NAMED and the exit status raised
 //   convert <in> <out> --to-binary|--to-text [--flow N]
 //                                lossless format conversion
 //   replay [options]             re-run an experiment from fault-plan files
@@ -48,6 +51,7 @@
 #include "trace/capture.h"
 #include "trace/trace_binary.h"
 #include "trace/trace_io.h"
+#include "util/fs.h"
 #include "util/time.h"
 
 namespace {
@@ -64,10 +68,11 @@ int usage() {
          "  losses <trace> [--flow N]   per-cause loss breakdown (data vs ACK)\n"
          "  ratios <trace> [--flow N]   q-hat, ACK-burst rounds, spurious share\n"
          "  ls <trace>                  list flows / quarantines in a corpus\n"
+         "  verify <trace>              integrity scan, names the first bad frame\n"
          "  convert <in> <out> --to-binary|--to-text [--flow N]\n"
          "  replay [--down-plan F] [--up-plan F] [--duration S] [--save F]\n"
          "  selftest                    end-to-end smoke test\n"
-         "trace files may be text (hsrtrace-v2/v1) or binary (hsrtrace-b1).\n";
+         "trace files may be text (hsrtrace-v2/v1) or binary (hsrtrace-b2/b1).\n";
   return 2;
 }
 
@@ -254,6 +259,30 @@ int run_ls(const std::string& path, std::ostream& os) {
   return 0;
 }
 
+// --- verify ------------------------------------------------------------------
+
+int run_verify(const std::string& path, std::ostream& os) {
+  const auto report = hsr::trace::verify_trace_file(path);
+  if (!report.is_ok()) {
+    std::cerr << "corrupt: " << report.status().to_string() << '\n';
+    return 1;
+  }
+  const auto& r = report.value();
+  if (r.version == 0) {
+    os << "text archive: 1 flow\n";
+  } else {
+    os << "hsrtrace-b" << r.version << ": " << r.frames << " frames, " << r.flows
+       << " flows, " << r.quarantines << " quarantined, " << r.other_frames
+       << " other\n";
+    if (r.declared_flow_count != hsr::trace::kUnknownFlowCount) {
+      os << "declared flows " << r.declared_flow_count << '\n';
+    }
+  }
+  if (r.torn_tail) os << "torn tail: truncated final frame dropped\n";
+  os << (r.intact ? "intact\n" : "NOT intact\n");
+  return r.intact ? 0 : 1;
+}
+
 // --- convert -------------------------------------------------------------------
 
 int run_convert(const std::string& in_path, const std::string& out_path,
@@ -271,7 +300,7 @@ int run_convert(const std::string& in_path, const std::string& out_path,
     return 1;
   }
   os << "converted " << in_path << " -> " << out_path << " ("
-     << (to_binary ? "hsrtrace-b1" : "hsrtrace-v2") << ")\n";
+     << (to_binary ? "hsrtrace-b2" : "hsrtrace-v2") << ")\n";
   return 0;
 }
 
@@ -465,11 +494,11 @@ int run_selftest() {
     return 1;
   }
 
-  // Binary round-trip: the hsrtrace-b1 reader must rebuild a capture whose
+  // Binary round-trip: the hsrtrace-b2 reader must rebuild a capture whose
   // text serialization is byte-identical to the original's.
   std::ostringstream bin;
   hsr::trace::write_binary_trace_header(bin, 1);
-  hsr::trace::write_flow_frame(bin, cap);
+  hsr::trace::write_flow_frame(bin, cap, 0);
   {
     std::istringstream bin_in(bin.str());
     const auto corpus = hsr::trace::read_binary_corpus(bin_in);
@@ -502,6 +531,73 @@ int run_selftest() {
       std::cerr << "selftest: torn binary tail not tolerated\n";
       return 1;
     }
+  }
+
+  // v2 integrity: flipping one payload byte must be detected, named, and
+  // attributed to the right frame — not silently decoded.
+  {
+    std::string corrupt = bin.str();
+    corrupt[corrupt.size() - 3] ^= 0x01;
+    std::istringstream corrupt_in(corrupt);
+    const auto bad = hsr::trace::read_binary_corpus(corrupt_in);
+    if (bad.is_ok() ||
+        bad.status().message().find("crc32c mismatch") == std::string::npos ||
+        bad.status().message().find("frame 0") == std::string::npos) {
+      std::cerr << "selftest: corrupted v2 frame not named\n";
+      return 1;
+    }
+  }
+
+  // Legacy b1 archives must stay readable, losslessly.
+  {
+    std::ostringstream b1;
+    hsr::trace::write_binary_trace_header(b1, 1, 1);
+    hsr::trace::write_flow_frame(b1, cap, 0, 1);
+    std::istringstream b1_in(b1.str());
+    const auto legacy = hsr::trace::read_binary_corpus(b1_in);
+    if (!legacy.is_ok() || legacy.value().flows.size() != 1) {
+      std::cerr << "selftest: hsrtrace-b1 archive no longer readable\n";
+      return 1;
+    }
+    std::ostringstream text_of_b1;
+    hsr::trace::write_flow_capture(text_of_b1, legacy.value().flows[0]);
+    if (text_of_b1.str() != sa.str()) {
+      std::cerr << "selftest: b1 round-trip not byte-identical\n";
+      return 1;
+    }
+  }
+
+  // The verify scan end to end: an intact archive passes, a corrupted copy
+  // fails naming the bad frame. Uses a scratch file in the working directory
+  // (ctest runs in the build tree).
+  {
+    const std::string scratch = "trace_query_selftest_scratch.hsrb";
+    auto& fs = hsr::util::Fs::real();
+    if (!hsr::trace::save_flow_capture_binary(fs, scratch, cap).is_ok()) {
+      std::cerr << "selftest: scratch binary save failed\n";
+      return 1;
+    }
+    const auto good = hsr::trace::verify_trace_file(scratch);
+    if (!good.is_ok() || !good.value().intact || good.value().flows != 1) {
+      std::cerr << "selftest: verify rejected an intact archive\n";
+      return 1;
+    }
+    std::ifstream scratch_in(scratch, std::ios::binary);
+    std::ostringstream scratch_bytes;
+    scratch_bytes << scratch_in.rdbuf();
+    std::string mangled = scratch_bytes.str();
+    mangled[mangled.size() / 2] ^= 0x10;
+    if (!hsr::util::write_file_atomic(fs, scratch, mangled).is_ok()) {
+      std::cerr << "selftest: scratch rewrite failed\n";
+      return 1;
+    }
+    const auto bad = hsr::trace::verify_trace_file(scratch);
+    if (bad.is_ok() ||
+        bad.status().message().find("frame") == std::string::npos) {
+      std::cerr << "selftest: verify did not name the corrupted frame\n";
+      return 1;
+    }
+    (void)fs.remove_file(scratch);
   }
 
   // v2 plan files: the parameter block must round-trip and steer the replay.
@@ -590,6 +686,8 @@ int main(int argc, char** argv) {
   if (argc < 3) return usage();
 
   if (cmd == "ls") return run_ls(argv[2], std::cout);
+
+  if (cmd == "verify") return run_verify(argv[2], std::cout);
 
   if (cmd == "convert") {
     if (argc < 5) return usage();
