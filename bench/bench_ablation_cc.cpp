@@ -40,7 +40,7 @@ int main() {
       for (unsigned r = 0; r < runs; ++r) {
         workload::FlowRunConfig cfg;
         cfg.profile = profile;
-        cfg.congestion_control = v.cc;
+        cfg.tcp.congestion_control = v.cc;
         cfg.duration = util::Duration::seconds(120);
         cfg.seed = bench::seed() + 997 * r;
         const auto run = workload::run_flow(cfg);

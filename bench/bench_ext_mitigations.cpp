@@ -47,9 +47,9 @@ int main() {
       for (unsigned r = 0; r < runs; ++r) {
         workload::FlowRunConfig cfg;
         cfg.profile = profile;
-        cfg.enable_frto = v.frto;
-        cfg.adaptive_delack = v.adaptive;
-        cfg.enable_sack = v.sack;
+        cfg.tcp.enable_frto = v.frto;
+        cfg.tcp.adaptive_delack = v.adaptive;
+        cfg.tcp.enable_sack = v.sack;
         cfg.duration = util::Duration::seconds(120);
         cfg.seed = bench::seed() + 7919 * r;
         const auto run = workload::run_flow(cfg);

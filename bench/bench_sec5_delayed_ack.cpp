@@ -45,7 +45,7 @@ int main() {
       cfg.profile = radio::unicom_3g_highspeed();
       cfg.duration = util::Duration::seconds(60);
       cfg.seed = bench::seed() + 7 * s;
-      cfg.delayed_ack_b = b;
+      cfg.tcp.delayed_ack_b = b;
       const auto run = workload::run_flow(cfg);
       timeouts.add(run.sender_stats.timeouts);
       dups.add(run.receiver_stats.duplicate_segments);

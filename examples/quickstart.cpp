@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
 
   // 3. Model comparison (paper §IV-E).
   model::EstimationOptions opt;
-  opt.b = cfg.delayed_ack_b;
+  opt.b = cfg.tcp.delayed_ack_b;
   opt.w_m = cfg.profile.receiver_window_segments;
   const model::FlowEvaluation ev = model::evaluate_flow(a, opt);
   std::cout << "--- model vs trace (Eq. 22 deviation) ---\n"

@@ -93,6 +93,6 @@ int main(int argc, char** argv) {
     std::cout << "capture archived to " << path << " (re-run with that path to "
               << "re-analyze offline)\n\n";
   }
-  report(run.capture, cfg.profile.receiver_window_segments, cfg.delayed_ack_b);
+  report(run.capture, cfg.profile.receiver_window_segments, cfg.tcp.delayed_ack_b);
   return 0;
 }

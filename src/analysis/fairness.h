@@ -1,0 +1,68 @@
+// Fairness and aggregate-retransmission figures over shared-bottleneck
+// captures — the multi-flow modeling targets (per-flow goodput share, Jain
+// index vs N, aggregate retransmission rate vs N) from the multi-flow TCP
+// literature cited in PAPERS.md.
+//
+// Everything here is computed from FlowCaptures ALONE (the wireshark view),
+// so the same figures come out of a live MultiFlowResult or an archived
+// hsrtrace-b2 corpus.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.h"
+#include "trace/capture.h"
+#include "util/time.h"
+
+namespace hsr::analysis {
+
+using util::Duration;
+using util::TimePoint;
+
+// Jain's fairness index over non-negative values:
+//   J = (sum x)^2 / (n * sum x^2),  J in [1/n, 1].
+// 1.0 = perfectly equal shares; 1/n = one flow hogs everything. An empty or
+// all-zero input reports 1.0 (nothing was shared unfairly).
+double jain_index(const std::vector<double>& values);
+
+// One flow's slice of a shared-bottleneck scenario.
+struct FlowFairness {
+  net::FlowId flow = 0;
+  double goodput_pps = 0.0;     // distinct data segments delivered / duration
+  double goodput_share = 0.0;   // fraction of the aggregate goodput
+  std::uint64_t data_sent = 0;  // data transmissions on the wire
+  std::uint64_t retransmissions = 0;  // wire transmissions flagged retx
+  double retransmission_rate = 0.0;   // retransmissions / data_sent
+};
+
+struct FairnessReport {
+  std::vector<FlowFairness> flows;  // capture order
+  double jain = 1.0;                // Jain index over goodput shares
+  double aggregate_goodput_pps = 0.0;
+  std::uint64_t aggregate_data_sent = 0;
+  std::uint64_t aggregate_retransmissions = 0;
+  // The "aggregate TCP retransmission rate" figure: total retransmissions
+  // over total data transmissions, across all flows of the scenario.
+  double aggregate_retransmission_rate = 0.0;
+};
+
+// Builds the report for one scenario's captures. `duration` is the scenario
+// length the goodputs are normalized by; zero uses the longest capture span
+// (the archived-corpus case, where the spec is not at hand).
+FairnessReport fairness_report(const std::vector<trace::FlowCapture>& captures,
+                               Duration duration = Duration::zero());
+
+// Per-flow share of data DELIVERIES whose arrival falls inside
+// [begin, end) — the goodput-share-during-handoff-burst figure. Shares are
+// fractions of the window's total deliveries; an empty window reports
+// zero deliveries and zero shares all around.
+struct WindowShare {
+  net::FlowId flow = 0;
+  std::uint64_t delivered = 0;
+  double share = 0.0;
+};
+std::vector<WindowShare> delivered_shares(const std::vector<trace::FlowCapture>& captures,
+                                          TimePoint begin, TimePoint end);
+
+}  // namespace hsr::analysis

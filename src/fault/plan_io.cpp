@@ -72,7 +72,9 @@ bool parse_double(const std::string& token, double& out) {
 
 util::Status parse_params_line(const std::vector<std::string>& tokens,
                                std::size_t line_number, ReplayParams& p) {
-  if (tokens.size() != 13 || tokens[0] != "P") {
+  // 12 mandatory fields; plans recording a non-default congestion control
+  // or adaptive delayed-ACK append the optional <cc> <adaptive> pair.
+  if ((tokens.size() != 13 && tokens.size() != 15) || tokens[0] != "P") {
     return line_error(line_number, tokens.empty() ? "" : tokens[0],
                       "expected P line with 12 parameter fields");
   }
@@ -94,26 +96,40 @@ util::Status parse_params_line(const std::vector<std::string>& tokens,
   if (!parse_int(tokens[6], p.up_queue) || p.up_queue == 0) {
     return line_error(line_number, tokens[6], "bad uplink queue capacity");
   }
-  if (!parse_int(tokens[7], p.mss_bytes) || p.mss_bytes == 0) {
+  if (!parse_int(tokens[7], p.tcp.mss_bytes) || p.tcp.mss_bytes == 0) {
     return line_error(line_number, tokens[7], "bad mss");
   }
-  if (!parse_int(tokens[8], p.delayed_ack_b) || p.delayed_ack_b == 0) {
+  if (!parse_int(tokens[8], p.tcp.delayed_ack_b) || p.tcp.delayed_ack_b == 0) {
     return line_error(line_number, tokens[8], "bad delayed-ack b");
   }
-  if (!parse_int(tokens[9], p.min_rto_ns) || p.min_rto_ns < 0) {
+  std::int64_t min_rto_ns = 0;
+  if (!parse_int(tokens[9], min_rto_ns) || min_rto_ns < 0) {
     return line_error(line_number, tokens[9], "bad min rto");
   }
+  p.tcp.min_rto = Duration::nanos(min_rto_ns);
   if (!parse_int(tokens[10], p.receiver_window) || p.receiver_window == 0) {
     return line_error(line_number, tokens[10], "bad receiver window");
   }
   if (tokens[11] != "0" && tokens[11] != "1") {
     return line_error(line_number, tokens[11], "bad sack flag");
   }
-  p.enable_sack = tokens[11] == "1";
+  p.tcp.enable_sack = tokens[11] == "1";
   if (tokens[12] != "0" && tokens[12] != "1") {
     return line_error(line_number, tokens[12], "bad frto flag");
   }
-  p.enable_frto = tokens[12] == "1";
+  p.tcp.enable_frto = tokens[12] == "1";
+  if (tokens.size() == 15) {
+    unsigned cc = 0;
+    if (!parse_int(tokens[13], cc) ||
+        cc > static_cast<unsigned>(tcp::CongestionControl::kVeno)) {
+      return line_error(line_number, tokens[13], "bad congestion control code");
+    }
+    p.tcp.congestion_control = static_cast<tcp::CongestionControl>(cc);
+    if (tokens[14] != "0" && tokens[14] != "1") {
+      return line_error(line_number, tokens[14], "bad adaptive delack flag");
+    }
+    p.tcp.adaptive_delack = tokens[14] == "1";
+  }
   return util::Status::ok();
 }
 
@@ -251,9 +267,18 @@ void write_plan_file(std::ostream& os, const PlanFile& file) {
   os << kMagicV2 << " directives=" << file.plan.directives.size() << " params=1\n";
   os << "P " << format_double(p.down_rate_bps) << ' ' << p.down_delay_ns << ' '
      << p.down_queue << ' ' << format_double(p.up_rate_bps) << ' '
-     << p.up_delay_ns << ' ' << p.up_queue << ' ' << p.mss_bytes << ' '
-     << p.delayed_ack_b << ' ' << p.min_rto_ns << ' ' << p.receiver_window << ' '
-     << (p.enable_sack ? 1 : 0) << ' ' << (p.enable_frto ? 1 : 0) << '\n';
+     << p.up_delay_ns << ' ' << p.up_queue << ' ' << p.tcp.mss_bytes << ' '
+     << p.tcp.delayed_ack_b << ' ' << p.tcp.min_rto.ns() << ' '
+     << p.receiver_window << ' ' << (p.tcp.enable_sack ? 1 : 0) << ' '
+     << (p.tcp.enable_frto ? 1 : 0);
+  if (p.tcp.congestion_control != tcp::CongestionControl::kReno ||
+      p.tcp.adaptive_delack) {
+    // Only plans that actually touch these knobs grow the optional pair —
+    // everything else keeps the legacy 12-field line byte-for-byte.
+    os << ' ' << static_cast<unsigned>(p.tcp.congestion_control) << ' '
+       << (p.tcp.adaptive_delack ? 1 : 0);
+  }
+  os << '\n';
   write_directives(os, file.plan);
 }
 

@@ -26,8 +26,12 @@
 //   P <down_rate_bps> <down_delay_ns> <down_queue>
 //     <up_rate_bps> <up_delay_ns> <up_queue>
 //     <mss_bytes> <delayed_ack_b> <min_rto_ns> <receiver_window>
-//     <sack> <frto>
-// (one line; rates are shortest-round-trip decimals, flags are 0/1).
+//     <sack> <frto> [<cc> <adaptive_delack>]
+// (one line; rates are shortest-round-trip decimals, flags are 0/1, cc is
+// the CongestionControl enum value). The trailing pair is OPTIONAL on read
+// and written only when either knob differs from its default (Reno,
+// non-adaptive) — plans that never touch them keep the legacy 12-field
+// line byte-for-byte.
 // Writers emit v1 when no params are attached — existing archives and
 // golden files stay byte-identical — and v2 only when they are.
 // Malformed input fails with the line number and offending token in the
@@ -40,15 +44,16 @@
 #include <string>
 
 #include "fault/fault.h"
+#include "tcp/types.h"
 #include "util/fs.h"
 #include "util/status.h"
 
 namespace hsr::fault {
 
-// Everything needed to rebuild a flow's topology for replay: both links and
-// the TCP knobs that shape the packet stream. Plain numbers only — this
-// header stays free of net/tcp dependencies; consumers map the fields onto
-// their config structs.
+// Everything needed to rebuild a flow's topology for replay: both links,
+// the advertised window, and the flow's protocol knobs — the latter as the
+// shared tcp::TcpOptions struct (the same one workload configs and MPTCP
+// subflow setup carry), so a knob added there reaches plan files too.
 struct ReplayParams {
   double down_rate_bps = 10e6;
   std::int64_t down_delay_ns = 0;
@@ -56,12 +61,17 @@ struct ReplayParams {
   double up_rate_bps = 10e6;
   std::int64_t up_delay_ns = 0;
   std::uint64_t up_queue = 64;
-  std::uint32_t mss_bytes = 1400;
-  std::uint32_t delayed_ack_b = 2;
-  std::int64_t min_rto_ns = 0;
   std::uint32_t receiver_window = 64;
-  bool enable_sack = false;
-  bool enable_frto = false;
+  // Protocol knobs. A min_rto of ZERO means "not recorded" (the legacy
+  // P-line default — replay keeps its own default then), hence the zeroed
+  // initializer instead of TcpOptions' live 200 ms default.
+  tcp::TcpOptions tcp = unrecorded_options();
+
+  static tcp::TcpOptions unrecorded_options() {
+    tcp::TcpOptions o;
+    o.min_rto = util::Duration::zero();
+    return o;
+  }
 
   friend bool operator==(const ReplayParams&, const ReplayParams&) = default;
 };

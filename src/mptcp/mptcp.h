@@ -38,6 +38,14 @@ enum class Mode { kDuplex, kBackup };
 struct MptcpConfig {
   Mode mode = Mode::kDuplex;
   tcp::TcpConfig subflow_tcp;
+
+  // One-source-of-truth subflow setup: expands the shared protocol knobs
+  // (the same tcp::TcpOptions carried by workload configs and
+  // hsrfaultplan-v2 parameter blocks) into the subflow stack config, so
+  // MPTCP subflows stay in lockstep with single-path TCP flows.
+  void set_subflow_options(const tcp::TcpOptions& options, unsigned receiver_window) {
+    subflow_tcp = tcp::make_tcp_config(options, receiver_window);
+  }
 };
 
 // Everything one subflow needs: link configs plus channel models.

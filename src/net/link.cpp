@@ -7,7 +7,10 @@
 namespace hsr::net {
 
 Link::Link(sim::Simulator& sim, LinkConfig config, std::unique_ptr<ChannelModel> channel)
-    : sim_(sim), config_(std::move(config)), channel_(std::move(channel)) {
+    : sim_(sim),
+      config_(std::move(config)),
+      channel_(std::move(channel)),
+      departures_(config_.queue_capacity) {
   HSR_CHECK(channel_ != nullptr);
   HSR_CHECK(config_.rate_bps > 0.0);
   HSR_CHECK(config_.queue_capacity > 0);
@@ -16,6 +19,26 @@ Link::Link(sim::Simulator& sim, LinkConfig config, std::unique_ptr<ChannelModel>
 Duration Link::serialization_time(std::uint32_t bytes) const {
   const double seconds = static_cast<double>(bytes) * 8.0 / config_.rate_bps;
   return Duration::from_seconds(seconds);
+}
+
+// Setup-time: the registry vector may grow here, never on the packet path.
+void Link::register_endpoint(FlowId flow, Receiver receiver, LinkTap* tap) {
+  HSR_CHECK_MSG(endpoint_for(flow) == nullptr,
+                "flow already has an endpoint on this link");
+  Endpoint ep;
+  ep.flow = flow;
+  ep.receiver = std::move(receiver);
+  ep.tap = tap;
+  const auto pos = std::lower_bound(
+      endpoints_.begin(), endpoints_.end(), flow,
+      [](const Endpoint& e, FlowId f) { return e.flow < f; });
+  endpoints_.insert(pos, std::move(ep));
+}
+
+const LinkStats& Link::endpoint_stats(FlowId flow) const {
+  const Endpoint* ep = endpoint_for(flow);
+  HSR_CHECK_MSG(ep != nullptr, "endpoint_stats for unregistered flow");
+  return ep->stats;
 }
 
 // HSR_HOT_PATH_BEGIN — send/deliver run once per packet; the capture-fits-
@@ -33,28 +56,46 @@ std::size_t Link::queue_depth() const {
   return departures_.size();
 }
 
-void Link::count_drop(const DropCause& cause) {
+Link::Endpoint* Link::endpoint_for(FlowId flow) {
+  const auto pos = std::lower_bound(
+      endpoints_.begin(), endpoints_.end(), flow,
+      [](const Endpoint& e, FlowId f) { return e.flow < f; });
+  return pos != endpoints_.end() && pos->flow == flow ? &*pos : nullptr;
+}
+
+const Link::Endpoint* Link::endpoint_for(FlowId flow) const {
+  return const_cast<Link*>(this)->endpoint_for(flow);
+}
+
+void Link::count_drop(const DropCause& cause, Endpoint* ep) {
   ++stats_.dropped_by_category[static_cast<std::size_t>(cause.category)];
+  if (ep != nullptr) {
+    ++ep->stats.dropped_by_category[static_cast<std::size_t>(cause.category)];
+  }
 }
 
 void Link::send(Packet packet) {
   const TimePoint now = sim_.now();
   packet.sent_at = now;
+  Endpoint* ep = endpoint_for(packet.flow);
   ++stats_.sent;
+  if (ep != nullptr) ++ep->stats.sent;
   if (tap_ != nullptr) tap_->on_send(packet, now);
+  if (ep != nullptr && ep->tap != nullptr) ep->tap->on_send(packet, now);
 
   prune_departures();
   if (departures_.size() >= config_.queue_capacity) {
     const DropCause cause = DropCause::queue_overflow();
-    count_drop(cause);
+    count_drop(cause, ep);
     if (tap_ != nullptr) tap_->on_drop(packet, now, cause);
+    if (ep != nullptr && ep->tap != nullptr) ep->tap->on_drop(packet, now, cause);
     return;
   }
 
   const TimePoint start = std::max(now, busy_until_);
   const TimePoint departure = start + serialization_time(packet.size_bytes);
   busy_until_ = departure;
-  departures_.push_back(departure);  // hsr-lint-ok: deque blocks amortize; depth is capped by queue_capacity
+  departures_.push_back(departure);  // hsr-lint-ok: fixed ring, never allocates
 
   // Channel fate is evaluated at transmission time: the packet occupies the
   // queue/transmitter either way (it is corrupted on the air, not dropped
@@ -63,8 +104,11 @@ void Link::send(Packet packet) {
   if (verdict.dropped) {
     HSR_DCHECK_MSG(verdict.cause.category != DropCategory::kUnknown,
                    "channel drop without cause attribution");
-    count_drop(verdict.cause);
+    count_drop(verdict.cause, ep);
     if (tap_ != nullptr) tap_->on_drop(packet, start, verdict.cause);
+    if (ep != nullptr && ep->tap != nullptr) {
+      ep->tap->on_drop(packet, start, verdict.cause);
+    }
     return;
   }
 
@@ -74,6 +118,7 @@ void Link::send(Packet packet) {
   // real path with a duplicating middlebox). Copies share the arrival time.
   const unsigned copies = 1 + verdict.duplicate_copies;
   stats_.injected_duplicates += copies - 1;
+  if (ep != nullptr) ep->stats.injected_duplicates += copies - 1;
   for (unsigned c = 0; c + 1 < copies; ++c) {
     sim_.at(arrival, [this, packet] { deliver(packet); });
   }
@@ -90,10 +135,22 @@ void Link::send(Packet packet) {
 }
 
 void Link::deliver(const Packet& packet) {
+  Endpoint* ep = endpoint_for(packet.flow);
   ++stats_.delivered;
   stats_.bytes_delivered += packet.size_bytes;
+  if (ep != nullptr) {
+    ++ep->stats.delivered;
+    ep->stats.bytes_delivered += packet.size_bytes;
+  }
   if (tap_ != nullptr) tap_->on_deliver(packet, packet.sent_at, sim_.now());
-  if (receiver_) receiver_(packet);
+  if (ep != nullptr && ep->tap != nullptr) {
+    ep->tap->on_deliver(packet, packet.sent_at, sim_.now());
+  }
+  if (ep != nullptr && ep->receiver) {
+    ep->receiver(packet);
+  } else if (receiver_) {
+    receiver_(packet);
+  }
 }
 // HSR_HOT_PATH_END
 

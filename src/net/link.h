@@ -6,11 +6,12 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <numeric>
 #include <string>
+#include <vector>
 
 #include "net/channel.h"
 #include "net/packet.h"
@@ -91,6 +92,27 @@ class Link {
   // Optional capture tap (non-owning; must outlive the link).
   void set_tap(LinkTap* tap) { tap_ = tap; }
 
+  // --- Demuxed endpoint registry (shared-bottleneck links) -----------------
+  //
+  // One link can multiplex several flows through its single DropTail queue
+  // and transmitter: each flow registers an endpoint — its own Receiver,
+  // optional capture tap, and a per-flow LinkStats breakdown — keyed by the
+  // packet's FlowId. Packets of registered flows are accounted in BOTH the
+  // aggregate stats() and the flow's endpoint_stats() (drops included, so
+  // queue-overflow attribution is per-flow), the aggregate tap fires first
+  // and then the flow's tap, and delivery goes to the flow's receiver.
+  // Packets of unregistered flows fall back to the aggregate receiver.
+  //
+  // Registration is a setup-time operation (the registry is a sorted vector
+  // and may reallocate); it must happen before packets of that flow are
+  // offered. The per-packet lookup is a binary search — no allocation.
+  void register_endpoint(FlowId flow, Receiver receiver, LinkTap* tap = nullptr);
+  bool has_endpoint(FlowId flow) const { return endpoint_for(flow) != nullptr; }
+  std::size_t endpoint_count() const { return endpoints_.size(); }
+  // This flow's share of the aggregate stats(). CHECK-fails for flows that
+  // never registered.
+  const LinkStats& endpoint_stats(FlowId flow) const;
+
   // Hands a packet to the link; the link stamps `sent_at`.
   void send(Packet packet);
 
@@ -102,12 +124,22 @@ class Link {
   std::size_t queue_depth() const;
 
  private:
+  struct Endpoint {
+    FlowId flow = 0;
+    Receiver receiver;
+    LinkTap* tap = nullptr;
+    LinkStats stats;
+  };
+
   Duration serialization_time(std::uint32_t bytes) const;
   void prune_departures() const;
-  void count_drop(const DropCause& cause);
+  void count_drop(const DropCause& cause, Endpoint* ep);
   // Arrival-time bookkeeping + tap + receiver hand-off. Runs at the
   // packet's arrival instant, so sim.now() IS the arrival time.
   void deliver(const Packet& packet);
+  // Binary search over the sorted registry; nullptr for unregistered flows.
+  Endpoint* endpoint_for(FlowId flow);
+  const Endpoint* endpoint_for(FlowId flow) const;
 
   sim::Simulator& sim_;
   LinkConfig config_;
@@ -115,12 +147,40 @@ class Link {
   Receiver receiver_;
   LinkTap* tap_ = nullptr;
   LinkStats stats_;
+  std::vector<Endpoint> endpoints_;  // sorted by flow id
 
   // Time the transmitter finishes the last accepted packet.
   TimePoint busy_until_ = TimePoint::zero();
   // Departure (serialization-finish) times of queued packets, for depth
-  // accounting; pruned lazily.
-  mutable std::deque<TimePoint> departures_;
+  // accounting; pruned lazily. DropTail caps the depth at queue_capacity,
+  // so a ring of exactly that size replaces the former std::deque: the
+  // deque's block churn cost one allocation per block of pushes on the
+  // per-packet path, the ring never touches the heap after construction
+  // (pinned by MultiFlowAllocTest).
+  class DepartureRing {
+   public:
+    explicit DepartureRing(std::size_t capacity) : slots_(capacity) {}
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+    TimePoint front() const { return slots_[head_]; }
+    void pop_front() {
+      head_ = head_ + 1 == slots_.size() ? 0 : head_ + 1;
+      --count_;
+    }
+    // Caller guarantees size() < capacity (the DropTail check).
+    void push_back(TimePoint departure) {
+      std::size_t tail = head_ + count_;
+      if (tail >= slots_.size()) tail -= slots_.size();
+      slots_[tail] = departure;
+      ++count_;
+    }
+
+   private:
+    std::vector<TimePoint> slots_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+  };
+  mutable DepartureRing departures_;
 };
 
 }  // namespace hsr::net

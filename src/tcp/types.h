@@ -22,6 +22,25 @@ using util::TimePoint;
 // §II-cited variants, provided for comparison studies.
 enum class CongestionControl : std::uint8_t { kReno = 0, kNewReno = 1, kVeno = 2 };
 
+// The protocol-level knobs of one TCP flow, independent of the path it runs
+// over. Every surface that configures flows carries THIS struct instead of
+// re-declaring the fields — workload::FlowRunConfig, the multi-flow
+// scenario's per-sender specs, MPTCP subflow setup and the hsrfaultplan-v2
+// parameter block all share it, so a knob added here reaches all of them at
+// once (and the plan-file round trip keeps archived experiments replayable).
+// make_tcp_config() expands the options into the stack-level TcpConfig.
+struct TcpOptions {
+  CongestionControl congestion_control = CongestionControl::kReno;
+  bool enable_sack = false;        // selective acknowledgements (RFC 2018/6675)
+  bool enable_frto = false;        // F-RTO spurious-timeout response
+  bool adaptive_delack = false;    // TCP-DCA-style quick ACKs after reordering
+  unsigned delayed_ack_b = 2;      // segments per cumulative ACK (b)
+  Duration min_rto = Duration::millis(200);
+  std::uint32_t mss_bytes = 1400;
+
+  friend bool operator==(const TcpOptions&, const TcpOptions&) = default;
+};
+
 struct TcpConfig {
   CongestionControl congestion_control = CongestionControl::kReno;
 
@@ -65,6 +84,35 @@ struct TcpConfig {
   // Amount of application data (segments); default: effectively infinite.
   std::uint64_t total_segments = UINT64_MAX;
 };
+
+// Expands shared protocol options into the stack-level TcpConfig, filling in
+// the path-dependent advertised window. Everything TcpOptions does not cover
+// keeps its TcpConfig default.
+inline TcpConfig make_tcp_config(const TcpOptions& options, unsigned receiver_window) {
+  TcpConfig t;
+  t.congestion_control = options.congestion_control;
+  t.enable_sack = options.enable_sack;
+  t.enable_frto = options.enable_frto;
+  t.adaptive_delack = options.adaptive_delack;
+  t.delayed_ack_b = options.delayed_ack_b;
+  t.mss_bytes = options.mss_bytes;
+  t.rto.min_rto = options.min_rto;
+  t.receiver_window = receiver_window;
+  return t;
+}
+
+// The protocol options a TcpConfig embodies (inverse of make_tcp_config).
+inline TcpOptions options_of(const TcpConfig& config) {
+  TcpOptions o;
+  o.congestion_control = config.congestion_control;
+  o.enable_sack = config.enable_sack;
+  o.enable_frto = config.enable_frto;
+  o.adaptive_delack = config.adaptive_delack;
+  o.delayed_ack_b = config.delayed_ack_b;
+  o.mss_bytes = config.mss_bytes;
+  o.min_rto = config.rto.min_rto;
+  return o;
+}
 
 // Ground-truth sender events, logged by the stack itself. Used to validate
 // the trace-analysis pipeline (which must reconstruct these from packet

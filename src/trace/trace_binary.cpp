@@ -634,6 +634,25 @@ util::StatusOr<BinaryCorpus> read_binary_corpus(std::istream& is) {
   }
 }
 
+void write_capture_archive(std::ostream& os, const std::vector<FlowCapture>& captures) {
+  write_binary_trace_header(os, captures.size());
+  for (std::size_t i = 0; i < captures.size(); ++i) {
+    write_flow_frame(os, captures[i], i);
+  }
+}
+
+util::Status save_capture_archive(util::Fs& fs, const std::string& path,
+                                  const std::vector<FlowCapture>& captures) {
+  std::ostringstream content;
+  write_capture_archive(content, captures);
+  return util::write_file_atomic(fs, path, content.str());
+}
+
+util::Status save_capture_archive(const std::string& path,
+                                  const std::vector<FlowCapture>& captures) {
+  return save_capture_archive(util::Fs::real(), path, captures);
+}
+
 util::Status save_flow_capture_binary(util::Fs& fs, const std::string& path,
                                       const FlowCapture& capture) {
   std::ostringstream content;

@@ -174,6 +174,17 @@ struct TraceVerifyReport {
 };
 [[nodiscard]] util::StatusOr<TraceVerifyReport> verify_trace_file(const std::string& path);
 
+// Multi-capture archive: `captures` as consecutive flow frames behind one
+// header (frame-per-flow, seq 0..n-1). This is how a shared-bottleneck
+// scenario's N per-flow captures travel in ONE file; a sweep concatenates
+// several scenarios' captures, each scenario starting at a capture with
+// flow id 1 (the reader-side grouping key — see tools/fairness_sweep).
+void write_capture_archive(std::ostream& os, const std::vector<FlowCapture>& captures);
+[[nodiscard]] util::Status save_capture_archive(util::Fs& fs, const std::string& path,
+                                                const std::vector<FlowCapture>& captures);
+[[nodiscard]] util::Status save_capture_archive(const std::string& path,
+                                                const std::vector<FlowCapture>& captures);
+
 // Single-capture file wrappers (header + one flow frame). Saving is atomic
 // (write to `<path>.tmp`, fsync, then rename) through the util::Fs seam,
 // matching save_flow_capture.

@@ -138,7 +138,7 @@ FlowRecord run_and_analyze(const DatasetSpec& spec, std::uint64_t flow_index,
     rec.bytes_captured = run.bytes_captured;
     rec.duration = cfg.duration;
     rec.receiver_window = cfg.profile.receiver_window_segments;
-    rec.delayed_ack_b = cfg.delayed_ack_b;
+    rec.delayed_ack_b = cfg.tcp.delayed_ack_b;
     rec.sim_events = run.sim_events;
     rec.sim_scheduled = run.sim_scheduled;
     rec.sim_tombstones = run.sim_tombstones;

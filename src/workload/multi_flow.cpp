@@ -1,0 +1,275 @@
+#include "workload/multi_flow.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "net/channel.h"
+#include "radio/environment.h"
+#include "sim/simulator.h"
+#include "tcp/receiver.h"
+#include "tcp/sender.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace hsr::workload {
+
+namespace {
+
+net::LinkConfig downlink_config_for(const radio::ProviderProfile& p) {
+  net::LinkConfig cfg;
+  cfg.rate_bps = p.downlink_rate_bps;
+  cfg.prop_delay = p.core_delay;
+  cfg.queue_capacity = p.queue_capacity;
+  cfg.name = p.name + "/down";
+  return cfg;
+}
+
+net::LinkConfig uplink_config_for(const radio::ProviderProfile& p) {
+  net::LinkConfig cfg;
+  cfg.rate_bps = p.uplink_rate_bps;
+  cfg.prop_delay = p.core_delay;
+  cfg.queue_capacity = 64;
+  cfg.name = p.name + "/up";
+  return cfg;
+}
+
+// One flow's TCP endpoints. Heap-owned so the registered Link receivers can
+// capture a stable raw pointer (the vector of stacks may move around).
+struct FlowStack {
+  std::unique_ptr<tcp::TcpReceiver> receiver;
+  std::unique_ptr<tcp::TcpSender> sender;
+};
+
+}  // namespace
+
+MultiFlowSenderSpec MultiFlowSpec::resolved_sender(unsigned i) const {
+  if (!senders.empty()) {
+    HSR_CHECK_MSG(i < senders.size(), "sender index out of range");
+    return senders[i];
+  }
+  MultiFlowSenderSpec s;
+  s.tcp = tcp;
+  s.start_offset = start_stagger * static_cast<std::int64_t>(i);
+  return s;
+}
+
+MultiFlowResult run_multi_flow(const MultiFlowSpec& spec) {
+  const unsigned n = spec.flow_count();
+  HSR_CHECK_MSG(n >= 1, "multi-flow scenario needs at least one sender");
+
+  // Fresh ids per scenario: serialized captures must depend only on the
+  // spec, not on which scenarios this worker thread ran before.
+  net::reset_packet_ids();
+  sim::Simulator sim;
+  sim.set_event_budget(spec.max_sim_events);
+  util::Rng rng(spec.seed);
+
+  // ONE radio environment: all flows ride the same train through the same
+  // cells, so handoffs and coverage gaps hit everyone together (which is
+  // exactly what makes handoff-burst fairness interesting).
+  radio::RadioEnvironment env(spec.profile.radio, rng.fork("radio"));
+
+  const net::LinkConfig down_cfg = downlink_config_for(spec.profile);
+  const net::LinkConfig up_cfg = uplink_config_for(spec.profile);
+
+  MultiFlowResult out;
+  out.duration = spec.duration;
+  out.captures.resize(n);
+  out.flows.resize(n);
+
+  std::vector<MultiFlowSenderSpec> resolved;
+  resolved.reserve(n);
+  for (unsigned i = 0; i < n; ++i) resolved.push_back(spec.resolved_sender(i));
+
+  // Per-flow access stubs behind one shared queue: each flow's channel pair
+  // draws from its own fork of the scenario seed and carries its own
+  // scripted faults. Flow 0 keeps the legacy single-flow fork labels
+  // ("chan-down"/"chan-up", no index), which is what makes the run_flow
+  // N=1 adapter byte-identical to the historical single-flow path — note
+  // fork(label) and fork(label, 0) are DIFFERENT streams.
+  auto down_demux = std::make_unique<net::FlowDemuxChannel>();
+  auto up_demux = std::make_unique<net::FlowDemuxChannel>();
+  for (unsigned i = 0; i < n; ++i) {
+    const net::FlowId flow = i + 1;
+    trace::FlowCapture& capture = out.captures[i];
+    capture.flow = flow;
+    // Pre-size for this flow's fair share of the bottleneck so steady-state
+    // recording never reallocates mid-simulation (an over-estimate for
+    // unfair flows is harmless — reserve_for clamps).
+    capture.reserve_for(spec.duration,
+                        down_cfg.rate_bps / static_cast<double>(n),
+                        resolved[i].tcp.mss_bytes, resolved[i].tcp.delayed_ack_b);
+
+    std::unique_ptr<net::ChannelModel> down = env.make_channel(
+        radio::Direction::kDownlink,
+        i == 0 ? rng.fork("chan-down") : rng.fork("chan-down", i));
+    std::unique_ptr<net::ChannelModel> up = env.make_channel(
+        radio::Direction::kUplink,
+        i == 0 ? rng.fork("chan-up") : rng.fork("chan-up", i));
+    if (!resolved[i].downlink_faults.empty()) {
+      auto injector = std::make_unique<fault::FaultInjector>(
+          resolved[i].downlink_faults, std::move(down));
+      injector->set_audit(&capture.faults, 'D');
+      down = std::move(injector);
+    }
+    if (!resolved[i].uplink_faults.empty()) {
+      auto injector = std::make_unique<fault::FaultInjector>(
+          resolved[i].uplink_faults, std::move(up));
+      injector->set_audit(&capture.faults, 'A');
+      up = std::move(injector);
+    }
+    down_demux->add_flow(flow, std::move(down));
+    up_demux->add_flow(flow, std::move(up));
+  }
+
+  // The shared bottleneck pair: ONE DropTail queue and transmitter per
+  // direction, multiplexing every flow.
+  net::Link downlink(sim, down_cfg, std::move(down_demux));
+  net::Link uplink(sim, up_cfg, std::move(up_demux));
+
+  std::vector<FlowStack> stacks(n);
+  for (unsigned i = 0; i < n; ++i) {
+    const net::FlowId flow = i + 1;
+    const tcp::TcpConfig tcfg = tcp::make_tcp_config(
+        resolved[i].tcp, spec.profile.receiver_window_segments);
+    HSR_CHECK_MSG(tcfg.delayed_ack_b >= 1, "delayed_ack_b must be >= 1");
+    stacks[i].receiver = std::make_unique<tcp::TcpReceiver>(
+        sim, tcfg, flow, [&uplink](net::Packet p) { uplink.send(std::move(p)); });
+    stacks[i].sender = std::make_unique<tcp::TcpSender>(
+        sim, tcfg, flow, [&downlink](net::Packet p) { downlink.send(std::move(p)); });
+
+    // Per-flow demux endpoints. The closures must stay inside the Receiver
+    // SBO: a heap fallback here would put an allocation on every delivery.
+    auto data_endpoint = [r = stacks[i].receiver.get()](const net::Packet& p) {
+      r->on_data(p);
+    };
+    static_assert(net::Link::Receiver::holds_inline<decltype(data_endpoint)>(),
+                  "demux data endpoint outgrew the Link::Receiver SBO; "
+                  "per-packet delivery would heap-allocate");
+    downlink.register_endpoint(flow, std::move(data_endpoint), &out.captures[i].data);
+
+    auto ack_endpoint = [s = stacks[i].sender.get()](const net::Packet& p) {
+      s->on_ack(p);
+    };
+    static_assert(net::Link::Receiver::holds_inline<decltype(ack_endpoint)>(),
+                  "demux ACK endpoint outgrew the Link::Receiver SBO; "
+                  "per-packet delivery would heap-allocate");
+    uplink.register_endpoint(flow, std::move(ack_endpoint), &out.captures[i].acks);
+  }
+
+  // Staggered starts: offset-zero flows start synchronously before the
+  // event loop (exactly like the legacy single-flow path), later arrivals
+  // are scheduled into the simulation.
+  for (unsigned i = 0; i < n; ++i) {
+    tcp::TcpSender* sender = stacks[i].sender.get();
+    if (resolved[i].start_offset.ns() <= 0) {
+      sender->start();
+    } else {
+      sim.at(TimePoint::zero() + resolved[i].start_offset,
+             [sender] { sender->start(); });
+    }
+  }
+
+  sim.run_until(TimePoint::zero() + spec.duration);
+
+  if (sim.budget_exhausted()) {
+    out.status = util::Status::resource_exhausted(
+        "flow watchdog: event budget of " + std::to_string(spec.max_sim_events) +
+        " exhausted at t=" + std::to_string(sim.now().to_seconds()) +
+        " s (of " + std::to_string(spec.duration.to_seconds()) +
+        " s); flow aborted");
+  }
+
+  const double elapsed = sim.now().to_seconds();
+  out.handoffs = env.handoff_count(sim.now());
+  out.sim_events = sim.events_executed();
+  out.sim_scheduled = sim.queue().scheduled_total();
+  out.sim_tombstones = sim.queue().pruned_tombstones_total() +
+                       sim.queue().tombstones_in_heap();
+  out.downlink_aggregate = downlink.stats();
+  out.uplink_aggregate = uplink.stats();
+
+  for (unsigned i = 0; i < n; ++i) {
+    MultiFlowFlowResult& f = out.flows[i];
+    f.flow = i + 1;
+    f.start_offset = resolved[i].start_offset;
+    f.sender_stats = stacks[i].sender->stats();
+    f.receiver_stats = stacks[i].receiver->stats();
+    f.events = stacks[i].sender->events();
+    f.cwnd_trace = stacks[i].sender->cwnd_trace();
+    f.delivery_times = stacks[i].receiver->delivery_times();
+    // Application goodput over [0, now] — same definition as the single-flow
+    // path, and the numerator the fairness shares are computed from.
+    HSR_DCHECK_MSG(f.receiver_stats.unique_segments <= f.sender_stats.segments_sent,
+                   "receiver delivered more unique segments than were sent");
+    f.goodput_pps = elapsed > 0.0
+                        ? static_cast<double>(f.receiver_stats.unique_segments) / elapsed
+                        : 0.0;
+    f.goodput_bps =
+        f.goodput_pps * static_cast<double>(resolved[i].tcp.mss_bytes) * 8.0;
+    f.faults_injected = out.captures[i].faults.size();
+    f.downlink_stats = downlink.endpoint_stats(f.flow);
+    f.uplink_stats = uplink.endpoint_stats(f.flow);
+    for (const auto& tx : out.captures[i].data.transmissions()) {
+      f.bytes_captured += tx.packet.size_bytes;
+    }
+    for (const auto& tx : out.captures[i].acks.transmissions()) {
+      f.bytes_captured += tx.packet.size_bytes;
+    }
+  }
+  return out;
+}
+
+MultiFlowSpec MultiFlowSweepSpec::scenario(std::size_t s) const {
+  HSR_CHECK_MSG(s < flow_counts.size(), "sweep scenario index out of range");
+  MultiFlowSpec spec;
+  spec.profile = profile;
+  spec.flows = flow_counts[s];
+  spec.duration = duration;
+  spec.seed = base_seed + s * seed_stride;
+  spec.start_stagger = start_stagger;
+  spec.tcp = tcp;
+  spec.max_sim_events = max_sim_events;
+  if (burst_end > burst_begin) {
+    // The scripted handoff burst blacks out every flow's access stub over
+    // the window — the shared-cell outage the goodput-share tables study.
+    // Resolve all senders BEFORE installing any: resolved_sender() switches
+    // to the explicit list as soon as it is non-empty.
+    std::vector<MultiFlowSenderSpec> senders;
+    senders.reserve(spec.flows);
+    for (unsigned i = 0; i < spec.flows; ++i) {
+      MultiFlowSenderSpec sender = spec.resolved_sender(i);
+      sender.downlink_faults.blackout(burst_begin, burst_end, "handoff-burst");
+      senders.push_back(std::move(sender));
+    }
+    spec.senders = std::move(senders);
+  }
+  return spec;
+}
+
+std::vector<MultiFlowResult> run_multi_flow_sweep(const MultiFlowSweepSpec& spec) {
+  // Shard scenarios across the pool; every scenario is fully determined by
+  // the spec and its index and lands in a pre-sized slot, so claiming order
+  // — and therefore thread count — cannot perturb the output bytes.
+  std::vector<MultiFlowResult> out(spec.flow_counts.size());
+  util::parallel_for(spec.threads, spec.flow_counts.size(), [&](std::uint64_t s) {
+    out[s] = run_multi_flow(spec.scenario(s));
+  });
+  return out;
+}
+
+std::vector<trace::FlowCapture> sweep_captures(std::vector<MultiFlowResult>&& results) {
+  std::size_t total = 0;
+  for (const auto& r : results) total += r.captures.size();
+  std::vector<trace::FlowCapture> out;
+  out.reserve(total);
+  for (auto& r : results) {
+    for (auto& c : r.captures) out.push_back(std::move(c));
+    r.captures.clear();
+  }
+  return out;
+}
+
+}  // namespace hsr::workload

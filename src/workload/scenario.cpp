@@ -6,6 +6,7 @@
 #include "sim/simulator.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
+#include "workload/multi_flow.h"
 
 namespace hsr::workload {
 
@@ -32,98 +33,46 @@ net::LinkConfig uplink_config(const radio::ProviderProfile& p) {
 }  // namespace
 
 tcp::TcpConfig tcp_config_for(const FlowRunConfig& cfg) {
-  tcp::TcpConfig t;
-  t.congestion_control = cfg.congestion_control;
-  t.enable_sack = cfg.enable_sack;
-  t.enable_frto = cfg.enable_frto;
-  t.adaptive_delack = cfg.adaptive_delack;
-  t.mss_bytes = cfg.mss_bytes;
-  t.delayed_ack_b = cfg.delayed_ack_b;
-  t.receiver_window = cfg.profile.receiver_window_segments;
-  t.rto.min_rto = cfg.min_rto;
-  return t;
+  return tcp::make_tcp_config(cfg.tcp, cfg.profile.receiver_window_segments);
 }
 
 FlowRunResult run_flow(const FlowRunConfig& cfg) {
-  // Fresh ids per flow: serialized captures must depend only on the flow's
-  // own seed and config, not on which flows this worker thread ran before.
-  net::reset_packet_ids();
-  sim::Simulator sim;
-  sim.set_event_budget(cfg.max_sim_events);
-  util::Rng rng(cfg.seed);
+  // Thin adapter over the shared-bottleneck path at N=1. The multi-flow
+  // runner reproduces the historical single-flow assembly exactly for flow
+  // 0 (same fork labels, same construction order), so the capture bytes are
+  // pinned byte-identical to the pre-multi-flow implementation
+  // (MultiFlowAdapterTest.GoldenDigestsUnchanged).
+  MultiFlowSpec spec;
+  spec.profile = cfg.profile;
+  spec.duration = cfg.duration;
+  spec.seed = cfg.seed;
+  spec.max_sim_events = cfg.max_sim_events;
+  MultiFlowSenderSpec sender;
+  sender.tcp = cfg.tcp;
+  sender.downlink_faults = cfg.downlink_faults;
+  sender.uplink_faults = cfg.uplink_faults;
+  spec.senders.push_back(std::move(sender));
 
-  radio::RadioEnvironment env(cfg.profile.radio, rng.fork("radio"));
-
-  tcp::ConnectionConfig conn_cfg;
-  conn_cfg.tcp = tcp_config_for(cfg);
-  conn_cfg.downlink = downlink_config(cfg.profile);
-  conn_cfg.uplink = uplink_config(cfg.profile);
-
-  // Organic channels, optionally decorated with the scripted fault plans.
-  // The injectors audit into the capture, so archived traces show why each
-  // scripted casualty died.
-  trace::FlowCapture capture;
-  capture.flow = 1;
-  // Pre-size the capture from the flow-duration heuristic so steady-state
-  // recording never reallocates mid-simulation.
-  capture.reserve_for(cfg.duration, conn_cfg.downlink.rate_bps, cfg.mss_bytes,
-                      cfg.delayed_ack_b);
-
-  std::unique_ptr<net::ChannelModel> down_channel =
-      env.make_channel(radio::Direction::kDownlink, rng.fork("chan-down"));
-  std::unique_ptr<net::ChannelModel> up_channel =
-      env.make_channel(radio::Direction::kUplink, rng.fork("chan-up"));
-  if (!cfg.downlink_faults.empty()) {
-    auto injector = std::make_unique<fault::FaultInjector>(cfg.downlink_faults,
-                                                           std::move(down_channel));
-    injector->set_audit(&capture.faults, 'D');
-    down_channel = std::move(injector);
-  }
-  if (!cfg.uplink_faults.empty()) {
-    auto injector = std::make_unique<fault::FaultInjector>(cfg.uplink_faults,
-                                                           std::move(up_channel));
-    injector->set_audit(&capture.faults, 'A');
-    up_channel = std::move(injector);
-  }
-
-  tcp::Connection conn(sim, /*flow=*/1, conn_cfg, std::move(down_channel),
-                       std::move(up_channel));
-
-  conn.set_downlink_tap(&capture.data);
-  conn.set_uplink_tap(&capture.acks);
-
-  conn.start();
-  sim.run_until(TimePoint::zero() + cfg.duration);
+  MultiFlowResult mr = run_multi_flow(spec);
+  MultiFlowFlowResult& f = mr.flows.at(0);
 
   FlowRunResult out;
-  if (sim.budget_exhausted()) {
-    out.status = util::Status::resource_exhausted(
-        "flow watchdog: event budget of " + std::to_string(cfg.max_sim_events) +
-        " exhausted at t=" + std::to_string(sim.now().to_seconds()) +
-        " s (of " + std::to_string(cfg.duration.to_seconds()) +
-        " s); flow aborted");
-  }
-  out.sender_stats = conn.sender().stats();
-  out.receiver_stats = conn.receiver().stats();
-  out.events = conn.sender().events();
-  out.cwnd_trace = conn.sender().cwnd_trace();
-  out.delivery_times = conn.receiver().delivery_times();
+  out.status = std::move(mr.status);
+  out.sender_stats = f.sender_stats;
+  out.receiver_stats = f.receiver_stats;
+  out.events = std::move(f.events);
+  out.cwnd_trace = std::move(f.cwnd_trace);
+  out.delivery_times = std::move(f.delivery_times);
   out.duration = cfg.duration;
-  out.goodput_pps = conn.goodput_segments_per_s();
-  out.goodput_bps = conn.goodput_bps();
-  out.handoffs = env.handoff_count(sim.now());
-  out.faults_injected = capture.faults.size();
-  out.sim_events = sim.events_executed();
-  out.sim_scheduled = sim.queue().scheduled_total();
-  out.sim_tombstones = sim.queue().pruned_tombstones_total() +
-                       sim.queue().tombstones_in_heap();
-  for (const auto& tx : capture.data.transmissions()) {
-    out.bytes_captured += tx.packet.size_bytes;
-  }
-  for (const auto& tx : capture.acks.transmissions()) {
-    out.bytes_captured += tx.packet.size_bytes;
-  }
-  out.capture = std::move(capture);
+  out.goodput_pps = f.goodput_pps;
+  out.goodput_bps = f.goodput_bps;
+  out.handoffs = mr.handoffs;
+  out.faults_injected = f.faults_injected;
+  out.sim_events = mr.sim_events;
+  out.sim_scheduled = mr.sim_scheduled;
+  out.sim_tombstones = mr.sim_tombstones;
+  out.bytes_captured = f.bytes_captured;
+  out.capture = std::move(mr.captures.at(0));
   return out;
 }
 
@@ -152,12 +101,9 @@ MptcpComparison run_mptcp_comparison(const radio::ProviderProfile& profile,
     sim::Simulator sim;
     util::Rng rng(util::splitmix64(seed) ^ 0x4d50544350ULL);  // "MPTCP"
 
-    FlowRunConfig fc;
-    fc.profile = profile;
-
     mptcp::MptcpConfig mc;
     mc.mode = mode;
-    mc.subflow_tcp = tcp_config_for(fc);
+    mc.set_subflow_options(tcp::TcpOptions{}, profile.receiver_window_segments);
 
     radio::RadioEnvironment env(profile.radio, rng.fork("radio"));
 

@@ -25,14 +25,10 @@ struct FlowRunConfig {
   radio::ProviderProfile profile;
   Duration duration = Duration::seconds(60);
   std::uint64_t seed = 1;
-  // TCP knobs (protocol-level, independent of the provider).
-  tcp::CongestionControl congestion_control = tcp::CongestionControl::kReno;
-  bool enable_sack = false;        // selective acknowledgements (RFC 2018/6675)
-  bool enable_frto = false;        // F-RTO spurious-timeout response
-  bool adaptive_delack = false;    // TCP-DCA-style quick ACKs after reordering
-  unsigned delayed_ack_b = 2;
-  Duration min_rto = Duration::millis(200);
-  std::uint32_t mss_bytes = 1400;
+  // TCP knobs (protocol-level, independent of the provider) — the shared
+  // one-source-of-truth struct also carried by MultiFlowSpec senders, MPTCP
+  // subflow setup and hsrfaultplan-v2 parameter blocks.
+  tcp::TcpOptions tcp;
 
   // Scripted fault plans, one per direction, layered as decorators over the
   // provider's organic channels (empty plans add no wrapper). Triggered

@@ -173,13 +173,52 @@ ReplayParams sample_params() {
   p.up_rate_bps = 1e6;
   p.up_delay_ns = Duration::millis(25).ns();
   p.up_queue = 32;
-  p.mss_bytes = 1448;
-  p.delayed_ack_b = 1;
-  p.min_rto_ns = Duration::millis(200).ns();
   p.receiver_window = 100;
-  p.enable_sack = true;
-  p.enable_frto = false;
+  p.tcp.mss_bytes = 1448;
+  p.tcp.delayed_ack_b = 1;
+  p.tcp.min_rto = Duration::millis(200);
+  p.tcp.enable_sack = true;
+  p.tcp.enable_frto = false;
   return p;
+}
+
+TEST(FaultPlanIoTest, NonDefaultProtocolKnobsRoundTripViaOptionalPair) {
+  PlanFile file;
+  file.plan.drop_retransmissions(1);
+  ReplayParams p = sample_params();
+  p.tcp.congestion_control = tcp::CongestionControl::kVeno;
+  p.tcp.adaptive_delack = true;
+  file.params = p;
+
+  std::ostringstream os;
+  write_plan_file(os, file);
+  // The optional <cc> <adaptive> pair lands at the end of the P line.
+  EXPECT_NE(os.str().find(" 2 1\n"), std::string::npos) << os.str();
+
+  std::istringstream is(os.str());
+  auto reread = read_plan_file(is);
+  ASSERT_TRUE(reread.is_ok()) << reread.status().message();
+  ASSERT_TRUE(reread.value().params.has_value());
+  EXPECT_EQ(reread.value().params.value(), p);
+}
+
+TEST(FaultPlanIoTest, DefaultProtocolKnobsKeepTwelveFieldPLine) {
+  PlanFile file;
+  file.plan.drop_retransmissions(1);
+  file.params = sample_params();  // Reno, non-adaptive: no optional pair
+
+  std::ostringstream os;
+  write_plan_file(os, file);
+  std::istringstream count(os.str());
+  std::string header;
+  std::string pline;
+  ASSERT_TRUE(std::getline(count, header));
+  ASSERT_TRUE(std::getline(count, pline));
+  std::istringstream ptokens(pline);
+  std::string tok;
+  int fields = 0;
+  while (ptokens >> tok) ++fields;
+  EXPECT_EQ(fields, 13);  // "P" + the 12 legacy fields, byte-compatible
 }
 
 TEST(FaultPlanIoTest, PlanFileWithParamsRoundTripsExactly) {

@@ -190,6 +190,140 @@ TEST(LinkTest, StampsSentAt) {
   EXPECT_EQ(stamped, TimePoint::zero() + Duration::millis(5));
 }
 
+// --- demuxed per-flow endpoints ----------------------------------------------
+
+Packet flow_packet(FlowId flow, std::uint32_t size = 1000) {
+  Packet p = data_packet(size);
+  p.flow = flow;
+  return p;
+}
+
+TEST(LinkEndpointTest, RoutesEachFlowToItsOwnReceiver) {
+  sim::Simulator sim;
+  Link link(sim, LinkConfig{}, std::make_unique<PerfectChannel>());
+  std::vector<FlowId> to_one, to_two;
+  link.register_endpoint(1, [&](const Packet& p) { to_one.push_back(p.flow); });
+  link.register_endpoint(2, [&](const Packet& p) { to_two.push_back(p.flow); });
+  EXPECT_TRUE(link.has_endpoint(1));
+  EXPECT_FALSE(link.has_endpoint(3));
+  EXPECT_EQ(link.endpoint_count(), 2u);
+
+  link.send(flow_packet(1));
+  link.send(flow_packet(2));
+  link.send(flow_packet(1));
+  sim.run();
+  EXPECT_EQ(to_one, (std::vector<FlowId>{1, 1}));
+  EXPECT_EQ(to_two, (std::vector<FlowId>{2}));
+}
+
+TEST(LinkEndpointTest, UnregisteredFlowsFallBackToAggregateReceiver) {
+  sim::Simulator sim;
+  Link link(sim, LinkConfig{}, std::make_unique<PerfectChannel>());
+  std::vector<FlowId> endpoint_saw, fallback_saw;
+  link.register_endpoint(1, [&](const Packet& p) { endpoint_saw.push_back(p.flow); });
+  link.set_receiver([&](const Packet& p) { fallback_saw.push_back(p.flow); });
+
+  link.send(flow_packet(1));
+  link.send(flow_packet(9));  // nobody registered flow 9
+  sim.run();
+  EXPECT_EQ(endpoint_saw, (std::vector<FlowId>{1}));
+  EXPECT_EQ(fallback_saw, (std::vector<FlowId>{9}));
+}
+
+TEST(LinkEndpointTest, SplitsStatsPerFlowAndSumsToAggregate) {
+  sim::Simulator sim;
+  Link link(sim, LinkConfig{}, std::make_unique<PerfectChannel>());
+  link.register_endpoint(1, [](const Packet&) {});
+  link.register_endpoint(2, [](const Packet&) {});
+
+  link.send(flow_packet(1, 500));
+  link.send(flow_packet(1, 500));
+  link.send(flow_packet(2, 700));
+  sim.run();
+  EXPECT_EQ(link.endpoint_stats(1).sent, 2u);
+  EXPECT_EQ(link.endpoint_stats(1).delivered, 2u);
+  EXPECT_EQ(link.endpoint_stats(1).bytes_delivered, 1000u);
+  EXPECT_EQ(link.endpoint_stats(2).sent, 1u);
+  EXPECT_EQ(link.endpoint_stats(2).bytes_delivered, 700u);
+  EXPECT_EQ(link.stats().sent,
+            link.endpoint_stats(1).sent + link.endpoint_stats(2).sent);
+  EXPECT_EQ(link.stats().delivered,
+            link.endpoint_stats(1).delivered + link.endpoint_stats(2).delivered);
+}
+
+TEST(LinkEndpointTest, TwoFlowsShareOneFifoQueue) {
+  sim::Simulator sim;
+  LinkConfig cfg;
+  cfg.rate_bps = 8e6;  // 1ms per 1000-byte packet
+  cfg.prop_delay = Duration::zero();
+  Link link(sim, cfg, std::make_unique<PerfectChannel>());
+  std::vector<FlowId> order;
+  link.register_endpoint(1, [&](const Packet& p) { order.push_back(p.flow); });
+  link.register_endpoint(2, [&](const Packet& p) { order.push_back(p.flow); });
+
+  // Interleaved arrivals serialize through the ONE transmitter in FIFO
+  // order — flow 2's packet waits behind flow 1's, not on a private queue.
+  link.send(flow_packet(1));
+  link.send(flow_packet(2));
+  link.send(flow_packet(1));
+  link.send(flow_packet(2));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<FlowId>{1, 2, 1, 2}));
+}
+
+TEST(LinkEndpointTest, QueueOverflowDropsAttributeToTheArrivingFlow) {
+  sim::Simulator sim;
+  LinkConfig cfg;
+  cfg.rate_bps = 8e3;  // slow: everything queues
+  cfg.queue_capacity = 2;
+  Link link(sim, cfg, std::make_unique<PerfectChannel>());
+  RecordingTap tap1, tap2;
+  link.register_endpoint(1, [](const Packet&) {}, &tap1);
+  link.register_endpoint(2, [](const Packet&) {}, &tap2);
+
+  // Flow 1 fills the shared queue; flow 2's arrivals are the ones tail-
+  // dropped, and the drop lands in FLOW 2's stats and tap.
+  link.send(flow_packet(1, 100));
+  link.send(flow_packet(1, 100));
+  link.send(flow_packet(2, 100));
+  link.send(flow_packet(2, 100));
+  sim.run();
+  EXPECT_EQ(link.endpoint_stats(1).dropped_queue(), 0u);
+  EXPECT_EQ(link.endpoint_stats(2).dropped_queue(), 2u);
+  EXPECT_EQ(link.stats().dropped_queue(), 2u);
+  EXPECT_TRUE(tap1.drops.empty());
+  ASSERT_EQ(tap2.drops.size(), 2u);
+  EXPECT_EQ(tap2.drops[0].cause.category, DropCategory::kQueueOverflow);
+  EXPECT_EQ(link.endpoint_stats(1).delivered, 2u);
+  EXPECT_EQ(link.endpoint_stats(2).delivered, 0u);
+}
+
+TEST(LinkEndpointTest, AggregateTapStillSeesEveryFlow) {
+  sim::Simulator sim;
+  Link link(sim, LinkConfig{}, std::make_unique<PerfectChannel>());
+  RecordingTap aggregate, mine;
+  link.set_tap(&aggregate);
+  link.register_endpoint(1, [](const Packet&) {}, &mine);
+  link.register_endpoint(2, [](const Packet&) {});
+
+  link.send(flow_packet(1));
+  link.send(flow_packet(2));
+  sim.run();
+  EXPECT_EQ(aggregate.sends.size(), 2u);
+  EXPECT_EQ(aggregate.delivers.size(), 2u);
+  EXPECT_EQ(mine.sends.size(), 1u);
+  EXPECT_EQ(mine.delivers.size(), 1u);
+}
+
+TEST(LinkEndpointDeathTest, RejectsDuplicateAndUnknownFlows) {
+  sim::Simulator sim;
+  Link link(sim, LinkConfig{}, std::make_unique<PerfectChannel>());
+  link.register_endpoint(1, [](const Packet&) {});
+  EXPECT_DEATH(link.register_endpoint(1, [](const Packet&) {}),
+               "already has an endpoint");
+  EXPECT_DEATH(link.endpoint_stats(7), "unregistered flow");
+}
+
 TEST(LinkDeathTest, RejectsBadConfig) {
   sim::Simulator sim;
   LinkConfig zero_rate;

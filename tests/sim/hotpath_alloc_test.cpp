@@ -147,5 +147,50 @@ TEST(FlowAllocTest, AllocationsPerEventStayNearZero) {
       << "news=" << scope.news_delta() << " events=" << run.sim_events;
 }
 
+// The shared-bottleneck delivery path: one Link, a FlowDemuxChannel of four
+// per-flow channels, four registered endpoint Receivers. Once the queue and
+// event slab reach their high-water mark, pushing packets of every flow
+// through demux decide(), endpoint lookup, and endpoint delivery costs ZERO
+// heap allocations — the per-flow registry is binary-searched, not hashed,
+// and the endpoint closures fit the Receiver SBO.
+TEST(MultiFlowAllocTest, FourFlowSteadyStateDeliveryIsAllocationFree) {
+  sim::Simulator sim;
+  net::LinkConfig cfg;
+  cfg.rate_bps = 8e9;  // fast: no overflow, pure delivery churn
+  cfg.queue_capacity = 64;
+  auto demux = std::make_unique<net::FlowDemuxChannel>();
+  for (net::FlowId flow = 1; flow <= 4; ++flow) {
+    demux->add_flow(flow, std::make_unique<net::PerfectChannel>());
+  }
+  net::Link link(sim, cfg, std::move(demux));
+
+  std::uint64_t delivered[4] = {};
+  for (net::FlowId flow = 1; flow <= 4; ++flow) {
+    auto endpoint = [count = &delivered[flow - 1]](const net::Packet&) {
+      ++*count;
+    };
+    static_assert(net::Link::Receiver::holds_inline<decltype(endpoint)>(),
+                  "endpoint closure outgrew the Receiver SBO");
+    link.register_endpoint(flow, std::move(endpoint));
+  }
+
+  auto burst = [&] {
+    for (net::FlowId flow = 1; flow <= 4; ++flow) {
+      net::Packet p;
+      p.id = net::allocate_packet_id();
+      p.flow = flow;
+      p.kind = net::PacketKind::kData;
+      p.size_bytes = 1400;
+      link.send(p);
+    }
+    sim.run();
+  };
+  for (int i = 0; i < 64; ++i) burst();  // warm-up: slab + queue growth
+  AllocProbe::Scope scope;
+  for (int i = 0; i < 1024; ++i) burst();
+  EXPECT_EQ(scope.news_delta(), 0u);
+  for (std::uint64_t count : delivered) EXPECT_EQ(count, 64u + 1024u);
+}
+
 }  // namespace
 }  // namespace hsr

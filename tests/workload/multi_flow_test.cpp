@@ -1,0 +1,283 @@
+// Shared-bottleneck multi-flow scenarios: the run_flow N=1 adapter is pinned
+// byte-identical to the pre-multi-flow single-flow runner (golden digests),
+// and run_multi_flow itself is deterministic, stagger-aware, per-flow
+// fault-isolated and per-flow accounted.
+#include "workload/multi_flow.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "radio/profiles.h"
+#include "trace/trace_binary.h"
+#include "trace/trace_io.h"
+#include "workload/dataset.h"
+#include "workload/manifest.h"
+#include "workload/scenario.h"
+
+namespace hsr::workload {
+namespace {
+
+std::uint64_t capture_digest(const trace::FlowCapture& c) {
+  std::ostringstream os;
+  trace::write_flow_capture(os, c);
+  return manifest_digest(os.str());
+}
+
+// --- run_flow adapter golden digests -----------------------------------------
+//
+// These digests were extracted from the pre-multi-flow run_flow
+// implementation (dedicated Links, plain per-direction channels). The
+// adapter routes through run_multi_flow at N=1; any drift in fork labels,
+// construction order, or demux behavior shows up here as a digest change.
+
+TEST(MultiFlowAdapterTest, GoldenDigestDefaultTelecomFlow) {
+  FlowRunConfig cfg;
+  cfg.profile = radio::telecom_3g_highspeed();
+  cfg.duration = util::Duration::seconds(60);
+  cfg.seed = 7;
+  const FlowRunResult run = run_flow(cfg);
+  EXPECT_EQ(capture_digest(run.capture), 0xd13d342df85ec21bULL);
+  EXPECT_NEAR(run.goodput_pps, 26.0833, 1e-3);
+  EXPECT_EQ(run.handoffs, 2u);
+  EXPECT_EQ(run.sim_events, 2489u);
+}
+
+TEST(MultiFlowAdapterTest, GoldenDigestNonDefaultProtocolKnobs) {
+  FlowRunConfig cfg;
+  cfg.profile = radio::mobile_lte_highspeed();
+  cfg.duration = util::Duration::seconds(45);
+  cfg.seed = 2015;
+  cfg.tcp.congestion_control = tcp::CongestionControl::kNewReno;
+  cfg.tcp.enable_sack = true;
+  cfg.tcp.enable_frto = true;
+  cfg.tcp.adaptive_delack = true;
+  cfg.tcp.delayed_ack_b = 1;
+  cfg.tcp.min_rto = util::Duration::millis(300);
+  cfg.tcp.mss_bytes = 1200;
+  const FlowRunResult run = run_flow(cfg);
+  EXPECT_EQ(capture_digest(run.capture), 0xc4b991919e375330ULL);
+  EXPECT_EQ(run.sim_events, 19283u);
+}
+
+TEST(MultiFlowAdapterTest, GoldenDigestScriptedFaults) {
+  FlowRunConfig cfg;
+  cfg.profile = radio::unicom_3g_highspeed();
+  cfg.duration = util::Duration::seconds(30);
+  cfg.seed = 99;
+  cfg.downlink_faults.blackout(util::TimePoint::from_seconds(5.0),
+                               util::TimePoint::from_seconds(7.0));
+  cfg.uplink_faults.kill_acks(util::TimePoint::from_seconds(12.0),
+                              util::TimePoint::from_seconds(13.0));
+  const FlowRunResult run = run_flow(cfg);
+  EXPECT_EQ(capture_digest(run.capture), 0x63c5e5bad1070159ULL);
+  EXPECT_EQ(run.faults_injected, 85u);
+}
+
+TEST(MultiFlowAdapterTest, GoldenDigestDatasetCorpus) {
+  // The dataset generators run every flow through run_flow, so this pins the
+  // adapter across providers, campaigns, and the stationary control corpus.
+  DatasetSpec spec = DatasetSpec::paper_table1(0.02);
+  spec.stationary_flows_per_provider = 2;
+  spec.flow_duration_min = util::Duration::seconds(10);
+  spec.flow_duration_max = util::Duration::seconds(15);
+  spec.seed = 20160627;
+  const DatasetResult ds = generate_dataset(spec);
+  EXPECT_EQ(ds.flows.size(), 10u);
+  EXPECT_EQ(manifest_digest(ds.stats.to_text()), 0x5f601e399198a8faULL);
+}
+
+TEST(MultiFlowAdapterTest, GoldenDigestStreamingCorpusBytes) {
+  DatasetSpec spec = DatasetSpec::paper_table1(0.02);
+  spec.stationary_flows_per_provider = 2;
+  spec.flow_duration_min = util::Duration::seconds(10);
+  spec.flow_duration_max = util::Duration::seconds(15);
+  spec.seed = 20160627;
+  StreamingDatasetOptions opt;
+  opt.corpus_path = "multi_flow_golden_corpus.b2";
+  const auto st = generate_dataset_streaming(spec, opt);
+  std::ifstream f(opt.corpus_path, std::ios::binary);
+  ASSERT_TRUE(f.good());
+  std::ostringstream bytes;
+  bytes << f.rdbuf();
+  EXPECT_EQ(bytes.str().size(), 389820u);
+  EXPECT_EQ(manifest_digest(bytes.str()), 0x231538183c6223d6ULL);
+  EXPECT_EQ(manifest_digest(st.stats.to_text()), 6872526263972047098ULL);
+  std::remove(opt.corpus_path.c_str());
+}
+
+// --- run_multi_flow behavior --------------------------------------------------
+
+MultiFlowSpec small_spec(unsigned flows, std::uint64_t seed) {
+  MultiFlowSpec spec;
+  spec.profile = radio::telecom_3g_highspeed();
+  spec.flows = flows;
+  spec.duration = util::Duration::seconds(5);
+  spec.seed = seed;
+  return spec;
+}
+
+std::string archive_bytes(const std::vector<trace::FlowCapture>& captures) {
+  std::ostringstream os;
+  trace::write_capture_archive(os, captures);
+  return os.str();
+}
+
+TEST(MultiFlowTest, SameSpecTwiceIsByteIdentical) {
+  const MultiFlowSpec spec = small_spec(3, 11);
+  MultiFlowResult a = run_multi_flow(spec);
+  MultiFlowResult b = run_multi_flow(spec);
+  ASSERT_TRUE(a.status.is_ok());
+  ASSERT_TRUE(b.status.is_ok());
+  EXPECT_EQ(archive_bytes(a.captures), archive_bytes(b.captures));
+}
+
+TEST(MultiFlowTest, FlowsAreNumberedAndAllMakeProgress) {
+  MultiFlowResult r = run_multi_flow(small_spec(4, 5));
+  ASSERT_TRUE(r.status.is_ok());
+  ASSERT_EQ(r.flows.size(), 4u);
+  ASSERT_EQ(r.captures.size(), 4u);
+  for (unsigned i = 0; i < 4; ++i) {
+    EXPECT_EQ(r.flows[i].flow, i + 1);
+    EXPECT_EQ(r.captures[i].flow, i + 1);
+    EXPECT_GT(r.flows[i].receiver_stats.unique_segments, 0u);
+    EXPECT_GT(r.flows[i].goodput_pps, 0.0);
+  }
+}
+
+TEST(MultiFlowTest, PerFlowLinkStatsSumToAggregate) {
+  MultiFlowResult r = run_multi_flow(small_spec(3, 21));
+  ASSERT_TRUE(r.status.is_ok());
+  std::uint64_t down_sent = 0;
+  std::uint64_t down_delivered = 0;
+  std::uint64_t down_dropped = 0;
+  std::uint64_t up_sent = 0;
+  for (const auto& f : r.flows) {
+    down_sent += f.downlink_stats.sent;
+    down_delivered += f.downlink_stats.delivered;
+    down_dropped += f.downlink_stats.dropped_total();
+    up_sent += f.uplink_stats.sent;
+  }
+  EXPECT_EQ(down_sent, r.downlink_aggregate.sent);
+  EXPECT_EQ(down_delivered, r.downlink_aggregate.delivered);
+  EXPECT_EQ(down_dropped, r.downlink_aggregate.dropped_total());
+  EXPECT_EQ(up_sent, r.uplink_aggregate.sent);
+  EXPECT_GT(down_sent, 0u);
+}
+
+TEST(MultiFlowTest, StaggeredStartsDelayLaterFlows) {
+  MultiFlowSpec spec = small_spec(3, 9);
+  spec.start_stagger = util::Duration::seconds(1);
+  MultiFlowResult r = run_multi_flow(spec);
+  ASSERT_TRUE(r.status.is_ok());
+  EXPECT_EQ(r.flows[0].start_offset, util::Duration::zero());
+  EXPECT_EQ(r.flows[1].start_offset, util::Duration::seconds(1));
+  EXPECT_EQ(r.flows[2].start_offset, util::Duration::seconds(2));
+  // A flow that starts later sends its first data packet later.
+  ASSERT_FALSE(r.captures[0].data.transmissions().empty());
+  ASSERT_FALSE(r.captures[2].data.transmissions().empty());
+  EXPECT_LT(r.captures[0].data.transmissions().front().sent,
+            r.captures[2].data.transmissions().front().sent);
+  // And over the same total horizon it delivers less.
+  EXPECT_LT(r.flows[2].receiver_stats.unique_segments,
+            r.flows[0].receiver_stats.unique_segments);
+}
+
+TEST(MultiFlowTest, PerFlowFaultPlansStayIsolated) {
+  MultiFlowSpec spec = small_spec(2, 33);
+  MultiFlowSenderSpec victim;
+  victim.downlink_faults.blackout(util::TimePoint::from_seconds(1.0),
+                                  util::TimePoint::from_seconds(4.0));
+  spec.senders.push_back(victim);
+  spec.senders.push_back(MultiFlowSenderSpec{});
+  MultiFlowResult r = run_multi_flow(spec);
+  ASSERT_TRUE(r.status.is_ok());
+  // Only flow 1 carries fault-audit records; flow 2's capture is clean.
+  EXPECT_GT(r.flows[0].faults_injected, 0u);
+  EXPECT_EQ(r.flows[1].faults_injected, 0u);
+  EXPECT_TRUE(r.captures[1].faults.empty());
+  // The blackout starves the victim relative to its untouched peer.
+  EXPECT_LT(r.flows[0].receiver_stats.unique_segments,
+            r.flows[1].receiver_stats.unique_segments);
+}
+
+TEST(MultiFlowTest, WatchdogAbortsWithResourceExhausted) {
+  MultiFlowSpec spec = small_spec(2, 3);
+  spec.max_sim_events = 50;
+  MultiFlowResult r = run_multi_flow(spec);
+  EXPECT_FALSE(r.status.is_ok());
+  EXPECT_NE(r.status.message().find("event budget of 50 exhausted"),
+            std::string::npos)
+      << r.status.message();
+}
+
+// --- sweeps -------------------------------------------------------------------
+
+TEST(MultiFlowSweepTest, CorpusBytesIdenticalForEveryThreadCount) {
+  MultiFlowSweepSpec spec;
+  spec.profile = radio::telecom_3g_highspeed();
+  spec.flow_counts = {2, 3};
+  spec.duration = util::Duration::seconds(3);
+  spec.base_seed = 77;
+  spec.burst_begin = util::TimePoint::from_seconds(1.0);
+  spec.burst_end = util::TimePoint::from_seconds(2.0);
+
+  std::string first;
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    spec.threads = threads;
+    std::vector<MultiFlowResult> results = run_multi_flow_sweep(spec);
+    ASSERT_EQ(results.size(), 2u);
+    for (const auto& r : results) ASSERT_TRUE(r.status.is_ok());
+    const std::string bytes = archive_bytes(sweep_captures(std::move(results)));
+    if (first.empty()) {
+      first = bytes;
+    } else {
+      EXPECT_EQ(bytes, first) << "threads=" << threads;
+    }
+  }
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(MultiFlowSweepTest, BurstBlacksOutEveryFlowOfEveryScenario) {
+  MultiFlowSweepSpec spec;
+  spec.profile = radio::telecom_3g_highspeed();
+  spec.flow_counts = {2};
+  spec.duration = util::Duration::seconds(4);
+  spec.base_seed = 13;
+  spec.burst_begin = util::TimePoint::from_seconds(1.0);
+  spec.burst_end = util::TimePoint::from_seconds(2.0);
+  const MultiFlowSpec scenario = spec.scenario(0);
+  ASSERT_EQ(scenario.senders.size(), 2u);
+  for (const auto& s : scenario.senders) {
+    EXPECT_FALSE(s.downlink_faults.empty());
+  }
+  MultiFlowResult r = run_multi_flow(scenario);
+  ASSERT_TRUE(r.status.is_ok());
+  for (const auto& f : r.flows) {
+    EXPECT_GT(f.faults_injected, 0u) << "flow " << f.flow;
+  }
+}
+
+TEST(MultiFlowSweepTest, SweepCapturesKeepScenarioBoundaries) {
+  MultiFlowSweepSpec spec;
+  spec.profile = radio::telecom_3g_highspeed();
+  spec.flow_counts = {2, 3};
+  spec.duration = util::Duration::seconds(2);
+  spec.base_seed = 5;
+  spec.threads = 1;
+  std::vector<trace::FlowCapture> captures =
+      sweep_captures(run_multi_flow_sweep(spec));
+  ASSERT_EQ(captures.size(), 5u);
+  // Flow ids restart at 1 on each scenario boundary — the grouping key the
+  // corpus-side table reader uses.
+  EXPECT_EQ(captures[0].flow, 1u);
+  EXPECT_EQ(captures[1].flow, 2u);
+  EXPECT_EQ(captures[2].flow, 1u);
+  EXPECT_EQ(captures[3].flow, 2u);
+  EXPECT_EQ(captures[4].flow, 3u);
+}
+
+}  // namespace
+}  // namespace hsr::workload

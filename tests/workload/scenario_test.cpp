@@ -20,7 +20,7 @@ TEST(RunFlowTest, ProducesCaptureAndGroundTruth) {
   EXPECT_EQ(run.capture.data.sent_count(), run.sender_stats.segments_sent);
   EXPECT_EQ(run.capture.acks.sent_count(), run.receiver_stats.acks_sent);
   EXPECT_GT(run.bytes_captured, 0u);
-  EXPECT_NEAR(run.goodput_bps, run.goodput_pps * cfg.mss_bytes * 8, 1.0);
+  EXPECT_NEAR(run.goodput_bps, run.goodput_pps * cfg.tcp.mss_bytes * 8, 1.0);
 }
 
 TEST(RunFlowTest, DeterministicForSameSeed) {
@@ -70,8 +70,8 @@ TEST(RunFlowTest, HighSpeedFlowShowsHsrPathologies) {
 TEST(TcpConfigForTest, ReflectsProfileAndOverrides) {
   FlowRunConfig cfg;
   cfg.profile = radio::mobile_lte_highspeed();
-  cfg.delayed_ack_b = 3;
-  cfg.min_rto = Duration::millis(300);
+  cfg.tcp.delayed_ack_b = 3;
+  cfg.tcp.min_rto = Duration::millis(300);
   const tcp::TcpConfig t = tcp_config_for(cfg);
   EXPECT_EQ(t.delayed_ack_b, 3u);
   EXPECT_EQ(t.receiver_window, cfg.profile.receiver_window_segments);

@@ -334,12 +334,11 @@ hsr::trace::FlowCapture replay(
     cfg.uplink.rate_bps = params->up_rate_bps;
     cfg.uplink.prop_delay = Duration::nanos(params->up_delay_ns);
     cfg.uplink.queue_capacity = static_cast<std::size_t>(params->up_queue);
-    cfg.tcp.mss_bytes = params->mss_bytes;
-    cfg.tcp.delayed_ack_b = params->delayed_ack_b;
-    if (params->min_rto_ns > 0) cfg.tcp.rto.min_rto = Duration::nanos(params->min_rto_ns);
-    cfg.tcp.receiver_window = params->receiver_window;
-    cfg.tcp.enable_sack = params->enable_sack;
-    cfg.tcp.enable_frto = params->enable_frto;
+    hsr::tcp::TcpOptions opts = params->tcp;
+    // A zero min_rto means the plan predates recording it — keep the
+    // stack's own default rather than clamping RTO to zero.
+    if (opts.min_rto.ns() <= 0) opts.min_rto = cfg.tcp.rto.min_rto;
+    cfg.tcp = hsr::tcp::make_tcp_config(opts, params->receiver_window);
   } else {
     // The EXPERIMENTS.md scripted-fault path: 10 Mbit/s, 20 ms one-way.
     cfg.downlink.rate_bps = 10e6;
