@@ -3,7 +3,9 @@
 // model evaluation and the trace analyzer.
 #include <benchmark/benchmark.h>
 
+#include <iterator>
 #include <memory>
+#include <set>
 
 #include "analysis/flow_analysis.h"
 #include "model/enhanced.h"
@@ -12,6 +14,7 @@
 #include "radio/profiles.h"
 #include "sim/simulator.h"
 #include "tcp/connection.h"
+#include "tcp/seq_window.h"
 #include "util/rng.h"
 #include "workload/scenario.h"
 
@@ -107,6 +110,54 @@ static void BM_EventQueueCancelChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * churn);
 }
 BENCHMARK(BM_EventQueueCancelChurn)->Arg(10000);
+
+// The pipe estimate the sender runs on EVERY ACK: how many segments below
+// snd_next are SACKed. Both variants build a half-full scoreboard over a
+// `window`-segment in-flight span (every other sequence marked — the worst
+// case for both layouts) and time one rank query.
+//
+// The historical std::set implementation answered with
+// std::distance(begin, lower_bound(snd_next)) — a node walk linear in the
+// scoreboard population, so each ACK cost O(window) pointer chases and the
+// per-round-trip total was O(window^2) at large windows.
+static void BM_PipeEstimateSetDistance(benchmark::State& state) {
+  const int window = static_cast<int>(state.range(0));
+  const net::SeqNo base = 1'000'000;
+  std::set<net::SeqNo> board;
+  for (net::SeqNo s = base + 1; s <= base + static_cast<net::SeqNo>(window);
+       s += 2) {
+    board.insert(s);
+  }
+  // Query just below the highest mark: rank_below's early-outs (empty, at
+  // or below the floor, above the top mark) must not trivialize the scan.
+  const net::SeqNo snd_next = base + static_cast<net::SeqNo>(window) - 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(board);  // defeat hoisting of the pure query
+    benchmark::DoNotOptimize(static_cast<std::size_t>(
+        std::distance(board.begin(), board.lower_bound(snd_next))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PipeEstimateSetDistance)->Arg(64)->Arg(1024)->Arg(16384);
+
+// The replacement: SeqScoreboard::rank_below popcounts the bitmap — 64
+// sequences per word, contiguous memory, no nodes.
+static void BM_PipeEstimateScoreboardRank(benchmark::State& state) {
+  const int window = static_cast<int>(state.range(0));
+  const net::SeqNo base = 1'000'000;
+  tcp::SeqScoreboard board(base, static_cast<std::size_t>(window) * 2);
+  for (net::SeqNo s = base + 1; s <= base + static_cast<net::SeqNo>(window);
+       s += 2) {
+    board.mark(s);
+  }
+  const net::SeqNo snd_next = base + static_cast<net::SeqNo>(window) - 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(board);  // defeat hoisting of the pure query
+    benchmark::DoNotOptimize(board.rank_below(snd_next));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PipeEstimateScoreboardRank)->Arg(64)->Arg(1024)->Arg(16384);
 
 static void BM_RngBernoulli(benchmark::State& state) {
   util::Rng rng(42);

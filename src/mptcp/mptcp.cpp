@@ -27,16 +27,29 @@ MptcpConnection::MptcpConnection(sim::Simulator& sim, net::FlowId flow_base,
     // fed one segment per rescue.
     if (cfg_.mode == Mode::kBackup && i > 0) sub_cfg.total_segments = 0;
 
-    sf.receiver = std::make_unique<tcp::TcpReceiver>(
-        sim_, sub_cfg, flow, [this, &sf](net::Packet p) {
-          p.subflow = sf.index;
-          sf.uplink.send(std::move(p));
-        });
-    sf.sender = std::make_unique<tcp::TcpSender>(
-        sim_, sub_cfg, flow,
-        [this, &sf](net::Packet p) { on_subflow_transmit(sf, std::move(p)); });
-    sf.sender->set_timeout_callback(
-        [this, &sf](SeqNo seq) { on_subflow_timeout(sf, seq); });
+    // Subflow closures capture two pointers; assert they fit the endpoint
+    // callback SBO so subflow setup never heap-allocates for its wiring.
+    auto ack_tx = [&sf](net::Packet p) {
+      p.subflow = sf.index;
+      sf.uplink.send(std::move(p));
+    };
+    static_assert(tcp::PacketSendFn::holds_inline<decltype(ack_tx)>(),
+                  "subflow ACK closure outgrew the PacketSendFn SBO");
+    sf.receiver =
+        std::make_unique<tcp::TcpReceiver>(sim_, sub_cfg, flow, std::move(ack_tx));
+
+    auto data_tx = [this, &sf](net::Packet p) {
+      on_subflow_transmit(sf, std::move(p));
+    };
+    static_assert(tcp::PacketSendFn::holds_inline<decltype(data_tx)>(),
+                  "subflow data closure outgrew the PacketSendFn SBO");
+    sf.sender =
+        std::make_unique<tcp::TcpSender>(sim_, sub_cfg, flow, std::move(data_tx));
+
+    auto timeout_cb = [this, &sf](SeqNo seq) { on_subflow_timeout(sf, seq); };
+    static_assert(tcp::TimeoutFn::holds_inline<decltype(timeout_cb)>(),
+                  "subflow timeout closure outgrew the TimeoutFn SBO");
+    sf.sender->set_timeout_callback(std::move(timeout_cb));
 
     sf.downlink.set_receiver(
         [this, &sf](const net::Packet& p) { on_subflow_delivery(sf, p); });

@@ -14,6 +14,11 @@ bool EventHandle::cancel() {
   return queue_ != nullptr && queue_->cancel_handle(*this);
 }
 
+void EventQueue::reserve(std::size_t expected_pending) {
+  slots_.reserve(expected_pending);
+  heap_.reserve(expected_pending * 2);
+}
+
 // HSR_HOT_PATH_BEGIN — schedule/reschedule/cancel and the slab bookkeeping
 // they ride on run once per simulated packet/timer; the steady state must
 // not allocate (pinned dynamically by sim.hotpath_alloc, gated statically

@@ -63,6 +63,14 @@ class EventQueue {
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
+  // Pre-sizes the slab and the heap for an expected peak of concurrently
+  // pending events, so a workload whose event population ramps slowly (many
+  // TCP flows opening their windows) reaches steady state without the
+  // vectors ever growing mid-run. The heap gets twice the slab budget:
+  // lazily-cancelled tombstones may legitimately pile up to half the heap
+  // before compaction reclaims them. Never shrinks.
+  void reserve(std::size_t expected_pending);
+
   // Schedules `action` at absolute time `when`. Events at equal times fire
   // in scheduling order. Inline-sized captures are stored in the slab slot:
   // no allocation on the schedule path.

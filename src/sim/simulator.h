@@ -49,6 +49,12 @@ class Simulator {
 
   std::uint64_t events_executed() const { return executed_; }
 
+  // Pre-sizes the event queue for an expected peak of concurrently pending
+  // events (see EventQueue::reserve); call before the run starts.
+  void reserve_events(std::size_t expected_pending) {
+    queue_.reserve(expected_pending);
+  }
+
   // Event-queue diagnostics (scheduled/fired/pruned counters, tombstones).
   const EventQueue& queue() const { return queue_; }
 

@@ -4,6 +4,21 @@
 
 namespace hsr::tcp {
 
+namespace {
+
+// The endpoint closures capture one Link pointer each; assert they stay
+// inside the callback SBO so wiring a connection never touches the heap
+// (the demux endpoints in run_multi_flow carry the same guarantee).
+PacketSendFn link_send_fn(net::Link& link) {
+  auto fn = [&link](net::Packet p) { link.send(std::move(p)); };
+  static_assert(PacketSendFn::holds_inline<decltype(fn)>(),
+                "endpoint send closure outgrew the PacketSendFn SBO; "
+                "endpoint construction would heap-allocate");
+  return fn;
+}
+
+}  // namespace
+
 Connection::Connection(sim::Simulator& sim, FlowId flow, ConnectionConfig config,
                        std::unique_ptr<net::ChannelModel> down_channel,
                        std::unique_ptr<net::ChannelModel> up_channel)
@@ -12,10 +27,8 @@ Connection::Connection(sim::Simulator& sim, FlowId flow, ConnectionConfig config
       cfg_(config),
       downlink_(sim, config.downlink, std::move(down_channel)),
       uplink_(sim, config.uplink, std::move(up_channel)),
-      receiver_(sim, config.tcp, flow,
-                [this](net::Packet p) { uplink_.send(std::move(p)); }),
-      sender_(sim, config.tcp, flow,
-              [this](net::Packet p) { downlink_.send(std::move(p)); }) {
+      receiver_(sim, config.tcp, flow, link_send_fn(uplink_)),
+      sender_(sim, config.tcp, flow, link_send_fn(downlink_)) {
   HSR_CHECK_MSG(cfg_.tcp.delayed_ack_b >= 1, "delayed_ack_b must be >= 1");
   downlink_.set_receiver([this](const net::Packet& p) { receiver_.on_data(p); });
   uplink_.set_receiver([this](const net::Packet& p) { sender_.on_ack(p); });

@@ -1,29 +1,50 @@
 #include "tcp/receiver.h"
 
-#include <vector>
+#include <algorithm>
 
 #include "util/logging.h"
 
 namespace hsr::tcp {
 
 TcpReceiver::TcpReceiver(sim::Simulator& sim, TcpConfig config, FlowId flow,
-                         std::function<void(net::Packet)> send_ack)
+                         PacketSendFn send_ack)
     : sim_(sim),
       cfg_(config),
       flow_(flow),
       send_ack_(std::move(send_ack)),
       delack_timer_(sim, [this] { on_delack_timer(); }),
+      out_of_order_(/*base=*/1, std::size_t{config.receiver_window} * 4),
       next_packet_id_(0) {
-  HSR_CHECK(send_ack_ != nullptr);
+  HSR_CHECK(static_cast<bool>(send_ack_));
   HSR_CHECK(cfg_.delayed_ack_b >= 1);
 }
+
+void TcpReceiver::reserve_for(Duration duration, double data_rate_bps) {
+  if (duration <= Duration::zero() || data_rate_bps <= 0.0 ||
+      cfg_.mss_bytes == 0) {
+    return;
+  }
+  const double segments = duration.to_seconds() * data_rate_bps /
+                          (8.0 * static_cast<double>(cfg_.mss_bytes));
+  constexpr std::size_t kMax = std::size_t{1} << 20;
+  const std::size_t expected =
+      segments >= static_cast<double>(kMax)
+          ? kMax
+          : std::max<std::size_t>(1024, static_cast<std::size_t>(segments));
+  delivery_times_.reserve(expected);
+}
+
+// HSR_HOT_PATH_BEGIN — per-segment delivery region: on_data, the delayed-ACK
+// decision and ACK emission run for every arriving segment and must not
+// allocate (the reassembly scoreboard is flat, the SACK blocks are written
+// into the packet's fixed array, and delivery_times_ is pre-sized).
 
 void TcpReceiver::on_data(const net::Packet& packet) {
   HSR_CHECK(packet.kind == net::PacketKind::kData);
   ++stats_.segments_received;
 
   const SeqNo seq = packet.seq;
-  if (seq < rcv_next_ || out_of_order_.contains(seq)) {
+  if (seq < rcv_next_ || out_of_order_.test(seq)) {
     // Duplicate payload: the hallmark of a spurious retransmission (the
     // original copy already arrived). Ack immediately (RFC 5681 §4.2).
     ++stats_.duplicate_segments;
@@ -34,13 +55,13 @@ void TcpReceiver::on_data(const net::Packet& packet) {
 
   if (seq == rcv_next_) {
     ++stats_.unique_segments;
-    delivery_times_.push_back(sim_.now());
+    delivery_times_.push_back(sim_.now());  // hsr-lint-ok: pre-sized by reserve_for; amortized growth past the estimate
     ++rcv_next_;
-    // Drain any contiguous out-of-order segments.
-    while (!out_of_order_.empty() && *out_of_order_.begin() == rcv_next_) {
-      out_of_order_.erase(out_of_order_.begin());
-      ++rcv_next_;
-    }
+    // Drain any contiguous out-of-order segments, then advance the
+    // scoreboard floor past everything consumed (the amortized O(1)
+    // equivalent of erasing set minima one node at a time).
+    while (out_of_order_.test(rcv_next_)) ++rcv_next_;
+    out_of_order_.advance_base(rcv_next_);
     stats_.highest_contiguous = rcv_next_ - 1;
     ++unacked_in_order_;
     maybe_delay_ack();
@@ -48,8 +69,8 @@ void TcpReceiver::on_data(const net::Packet& packet) {
     // Above rcv_next_: a hole exists. Buffer and send an immediate
     // duplicate ACK to trigger fast retransmit at the sender.
     ++stats_.unique_segments;
-    delivery_times_.push_back(sim_.now());
-    out_of_order_.insert(seq);
+    delivery_times_.push_back(sim_.now());  // hsr-lint-ok: pre-sized by reserve_for; amortized growth past the estimate
+    out_of_order_.mark(seq);
     if (cfg_.adaptive_delack) quickack_budget_ = cfg_.quickack_segments;
     send_ack_now();
   }
@@ -85,34 +106,43 @@ void TcpReceiver::send_ack_now() {
   ack.ack_next = rcv_next_;
   ack.size_bytes = cfg_.ack_bytes;
   if (cfg_.enable_sack && !out_of_order_.empty()) {
-    // Collect every contiguous out-of-order block above rcv_next_, then
-    // report up to kMaxSackBlocks of them starting from a rotating cursor
-    // (RFC 2018 rotates so the sender accumulates the full picture across
-    // consecutive ACKs even when the holes are badly fragmented).
-    std::vector<std::pair<SeqNo, SeqNo>> blocks;
-    SeqNo block_start = 0, prev = 0;
-    for (SeqNo seq : out_of_order_) {
-      if (block_start == 0) {
-        block_start = prev = seq;
-        continue;
-      }
-      if (seq == prev + 1) {
-        prev = seq;
-        continue;
-      }
-      blocks.emplace_back(block_start, prev + 1);
-      block_start = prev = seq;
+    // Report up to kMaxSackBlocks contiguous out-of-order blocks starting
+    // from a rotating cursor (RFC 2018 rotates so the sender accumulates
+    // the full picture across consecutive ACKs even when the holes are
+    // badly fragmented). Two bitmap scans replace the historical
+    // collect-into-a-vector pass: the first counts the blocks, the second
+    // writes the selected ones straight into the ACK's fixed array — the
+    // emitted bytes are identical, the scratch allocation is gone.
+    std::size_t n = 0;
+    for (SeqNo s = out_of_order_.min_marked(); s != SeqScoreboard::kNone;
+         s = out_of_order_.next_marked(out_of_order_.next_hole(s))) {
+      ++n;
     }
-    if (block_start != 0) blocks.emplace_back(block_start, prev + 1);
-    const std::size_t n = blocks.size();
     const std::size_t to_report = std::min(n, net::Packet::kMaxSackBlocks);
-    for (std::size_t i = 0; i < to_report; ++i) {
-      ack.sack[ack.sack_count++] = blocks[(sack_rotation_ + i) % n];
+    // Block j (0-based, in sequence order) lands in report slot
+    // (j - rotation) mod n; slots >= to_report are not reported. This is
+    // the inverse of the historical `blocks[(rotation + i) % n]` gather,
+    // so the array contents match byte for byte.
+    const std::size_t rot = sack_rotation_ % n;
+    std::size_t j = 0;
+    std::size_t emitted = 0;
+    for (SeqNo s = out_of_order_.min_marked();
+         s != SeqScoreboard::kNone && emitted < to_report; ++j) {
+      const SeqNo end = out_of_order_.next_hole(s);
+      const std::size_t slot = (j + n - rot) % n;
+      if (slot < to_report) {
+        ack.sack[slot] = {s, end};
+        ++emitted;
+      }
+      s = out_of_order_.next_marked(end);
     }
-    if (n > 0) sack_rotation_ = (sack_rotation_ + to_report) % n;
+    ack.sack_count = static_cast<std::uint8_t>(to_report);
+    sack_rotation_ = (sack_rotation_ + to_report) % n;
   }
   ++stats_.acks_sent;
   send_ack_(ack);
 }
+
+// HSR_HOT_PATH_END
 
 }  // namespace hsr::tcp

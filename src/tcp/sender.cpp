@@ -7,6 +7,21 @@
 
 namespace hsr::tcp {
 
+namespace {
+
+// Initial arena hints: cover the advertised window with headroom. With SACK
+// the in-flight span can overrun the window (SACKed segments leave the pipe
+// estimate, so snd_next runs past snd_una + rwnd); the structures absorb
+// that by doubling once instead of paying for the worst case up front.
+std::size_t segment_ring_hint(const TcpConfig& cfg) {
+  return std::size_t{cfg.receiver_window} * 2;
+}
+std::size_t scoreboard_span_hint(const TcpConfig& cfg) {
+  return std::size_t{cfg.receiver_window} * 4;
+}
+
+}  // namespace
+
 const char* sender_event_name(SenderEventType t) {
   switch (t) {
     case SenderEventType::kTimeout: return "TIMEOUT";
@@ -18,16 +33,18 @@ const char* sender_event_name(SenderEventType t) {
 }
 
 TcpSender::TcpSender(sim::Simulator& sim, TcpConfig config, FlowId flow,
-                     std::function<void(net::Packet)> send_data)
+                     PacketSendFn send_data)
     : sim_(sim),
       cfg_(config),
       flow_(flow),
       send_data_(std::move(send_data)),
       cwnd_(config.initial_cwnd),
       ssthresh_(config.initial_ssthresh),
+      sacked_(/*base=*/1, scoreboard_span_hint(config)),
       rto_(config.rto),
-      rto_timer_(sim, [this] { on_rto_expired(); }) {
-  HSR_CHECK(send_data_ != nullptr);
+      rto_timer_(sim, [this] { on_rto_expired(); }),
+      segments_(segment_ring_hint(config)) {
+  HSR_CHECK(static_cast<bool>(send_data_));
   HSR_CHECK(cfg_.initial_cwnd >= 1.0);
   HSR_CHECK_MSG(cfg_.initial_ssthresh > 0.0, "non-positive initial ssthresh");
   HSR_CHECK_MSG(cfg_.mss_bytes > 0, "zero MSS");
@@ -35,10 +52,32 @@ TcpSender::TcpSender(sim::Simulator& sim, TcpConfig config, FlowId flow,
   check_invariants();
 }
 
+void TcpSender::reserve_for(Duration duration, double data_rate_bps) {
+  if (duration <= Duration::zero() || data_rate_bps <= 0.0) return;
+  const double segments = duration.to_seconds() * data_rate_bps /
+                          (8.0 * static_cast<double>(cfg_.mss_bytes));
+  const auto clamped = [](double v, std::size_t lo, std::size_t hi) {
+    if (v >= static_cast<double>(hi)) return hi;
+    return std::max(lo, static_cast<std::size_t>(v));
+  };
+  // cwnd_trace_: ~one sample per ACK plus a few per loss episode; ACKs are
+  // bounded by segments delivered, i.e. by the saturated-link estimate.
+  cwnd_trace_.reserve(clamped(segments, 1024, std::size_t{1} << 20));
+  // events_: a handful per loss episode — orders of magnitude rarer than
+  // segments even on lossy HSR channels.
+  events_.reserve(clamped(segments / 16.0, 512, std::size_t{1} << 17));
+}
+
 void TcpSender::start() {
   record_cwnd();
   try_send();
 }
+
+// HSR_HOT_PATH_BEGIN — steady-state ACK-clock region: everything from
+// try_send through on_rto_expired runs per ACK / per timer pop and must not
+// allocate (FlowAllocTest / MultiFlowAllocTest pin 0 allocs per event; the
+// only admitted heap touches are the pre-sized vectors' amortized growth
+// and the flat structures' doubling, both exempted where they occur).
 
 double TcpSender::effective_window() const {
   return std::min(cwnd_, static_cast<double>(cfg_.receiver_window));
@@ -48,7 +87,7 @@ void TcpSender::try_send() {
   check_invariants();
   while (static_cast<double>(in_flight()) < std::floor(effective_window()) &&
          snd_next_ <= cfg_.total_segments) {
-    if (cfg_.enable_sack && sacked_.contains(snd_next_)) {
+    if (cfg_.enable_sack && sacked_.test(snd_next_)) {
       // Already at the receiver (SACKed): no need to resend during
       // go-back-N; the cumulative ACK will cover it once the holes fill.
       ++snd_next_;
@@ -74,9 +113,15 @@ void TcpSender::transmit(SeqNo seq) {
   // wire before: after a timeout the sender goes back to snd_una (go-back-N
   // without SACK), and those re-sends are retransmissions.
   const bool retransmission = seq <= highest_transmitted_;
-  highest_transmitted_ = std::max(highest_transmitted_, seq);
+  if (!retransmission) {
+    // First transmission: admit the sequence to the ring (growth only when
+    // SACK lets the span outrun the window hint) and reset the stale slot.
+    segments_.ensure_window(snd_una_, highest_transmitted_, seq);
+    segments_.at(seq) = SegmentInfo{};
+    highest_transmitted_ = seq;
+  }
 
-  auto& info = segments_[seq];
+  SegmentInfo& info = segments_.at(seq);
   if (retransmission) {
     ++info.retx_count;
     p.is_retransmission = true;
@@ -91,10 +136,12 @@ void TcpSender::transmit(SeqNo seq) {
 
 void TcpSender::restart_rto_timer() { rto_timer_.arm(rto_.rto()); }
 
-void TcpSender::record_cwnd() { cwnd_trace_.emplace_back(sim_.now(), cwnd_); }
+void TcpSender::record_cwnd() {
+  cwnd_trace_.emplace_back(sim_.now(), cwnd_);  // hsr-lint-ok: pre-sized by reserve_for; amortized growth past the estimate
+}
 
 void TcpSender::log_event(SenderEventType type, SeqNo seq) {
-  events_.push_back(SenderEvent{sim_.now(), type, seq, rto_.rto(),
+  events_.push_back(SenderEvent{sim_.now(), type, seq, rto_.rto(),  // hsr-lint-ok: pre-sized by reserve_for; amortized growth past the estimate
                                 rto_.backoff_multiplier()});
 }
 
@@ -102,7 +149,7 @@ void TcpSender::absorb_sack(const net::Packet& packet) {
   for (std::uint8_t i = 0; i < packet.sack_count; ++i) {
     const auto [first, last] = packet.sack[i];
     for (SeqNo seq = std::max(first, snd_una_ + 1); seq < last; ++seq) {
-      sacked_.insert(seq);
+      sacked_.mark(seq);
     }
   }
 }
@@ -114,17 +161,25 @@ bool TcpSender::retransmit_next_hole() {
   // scoreboard is chronically incomplete, and retransmitting on absence of
   // evidence storms the receiver with duplicates.
   if (sacked_.empty()) return false;
-  const SeqNo highest_sacked = *sacked_.rbegin();
-  SeqNo seq = std::max(sack_retx_next_, snd_una_);
-  while (seq <= recover_point_ && seq < snd_next_ && seq < highest_sacked) {
-    if (!sacked_.contains(seq)) {
-      transmit(seq);
-      sack_retx_next_ = seq + 1;
-      return true;
-    }
-    ++seq;
+  const SeqNo highest_sacked = sacked_.max_marked();
+  const SeqNo seq = std::max(sack_retx_next_, snd_una_);
+  // Inclusive upper bound of the historical per-sequence walk:
+  // seq <= recover_point_ && seq < snd_next_ && seq < highest_sacked.
+  const SeqNo limit =
+      std::min({recover_point_, snd_next_ - 1, highest_sacked - 1});
+  if (seq > limit) {
+    sack_retx_next_ = seq;
+    return false;
   }
-  sack_retx_next_ = seq;
+  const SeqNo hole = sacked_.next_hole(seq);
+  if (hole <= limit) {
+    transmit(hole);
+    sack_retx_next_ = hole + 1;
+    return true;
+  }
+  // [seq, limit] fully SACKed: park the cursor one past the bound, exactly
+  // where the per-sequence walk would have stopped.
+  sack_retx_next_ = limit + 1;
   return false;
 }
 
@@ -173,16 +228,23 @@ void TcpSender::on_ack(const net::Packet& packet) {
   const std::uint64_t newly_acked = ack_next - snd_una_;
 
   // Karn's algorithm: only segments never retransmitted yield RTT samples.
-  const auto it = segments_.find(ack_next - 1);
-  if (it != segments_.end() && it->second.retx_count == 0) {
-    const Duration sample = sim_.now() - it->second.last_sent;
-    rto_.add_sample(sample);
-    observe_rtt(sample);
+  // ack_next - 1 is always inside the ring's live window — a cumulative ACK
+  // covers transmitted data only — but the guard keeps a corrupt peer from
+  // reading a stale slot.
+  const SeqNo karn_seq = ack_next - 1;
+  if (karn_seq >= snd_una_ && karn_seq <= highest_transmitted_) {
+    const SegmentInfo& info = segments_.at(karn_seq);
+    if (info.retx_count == 0) {
+      const Duration sample = sim_.now() - info.last_sent;
+      rto_.add_sample(sample);
+      observe_rtt(sample);
+    }
   }
-  segments_.erase(segments_.begin(), segments_.lower_bound(ack_next));
+  // Advancing snd_una IS the prefix erase: ring slots below it simply leave
+  // the live window (the former std::map erased nodes here).
   snd_una_ = ack_next;
   if (cfg_.enable_sack) {
-    sacked_.erase(sacked_.begin(), sacked_.lower_bound(snd_una_));
+    sacked_.advance_base(snd_una_);
   }
   // A cumulative ACK can leap past the go-back-N resend pointer when the
   // receiver had later segments buffered all along (e.g. spurious timeout).
@@ -347,7 +409,9 @@ void TcpSender::on_rto_expired() {
   if (cfg_.enable_frto && first_timeout_of_sequence) {
     // F-RTO: keep snd_next where it is; whether to go back is decided by
     // the next two ACKs instead of assumed. (frto_prior_cwnd_ was captured
-    // above, before the window collapsed.)
+    // above, before the window collapsed.) The ring keeps every slot up to
+    // highest_transmitted_ live, so the phase-1 pullback-or-probe decision
+    // never re-admits sequences — only snd_next moves.
     frto_phase_ = 1;
   } else {
     // Conventional recovery: everything beyond snd_una is treated as lost
@@ -359,6 +423,8 @@ void TcpSender::on_rto_expired() {
   check_invariants();
   if (timeout_callback_) timeout_callback_(snd_una_);
 }
+
+// HSR_HOT_PATH_END
 
 void TcpSender::add_available_segments(std::uint64_t n) {
   if (cfg_.total_segments != UINT64_MAX) {

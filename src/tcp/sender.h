@@ -4,17 +4,23 @@
 //
 // The sender transmits an infinite (configurable) backlog of MSS-sized
 // segments, matching the steady-state assumption of the Padhye model.
+//
+// Allocation discipline: the per-segment bookkeeping is flat — a
+// SegmentRing for metadata (in-flight segments are contiguous in
+// [snd_una, highest_transmitted]) and a SeqScoreboard bitmap for SACK —
+// and the callbacks are SBO InlineFunctions, so steady-state ACK/timeout
+// processing performs ZERO heap allocations (pinned by FlowAllocTest and
+// bench_hotpath's flow_allocs_per_event).
 #pragma once
 
-#include <functional>
-#include <iterator>
-#include <map>
-#include <set>
+#include <utility>
+#include <vector>
 
 #include "net/packet.h"
 #include "sim/simulator.h"
 #include "sim/timer.h"
 #include "tcp/rto.h"
+#include "tcp/seq_window.h"
 #include "tcp/types.h"
 #include "util/logging.h"
 
@@ -25,7 +31,7 @@ class TcpSender {
   // `send_data` transmits a data segment toward the receiver (usually bound
   // to the downlink's send()).
   TcpSender(sim::Simulator& sim, TcpConfig config, FlowId flow,
-            std::function<void(net::Packet)> send_data);
+            PacketSendFn send_data);
 
   // Begins transmission at the current simulation time.
   void start();
@@ -36,14 +42,18 @@ class TcpSender {
   // Invoked at every RTO expiry with the timed-out segment, after the
   // retransmission went out. MPTCP uses this for its double-retransmission
   // rescue on an alternative subflow.
-  void set_timeout_callback(std::function<void(SeqNo)> cb) {
-    timeout_callback_ = std::move(cb);
-  }
+  void set_timeout_callback(TimeoutFn cb) { timeout_callback_ = std::move(cb); }
 
   // Makes `n` more application segments available to send (for senders
   // created with a finite/zero backlog, e.g. an MPTCP backup subflow fed on
   // demand) and tries to transmit immediately.
   void add_available_segments(std::uint64_t n);
+
+  // Pre-sizes the diagnostic series (cwnd trace, event log) for a flow of
+  // `duration` saturating `data_rate_bps`, so steady-state recording never
+  // reallocates mid-simulation. Same clamped heuristic as
+  // trace::FlowCapture::reserve_for; over-estimates are harmless.
+  void reserve_for(Duration duration, double data_rate_bps);
 
   // --- Introspection -------------------------------------------------------
   const SenderStats& stats() const { return stats_; }
@@ -64,21 +74,16 @@ class TcpSender {
   }
 
  private:
-  struct SegmentInfo {
-    TimePoint last_sent;
-    std::uint32_t retx_count = 0;
-  };
-
   // Outstanding segments. With SACK, segments known to have reached the
   // receiver no longer occupy the pipe (RFC 6675's pipe estimate). Only
   // scoreboard entries inside [snd_una, snd_next) count: after a go-back-N
   // pullback the entries above snd_next are not outstanding in the first
-  // place.
+  // place. rank_below is a popcount scan (O(window/64)); the former
+  // std::distance over the std::set walked every node on EVERY ACK.
   std::uint64_t in_flight() const {
     const std::uint64_t outstanding = snd_next_ - snd_una_;
     if (!cfg_.enable_sack || sacked_.empty()) return outstanding;
-    const std::uint64_t sacked_outstanding = static_cast<std::uint64_t>(
-        std::distance(sacked_.begin(), sacked_.lower_bound(snd_next_)));
+    const std::uint64_t sacked_outstanding = sacked_.rank_below(snd_next_);
     return outstanding > sacked_outstanding ? outstanding - sacked_outstanding : 0;
   }
   double effective_window() const;
@@ -111,9 +116,10 @@ class TcpSender {
     HSR_DCHECK_MSG(snd_una_ <= snd_next_, "send window inverted (una > next)");
     HSR_DCHECK_MSG(highest_transmitted_ + 1 >= snd_una_,
                    "acknowledged data that was never transmitted");
-    HSR_DCHECK_MSG(segments_.empty() || segments_.begin()->first >= snd_una_,
-                   "stale scoreboard entry below snd_una");
-    HSR_DCHECK_MSG(sacked_.empty() || *sacked_.begin() >= snd_una_,
+    HSR_DCHECK_MSG(highest_transmitted_ < snd_una_ ||
+                       highest_transmitted_ - snd_una_ < segments_.capacity(),
+                   "segment ring narrower than the in-flight window");
+    HSR_DCHECK_MSG(sacked_.empty() || sacked_.min_marked() >= snd_una_,
                    "stale SACK entry below snd_una");
     HSR_DCHECK_MSG(frto_phase_ <= 2, "invalid F-RTO phase");
   }
@@ -134,7 +140,7 @@ class TcpSender {
   sim::Simulator& sim_;
   TcpConfig cfg_;
   FlowId flow_;
-  std::function<void(net::Packet)> send_data_;
+  PacketSendFn send_data_;
 
   SeqNo snd_una_ = 1;   // lowest unacknowledged segment
   SeqNo snd_next_ = 1;  // next segment to transmit (may be pulled back by RTO)
@@ -162,18 +168,22 @@ class TcpSender {
   bool veno_skip_increment_ = false;
 
   // SACK scoreboard: segments above snd_una known to have been received.
-  std::set<SeqNo> sacked_;
+  // Floored at snd_una (advance_base on every cumulative ACK); the floor
+  // itself may be marked when a reordered cumulative ACK lands below an
+  // absorbed SACK block.
+  SeqScoreboard sacked_;
   // Next candidate for SACK-driven hole retransmission in fast recovery.
   SeqNo sack_retx_next_ = 0;
 
   RtoEstimator rto_;
   sim::Timer rto_timer_;
-  std::map<SeqNo, SegmentInfo> segments_;  // un-acked segment metadata
+  // Un-acked segment metadata, live over [snd_una, highest_transmitted].
+  SegmentRing segments_;
 
   SenderStats stats_;
   std::vector<SenderEvent> events_;
   std::vector<std::pair<TimePoint, double>> cwnd_trace_;
-  std::function<void(SeqNo)> timeout_callback_;
+  TimeoutFn timeout_callback_;
 };
 
 }  // namespace hsr::tcp

@@ -1,0 +1,254 @@
+// Flat sequence-window structures backing the TCP endpoints: a power-of-two
+// ring of per-segment metadata and a bitmap scoreboard over sequence
+// numbers.
+//
+// Both exploit the same windowing fact: every sequence number a TCP
+// endpoint tracks lives in a bounded span above a monotonically advancing
+// floor (snd_una at the sender, rcv_next at the receiver). A circular array
+// indexed by `seq & mask` therefore replaces the node-based std::map /
+// std::set the endpoints used to carry — lookup, mark, rank and
+// prefix-erase become O(1)-per-sequence pointer arithmetic with ZERO
+// steady-state allocations. Growth (needed only when SACK lets the
+// in-flight span outrun the initial window hint — SACKed segments leave the
+// pipe estimate, so snd_next can run past snd_una + rwnd) doubles the arena
+// and re-places the live slots; it is amortized O(1) and the only path that
+// can touch the heap.
+//
+// See DESIGN.md "Segment ring and flat scoreboard" for the invariants
+// (window bound, wrap rules, F-RTO pullback interaction).
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.h"
+#include "util/logging.h"
+#include "util/time.h"
+
+namespace hsr::tcp {
+
+using net::SeqNo;
+
+// Metadata of one un-acked segment (sender side).
+struct SegmentInfo {
+  util::TimePoint last_sent;
+  std::uint32_t retx_count = 0;
+};
+
+// Fixed-capacity ring of SegmentInfo indexed by sequence number. Validity
+// is the CALLER's contract: the sender reads only slots inside its live
+// window [snd_una, highest_transmitted] and resets a slot on first
+// transmission, so slots outside the window may hold stale bytes without
+// consequence. Erase-below-una is therefore free (advancing snd_una IS the
+// erase), and there is no per-slot occupancy bookkeeping to maintain.
+class SegmentRing {
+ public:
+  // `capacity_hint` slots, rounded up to a power of two (min 64). Size the
+  // hint to the advertised window; SACK overshoot grows on demand.
+  explicit SegmentRing(std::size_t capacity_hint = 64) {
+    const std::size_t cap = std::bit_ceil(std::max<std::size_t>(capacity_hint, 64));
+    slots_.assign(cap, SegmentInfo{});
+    mask_ = cap - 1;
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  // Slot of `seq`. Only meaningful for sequence numbers inside the caller's
+  // live window (or being admitted to it via ensure_window).
+  SegmentInfo& at(SeqNo seq) { return slots_[static_cast<std::size_t>(seq & mask_)]; }
+  const SegmentInfo& at(SeqNo seq) const {
+    return slots_[static_cast<std::size_t>(seq & mask_)];
+  }
+
+  // Admits `need` as the new high end of the live window [live_lo, live_hi]
+  // (live_hi < live_lo means the window is empty). A no-op while the span
+  // fits — the steady state; otherwise doubles and re-places live slots.
+  void ensure_window(SeqNo live_lo, SeqNo live_hi, SeqNo need) {
+    HSR_DCHECK_MSG(need >= live_lo, "ring window inverted");
+    if (need - live_lo < slots_.size()) return;
+    grow(live_lo, live_hi, need);
+  }
+
+ private:
+  // Cold path: never taken while the in-flight span fits the arena.
+  void grow(SeqNo live_lo, SeqNo live_hi, SeqNo need) {
+    const std::uint64_t span = need - live_lo + 1;
+    std::size_t cap = slots_.size();
+    while (cap < span) cap *= 2;
+    std::vector<SegmentInfo> next(cap);
+    const SeqNo next_mask = cap - 1;
+    if (live_hi >= live_lo) {
+      for (SeqNo s = live_lo; s <= live_hi; ++s) {
+        next[static_cast<std::size_t>(s & next_mask)] =
+            slots_[static_cast<std::size_t>(s & mask_)];
+      }
+    }
+    slots_ = std::move(next);
+    mask_ = next_mask;
+  }
+
+  std::vector<SegmentInfo> slots_;
+  SeqNo mask_ = 0;
+};
+
+// Bitmap scoreboard over sequence numbers at or above an advancing floor —
+// the flat replacement for std::set<SeqNo> in the sender's SACK scoreboard
+// and the receiver's out-of-order reassembly set.
+//
+// Physical layout: a power-of-two ring of 64-bit words indexed by
+// `(seq / 64) & word_mask`. Invariant: every set bit belongs to a sequence
+// number in [base, max_marked], and that span covers at most the ring's
+// word count, so the logical→physical word mapping is unambiguous (distinct
+// live logical words never alias) and words outside the live span are all
+// zero. advance_base() clears every word it passes, which is what keeps the
+// all-zero-outside property as the floor sweeps forward (amortized O(1) per
+// sequence number passed). The floor itself MAY be marked: a reordered
+// cumulative ACK can land below an absorbed SACK block, leaving snd_una
+// itself on the scoreboard — exactly like the historical
+// `erase(begin, lower_bound(snd_una))` which kept the == entry.
+class SeqScoreboard {
+ public:
+  static constexpr SeqNo kNone = ~SeqNo{0};
+
+  // Scoreboard floored at `base` with room for ~`span_hint` sequence
+  // numbers before the first growth.
+  explicit SeqScoreboard(SeqNo base = 0, std::size_t span_hint = 256) {
+    const std::size_t words =
+        std::bit_ceil(std::max<std::size_t>(span_hint / 64 + 2, 4));
+    words_.assign(words, 0);
+    wmask_ = words - 1;
+    base_ = base;
+  }
+
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+  SeqNo base() const { return base_; }
+
+  // Highest marked sequence. Callers must check empty() first.
+  SeqNo max_marked() const {
+    HSR_DCHECK_MSG(count_ > 0, "max_marked on an empty scoreboard");
+    return max_;
+  }
+  // Lowest marked sequence; kNone when empty.
+  SeqNo min_marked() const { return next_marked(base_); }
+
+  bool test(SeqNo seq) const {
+    if (count_ == 0 || seq < base_ || seq > max_) return false;
+    return (word_value(widx(seq)) & bit(seq)) != 0;
+  }
+
+  // Marks `seq` (must be >= base()); returns true when newly marked.
+  bool mark(SeqNo seq) {
+    HSR_DCHECK_MSG(seq >= base_, "mark below the scoreboard floor");
+    if (widx(seq) - widx(base_) >= words_.size()) grow(seq);
+    std::uint64_t& w = word(widx(seq));
+    const std::uint64_t b = bit(seq);
+    if ((w & b) != 0) return false;
+    w |= b;
+    if (count_ == 0 || seq > max_) max_ = seq;
+    ++count_;
+    return true;
+  }
+
+  // Advances the floor, clearing every mark strictly below `new_base`.
+  void advance_base(SeqNo new_base) {
+    if (new_base <= base_) return;
+    if (count_ == 0) {
+      base_ = new_base;
+      return;
+    }
+    if (new_base > max_) {
+      for (std::uint64_t w = widx(base_); w <= widx(max_); ++w) word(w) = 0;
+      count_ = 0;
+      base_ = new_base;
+      return;
+    }
+    for (std::uint64_t w = widx(base_); w < widx(new_base); ++w) {
+      count_ -= static_cast<std::size_t>(std::popcount(word(w)));
+      word(w) = 0;
+    }
+    std::uint64_t& w = word(widx(new_base));
+    const std::uint64_t below = bit(new_base) - 1;  // bits of seqs < new_base
+    count_ -= static_cast<std::size_t>(std::popcount(w & below));
+    w &= ~below;
+    base_ = new_base;
+  }
+
+  // Number of marked sequences strictly below `seq` — the rank query behind
+  // the SACK pipe estimate. Popcount over at most span/64 words; the
+  // historical std::distance over the std::set walked every node.
+  std::size_t rank_below(SeqNo seq) const {
+    if (count_ == 0 || seq <= base_) return 0;
+    if (seq > max_) return count_;
+    std::size_t rank = 0;
+    for (std::uint64_t w = widx(base_); w < widx(seq); ++w) {
+      rank += static_cast<std::size_t>(std::popcount(word_value(w)));
+    }
+    rank += static_cast<std::size_t>(
+        std::popcount(word_value(widx(seq)) & (bit(seq) - 1)));
+    return rank;
+  }
+
+  // Lowest marked sequence >= `from`; kNone when there is none.
+  SeqNo next_marked(SeqNo from) const {
+    if (count_ == 0) return kNone;
+    const SeqNo f = from < base_ ? base_ : from;
+    if (f > max_) return kNone;
+    std::uint64_t w = widx(f);
+    std::uint64_t cur = word_value(w) & ~(bit(f) - 1);
+    while (cur == 0) {
+      ++w;
+      if (w > widx(max_)) return kNone;
+      cur = word_value(w);
+    }
+    return (w << 6) + static_cast<SeqNo>(std::countr_zero(cur));
+  }
+
+  // Lowest UNmarked sequence >= `from` (always exists: max_marked()+1 at
+  // the latest). This is retransmit_next_hole's scan primitive.
+  SeqNo next_hole(SeqNo from) const {
+    if (count_ == 0 || from < base_ || from > max_) return from;
+    std::uint64_t w = widx(from);
+    std::uint64_t cur = ~word_value(w) & ~(bit(from) - 1);
+    while (cur == 0) {
+      ++w;
+      if (w > widx(max_)) return max_ + 1;
+      cur = ~word_value(w);
+    }
+    return (w << 6) + static_cast<SeqNo>(std::countr_zero(cur));
+  }
+
+ private:
+  static std::uint64_t widx(SeqNo seq) { return seq >> 6; }
+  static std::uint64_t bit(SeqNo seq) { return std::uint64_t{1} << (seq & 63); }
+  std::uint64_t& word(std::uint64_t w) { return words_[w & wmask_]; }
+  std::uint64_t word_value(std::uint64_t w) const { return words_[w & wmask_]; }
+
+  // Cold path: doubles the word ring until [base, seq] fits, re-placing the
+  // live words under the new mask (all-zero slots need no copy).
+  void grow(SeqNo seq) {
+    const std::uint64_t span = widx(seq) - widx(base_) + 1;
+    std::size_t cap = words_.size();
+    while (cap < span) cap *= 2;
+    std::vector<std::uint64_t> next(cap, 0);
+    const std::uint64_t next_mask = cap - 1;
+    if (count_ > 0) {
+      for (std::uint64_t w = widx(base_); w <= widx(max_); ++w) {
+        next[static_cast<std::size_t>(w & next_mask)] = words_[w & wmask_];
+      }
+    }
+    words_ = std::move(next);
+    wmask_ = next_mask;
+  }
+
+  std::vector<std::uint64_t> words_;
+  std::uint64_t wmask_ = 0;
+  SeqNo base_ = 0;
+  SeqNo max_ = 0;  // meaningful only while count_ > 0
+  std::size_t count_ = 0;
+};
+
+}  // namespace hsr::tcp

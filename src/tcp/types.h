@@ -1,12 +1,14 @@
 // Shared TCP configuration and ground-truth event types.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "net/packet.h"
 #include "tcp/rto.h"
+#include "util/inline_function.h"
 #include "util/time.h"
 
 namespace hsr::tcp {
@@ -15,6 +17,20 @@ using net::FlowId;
 using net::SeqNo;
 using util::Duration;
 using util::TimePoint;
+
+// Endpoint callback types: move-only small-buffer callables, matching
+// sim::EventAction and net::Link::Receiver instead of std::function. Every
+// production wiring (Connection, run_multi_flow, MPTCP subflows) captures at
+// most two pointers, which the 48-byte inline buffer holds without touching
+// the heap — static_asserted at each call site. An oversized capture
+// (test-only convenience) degrades to ONE construction-time allocation,
+// never a per-event one.
+inline constexpr std::size_t kEndpointCallbackInlineBytes = 48;
+// Transmits a packet toward the peer (usually bound to a Link's send()).
+using PacketSendFn =
+    util::InlineFunction<void(net::Packet), kEndpointCallbackInlineBytes>;
+// Observes an RTO expiry (MPTCP's double-retransmission rescue hook).
+using TimeoutFn = util::InlineFunction<void(SeqNo), kEndpointCallbackInlineBytes>;
 
 // Congestion-control flavor. Reno is the paper's subject ("TCP Reno is the
 // basis of the other TCP versions"); NewReno (RFC 6582 partial-ACK recovery)

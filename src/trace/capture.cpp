@@ -8,21 +8,31 @@
 namespace hsr::trace {
 
 void FlowCapture::reserve_for(Duration duration, double data_rate_bps,
-                              std::uint32_t mss_bytes, unsigned delayed_ack_b) {
+                              std::uint32_t mss_bytes) {
   if (duration <= Duration::zero() || data_rate_bps <= 0.0 || mss_bytes == 0) {
     return;
   }
   const double segments =
       duration.to_seconds() * data_rate_bps / (8.0 * static_cast<double>(mss_bytes));
-  // Initial tranche: a quarter of the saturated-link estimate, clamped.
-  const double tranche = segments / 4.0;
+  // Full saturated-link estimate, clamped. (This used to reserve a quarter
+  // tranche and let vector doubling absorb the rest; the growth that saved
+  // memory up front cost reallocations mid-flow, which the steady-state
+  // zero-allocation contract — FlowAllocTest, bench_hotpath — now forbids.)
   const std::size_t data_reserve = std::clamp(
-      tranche >= static_cast<double>(kMaxReserveTx) ? kMaxReserveTx
-                                                    : static_cast<std::size_t>(tranche),
+      segments >= static_cast<double>(kMaxReserveTx)
+          ? kMaxReserveTx
+          : static_cast<std::size_t>(segments),
       kMinReserveTx, kMaxReserveTx);
   data.reserve(data_reserve);
-  const unsigned b = delayed_ack_b == 0 ? 1 : delayed_ack_b;
-  acks.reserve(std::max(kMinReserveTx, data_reserve / b));
+  // ACK-direction upper bound: the receiver never sends more ACKs than it
+  // received segments (quickack and the delack timer only close the gap
+  // toward one-per-segment), so the data-side estimate covers ACKs too.
+  acks.reserve(data_reserve);
+}
+
+void FlowCapture::reserve_id_space(std::size_t expected_ids) {
+  data.reserve_ids(expected_ids);
+  acks.reserve_ids(expected_ids);
 }
 
 void DirectionCapture::reserve(std::size_t expected_transmissions) {
@@ -30,6 +40,10 @@ void DirectionCapture::reserve(std::size_t expected_transmissions) {
   // Ids are drawn from one per-flow counter shared by both directions, so
   // the id index spans roughly twice this direction's own traffic.
   index_of_id_.reserve(expected_transmissions * 2);
+}
+
+void DirectionCapture::reserve_ids(std::size_t expected_ids) {
+  index_of_id_.reserve(expected_ids);
 }
 
 void DirectionCapture::on_send(const Packet& packet, TimePoint when) {

@@ -64,6 +64,12 @@ class DirectionCapture final : public net::LinkTap {
   // reservation falls back to the containers' own geometric resizing.
   void reserve(std::size_t expected_transmissions);
 
+  // Pre-sizes only the id→index table. Multi-flow scenarios draw packet ids
+  // from ONE shared counter, so every flow's table spans the whole
+  // scenario's id space — far beyond the flow's own transmission count that
+  // reserve() assumes.
+  void reserve_ids(std::size_t expected_ids);
+
   void on_send(const Packet& packet, TimePoint when) override;
   void on_drop(const Packet& packet, TimePoint when, const DropCause& cause) override;
   void on_deliver(const Packet& packet, TimePoint sent, TimePoint arrived) override;
@@ -103,15 +109,21 @@ struct FlowCapture {
 
   // Flow-duration heuristic reserve: pre-sizes both directions for a flow
   // expected to run `duration` over a data link of `data_rate_bps`, sending
-  // `mss_bytes` segments acknowledged cumulatively every `delayed_ack_b`
-  // segments. The estimate assumes a saturated downlink (the paper's bulk
-  // downloads), so it is an upper bound for loss- or cwnd-limited flows;
-  // the initial tranche is a quarter of it (geometric growth covers the
-  // saturated case in a couple of doublings) and is clamped to
+  // `mss_bytes` segments. The estimate assumes a saturated downlink (the
+  // paper's bulk downloads), so it is an upper bound for loss- or
+  // cwnd-limited flows — and it also bounds the ACK direction, since the
+  // receiver never acknowledges more segments than arrived. The full
+  // estimate is reserved up front (steady-state capture recording must not
+  // reallocate — the zero-allocs-per-event contract), clamped to
   // [kMinReserveTx, kMaxReserveTx] so degenerate configs neither skip the
   // reserve nor overcommit memory.
   void reserve_for(Duration duration, double data_rate_bps,
-                   std::uint32_t mss_bytes, unsigned delayed_ack_b);
+                   std::uint32_t mss_bytes);
+
+  // Companion to reserve_for in shared-bottleneck scenarios: pre-sizes both
+  // directions' id tables for `expected_ids` distinct packet ids (the whole
+  // scenario's traffic, all flows, both directions).
+  void reserve_id_space(std::size_t expected_ids);
 
   static constexpr std::size_t kMinReserveTx = 1024;
   static constexpr std::size_t kMaxReserveTx = std::size_t{1} << 20;

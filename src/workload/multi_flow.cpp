@@ -9,6 +9,7 @@
 #include "sim/simulator.h"
 #include "tcp/receiver.h"
 #include "tcp/sender.h"
+#include "util/alloc_probe.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -100,7 +101,22 @@ MultiFlowResult run_multi_flow(const MultiFlowSpec& spec) {
     // unfair flows is harmless — reserve_for clamps).
     capture.reserve_for(spec.duration,
                         down_cfg.rate_bps / static_cast<double>(n),
-                        resolved[i].tcp.mss_bytes, resolved[i].tcp.delayed_ack_b);
+                        resolved[i].tcp.mss_bytes);
+    // All flows draw packet ids from ONE shared counter, so every flow's
+    // id→index table spans the whole scenario's traffic — data sends plus
+    // ACKs, bounded by 2x the saturated-link segment count — not just this
+    // flow's share. Undershooting here costs resize doublings mid-run,
+    // which the steady-state zero-allocation contract forbids.
+    const double total_segments =
+        spec.duration.to_seconds() * down_cfg.rate_bps /
+        (8.0 * static_cast<double>(resolved[i].tcp.mss_bytes));
+    const double total_ids = total_segments * 2.5;
+    capture.reserve_id_space(std::clamp(
+        total_ids >= static_cast<double>(4 * trace::FlowCapture::kMaxReserveTx)
+            ? 4 * trace::FlowCapture::kMaxReserveTx
+            : static_cast<std::size_t>(total_ids),
+        2 * trace::FlowCapture::kMinReserveTx,
+        4 * trace::FlowCapture::kMaxReserveTx));
 
     std::unique_ptr<net::ChannelModel> down = env.make_channel(
         radio::Direction::kDownlink,
@@ -108,6 +124,14 @@ MultiFlowResult run_multi_flow(const MultiFlowSpec& spec) {
     std::unique_ptr<net::ChannelModel> up = env.make_channel(
         radio::Direction::kUplink,
         i == 0 ? rng.fork("chan-up") : rng.fork("chan-up", i));
+    if (!resolved[i].downlink_faults.empty() ||
+        !resolved[i].uplink_faults.empty()) {
+      // The injectors append an audit record per triggered fault on the
+      // packet drop/delay path; pre-size the trail so steady-state fault
+      // churn (scripted blackout bursts) does not reallocate mid-run.
+      // Overflow beyond the tranche falls back to geometric growth.
+      capture.faults.reserve(4096);
+    }
     if (!resolved[i].downlink_faults.empty()) {
       auto injector = std::make_unique<fault::FaultInjector>(
           resolved[i].downlink_faults, std::move(down));
@@ -130,15 +154,35 @@ MultiFlowResult run_multi_flow(const MultiFlowSpec& spec) {
   net::Link uplink(sim, up_cfg, std::move(up_demux));
 
   std::vector<FlowStack> stacks(n);
+  // Peak pending-event estimate for the queue pre-size: every in-flight
+  // data segment and every in-flight ACK carries one scheduled delivery
+  // event (bounded per flow by the receiver window), plus each flow's RTO
+  // and delayed-ACK timers and a margin for link-serialization and radio
+  // bookkeeping events.
+  std::size_t expected_pending = 128;
   for (unsigned i = 0; i < n; ++i) {
     const net::FlowId flow = i + 1;
     const tcp::TcpConfig tcfg = tcp::make_tcp_config(
         resolved[i].tcp, spec.profile.receiver_window_segments);
+    expected_pending += 2 * static_cast<std::size_t>(tcfg.receiver_window) + 8;
     HSR_CHECK_MSG(tcfg.delayed_ack_b >= 1, "delayed_ack_b must be >= 1");
-    stacks[i].receiver = std::make_unique<tcp::TcpReceiver>(
-        sim, tcfg, flow, [&uplink](net::Packet p) { uplink.send(std::move(p)); });
-    stacks[i].sender = std::make_unique<tcp::TcpSender>(
-        sim, tcfg, flow, [&downlink](net::Packet p) { downlink.send(std::move(p)); });
+    auto ack_tx = [&uplink](net::Packet p) { uplink.send(std::move(p)); };
+    static_assert(tcp::PacketSendFn::holds_inline<decltype(ack_tx)>(),
+                  "ACK send closure outgrew the PacketSendFn SBO");
+    stacks[i].receiver =
+        std::make_unique<tcp::TcpReceiver>(sim, tcfg, flow, std::move(ack_tx));
+    auto data_tx = [&downlink](net::Packet p) { downlink.send(std::move(p)); };
+    static_assert(tcp::PacketSendFn::holds_inline<decltype(data_tx)>(),
+                  "data send closure outgrew the PacketSendFn SBO");
+    stacks[i].sender =
+        std::make_unique<tcp::TcpSender>(sim, tcfg, flow, std::move(data_tx));
+
+    // Pre-size the endpoints' diagnostic series for this flow's fair share
+    // of the bottleneck — same contract as the capture reserve above: no
+    // vector growth once the flow reaches steady state.
+    const double share = down_cfg.rate_bps / static_cast<double>(n);
+    stacks[i].sender->reserve_for(spec.duration, share);
+    stacks[i].receiver->reserve_for(spec.duration, share);
 
     // Per-flow demux endpoints. The closures must stay inside the Receiver
     // SBO: a heap fallback here would put an allocation on every delivery.
@@ -158,6 +202,7 @@ MultiFlowResult run_multi_flow(const MultiFlowSpec& spec) {
                   "per-packet delivery would heap-allocate");
     uplink.register_endpoint(flow, std::move(ack_endpoint), &out.captures[i].acks);
   }
+  sim.reserve_events(expected_pending);
 
   // Staggered starts: offset-zero flows start synchronously before the
   // event loop (exactly like the legacy single-flow path), later arrivals
@@ -170,6 +215,25 @@ MultiFlowResult run_multi_flow(const MultiFlowSpec& spec) {
       sim.at(TimePoint::zero() + resolved[i].start_offset,
              [sender] { sender->start(); });
     }
+  }
+
+  // Steady-state allocation probe: snapshot the thread's AllocProbe counter
+  // and the event count at the window edges. Scheduled AFTER the start
+  // events so a probe_begin of zero measures from the first event on. The
+  // counters only tick in binaries that install the counting allocator; the
+  // two extra events never touch captures, so the recorded bytes are
+  // unchanged whether or not the probe is armed.
+  std::uint64_t probe_news0 = 0;
+  std::uint64_t probe_events0 = 0;
+  if (spec.probe_end > spec.probe_begin) {
+    sim.at(spec.probe_begin, [&] {
+      probe_news0 = util::AllocProbe::news;
+      probe_events0 = sim.events_executed();
+    });
+    sim.at(spec.probe_end, [&] {
+      out.steady_allocs = util::AllocProbe::news - probe_news0;
+      out.steady_events = sim.events_executed() - probe_events0;
+    });
   }
 
   sim.run_until(TimePoint::zero() + spec.duration);

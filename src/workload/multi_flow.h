@@ -58,6 +58,18 @@ struct MultiFlowSpec {
   // Watchdog: abort once the simulator executed this many events; 0 = off.
   std::uint64_t max_sim_events = 0;
 
+  // Steady-state allocation probe: when probe_end > probe_begin, the heap
+  // allocations (util::AllocProbe news) and simulator events executed
+  // inside [probe_begin, probe_end] are reported in
+  // MultiFlowResult::steady_allocs / steady_events. The probe counters only
+  // tick in binaries that install the counting allocator
+  // (HSRTCP_ALLOC_PROBE_DEFINE_GLOBALS — the alloc tests and
+  // bench_hotpath); elsewhere steady_allocs reads 0 and only steady_events
+  // is meaningful. The two probe events do not touch captures, so enabling
+  // the window never perturbs the recorded bytes.
+  TimePoint probe_begin = TimePoint::zero();
+  TimePoint probe_end = TimePoint::zero();
+
   unsigned flow_count() const {
     return senders.empty() ? flows : static_cast<unsigned>(senders.size());
   }
@@ -100,6 +112,12 @@ struct MultiFlowResult {
   std::uint64_t sim_events = 0;
   std::uint64_t sim_scheduled = 0;
   std::uint64_t sim_tombstones = 0;
+  // Deltas over the spec's [probe_begin, probe_end] window (zero when the
+  // probe is disabled): heap allocations observed by util::AllocProbe and
+  // events the simulator executed. The zero-allocs-per-event gates divide
+  // these two.
+  std::uint64_t steady_allocs = 0;
+  std::uint64_t steady_events = 0;
 };
 
 // Runs the scenario: one Simulator, one RadioEnvironment (all flows ride the

@@ -47,6 +47,8 @@ FlowRunResult run_flow(const FlowRunConfig& cfg) {
   spec.duration = cfg.duration;
   spec.seed = cfg.seed;
   spec.max_sim_events = cfg.max_sim_events;
+  spec.probe_begin = cfg.probe_begin;
+  spec.probe_end = cfg.probe_end;
   MultiFlowSenderSpec sender;
   sender.tcp = cfg.tcp;
   sender.downlink_faults = cfg.downlink_faults;
@@ -71,6 +73,8 @@ FlowRunResult run_flow(const FlowRunConfig& cfg) {
   out.sim_events = mr.sim_events;
   out.sim_scheduled = mr.sim_scheduled;
   out.sim_tombstones = mr.sim_tombstones;
+  out.steady_allocs = mr.steady_allocs;
+  out.steady_events = mr.steady_events;
   out.bytes_captured = f.bytes_captured;
   out.capture = std::move(mr.captures.at(0));
   return out;

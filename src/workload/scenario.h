@@ -39,6 +39,12 @@ struct FlowRunConfig {
   // simulator has executed this many events; 0 = unlimited. `duration` is
   // the sim-time budget; this bounds runaway event churn within it.
   std::uint64_t max_sim_events = 0;
+
+  // Steady-state allocation probe window (see MultiFlowSpec::probe_begin):
+  // when probe_end > probe_begin, FlowRunResult::steady_allocs /
+  // steady_events report the deltas inside the window.
+  TimePoint probe_begin = TimePoint::zero();
+  TimePoint probe_end = TimePoint::zero();
 };
 
 struct FlowRunResult {
@@ -67,6 +73,9 @@ struct FlowRunResult {
   std::uint64_t sim_events = 0;
   std::uint64_t sim_scheduled = 0;
   std::uint64_t sim_tombstones = 0;
+  // Probe-window deltas (zero when the probe is disabled; see FlowRunConfig).
+  std::uint64_t steady_allocs = 0;
+  std::uint64_t steady_events = 0;
 };
 
 // TCP configuration used for a profile (exposed so analyses know b and W_m).

@@ -189,19 +189,24 @@ TEST_P(SeamWriterSurvivalTest, PreexistingFilesSurviveEveryFailedSave) {
   fault_plan.drop_retransmissions(2, "survival");
   analysis::CorpusStats stats;
 
+  // Parameter instances run as concurrent ctest processes in one working
+  // directory, so every path must be unique per outcome or the instances
+  // clobber each other's "good save first" archives.
+  const std::string tag = "io_fault_survival_" +
+                          std::to_string(static_cast<int>(outcome)) + "_";
   struct Case {
     std::string path;
     std::function<util::Status(util::Fs&)> save;
   };
   const std::vector<Case> cases = {
-      {"io_fault_survival_capture.txt",
-       [&](util::Fs& f) { return trace::save_flow_capture(f, "io_fault_survival_capture.txt", capture); }},
-      {"io_fault_survival_capture.hsrb",
-       [&](util::Fs& f) { return trace::save_flow_capture_binary(f, "io_fault_survival_capture.hsrb", capture); }},
-      {"io_fault_survival_plan.txt",
-       [&](util::Fs& f) { return save_fault_plan(f, "io_fault_survival_plan.txt", fault_plan); }},
-      {"io_fault_survival_stats.txt",
-       [&](util::Fs& f) { return analysis::save_corpus_stats(f, "io_fault_survival_stats.txt", stats); }},
+      {tag + "capture.txt",
+       [&](util::Fs& f) { return trace::save_flow_capture(f, tag + "capture.txt", capture); }},
+      {tag + "capture.hsrb",
+       [&](util::Fs& f) { return trace::save_flow_capture_binary(f, tag + "capture.hsrb", capture); }},
+      {tag + "plan.txt",
+       [&](util::Fs& f) { return save_fault_plan(f, tag + "plan.txt", fault_plan); }},
+      {tag + "stats.txt",
+       [&](util::Fs& f) { return analysis::save_corpus_stats(f, tag + "stats.txt", stats); }},
   };
 
   for (const Case& c : cases) {

@@ -1,0 +1,215 @@
+// Differential tests for the flat sequence-window structures (seq_window.h)
+// against the node-based reference containers they replaced: SeqScoreboard
+// vs std::set<SeqNo>, SegmentRing vs std::map<SeqNo, SegmentInfo>. The
+// randomized drivers replay adversarial SACK/reorder/pullback sequences —
+// marks far above the floor, partial-word floor advances, F-RTO-style
+// pullbacks of the scan cursor — and check every query against the
+// reference after every step. Seeded and deterministic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <set>
+
+#include "tcp/seq_window.h"
+#include "util/time.h"
+
+namespace hsr::tcp {
+namespace {
+
+// Reference implementation of every SeqScoreboard query over std::set.
+struct SetScoreboard {
+  std::set<SeqNo> marks;
+  SeqNo base = 0;
+
+  bool mark(SeqNo seq) { return marks.insert(seq).second; }
+  void advance_base(SeqNo new_base) {
+    if (new_base <= base) return;
+    marks.erase(marks.begin(), marks.lower_bound(new_base));
+    base = new_base;
+  }
+  bool test(SeqNo seq) const { return marks.count(seq) != 0; }
+  std::size_t rank_below(SeqNo seq) const {
+    return static_cast<std::size_t>(
+        std::distance(marks.begin(), marks.lower_bound(seq)));
+  }
+  SeqNo next_marked(SeqNo from) const {
+    auto it = marks.lower_bound(std::max(from, base));
+    return it == marks.end() ? SeqScoreboard::kNone : *it;
+  }
+  SeqNo next_hole(SeqNo from) const {
+    SeqNo seq = from;
+    while (marks.count(seq) != 0) ++seq;
+    return seq;
+  }
+};
+
+void expect_equivalent(const SeqScoreboard& flat, const SetScoreboard& ref,
+                       SeqNo probe_hi, std::mt19937_64& rng) {
+  ASSERT_EQ(flat.size(), ref.marks.size());
+  ASSERT_EQ(flat.empty(), ref.marks.empty());
+  if (!ref.marks.empty()) {
+    ASSERT_EQ(flat.max_marked(), *ref.marks.rbegin());
+    ASSERT_EQ(flat.min_marked(), *ref.marks.begin());
+  } else {
+    ASSERT_EQ(flat.min_marked(), SeqScoreboard::kNone);
+  }
+  // Point probes: a dense band at the floor (where the partial-word clear
+  // of advance_base lives), every mark and its neighbours, and random
+  // samples across the span plus a margin beyond it.
+  auto probe = [&](SeqNo s) {
+    ASSERT_EQ(flat.test(s), ref.test(s)) << "seq " << s;
+    ASSERT_EQ(flat.rank_below(s), ref.rank_below(s)) << "seq " << s;
+    ASSERT_EQ(flat.next_marked(s), ref.next_marked(s)) << "seq " << s;
+    ASSERT_EQ(flat.next_hole(s), ref.next_hole(s)) << "seq " << s;
+  };
+  for (SeqNo s = ref.base; s <= std::min(ref.base + 80, probe_hi); ++s) probe(s);
+  for (SeqNo m : ref.marks) {
+    probe(m);
+    if (m > ref.base) probe(m - 1);
+    probe(m + 1);
+  }
+  for (int i = 0; i < 64; ++i) {
+    probe(ref.base + rng() % (probe_hi - ref.base + 1));
+  }
+}
+
+TEST(SeqScoreboardTest, FloorItselfMayStayMarked) {
+  // A reordered cumulative ACK lands below an absorbed SACK block: the
+  // floor advances to a marked sequence, which must survive — exactly like
+  // the historical erase(begin, lower_bound(snd_una)) keeping the == entry.
+  SeqScoreboard sb(/*base=*/1);
+  sb.mark(5);
+  sb.mark(7);
+  sb.advance_base(5);
+  EXPECT_TRUE(sb.test(5));
+  EXPECT_EQ(sb.size(), 2u);
+  EXPECT_EQ(sb.rank_below(6), 1u);
+  sb.advance_base(6);
+  EXPECT_FALSE(sb.test(5));
+  EXPECT_EQ(sb.size(), 1u);
+}
+
+TEST(SeqScoreboardTest, MarkFarAboveFloorGrows) {
+  SeqScoreboard sb(/*base=*/1, /*span_hint=*/64);
+  sb.mark(2);
+  sb.mark(100'000);  // far beyond the hinted span: must grow, not alias
+  EXPECT_TRUE(sb.test(2));
+  EXPECT_TRUE(sb.test(100'000));
+  EXPECT_FALSE(sb.test(65'538));  // would alias seq 2 in a 1024-bit ring
+  EXPECT_EQ(sb.rank_below(100'000), 1u);
+  EXPECT_EQ(sb.next_hole(2), 3u);
+  EXPECT_EQ(sb.next_marked(3), 100'000u);
+}
+
+TEST(SeqScoreboardTest, RandomizedDifferentialAgainstSet) {
+  std::mt19937_64 rng(0xc0ffee2016ULL);
+  SeqScoreboard flat(/*base=*/1, /*span_hint=*/64);
+  SetScoreboard ref;
+  ref.base = 1;
+  SeqNo frontier = 1;  // grows like snd_next: marks land in [base, frontier]
+  for (int step = 0; step < 4000; ++step) {
+    const int op = static_cast<int>(rng() % 100);
+    if (op < 55) {
+      // SACK arrival: mark a run of 1–4 sequences somewhere in the window.
+      const SeqNo lo = ref.base + rng() % (frontier - ref.base + 1);
+      const SeqNo len = 1 + rng() % 4;
+      for (SeqNo s = lo; s < lo + len; ++s) {
+        ASSERT_EQ(flat.mark(s), ref.mark(s)) << "seq " << s;
+      }
+      frontier = std::max(frontier, lo + len);
+    } else if (op < 80) {
+      // Cumulative ACK: advance the floor, sometimes ONTO a marked seq.
+      const SeqNo adv = 1 + rng() % 96;
+      const SeqNo nb = ref.base + adv;
+      flat.advance_base(nb);
+      ref.advance_base(nb);
+      frontier = std::max(frontier, nb);
+    } else if (op < 90) {
+      // Window burst: jump the frontier so later marks land far above base
+      // (SACK overshoot past the span hint → growth under load). Capped at
+      // 8192 above the floor — 128x the constructor hint — so the check
+      // passes stay cheap while growth still triggers repeatedly.
+      frontier = std::min(frontier + 64 + rng() % 512, ref.base + 8192);
+    } else {
+      // F-RTO-style pullback: re-mark near the floor after far marks (the
+      // sender rewinds snd_next and walks holes from snd_una again).
+      const SeqNo s = ref.base + rng() % 8;
+      ASSERT_EQ(flat.mark(s), ref.mark(s)) << "seq " << s;
+    }
+    if (step % 61 == 0) {
+      expect_equivalent(flat, ref, frontier + 8, rng);
+    }
+  }
+  expect_equivalent(flat, ref, frontier + 8, rng);
+}
+
+TEST(SegmentRingTest, RandomizedDifferentialAgainstMap) {
+  std::mt19937_64 rng(0x2016deadULL);
+  SegmentRing ring(/*capacity_hint=*/64);
+  std::map<SeqNo, SegmentInfo> ref;
+  SeqNo una = 1;       // live window floor (snd_una)
+  SeqNo highest = 0;   // live window ceiling (highest_transmitted)
+  for (int step = 0; step < 6000; ++step) {
+    const int op = static_cast<int>(rng() % 100);
+    if (op < 60) {
+      // New transmission at highest+1 (transmissions are always contiguous).
+      const SeqNo seq = highest < una ? una : highest + 1;
+      ring.ensure_window(una, highest, seq);
+      SegmentInfo info;
+      info.last_sent = util::TimePoint::from_ns(static_cast<std::int64_t>(step));
+      info.retx_count = 0;
+      ring.at(seq) = info;
+      ref[seq] = info;
+      highest = seq;
+    } else if (op < 80 && highest >= una) {
+      // Retransmission: bump retx_count of a live slot in place.
+      const SeqNo seq = una + rng() % (highest - una + 1);
+      ring.at(seq).retx_count += 1;
+      ring.at(seq).last_sent =
+          util::TimePoint::from_ns(static_cast<std::int64_t>(step));
+      ref[seq].retx_count += 1;
+      ref[seq].last_sent = util::TimePoint::from_ns(static_cast<std::int64_t>(step));
+    } else if (highest >= una) {
+      // Cumulative ACK: advance una (prefix erase in the reference; free in
+      // the ring — stale slots below the floor are simply never read).
+      const SeqNo nb = una + 1 + rng() % (highest - una + 1);
+      ref.erase(ref.begin(), ref.lower_bound(nb));
+      una = nb;
+    }
+    // The ring must agree with the map on every live slot.
+    if (step % 97 == 0 && highest >= una) {
+      for (SeqNo s = una; s <= highest; ++s) {
+        auto it = ref.find(s);
+        ASSERT_TRUE(it != ref.end()) << "seq " << s;
+        ASSERT_EQ(ring.at(s).last_sent, it->second.last_sent) << "seq " << s;
+        ASSERT_EQ(ring.at(s).retx_count, it->second.retx_count) << "seq " << s;
+      }
+    }
+  }
+}
+
+TEST(SegmentRingTest, GrowthPreservesLiveWindow) {
+  SegmentRing ring(/*capacity_hint=*/64);
+  const SeqNo una = 10;
+  for (SeqNo s = una; s < una + 64; ++s) {
+    ring.ensure_window(una, s - 1, s);
+    SegmentInfo info;
+    info.last_sent = util::TimePoint::from_ns(static_cast<std::int64_t>(s));
+    info.retx_count = static_cast<std::uint32_t>(s % 7);
+    ring.at(s) = info;
+  }
+  // Admitting one more sequence than the arena holds doubles it and must
+  // re-place every live slot under the new mask.
+  ring.ensure_window(una, una + 63, una + 64);
+  EXPECT_GE(ring.capacity(), 128u);
+  for (SeqNo s = una; s < una + 64; ++s) {
+    EXPECT_EQ(ring.at(s).last_sent.ns(), static_cast<std::int64_t>(s));
+    EXPECT_EQ(ring.at(s).retx_count, static_cast<std::uint32_t>(s % 7));
+  }
+}
+
+}  // namespace
+}  // namespace hsr::tcp
